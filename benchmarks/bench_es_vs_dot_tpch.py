@@ -1,0 +1,49 @@
+"""Section 4.4.3: DOT vs exhaustive search on the reduced TPC-H workload,
+with and without capacity limits on the HDD-based classes."""
+
+import pytest
+
+from repro.experiments import figures
+
+from conftest import run_once
+
+
+def test_es_vs_dot_tpch_no_capacity_limits(benchmark):
+    results = run_once(
+        benchmark,
+        figures.es_vs_dot_tpch,
+        20.0,
+        0.5,
+        {"Box 1": {}, "Box 2": {}},
+        3,
+    )
+    for box_name, result in results.items():
+        print(f"\n=== {box_name} ===\n{result['text']}")
+        benchmark.extra_info[box_name] = result["text"]
+        assert result["dot"].feasible and result["es"].feasible
+        # Paper: DOT's TOC within ~16 % of ES, response time within ~9 %,
+        # while evaluating orders of magnitude fewer layouts.
+        assert result["dot"].toc_cents <= result["es"].toc_cents * 1.20
+        dot_eval = result["dot_evaluation"]
+        es_eval = result["es_evaluation"]
+        assert dot_eval.response_time_s <= es_eval.response_time_s * 1.15
+        assert result["dot_evaluated"] * 20 < result["es_evaluated"]
+
+
+def test_es_vs_dot_tpch_with_capacity_limits(benchmark):
+    """The paper's capacity sweep: 24 GB on Box 1's HDD RAID 0, 8 GB on Box 2's HDD."""
+    results = run_once(
+        benchmark,
+        figures.es_vs_dot_tpch,
+        20.0,
+        0.5,
+        {"Box 1": {"HDD RAID 0": 24.0}, "Box 2": {"HDD": 8.0}},
+        3,
+    )
+    for box_name, result in results.items():
+        print(f"\n=== {box_name} (capacity limited) ===\n{result['text']}")
+        benchmark.extra_info[box_name] = result["text"]
+        assert result["es"].feasible
+        assert result["dot"].feasible
+        assert result["dot"].layout.satisfies_capacity()
+        assert result["dot"].toc_cents <= result["es"].toc_cents * 1.25

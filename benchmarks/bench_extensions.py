@@ -1,0 +1,62 @@
+"""Section 5 extensions and design ablations.
+
+* generalized provisioning (pick the box) -- Section 5.1;
+* the discrete-sized storage cost model -- Section 5.2;
+* ablation: object groups vs independent per-object moves;
+* ablation: DOT's greedy walk vs the exact MILP relaxation.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+from conftest import run_once
+
+
+def test_generalized_provisioning_picks_a_box(benchmark):
+    result = run_once(benchmark, figures.generalized_provisioning, 4.0, 0.5, 1)
+    print("\n" + result["text"])
+    benchmark.extra_info["decision"] = result["text"]
+    decision = result["decision"]
+    assert decision.feasible
+    # The chosen configuration is the cheapest feasible one.
+    tocs = [rec.toc_cents for rec in decision.per_option.values() if rec is not None]
+    assert decision.recommendation.toc_cents == pytest.approx(min(tocs))
+
+
+def test_discrete_cost_model_consolidates_classes(benchmark):
+    result = run_once(benchmark, figures.discrete_cost_experiment, 4.0, 0.5, (0.0, 0.5, 1.0), 1)
+    print("\n" + result["text"])
+    benchmark.extra_info["alpha_sweep"] = result["text"]
+    outcomes = result["results"]
+    assert all(outcome.feasible for outcome in outcomes.values())
+    used = {
+        alpha: sum(1 for _, gb in outcome.layout.space_used_gb().items() if gb > 0)
+        for alpha, outcome in outcomes.items()
+    }
+    # A fully discrete cost (alpha=1) never spreads data over more classes
+    # than the fully linear cost does.
+    assert used[1.0] <= used[0.0]
+
+
+def test_ablation_object_grouping(benchmark):
+    result = run_once(benchmark, figures.ablation_grouping, 4.0, 0.5, 4)
+    print("\n" + result["text"])
+    benchmark.extra_info["grouping"] = result["text"]
+    outcomes = result["results"]
+    grouped = outcomes["grouped (DOT)"]
+    independent = outcomes["independent objects"]
+    assert grouped.feasible
+    # Group-aware enumeration never does worse than interaction-blind
+    # per-object enumeration (the paper's argument for object groups).
+    if independent.feasible:
+        assert grouped.toc_cents <= independent.toc_cents * 1.001
+
+
+def test_ablation_milp_reference(benchmark):
+    result = run_once(benchmark, figures.ablation_ilp, 4.0, 0.5, 3)
+    print("\n" + result["text"])
+    benchmark.extra_info["milp"] = result["text"]
+    outcomes = result["results"]
+    assert outcomes["dot"].feasible
+    assert outcomes["milp"].feasible

@@ -1,0 +1,36 @@
+"""Figures 5 and 6: modified (ODS-style) TPC-H workload at relative SLA 0.5."""
+
+import pytest
+
+from repro.experiments import figures
+
+from conftest import run_once
+
+
+def test_fig5_modified_tpch_sla05(benchmark):
+    results = run_once(benchmark, figures.figure5, 20.0, 20)
+    for box_name, result in results.items():
+        print(f"\n=== {box_name} ===\n{result['text']}")
+        benchmark.extra_info[box_name] = result["text"]
+        by_name = {e.layout_name: e for e in result["evaluations"]}
+
+        # Paper: with the random-I/O-heavy modified workload the cheap simple
+        # layouts fail the SLA while DOT stays (at worst marginally) within
+        # the All H-SSD cost -- the tight SLA forces most objects onto the
+        # H-SSD, so the saving at SLA 0.5 is small (it widens at 0.25,
+        # Figure 7).
+        assert by_name["DOT"].toc_cents <= by_name["All H-SSD"].toc_cents * 1.02
+        hdd_like = "All HDD" if "All HDD" in by_name else "All HDD RAID 0"
+        assert by_name[hdd_like].psr < 1.0
+        assert by_name["DOT"].psr >= by_name[hdd_like].psr
+
+
+def test_fig6_dot_layouts_for_modified_tpch(benchmark):
+    layouts = run_once(benchmark, figures.figure6, 20.0, 20)
+    for box_name, entry in layouts.items():
+        print(f"\n=== {box_name} ===\n{entry['text']}")
+        benchmark.extra_info[box_name] = entry["text"]
+        layout = entry["layout"]
+        # The modified workload keeps much more data on the H-SSD than the
+        # original workload does (paper Figure 6 vs Figure 4).
+        assert layout.space_used_gb()["H-SSD"] > 0

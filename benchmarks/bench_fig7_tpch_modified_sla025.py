@@ -1,0 +1,29 @@
+"""Figure 7: modified TPC-H workload at the looser relative SLA of 0.25."""
+
+import pytest
+
+from repro.experiments import figures
+
+from conftest import run_once
+
+
+def test_fig7_modified_tpch_sla025(benchmark):
+    results = run_once(benchmark, figures.figure7, 20.0, 20)
+    sla05 = figures.figure5(20.0, 20)
+    for box_name, result in results.items():
+        print(f"\n=== {box_name} ===\n{result['text']}")
+        benchmark.extra_info[box_name] = result["text"]
+        by_name = {e.layout_name: e for e in result["evaluations"]}
+        by_name_05 = {e.layout_name: e for e in sla05[box_name]["evaluations"]}
+
+        # Paper: relaxing the SLA from 0.5 to 0.25 lets DOT move bulk data to
+        # cheaper classes, widening the saving against All H-SSD (up to ~5x).
+        assert by_name["DOT"].toc_cents < by_name["All H-SSD"].toc_cents
+        assert by_name["DOT"].toc_cents <= by_name_05["DOT"].toc_cents * 1.05
+        # The measured PSR dips below 100 % because the validation run sees
+        # buffer-pool and noise effects the optimizer's estimates do not
+        # (recorded as a known deviation in EXPERIMENTS.md); it must stay at
+        # least as good as the SLA-violating cheap simple layouts.
+        hdd_like = "All HDD" if "All HDD" in by_name else "All HDD RAID 0"
+        assert by_name["DOT"].psr >= by_name[hdd_like].psr
+        assert by_name["DOT"].psr >= 0.5

@@ -1,0 +1,44 @@
+"""Figure 8 and Table 3: TPC-C throughput/TOC for DOT and the simple layouts."""
+
+import pytest
+
+from repro.experiments import figures
+
+from conftest import run_once
+
+
+def test_fig8_tpcc_throughput_vs_toc(benchmark):
+    results = run_once(benchmark, figures.figure8, 300, (0.5, 0.25, 0.125), 300)
+    for box_name, result in results.items():
+        print(f"\n=== {box_name} ===\n{result['text']}")
+        benchmark.extra_info[box_name] = result["text"]
+        by_name = {e.layout_name: e for e in result["evaluations"]}
+
+        # DOT never costs more per transaction than All H-SSD, and relaxing
+        # the SLA never increases its TOC.
+        dot_entries = sorted(
+            (name for name in by_name if name.startswith("DOT")), reverse=True
+        )
+        assert dot_entries, "DOT produced no feasible TPC-C layouts"
+        for name in dot_entries:
+            assert by_name[name].toc_cents <= by_name["All H-SSD"].toc_cents * 1.001
+
+        # The all-HDD layout is dramatically slower than All H-SSD (the paper's
+        # motivation for needing the fast tier at all).
+        hdd_like = "All HDD" if "All HDD" in by_name else "All HDD RAID 0"
+        assert by_name[hdd_like].transactions_per_minute < (
+            by_name["All H-SSD"].transactions_per_minute / 5
+        )
+
+
+def test_table3_tpcc_dot_layouts_per_sla(benchmark):
+    result = run_once(benchmark, figures.table3, 300, (0.5, 0.25, 0.125), 300)
+    print("\n" + result["text"])
+    benchmark.extra_info["table3"] = result["text"]
+    layouts = result["layouts"]
+    assert set(layouts) == {0.5, 0.25, 0.125}
+    for layout in layouts.values():
+        # The hot random-I/O objects stay on the H-SSD at every SLA, as in the
+        # paper's Table 3.
+        assert layout.class_name_of("stock") == "H-SSD"
+        assert layout.satisfies_capacity()

@@ -1,0 +1,31 @@
+"""Figure 9 / Section 4.5.3: ES vs DOT for TPC-C under H-SSD capacity limits."""
+
+import pytest
+
+from repro.experiments import figures
+
+from conftest import run_once
+
+
+def test_fig9_es_vs_dot_tpcc(benchmark):
+    results = run_once(
+        benchmark,
+        figures.figure9,
+        300,
+        0.25,
+        (None, 21.0),
+        300,
+        ("stock", "order_line", "customer"),
+    )
+    for label, result in results.items():
+        print(f"\n=== {label} ===\n{result['text']}")
+        benchmark.extra_info[label] = result["text"]
+        assert result["es"].feasible
+        assert result["dot"].feasible
+        dot_eval = result["dot_evaluation"]
+        es_eval = result["es_evaluation"]
+        # Paper: ES and DOT achieve almost the same tpmC and TOC.
+        assert dot_eval.toc_cents <= es_eval.toc_cents * 1.25
+        assert dot_eval.transactions_per_minute >= es_eval.transactions_per_minute * 0.75
+        # DOT computes its layout orders of magnitude faster than ES.
+        assert result["dot"].elapsed_s < result["es"].elapsed_s

@@ -1,0 +1,34 @@
+"""Table 1: storage prices and per-I/O-type profiles at concurrency 1 and 300."""
+
+import pytest
+
+from repro.storage import catalog
+from repro.experiments import figures
+
+from conftest import run_once
+
+
+def test_table1_storage_profiles(benchmark):
+    result = run_once(benchmark, figures.table1, (1, 300))
+    benchmark.extra_info["table"] = result["text"]
+    print("\n" + result["text"])
+
+    # Prices match the published Table 1 within 10 %.
+    for name, published in result["published_prices"].items():
+        assert result["prices_cents_per_gb_hour"][name] == pytest.approx(published, rel=0.10)
+
+    # Measured profiles reproduce the paper's ordering: the H-SSD dominates
+    # random reads, the L-SSD's random writes are worse than the HDD's, and
+    # RAID 0 beats the single device on sequential reads.
+    rows = result["profiles"]
+    assert rows["H-SSD"][1].rand_read_ms < rows["L-SSD"][1].rand_read_ms < rows["HDD"][1].rand_read_ms
+    assert rows["L-SSD"][1].rand_write_ms > rows["HDD"][1].rand_write_ms
+    assert rows["HDD RAID 0"][1].seq_read_ms < rows["HDD"][1].seq_read_ms
+    assert rows["L-SSD RAID 0"][1].seq_read_ms < rows["L-SSD"][1].seq_read_ms
+
+
+def test_table2_device_specifications(benchmark):
+    result = run_once(benchmark, figures.table2)
+    benchmark.extra_info["table"] = result["text"]
+    print("\n" + result["text"])
+    assert set(result["devices"]) == {"HDD", "L-SSD", "H-SSD"}

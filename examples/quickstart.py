@@ -1,0 +1,62 @@
+"""Quickstart: recommend a TOC-minimising layout for a small TPC-H workload.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example builds a scale-factor-2 TPC-H database, the paper's Box 1 storage
+system (HDD RAID 0 + L-SSD + H-SSD), and asks the DOT advisor for a layout
+that may be at most 2x slower than keeping everything on the high-end SSD
+(relative SLA 0.5).  It then compares the recommendation against the simple
+all-on-one-class layouts.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import ProvisioningAdvisor
+from repro.core.simple_layouts import simple_layouts
+from repro.dbms import BufferPool, WorkloadEstimator
+from repro.experiments.reporting import format_evaluations
+from repro.experiments.runner import ExperimentRunner
+from repro.sla import RelativeSLA
+from repro.storage import catalog as storage_catalog
+from repro.workloads import tpch
+
+
+def main() -> None:
+    # 1. The database: schema + statistics (no real rows are needed).
+    catalog = tpch.build_catalog(scale_factor=2)
+    objects = catalog.database_objects()
+    print(f"Database: {catalog.name}, {len(objects)} objects, "
+          f"{catalog.total_size_gb():.1f} GB")
+
+    # 2. The workload: the 22 original TPC-H templates, one repetition.
+    workload = tpch.original_workload(scale_factor=2, repetitions=1)
+    print(f"Workload: {workload.description}")
+
+    # 3. The storage system: the paper's Box 1.
+    system = storage_catalog.box1()
+    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
+
+    # 4. Ask DOT for a layout under a relative SLA of 0.5.
+    advisor = ProvisioningAdvisor(objects, system, estimator)
+    recommendation = advisor.recommend(workload, sla=RelativeSLA(0.5))
+    print("\n" + recommendation.describe())
+
+    # 5. Compare against the simple layouts.
+    runner = ExperimentRunner(objects, system, estimator)
+    layouts = dict(simple_layouts(objects, system))
+    layouts["DOT"] = recommendation.layout
+    evaluations = runner.evaluate_layouts(layouts, workload, sla=RelativeSLA(0.5))
+    evaluations.sort(key=lambda evaluation: evaluation.toc_cents)
+    print("\nMeasured comparison (simulated runs):")
+    print(format_evaluations(evaluations, metric_label="Response time (s)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Server purchase planning: the generalized provisioning problem (Section 5.1).
+
+Given several candidate storage configurations (the paper's Box 1 and Box 2
+plus a hypothetical box exposing all five storage classes), run the DOT
+pipeline for each and pick the configuration + layout with the lowest TOC
+that still meets the SLA.  Also demonstrates the discrete-sized storage cost
+model of Section 5.2.  Run with::
+
+    python examples/server_purchase_planning.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import DOTOptimizer, WorkloadProfiler
+from repro.core.discrete_cost import DiscreteCostModel
+from repro.core.provisioning import GeneralizedProvisioner, ProvisioningOption
+from repro.dbms import BufferPool, WorkloadEstimator
+from repro.sla import RelativeSLA
+from repro.storage import catalog as storage_catalog
+from repro.workloads import tpch
+
+
+def main(scale_factor: float = 2.0) -> None:
+    catalog = tpch.build_catalog(scale_factor)
+    objects = catalog.database_objects()
+    workload = tpch.original_workload(scale_factor, repetitions=1)
+    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
+
+    # --- Section 5.1: which box should we buy? ---------------------------
+    options = [
+        ProvisioningOption("Box 1", storage_catalog.box1(), "HDD RAID 0 + L-SSD + H-SSD"),
+        ProvisioningOption("Box 2", storage_catalog.box2(), "HDD + L-SSD RAID 0 + H-SSD"),
+        ProvisioningOption("All classes", storage_catalog.full_system(),
+                           "hypothetical box exposing all five classes"),
+    ]
+    provisioner = GeneralizedProvisioner(objects, estimator)
+    decision = provisioner.decide(workload, options, sla=RelativeSLA(0.5))
+    print(decision.describe())
+    if decision.feasible:
+        print(f"\nChosen configuration: {decision.chosen.name} "
+              f"({decision.chosen.description})")
+        print(decision.recommendation.layout.describe())
+
+    # --- Section 5.2: discrete-sized storage cost model ------------------
+    print("\nDiscrete-sized cost model (alpha sweep on Box 1):")
+    system = storage_catalog.box1()
+    profiler = WorkloadProfiler(objects, system, estimator)
+    profiles = profiler.profile(workload, mode="estimate")
+    for alpha in (0.0, 0.5, 1.0):
+        dot = DOTOptimizer(objects, system, estimator,
+                           cost_override=DiscreteCostModel(alpha=alpha))
+        outcome = dot.optimize(workload, profiles)
+        classes_used = sum(1 for _, gb in outcome.layout.space_used_gb().items() if gb > 0)
+        print(f"  alpha={alpha:.1f}: TOC {outcome.toc_cents:.5f} cents, "
+              f"{classes_used} storage classes in use")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 2.0)

@@ -1,0 +1,67 @@
+"""OLTP provisioning: throughput-SLA-driven placement for a TPC-C style workload.
+
+Reproduces, at a reduced warehouse count, the paper's Figure 8 / Table 3
+experiment: DOT layouts for the TPC-C transaction mix under progressively
+looser throughput SLAs, compared with the all-on-one-class layouts.  Run
+with::
+
+    python examples/tpcc_oltp_provisioning.py [warehouses]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import DOTOptimizer, WorkloadProfiler
+from repro.core.simple_layouts import simple_layouts
+from repro.dbms import BufferPool, WorkloadEstimator
+from repro.experiments.reporting import format_evaluations, format_layout_assignment
+from repro.experiments.runner import ExperimentRunner
+from repro.sla import RelativeSLA
+from repro.storage import catalog as storage_catalog
+from repro.workloads import tpcc
+
+
+def main(warehouses: int = 30) -> None:
+    catalog = tpcc.build_catalog(warehouses)
+    objects = catalog.database_objects()
+    workload = tpcc.oltp_workload(warehouses, concurrency=100)
+    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
+    system = storage_catalog.box2()
+    runner = ExperimentRunner(objects, system, estimator)
+
+    # TPC-C plans never change with the layout (all random I/O), so a single
+    # test-run profile on the all-H-SSD baseline suffices -- exactly the
+    # pruning the paper applies in Section 4.5.1.
+    profiler = WorkloadProfiler(objects, system, estimator)
+    profiles = profiler.profile(
+        workload, mode="testrun", patterns=[profiler.single_baseline_pattern()]
+    )
+
+    layouts = dict(simple_layouts(objects, system))
+    for ratio in (0.5, 0.25, 0.125):
+        constraint = runner.resolve_constraint(
+            workload, RelativeSLA(ratio, metric="throughput"), mode="estimate"
+        )
+        outcome = DOTOptimizer(objects, system, estimator, constraint=constraint).optimize(
+            workload, profiles
+        )
+        if outcome.feasible:
+            name = f"DOT (SLA {ratio:g})"
+            layouts[name] = outcome.layout.renamed(name)
+            print(f"\n=== DOT layout at relative SLA {ratio:g} ===")
+            print(format_layout_assignment(outcome.layout))
+        else:
+            print(f"\nRelative SLA {ratio:g}: no feasible layout found")
+
+    evaluations = runner.evaluate_layouts(layouts, workload)
+    evaluations.sort(key=lambda evaluation: -(evaluation.transactions_per_minute or 0))
+    print("\nMeasured comparison (simulated runs):")
+    print(format_evaluations(evaluations, metric_label="tpmC"))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 30)

@@ -1,0 +1,51 @@
+"""DSS provisioning: how the SLA and workload shape change DOT's layouts.
+
+Reproduces, at a reduced scale factor, the comparison behind the paper's
+Figures 3-7: the original (sequential-read heavy) and modified (random-read
+heavy) TPC-H workloads, each under a tight (0.5) and a loose (0.25) relative
+SLA.  Run with::
+
+    python examples/tpch_dss_provisioning.py [scale_factor]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import ProvisioningAdvisor
+from repro.dbms import BufferPool, WorkloadEstimator
+from repro.experiments.reporting import format_layout_assignment
+from repro.sla import RelativeSLA
+from repro.storage import catalog as storage_catalog
+from repro.workloads import tpch
+
+
+def main(scale_factor: float = 2.0) -> None:
+    catalog = tpch.build_catalog(scale_factor)
+    objects = catalog.database_objects()
+    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
+    system = storage_catalog.box2()
+
+    workloads = {
+        "original (SR-dominated)": tpch.original_workload(scale_factor, repetitions=1),
+        "modified (mixed random/sequential)": tpch.modified_workload(scale_factor, repetitions=4),
+    }
+    for workload_label, workload in workloads.items():
+        for ratio in (0.5, 0.25):
+            advisor = ProvisioningAdvisor(objects, system, estimator)
+            recommendation = advisor.recommend(workload, sla=RelativeSLA(ratio))
+            report = recommendation.measured_report
+            hssd_gb = recommendation.layout.space_used_gb().get("H-SSD", 0.0)
+            print(f"\n=== {workload_label}, relative SLA {ratio} ===")
+            print(f"TOC: {report.toc_cents:.4f} cents/run, "
+                  f"storage: {report.layout_cost_cents_per_hour:.4f} c/h, "
+                  f"PSR: {recommendation.psr * 100:.0f}%, "
+                  f"H-SSD usage: {hssd_gb:.2f} GB")
+            print(format_layout_assignment(recommendation.layout))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 2.0)

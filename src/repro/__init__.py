@@ -1,0 +1,64 @@
+"""repro: a reproduction of "Towards Cost-Effective Storage Provisioning for DBMSs".
+
+The package implements the DOT storage-placement advisor (VLDB 2011) together
+with every substrate its evaluation depends on: parametric storage device
+models, a storage-aware query optimizer and execution simulator, TPC-H /
+TPC-C style workload generators, SLA machinery, and the baselines the paper
+compares against (simple layouts, the Object Advisor, exhaustive search).
+
+Quickstart
+----------
+>>> from repro import storage, workloads
+>>> from repro.core import ProvisioningAdvisor
+>>> from repro.dbms import WorkloadEstimator
+>>> from repro.sla import RelativeSLA
+>>> catalog = workloads.tpch.build_catalog(scale_factor=1)
+>>> workload = workloads.tpch.original_workload(scale_factor=1, repetitions=1)
+>>> system = storage.catalog.box1()
+>>> advisor = ProvisioningAdvisor(catalog.database_objects(), system,
+...                               WorkloadEstimator(catalog))
+>>> recommendation = advisor.recommend(workload, sla=RelativeSLA(0.5))
+>>> recommendation.layout.name
+'DOT'
+"""
+
+from repro import core, dbms, experiments, sla, storage, workloads
+from repro.exceptions import (
+    CapacityError,
+    ConfigurationError,
+    InfeasibleLayoutError,
+    PlanningError,
+    ProfileError,
+    ReproError,
+    SLAError,
+    UnknownObjectError,
+    UnknownStorageClassError,
+    WorkloadError,
+)
+from repro.objects import DatabaseObject, ObjectGroup, ObjectKind, group_objects
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "dbms",
+    "experiments",
+    "sla",
+    "storage",
+    "workloads",
+    "DatabaseObject",
+    "ObjectGroup",
+    "ObjectKind",
+    "group_objects",
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "InfeasibleLayoutError",
+    "PlanningError",
+    "ProfileError",
+    "SLAError",
+    "UnknownObjectError",
+    "UnknownStorageClassError",
+    "WorkloadError",
+    "__version__",
+]

@@ -1,0 +1,64 @@
+"""The paper's contribution: TOC-minimising data placement (DOT) and baselines.
+
+This package implements everything in Sections 2, 3 and 5 of the paper:
+
+* the layout / capacity / cost model (:mod:`repro.core.layout`,
+  :mod:`repro.core.toc`),
+* workload profiles over baseline layouts (:mod:`repro.core.profiles`,
+  :mod:`repro.core.profiler`),
+* the DOT heuristic itself -- move enumeration with priority scores and the
+  greedy optimization walk (:mod:`repro.core.moves`, :mod:`repro.core.dot`),
+* the evaluated baselines: simple layouts, the Object Advisor, and exhaustive
+  search (:mod:`repro.core.simple_layouts`, :mod:`repro.core.object_advisor`,
+  :mod:`repro.core.exhaustive`),
+* the extensions of Section 5: the generalized provisioning problem and the
+  discrete-sized storage cost model, plus a MILP reference formulation.
+"""
+
+from repro.objects import DatabaseObject, ObjectGroup, ObjectKind, group_objects
+from repro.core.layout import Layout
+from repro.core.toc import TOCModel, TOCReport
+from repro.core.profiles import BaselinePlacement, WorkloadProfileSet
+from repro.core.profiler import WorkloadProfiler
+from repro.core.moves import Move, enumerate_moves
+from repro.core.feasibility import FeasibilityChecker, FeasibilityResult
+from repro.core.dot import DOTOptimizer, DOTResult
+from repro.core.exhaustive import ExhaustiveSearch, ExhaustiveSearchResult
+from repro.core.object_advisor import ObjectAdvisor
+from repro.core.simple_layouts import all_on, index_data_split, simple_layouts
+from repro.core.ilp import MILPPlacement, MILPResult
+from repro.core.discrete_cost import DiscreteCostModel
+from repro.core.provisioning import GeneralizedProvisioner, ProvisioningOption
+from repro.core.advisor import ProvisioningAdvisor, Recommendation
+
+__all__ = [
+    "DatabaseObject",
+    "ObjectGroup",
+    "ObjectKind",
+    "group_objects",
+    "Layout",
+    "TOCModel",
+    "TOCReport",
+    "BaselinePlacement",
+    "WorkloadProfileSet",
+    "WorkloadProfiler",
+    "Move",
+    "enumerate_moves",
+    "FeasibilityChecker",
+    "FeasibilityResult",
+    "DOTOptimizer",
+    "DOTResult",
+    "ExhaustiveSearch",
+    "ExhaustiveSearchResult",
+    "ObjectAdvisor",
+    "all_on",
+    "index_data_split",
+    "simple_layouts",
+    "MILPPlacement",
+    "MILPResult",
+    "DiscreteCostModel",
+    "GeneralizedProvisioner",
+    "ProvisioningOption",
+    "ProvisioningAdvisor",
+    "Recommendation",
+]

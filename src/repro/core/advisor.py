@@ -1,0 +1,215 @@
+"""The end-to-end provisioning advisor (the Figure 2 pipeline).
+
+:class:`ProvisioningAdvisor` wires the four DOT phases together:
+
+1. **Profiling** -- run (or estimate) the workload on baseline layouts to
+   collect per-object I/O profiles.
+2. **Optimization** -- Procedure 1 over the prioritised move list.
+3. **Validation** -- a simulated test run of the recommended layout checked
+   against the SLA.
+4. **Refinement** -- when validation fails, re-profile with the *actual* I/O
+   statistics of the test run and re-optimize; if that still fails, relax the
+   SLA and repeat, as the paper prescribes for infeasible cases.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.core.dot import DOTOptimizer, DOTResult
+from repro.core.layout import Layout
+from repro.core.profiler import WorkloadProfiler
+from repro.core.profiles import BaselinePlacement, WorkloadProfileSet
+from repro.core.toc import TOCModel, TOCReport
+from repro.exceptions import InfeasibleLayoutError
+from repro.objects import DatabaseObject
+from repro.sla.constraints import PerformanceConstraint, RelativeSLA
+from repro.sla.psr import performance_satisfaction_ratio
+from repro.storage.storage_class import StorageSystem
+
+
+@dataclass
+class Recommendation:
+    """The advisor's final answer for one workload on one storage system."""
+
+    layout: Layout
+    constraint: Optional[PerformanceConstraint]
+    estimated_report: TOCReport
+    measured_report: TOCReport
+    psr: float
+    validated: bool
+    refinements_used: int
+    relaxations_used: int
+    dot_result: DOTResult
+    baseline_report: Optional[TOCReport] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def toc_cents(self) -> float:
+        """Measured TOC of the recommended layout."""
+        return self.measured_report.toc_cents
+
+    def describe(self) -> str:
+        """Multi-line human readable summary."""
+        lines = [
+            f"Recommendation for {self.measured_report.workload_name!r}:",
+            f"  layout cost : {self.measured_report.layout_cost_cents_per_hour:.4f} cents/hour",
+            f"  TOC         : {self.measured_report.toc_cents:.4f} cents ({self.measured_report.metric})",
+            f"  PSR         : {self.psr * 100:.0f}%",
+            f"  validated   : {self.validated} "
+            f"(refinements={self.refinements_used}, relaxations={self.relaxations_used})",
+        ]
+        lines.append(self.layout.describe())
+        return "\n".join(lines)
+
+
+class ProvisioningAdvisor:
+    """High level facade implementing the full DOT pipeline."""
+
+    def __init__(
+        self,
+        objects: Sequence[DatabaseObject],
+        system: StorageSystem,
+        estimator,
+        cost_override=None,
+        capacity_relaxed_walk: bool = True,
+    ):
+        self.objects = list(objects)
+        self.system = system
+        self.estimator = estimator
+        self.cost_override = cost_override
+        self.capacity_relaxed_walk = capacity_relaxed_walk
+        self.profiler = WorkloadProfiler(self.objects, system, estimator)
+        self.toc_model = TOCModel(estimator, cost_override=cost_override)
+
+    # ------------------------------------------------------------------
+    def reference_layout(self) -> Layout:
+        """The best-performance reference layout (all objects on the priciest class)."""
+        return Layout.uniform(self.objects, self.system, self.system.most_expensive().name)
+
+    def resolve_constraint(
+        self,
+        workload,
+        sla: Optional[Union[RelativeSLA, PerformanceConstraint]],
+        reference_report: Optional[TOCReport] = None,
+    ) -> Optional[PerformanceConstraint]:
+        """Resolve a relative SLA into an absolute constraint.
+
+        The reference is the *estimated* performance of the all-most-expensive
+        layout so that the caps live in the same units as the optimizer's own
+        estimates (the feasibility test of Procedure 1 compares estimate to
+        estimate); the validation phase then checks the recommendation with a
+        measured run against the same caps.
+        """
+        if sla is None or isinstance(sla, PerformanceConstraint):
+            return sla
+        if reference_report is None:
+            reference_report = self.toc_model.evaluate(
+                self.reference_layout(), workload, mode="estimate"
+            )
+        return sla.resolve(reference_report.run_result)
+
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        workload,
+        sla: Optional[Union[RelativeSLA, PerformanceConstraint]] = None,
+        profile_mode: str = "estimate",
+        baseline_patterns: Optional[Sequence[BaselinePlacement]] = None,
+        max_refinements: int = 1,
+        max_relaxations: int = 3,
+        relaxation_factor: float = 1.25,
+    ) -> Recommendation:
+        """Run the full profile / optimize / validate / refine pipeline."""
+        started = time.perf_counter()
+
+        reference_report = self.toc_model.evaluate(
+            self.reference_layout(), workload, mode="estimate"
+        )
+        constraint = self.resolve_constraint(workload, sla, reference_report)
+
+        profiles = self.profiler.profile(workload, mode=profile_mode, patterns=baseline_patterns)
+
+        refinements_used = 0
+        relaxations_used = 0
+        current_constraint = constraint
+        current_profiles = profiles
+        last_result: Optional[DOTResult] = None
+
+        while True:
+            optimizer = DOTOptimizer(
+                self.objects,
+                self.system,
+                self.estimator,
+                constraint=current_constraint,
+                capacity_relaxed_walk=self.capacity_relaxed_walk,
+                cost_override=self.cost_override,
+            )
+            result = optimizer.optimize(workload, current_profiles)
+            last_result = result
+
+            if result.feasible:
+                layout = result.require_layout()
+                check, measured_report = optimizer.validate(layout, workload, current_constraint)
+                if check.feasible:
+                    psr = (
+                        performance_satisfaction_ratio(current_constraint, measured_report.run_result)
+                        if current_constraint is not None
+                        else 1.0
+                    )
+                    return Recommendation(
+                        layout=layout,
+                        constraint=current_constraint,
+                        estimated_report=result.toc_report,
+                        measured_report=measured_report,
+                        psr=psr,
+                        validated=True,
+                        refinements_used=refinements_used,
+                        relaxations_used=relaxations_used,
+                        dot_result=result,
+                        baseline_report=reference_report,
+                        elapsed_s=time.perf_counter() - started,
+                    )
+
+            # Validation failed or no feasible layout was found: refine with
+            # actual statistics first, then relax the SLA.
+            if refinements_used < max_refinements:
+                refinements_used += 1
+                current_profiles = self.profiler.profile(
+                    workload, mode="testrun", patterns=baseline_patterns
+                )
+                continue
+            if current_constraint is not None and relaxations_used < max_relaxations:
+                relaxations_used += 1
+                current_constraint = current_constraint.relaxed(relaxation_factor)
+                continue
+            break
+
+        # Out of refinement/relaxation budget: return the best layout found
+        # (even if it only met the estimates) or raise when there is none.
+        if last_result is not None and last_result.feasible:
+            layout = last_result.require_layout()
+            measured_report = self.toc_model.evaluate(layout, workload, mode="run")
+            psr = (
+                performance_satisfaction_ratio(current_constraint, measured_report.run_result)
+                if current_constraint is not None
+                else 1.0
+            )
+            return Recommendation(
+                layout=layout,
+                constraint=current_constraint,
+                estimated_report=last_result.toc_report,
+                measured_report=measured_report,
+                psr=psr,
+                validated=False,
+                refinements_used=refinements_used,
+                relaxations_used=relaxations_used,
+                dot_result=last_result,
+                baseline_report=reference_report,
+                elapsed_s=time.perf_counter() - started,
+            )
+        raise InfeasibleLayoutError(
+            "no feasible layout found even after refinement and SLA relaxation"
+        )

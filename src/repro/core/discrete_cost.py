@@ -1,0 +1,65 @@
+"""The discrete-sized storage cost model of Section 5.2.
+
+The default layout cost is linear in the space used on each class
+(``C(L) = sum_j p_j * S_j``), but real devices are bought in discrete units:
+once any data lives on a class, (part of) its full price is due regardless of
+how little space is occupied.  The paper generalises the layout cost to
+
+    C(L) = sum_j [ alpha * (p_j * c_j) + (1 - alpha) * (S_j / c_j) * (p_j * c_j) ]
+
+where ``alpha`` blends the discrete component (pay for the whole device) with
+the linear component (pay for what you use).  With ``alpha = 0`` the model
+reduces to the linear cost; with ``alpha = 1`` every class that holds at
+least one object costs its full price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.layout import Layout
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DiscreteCostModel:
+    """Layout cost with a discrete (per-device) component.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the discrete component in ``[0, 1]``.
+    charge_empty_classes:
+        If True, the discrete component is charged for every class of the
+        system even when no object is placed on it (the "you already bought
+        the box" interpretation).  The default charges only classes that are
+        actually used, which is the interpretation under which the placement
+        decision still influences the discrete component.
+    """
+
+    alpha: float = 0.5
+    charge_empty_classes: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ConfigurationError("alpha must lie in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def layout_cost_cents_per_hour(self, layout: Layout) -> float:
+        """The generalized layout cost ``C(L)`` for one layout."""
+        total = 0.0
+        used_by_class = layout.space_used_gb()
+        for class_name, used_gb in used_by_class.items():
+            storage_class = layout.system[class_name]
+            full_price = storage_class.price_cents_per_gb_hour * storage_class.capacity_gb
+            linear_part = (1.0 - self.alpha) * (used_gb / storage_class.capacity_gb) * full_price
+            if used_gb > 0 or self.charge_empty_classes:
+                discrete_part = self.alpha * full_price
+            else:
+                discrete_part = 0.0
+            total += discrete_part + linear_part
+        return total
+
+    def __call__(self, layout: Layout) -> float:
+        """Allow the model to be used directly as a ``cost_override`` callable."""
+        return self.layout_cost_cents_per_hour(layout)

@@ -1,0 +1,234 @@
+"""The DOT heuristic optimizer (paper Section 3.1, Procedure 1) plus validation.
+
+DOT starts from the layout that places every object on the most expensive
+storage class, then applies candidate group moves in priority order.  Each
+candidate layout is evaluated with the storage-aware optimizer's estimates
+(``estimateTOC``); feasible layouts advance the walk and the cheapest feasible
+layout seen so far is remembered.  The result may be marked infeasible, in
+which case the caller (the :class:`~repro.core.advisor.ProvisioningAdvisor`)
+relaxes the SLA and retries, as in the paper's Figure 2 loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.feasibility import FeasibilityChecker, FeasibilityResult
+from repro.core.layout import Layout
+from repro.core.moves import Move, enumerate_moves
+from repro.core.profiles import WorkloadProfileSet
+from repro.core.toc import TOCModel, TOCReport
+from repro.exceptions import InfeasibleLayoutError
+from repro.objects import DatabaseObject, ObjectGroup, group_objects
+from repro.sla.constraints import PerformanceConstraint
+from repro.storage.storage_class import StorageSystem
+
+
+@dataclass
+class MoveTrace:
+    """One step of the DOT walk, for introspection and tests."""
+
+    move_description: str
+    accepted: bool
+    feasible: bool
+    toc_cents: float
+    feasibility: str
+
+
+@dataclass
+class DOTResult:
+    """Outcome of one DOT optimization run."""
+
+    layout: Optional[Layout]
+    toc_report: Optional[TOCReport]
+    feasible: bool
+    evaluated_layouts: int
+    elapsed_s: float
+    history: List[MoveTrace] = field(default_factory=list)
+    initial_report: Optional[TOCReport] = None
+
+    @property
+    def toc_cents(self) -> float:
+        """TOC of the recommended layout (``inf`` when infeasible)."""
+        if self.toc_report is None:
+            return float("inf")
+        return self.toc_report.toc_cents
+
+    def require_layout(self) -> Layout:
+        """The recommended layout, or raise if the search was infeasible."""
+        if self.layout is None:
+            raise InfeasibleLayoutError(
+                "DOT found no feasible layout; relax the performance constraint and retry"
+            )
+        return self.layout
+
+
+class DOTOptimizer:
+    """Implements Procedure 1 (the optimization phase) and the validation phase.
+
+    Parameters
+    ----------
+    objects:
+        The placeable database objects ``O``.
+    system:
+        The storage system ``D`` with prices and capacities.
+    estimator:
+        Workload estimator (``estimate_workload`` / ``run_workload``).
+    constraint:
+        Absolute SLA constraint ``T``; ``None`` disables the performance check.
+    initial_class:
+        Class of the initial layout ``L_0`` (defaults to the most expensive).
+    capacity_relaxed_walk:
+        The paper's Procedure 1 only ever advances through fully feasible
+        layouts, which can wedge the walk when ``L_0`` itself violates an
+        imposed capacity limit (the Section 4.4.3 / 4.5.3 experiments).  With
+        this flag (default), moves that strictly reduce the total capacity
+        excess while keeping the SLA satisfied also advance the walk -- they
+        are never reported as the recommendation unless fully feasible.
+    walk_mode:
+        How the walk advances from one layout to the next.  ``"improvement"``
+        (default) only advances when the candidate's estimated TOC beats the
+        best feasible TOC seen so far, which reproduces the paper's empirical
+        DOT-vs-exhaustive-search gap (within ~16 %).  ``"paper"`` follows
+        Procedure 1 literally and advances on *every* feasible move; because
+        later (worse-scored) moves of the same group then overwrite earlier
+        ones, the literal walk ends measurably further from the optimum --
+        the grouping ablation benchmark quantifies the difference.
+    cost_override:
+        Optional alternative layout-cost function (discrete-sized cost model).
+    independent_objects:
+        Treat every object as its own group (the per-object enumeration of
+        Canim et al. [10]).  Used by the grouping ablation benchmark; the
+        paper argues -- and the ablation confirms -- that this misses the
+        table/index plan interactions DOT's object groups capture.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[DatabaseObject],
+        system: StorageSystem,
+        estimator,
+        constraint: Optional[PerformanceConstraint] = None,
+        initial_class: Optional[str] = None,
+        capacity_relaxed_walk: bool = True,
+        cost_override=None,
+        independent_objects: bool = False,
+        walk_mode: str = "improvement",
+    ):
+        if walk_mode not in ("improvement", "paper"):
+            raise ValueError(f"unknown walk_mode {walk_mode!r}")
+        self.objects = list(objects)
+        self.system = system
+        self.estimator = estimator
+        self.constraint = constraint
+        self.initial_class = initial_class or system.most_expensive().name
+        self.capacity_relaxed_walk = capacity_relaxed_walk
+        self.walk_mode = walk_mode
+        if independent_objects:
+            self.groups = [
+                ObjectGroup(key=obj.name, members=(obj,)) for obj in self.objects
+            ]
+        else:
+            self.groups = group_objects(self.objects)
+        self.toc_model = TOCModel(estimator, cost_override=cost_override)
+        self.checker = FeasibilityChecker(constraint)
+
+    # ------------------------------------------------------------------
+    def initial_layout(self) -> Layout:
+        """The paper's ``L_0``: every object on the most expensive class."""
+        return Layout.uniform(self.objects, self.system, self.initial_class,
+                              name=f"All {self.initial_class}")
+
+    def enumerate_moves(self, profiles: WorkloadProfileSet) -> List[Move]:
+        """Candidate moves sorted by priority score (Procedure 2)."""
+        return enumerate_moves(self.groups, self.system, profiles,
+                               initial_class=self.initial_class)
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        workload,
+        profiles: WorkloadProfileSet,
+        constraint: Optional[PerformanceConstraint] = None,
+    ) -> DOTResult:
+        """Run the optimization phase (Procedure 1) and return the best layout."""
+        checker = self.checker if constraint is None else FeasibilityChecker(constraint)
+        started = time.perf_counter()
+
+        current = self.initial_layout()
+        initial_report = self.toc_model.evaluate(current, workload, mode="estimate")
+        initial_check = checker.check(current, initial_report.run_result)
+
+        best_layout: Optional[Layout] = None
+        best_report: Optional[TOCReport] = None
+        if initial_check.feasible:
+            best_layout, best_report = current, initial_report
+
+        history: List[MoveTrace] = []
+        evaluated = 1
+        moves = self.enumerate_moves(profiles)
+        for move in moves:
+            candidate = move.apply_to(current)
+            report = self.toc_model.evaluate(candidate, workload, mode="estimate")
+            evaluated += 1
+            check = checker.check(candidate, report.run_result)
+
+            accepted = False
+            if check.feasible:
+                improves = best_report is None or report.toc_cents < best_report.toc_cents
+                if self.walk_mode == "paper" or improves:
+                    current = candidate
+                    accepted = True
+                if improves:
+                    best_layout, best_report = candidate, report
+            elif (
+                self.capacity_relaxed_walk
+                and check.performance_ok
+                and not check.capacity_ok
+                and candidate.excess_gb() < current.excess_gb()
+            ):
+                # Advance toward capacity feasibility without recording the
+                # (still infeasible) layout as a recommendation.
+                current = candidate
+                accepted = True
+
+            history.append(
+                MoveTrace(
+                    move_description=move.describe(),
+                    accepted=accepted,
+                    feasible=check.feasible,
+                    toc_cents=report.toc_cents,
+                    feasibility=check.describe(),
+                )
+            )
+
+        elapsed = time.perf_counter() - started
+        if best_layout is not None:
+            best_layout = best_layout.renamed("DOT")
+            best_report = self.toc_model.report_from_result(
+                best_layout, workload, best_report.run_result
+            )
+        return DOTResult(
+            layout=best_layout,
+            toc_report=best_report,
+            feasible=best_layout is not None,
+            evaluated_layouts=evaluated,
+            elapsed_s=elapsed,
+            history=history,
+            initial_report=initial_report,
+        )
+
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        layout: Layout,
+        workload,
+        constraint: Optional[PerformanceConstraint] = None,
+    ) -> Tuple[FeasibilityResult, TOCReport]:
+        """The validation phase: a simulated test run of the recommended layout."""
+        checker = self.checker if constraint is None else FeasibilityChecker(constraint)
+        report = self.toc_model.evaluate(layout, workload, mode="run")
+        check = checker.check(layout, report.run_result)
+        return check, report

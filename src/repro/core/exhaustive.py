@@ -1,0 +1,168 @@
+"""Exhaustive search over all data layouts (the paper's ES baseline).
+
+ES enumerates every assignment of objects to storage classes (``M^N``
+layouts), evaluates each with the same TOC estimate and feasibility check DOT
+uses, and returns the cheapest feasible layout.  The paper uses ES as the
+quality yardstick in Sections 4.4.3 and 4.5.3, on reduced object sets because
+the enumeration is exponential; this implementation enforces an explicit
+layout budget for the same reason.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.layout import Layout
+from repro.core.toc import TOCModel, TOCReport
+from repro.exceptions import ConfigurationError
+from repro.objects import DatabaseObject, group_objects
+from repro.sla.constraints import PerformanceConstraint
+from repro.storage.storage_class import StorageSystem
+
+
+@dataclass
+class ExhaustiveSearchResult:
+    """Outcome of an exhaustive search."""
+
+    layout: Optional[Layout]
+    toc_report: Optional[TOCReport]
+    feasible: bool
+    evaluated_layouts: int
+    elapsed_s: float
+
+    @property
+    def toc_cents(self) -> float:
+        """TOC of the best layout (``inf`` when no feasible layout exists)."""
+        if self.toc_report is None:
+            return float("inf")
+        return self.toc_report.toc_cents
+
+
+class ExhaustiveSearch:
+    """Enumerates and evaluates every possible layout.
+
+    Parameters
+    ----------
+    objects:
+        The placeable objects; the search space is ``M^N`` over them (or
+        ``product(M^K_g)`` over groups with ``per_group=True``, which prunes
+        nothing when every object is its own group but matches DOT's
+        independence assumption otherwise).
+    system:
+        The storage system.
+    estimator:
+        Workload estimator shared with DOT.
+    constraint:
+        SLA constraint applied to each candidate.
+    max_layouts:
+        Hard limit on the number of enumerated layouts; exceeding it raises
+        :class:`ConfigurationError` instead of silently running forever.
+    per_group:
+        Enumerate placements per object group rather than per object.
+    pinned_objects:
+        Objects included in every candidate layout at a fixed class (given by
+        ``pinned_class``); used when the enumeration is restricted to the
+        "hot" objects of a database whose remaining objects still need a
+        placement for the workload to be estimable.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[DatabaseObject],
+        system: StorageSystem,
+        estimator,
+        constraint: Optional[PerformanceConstraint] = None,
+        max_layouts: int = 500_000,
+        per_group: bool = False,
+        cost_override=None,
+        pinned_objects: Sequence[DatabaseObject] = (),
+        pinned_class: Optional[str] = None,
+    ):
+        self.objects = list(objects)
+        self.system = system
+        self.estimator = estimator
+        self.constraint = constraint
+        self.max_layouts = max_layouts
+        self.per_group = per_group
+        self.pinned_objects = list(pinned_objects)
+        self.pinned_class = pinned_class or system.cheapest().name
+        self.toc_model = TOCModel(estimator, cost_override=cost_override)
+        self.checker = FeasibilityChecker(constraint)
+
+    # ------------------------------------------------------------------
+    def search_space_size(self) -> int:
+        """Number of layouts the search would enumerate."""
+        class_count = len(self.system)
+        if self.per_group:
+            size = 1
+            for group in group_objects(self.objects):
+                size *= class_count ** len(group)
+            return size
+        return class_count ** len(self.objects)
+
+    def _layouts(self):
+        class_names = self.system.class_names
+        all_objects = self.objects + self.pinned_objects
+        pinned_assignment = {obj.name: self.pinned_class for obj in self.pinned_objects}
+        if self.per_group:
+            groups = group_objects(self.objects)
+            per_group_choices = [
+                list(itertools.product(class_names, repeat=len(group))) for group in groups
+            ]
+            for combo in itertools.product(*per_group_choices):
+                assignment = dict(pinned_assignment)
+                for group, placement in zip(groups, combo):
+                    for member, class_name in zip(group.members, placement):
+                        assignment[member.name] = class_name
+                yield Layout(all_objects, self.system, assignment, name="ES candidate")
+        else:
+            names = [obj.name for obj in self.objects]
+            for combo in itertools.product(class_names, repeat=len(names)):
+                assignment = dict(pinned_assignment)
+                assignment.update(zip(names, combo))
+                yield Layout(all_objects, self.system, assignment, name="ES candidate")
+
+    # ------------------------------------------------------------------
+    def search(self, workload, constraint: Optional[PerformanceConstraint] = None) -> ExhaustiveSearchResult:
+        """Enumerate all layouts and return the cheapest feasible one."""
+        space = self.search_space_size()
+        if space > self.max_layouts:
+            raise ConfigurationError(
+                f"exhaustive search space has {space} layouts, exceeding the limit of "
+                f"{self.max_layouts}; reduce the object set or raise max_layouts"
+            )
+        checker = self.checker if constraint is None else FeasibilityChecker(constraint)
+        started = time.perf_counter()
+
+        best_layout: Optional[Layout] = None
+        best_report: Optional[TOCReport] = None
+        evaluated = 0
+        for layout in self._layouts():
+            evaluated += 1
+            # Cheap capacity pre-filter before spending an estimate.
+            if not layout.satisfies_capacity():
+                continue
+            report = self.toc_model.evaluate(layout, workload, mode="estimate")
+            check = checker.check(layout, report.run_result)
+            if not check.feasible:
+                continue
+            if best_report is None or report.toc_cents < best_report.toc_cents:
+                best_layout, best_report = layout, report
+
+        elapsed = time.perf_counter() - started
+        if best_layout is not None:
+            best_layout = best_layout.renamed("ES")
+            best_report = self.toc_model.report_from_result(
+                best_layout, workload, best_report.run_result
+            )
+        return ExhaustiveSearchResult(
+            layout=best_layout,
+            toc_report=best_report,
+            feasible=best_layout is not None,
+            evaluated_layouts=evaluated,
+            elapsed_s=elapsed,
+        )

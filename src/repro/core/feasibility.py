@@ -1,0 +1,84 @@
+"""Feasibility checking: capacity constraints plus SLA performance constraints.
+
+The ``feasible({L_new, C}, {T', T})`` test of Procedure 1 has two parts: the
+candidate layout must fit the storage capacities, and the workload's estimated
+performance under it must satisfy the SLA.  This module wraps both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.layout import Layout
+from repro.sla.constraints import ConstraintCheck, PerformanceConstraint
+
+
+@dataclass(frozen=True)
+class FeasibilityResult:
+    """Outcome of checking one layout against capacity and SLA constraints."""
+
+    capacity_ok: bool
+    performance_ok: bool
+    capacity_violations: Dict[str, Tuple[float, float]]
+    performance_check: Optional[ConstraintCheck]
+
+    @property
+    def feasible(self) -> bool:
+        """True when both capacity and performance constraints hold."""
+        return self.capacity_ok and self.performance_ok
+
+    def describe(self) -> str:
+        """One-line summary for optimizer traces."""
+        parts = []
+        if self.capacity_ok:
+            parts.append("capacity ok")
+        else:
+            worst = ", ".join(
+                f"{name} {used:.1f}/{cap:.1f} GB"
+                for name, (used, cap) in self.capacity_violations.items()
+            )
+            parts.append(f"capacity violated ({worst})")
+        if self.performance_check is None:
+            parts.append("no SLA")
+        elif self.performance_ok:
+            parts.append("SLA ok")
+        else:
+            parts.append(f"SLA violated ({self.performance_check.detail})")
+        return "; ".join(parts)
+
+
+class FeasibilityChecker:
+    """Checks layouts against capacity constraints and an optional SLA."""
+
+    def __init__(self, constraint: Optional[PerformanceConstraint] = None):
+        self.constraint = constraint
+
+    def check_capacity(self, layout: Layout) -> FeasibilityResult:
+        """Capacity-only check (used before any workload estimate exists)."""
+        violations = layout.capacity_violations()
+        return FeasibilityResult(
+            capacity_ok=not violations,
+            performance_ok=True,
+            capacity_violations=violations,
+            performance_check=None,
+        )
+
+    def check(self, layout: Layout, run_result=None) -> FeasibilityResult:
+        """Full check of a layout given a workload estimate/run for it."""
+        violations = layout.capacity_violations()
+        performance_check: Optional[ConstraintCheck] = None
+        performance_ok = True
+        if self.constraint is not None and run_result is not None:
+            performance_check = self.constraint.check(run_result)
+            performance_ok = performance_check.satisfied
+        return FeasibilityResult(
+            capacity_ok=not violations,
+            performance_ok=performance_ok,
+            capacity_violations=violations,
+            performance_check=performance_check,
+        )
+
+    def with_constraint(self, constraint: Optional[PerformanceConstraint]) -> "FeasibilityChecker":
+        """A copy of the checker with a different performance constraint."""
+        return FeasibilityChecker(constraint)

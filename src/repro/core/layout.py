@@ -1,0 +1,215 @@
+"""Data layouts: the mapping from database objects to storage classes.
+
+A layout ``L`` assigns every object to exactly one storage class (paper
+Section 2.2).  The layout knows how to compute the space it uses on each
+class, whether it satisfies the capacity constraints, and its hourly storage
+cost ``C(L) = sum_j p_j * S_j`` (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import CapacityError, ConfigurationError, UnknownObjectError, UnknownStorageClassError
+from repro.objects import DatabaseObject, ObjectGroup, objects_by_name
+from repro.storage.storage_class import StorageClass, StorageSystem
+
+
+class Layout:
+    """An assignment of database objects to storage classes.
+
+    Layouts are value-like: mutating operations (:meth:`assign`,
+    :meth:`with_assignment`, :meth:`with_group_placement`) return new layouts
+    and never modify the original, which keeps DOT's search loop free of
+    aliasing surprises.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[DatabaseObject],
+        system: StorageSystem,
+        assignment: Mapping[str, str],
+        name: str = "layout",
+    ):
+        self._objects = objects_by_name(objects)
+        self.system = system
+        self.name = name
+        missing = [obj_name for obj_name in self._objects if obj_name not in assignment]
+        if missing:
+            raise ConfigurationError(f"layout {name!r} misses assignments for {sorted(missing)}")
+        unknown_objects = [obj_name for obj_name in assignment if obj_name not in self._objects]
+        if unknown_objects:
+            raise UnknownObjectError(sorted(unknown_objects)[0])
+        self._assignment: Dict[str, str] = {}
+        for obj_name, class_name in assignment.items():
+            if class_name not in system:
+                raise UnknownStorageClassError(class_name)
+            self._assignment[obj_name] = class_name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        objects: Sequence[DatabaseObject],
+        system: StorageSystem,
+        class_name: str,
+        name: Optional[str] = None,
+    ) -> "Layout":
+        """Place every object on one storage class (the "All X" layouts)."""
+        assignment = {obj.name: class_name for obj in objects}
+        return cls(objects, system, assignment, name=name or f"All {class_name}")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def objects(self) -> Tuple[DatabaseObject, ...]:
+        """The placed objects."""
+        return tuple(self._objects.values())
+
+    @property
+    def object_names(self) -> Tuple[str, ...]:
+        """Names of the placed objects."""
+        return tuple(self._objects)
+
+    def storage_class_of(self, object_name: str) -> StorageClass:
+        """The storage class an object is assigned to."""
+        try:
+            class_name = self._assignment[object_name]
+        except KeyError:
+            raise UnknownObjectError(object_name) from None
+        return self.system[class_name]
+
+    def class_name_of(self, object_name: str) -> str:
+        """The storage class *name* an object is assigned to."""
+        try:
+            return self._assignment[object_name]
+        except KeyError:
+            raise UnknownObjectError(object_name) from None
+
+    def assignment(self) -> Dict[str, str]:
+        """A copy of the raw object -> class-name mapping."""
+        return dict(self._assignment)
+
+    def placement(self) -> Dict[str, StorageClass]:
+        """The object -> StorageClass mapping consumed by the DBMS cost model."""
+        return {obj_name: self.system[class_name] for obj_name, class_name in self._assignment.items()}
+
+    def objects_on(self, class_name: str) -> List[DatabaseObject]:
+        """All objects assigned to one storage class (the paper's ``O_j``)."""
+        if class_name not in self.system:
+            raise UnknownStorageClassError(class_name)
+        return [
+            self._objects[obj_name]
+            for obj_name, assigned in self._assignment.items()
+            if assigned == class_name
+        ]
+
+    # ------------------------------------------------------------------
+    # Space and cost
+    # ------------------------------------------------------------------
+    def space_used_gb(self) -> Dict[str, float]:
+        """Space used on each storage class (the paper's ``S_j``), in GB."""
+        used = {class_name: 0.0 for class_name in self.system.class_names}
+        for obj_name, class_name in self._assignment.items():
+            used[class_name] += self._objects[obj_name].size_gb
+        return used
+
+    def storage_cost_cents_per_hour(self) -> float:
+        """The layout cost ``C(L) = sum_j p_j * S_j`` in cents per hour."""
+        total = 0.0
+        for class_name, used_gb in self.space_used_gb().items():
+            total += self.system[class_name].storage_cost_cents_per_hour(used_gb)
+        return total
+
+    def capacity_violations(self) -> Dict[str, Tuple[float, float]]:
+        """Classes over capacity: ``{class: (used_gb, capacity_gb)}``."""
+        violations = {}
+        for class_name, used_gb in self.space_used_gb().items():
+            capacity = self.system[class_name].capacity_gb
+            if used_gb > capacity:
+                violations[class_name] = (used_gb, capacity)
+        return violations
+
+    def excess_gb(self) -> float:
+        """Total gigabytes by which capacity constraints are exceeded."""
+        return sum(used - cap for used, cap in self.capacity_violations().values())
+
+    def satisfies_capacity(self) -> bool:
+        """True if every storage class holds no more than its capacity."""
+        return not self.capacity_violations()
+
+    def validate_capacity(self) -> None:
+        """Raise :class:`CapacityError` for the first violated storage class."""
+        for class_name, (used_gb, capacity_gb) in self.capacity_violations().items():
+            raise CapacityError(class_name, used_gb, capacity_gb)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_assignment(self, object_name: str, class_name: str,
+                        name: Optional[str] = None) -> "Layout":
+        """Return a new layout with one object moved to a different class."""
+        if object_name not in self._objects:
+            raise UnknownObjectError(object_name)
+        if class_name not in self.system:
+            raise UnknownStorageClassError(class_name)
+        assignment = dict(self._assignment)
+        assignment[object_name] = class_name
+        return Layout(self.objects, self.system, assignment, name=name or self.name)
+
+    def with_group_placement(self, group: ObjectGroup, placement: Sequence[str],
+                             name: Optional[str] = None) -> "Layout":
+        """Return a new layout with a whole object group re-placed.
+
+        ``placement`` is a tuple of storage-class names parallel to
+        ``group.members`` -- the paper's ``m(g, p)`` move application.
+        """
+        if len(placement) != len(group.members):
+            raise ConfigurationError(
+                f"placement of length {len(placement)} does not match group of size {len(group)}"
+            )
+        assignment = dict(self._assignment)
+        for member, class_name in zip(group.members, placement):
+            if member.name not in self._objects:
+                raise UnknownObjectError(member.name)
+            if class_name not in self.system:
+                raise UnknownStorageClassError(class_name)
+            assignment[member.name] = class_name
+        return Layout(self.objects, self.system, assignment, name=name or self.name)
+
+    def renamed(self, name: str) -> "Layout":
+        """Return a copy of the layout with a different display name."""
+        return Layout(self.objects, self.system, self._assignment, name=name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def group_placement(self, group: ObjectGroup) -> Tuple[str, ...]:
+        """The current placement tuple of an object group."""
+        return tuple(self.class_name_of(member.name) for member in group.members)
+
+    def describe(self) -> str:
+        """Multi-line description: objects per storage class with sizes."""
+        lines = [f"Layout {self.name!r} ({self.storage_cost_cents_per_hour():.4f} cents/hour)"]
+        for class_name in self.system.class_names:
+            members = self.objects_on(class_name)
+            used = sum(obj.size_gb for obj in members)
+            capacity = self.system[class_name].capacity_gb
+            lines.append(f"  {class_name}: {used:.2f}/{capacity:.0f} GB")
+            for obj in sorted(members, key=lambda o: -o.size_gb):
+                lines.append(f"    {obj.name:<24s} {obj.size_gb:8.2f} GB ({obj.kind.value})")
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._assignment.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Layout({self.name!r}, {len(self._objects)} objects)"

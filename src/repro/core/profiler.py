@@ -1,0 +1,118 @@
+"""The profiling phase of DOT (paper Section 3.4, Figure 2).
+
+The profiler runs (or estimates) the workload on a small set of *baseline
+layouts* and records the per-object I/O counts.  Two modes mirror the paper:
+
+* ``"estimate"`` -- the extended query optimizer predicts the I/O counts
+  without executing anything (used for the TPC-H experiments, Section 4.4);
+* ``"testrun"`` -- a short simulated test run provides actual I/O statistics
+  (used for the TPC-C experiments, Section 4.5.1, where a single baseline
+  layout suffices because the plans never change).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.layout import Layout
+from repro.core.profiles import (
+    BaselinePlacement,
+    WorkloadProfileSet,
+    baseline_placements,
+    placement_for_group,
+)
+from repro.exceptions import ProfileError
+from repro.objects import DatabaseObject, ObjectGroup, group_objects
+from repro.storage.storage_class import StorageSystem
+
+
+class WorkloadProfiler:
+    """Produces :class:`WorkloadProfileSet` instances from baseline layouts.
+
+    Parameters
+    ----------
+    objects:
+        The placeable database objects.
+    system:
+        The storage system (the baseline layouts enumerate its classes).
+    estimator:
+        A workload estimator exposing ``estimate_workload(workload, placement)``
+        and ``run_workload(workload, placement)`` (duck-typed; normally a
+        :class:`repro.dbms.executor.WorkloadEstimator`).
+    """
+
+    def __init__(self, objects: Sequence[DatabaseObject], system: StorageSystem, estimator):
+        self.objects = list(objects)
+        self.system = system
+        self.estimator = estimator
+        self.groups: List[ObjectGroup] = group_objects(self.objects)
+
+    # ------------------------------------------------------------------
+    @property
+    def max_group_size(self) -> int:
+        """The largest object-group size ``K`` (determines the ``M^K`` baselines)."""
+        return max(len(group) for group in self.groups)
+
+    def baseline_layout(self, pattern: BaselinePlacement, name: Optional[str] = None) -> Layout:
+        """Build the baseline layout ``L(p)``: member k of every group goes to ``p[k]``."""
+        assignment = {}
+        for group in self.groups:
+            placement = placement_for_group(pattern, group)
+            for member, class_name in zip(group.members, placement):
+                assignment[member.name] = class_name
+        return Layout(
+            self.objects,
+            self.system,
+            assignment,
+            name=name or f"baseline{tuple(pattern)!r}",
+        )
+
+    def baseline_patterns(self, max_group_size: Optional[int] = None) -> List[BaselinePlacement]:
+        """The ``M^K`` baseline placement patterns to profile."""
+        size = max_group_size if max_group_size is not None else self.max_group_size
+        return baseline_placements(self.system, size)
+
+    # ------------------------------------------------------------------
+    def profile(
+        self,
+        workload,
+        mode: str = "estimate",
+        patterns: Optional[Sequence[BaselinePlacement]] = None,
+        max_group_size: Optional[int] = None,
+    ) -> WorkloadProfileSet:
+        """Profile the workload over baseline layouts.
+
+        ``patterns`` overrides the default ``M^K`` enumeration; passing a
+        single pattern reproduces the paper's pruned TPC-C profiling where
+        one baseline layout is enough.
+        """
+        if mode not in ("estimate", "testrun"):
+            raise ProfileError(f"unknown profiling mode {mode!r}")
+        chosen = (
+            [tuple(pattern) for pattern in patterns]
+            if patterns is not None
+            else self.baseline_patterns(max_group_size)
+        )
+        if not chosen:
+            raise ProfileError("no baseline placement patterns to profile")
+
+        profile_set = WorkloadProfileSet(
+            system=self.system, concurrency=getattr(workload, "concurrency", 1)
+        )
+        runner = (
+            self.estimator.estimate_workload if mode == "estimate" else self.estimator.run_workload
+        )
+        for pattern in chosen:
+            layout = self.baseline_layout(pattern)
+            result = runner(workload, layout.placement())
+            profile_set.add(pattern, result.io_by_object)
+        return profile_set
+
+    def single_baseline_pattern(self, class_name: Optional[str] = None) -> BaselinePlacement:
+        """A single baseline pattern placing everything on one class.
+
+        Defaults to the most expensive class (All H-SSD in the paper's
+        TPC-C profiling).
+        """
+        chosen = class_name or self.system.most_expensive().name
+        return tuple([chosen] * self.max_group_size)

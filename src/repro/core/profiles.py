@@ -1,0 +1,137 @@
+"""Workload profiles over baseline layouts (paper Section 3.4).
+
+A workload profile records, for one *baseline placement pattern* ``p``, how
+many I/Os of each type the workload performs against every object:
+``chi_r^p[o]``.  Baseline placements follow the paper's ``L(i, j)`` scheme --
+the k-th member of every object group (table first, then its indexes) is
+placed on the k-th storage class of the pattern -- so ``M^K`` profiles cover
+all within-group placement combinations while assuming independence across
+groups.
+
+The profiles feed the priority score of Section 3.3: the I/O time share of a
+group under a placement (Eq. 1) is the sum over its members and I/O types of
+``chi * tau``, where ``tau`` is the per-I/O service time of the member's
+storage class.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ProfileError
+from repro.objects import ObjectGroup
+from repro.storage.io_profile import IOType
+from repro.storage.storage_class import StorageSystem
+
+#: A baseline placement pattern: storage-class names by group-member position.
+BaselinePlacement = Tuple[str, ...]
+
+#: Per-object, per-I/O-type counts.
+ObjectIOProfile = Dict[str, Dict[IOType, float]]
+
+
+def baseline_placements(system: StorageSystem, group_size: int) -> List[BaselinePlacement]:
+    """All ``M^K`` baseline placement patterns for groups of size ``group_size``."""
+    if group_size < 1:
+        raise ProfileError("group size must be >= 1")
+    return [tuple(combo) for combo in itertools.product(system.class_names, repeat=group_size)]
+
+
+def placement_for_group(pattern: BaselinePlacement, group: ObjectGroup) -> BaselinePlacement:
+    """Project a baseline pattern onto one group.
+
+    Groups smaller than the pattern take its prefix; groups larger repeat the
+    final class for the remaining members (only relevant when a group has
+    more indexes than the profiled maximum).
+    """
+    placement = []
+    for position in range(len(group.members)):
+        if position < len(pattern):
+            placement.append(pattern[position])
+        else:
+            placement.append(pattern[-1])
+    return tuple(placement)
+
+
+@dataclass
+class WorkloadProfileSet:
+    """The set of workload profiles ``X = {chi_r^p[o]}`` keyed by baseline pattern."""
+
+    system: StorageSystem
+    concurrency: int = 1
+    profiles: Dict[BaselinePlacement, ObjectIOProfile] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add(self, pattern: BaselinePlacement, io_counts: Mapping[str, Mapping[IOType, float]]) -> None:
+        """Record the I/O counts observed/estimated under one baseline pattern."""
+        self.profiles[tuple(pattern)] = {
+            object_name: dict(by_type) for object_name, by_type in io_counts.items()
+        }
+
+    @property
+    def patterns(self) -> Tuple[BaselinePlacement, ...]:
+        """The profiled baseline patterns."""
+        return tuple(self.profiles)
+
+    def io_counts(self, pattern: BaselinePlacement, object_name: str) -> Dict[IOType, float]:
+        """``chi_r^p[o]`` for one object under one baseline pattern."""
+        profile = self._lookup(pattern)
+        return dict(profile.get(object_name, {}))
+
+    def _lookup(self, pattern: BaselinePlacement) -> ObjectIOProfile:
+        key = tuple(pattern)
+        if key in self.profiles:
+            return self.profiles[key]
+        # Fall back to the closest shorter/longer pattern: a profile keyed by
+        # a prefix of the requested pattern (used when a single baseline was
+        # profiled, as in the paper's TPC-C experiment).
+        for candidate, profile in self.profiles.items():
+            if candidate == key[: len(candidate)] or key == candidate[: len(key)]:
+                return profile
+        if len(self.profiles) == 1:
+            return next(iter(self.profiles.values()))
+        raise ProfileError(f"no workload profile recorded for placement pattern {pattern!r}")
+
+    # ------------------------------------------------------------------
+    def io_time_share_ms(self, group: ObjectGroup, placement: Sequence[str]) -> float:
+        """The I/O time share ``T^p[g]`` of Eq. 1 for a group under a placement.
+
+        The profile used is the one measured with this placement pattern
+        (object interactions within the group are therefore honoured); the
+        service time of each member comes from the storage class the
+        placement assigns to it.
+        """
+        placement = tuple(placement)
+        if len(placement) != len(group.members):
+            raise ProfileError(
+                f"placement of length {len(placement)} does not match group {group.key!r} "
+                f"of size {len(group)}"
+            )
+        profile = self._lookup(placement)
+        total_ms = 0.0
+        for member, class_name in zip(group.members, placement):
+            storage_class = self.system[class_name]
+            by_type = profile.get(member.name, {})
+            for io_type, count in by_type.items():
+                total_ms += count * storage_class.service_time_ms(io_type, self.concurrency)
+        return total_ms
+
+    def object_io_time_ms(self, object_name: str, pattern: BaselinePlacement,
+                          class_name: str) -> float:
+        """I/O time of one object under a pattern if it were stored on ``class_name``."""
+        storage_class = self.system[class_name]
+        total_ms = 0.0
+        for io_type, count in self.io_counts(pattern, object_name).items():
+            total_ms += count * storage_class.service_time_ms(io_type, self.concurrency)
+        return total_ms
+
+    def objects_profiled(self) -> Tuple[str, ...]:
+        """All object names appearing in any profile."""
+        names: List[str] = []
+        for profile in self.profiles.values():
+            for object_name in profile:
+                if object_name not in names:
+                    names.append(object_name)
+        return tuple(names)

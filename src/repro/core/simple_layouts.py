@@ -1,0 +1,67 @@
+"""The "simple" comparison layouts of Section 4.2.
+
+These are the layouts the paper compares DOT against: every object on one
+storage class ("All H-SSD", "All HDD", ...) plus the hand-crafted split that
+puts indexes on the high-end SSD and data on the low-end SSD.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.layout import Layout
+from repro.exceptions import ConfigurationError
+from repro.objects import DatabaseObject
+from repro.storage.storage_class import StorageSystem
+
+
+def all_on(objects: Sequence[DatabaseObject], system: StorageSystem, class_name: str) -> Layout:
+    """The "All <class>" layout."""
+    return Layout.uniform(objects, system, class_name)
+
+
+def index_data_split(
+    objects: Sequence[DatabaseObject],
+    system: StorageSystem,
+    index_class: str,
+    data_class: str,
+    name: Optional[str] = None,
+) -> Layout:
+    """Indexes on one class, everything else on another.
+
+    The paper's "Index H-SSD Data L-SSD" layout places every index on the
+    high-end SSD and every table (and any log/temp object) on the low-end SSD.
+    """
+    if index_class not in system or data_class not in system:
+        raise ConfigurationError("both index and data classes must exist in the storage system")
+    assignment = {
+        obj.name: (index_class if obj.is_index else data_class) for obj in objects
+    }
+    return Layout(
+        objects,
+        system,
+        assignment,
+        name=name or f"Index {index_class} Data {data_class}",
+    )
+
+
+def simple_layouts(objects: Sequence[DatabaseObject], system: StorageSystem) -> Dict[str, Layout]:
+    """All simple layouts available on a storage system.
+
+    One "All <class>" layout per class, plus the index/data split whenever the
+    system exposes an H-SSD together with some flavour of L-SSD (as both of
+    the paper's boxes do).
+    """
+    layouts: Dict[str, Layout] = {}
+    for storage_class in system.sorted_by_price(descending=True):
+        layout = all_on(objects, system, storage_class.name)
+        layouts[layout.name] = layout
+
+    index_class = "H-SSD" if "H-SSD" in system else None
+    data_class = next(
+        (name for name in ("L-SSD", "L-SSD RAID 0") if name in system), None
+    )
+    if index_class and data_class:
+        layout = index_data_split(objects, system, index_class, data_class)
+        layouts[layout.name] = layout
+    return layouts

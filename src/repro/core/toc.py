@@ -1,0 +1,120 @@
+"""Total operating cost (TOC) computation (paper Sections 2.1 and 2.3).
+
+For a layout ``L`` and workload ``W``:
+
+* the layout cost ``C(L)`` is the hourly storage cost of the space the layout
+  occupies on each class;
+* for DSS workloads the workload cost is ``C(L, W) = C(L) * t(L, W)`` --
+  cents per execution of the workload;
+* for OLTP workloads the workload cost is ``C(L, W) = C(L) / T(L, W)`` --
+  cents per measured transaction, where ``T`` is throughput in tasks/hour.
+
+Both are "TOC" in the paper's terminology; which one applies is determined by
+the workload's kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.layout import Layout
+from repro.exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class TOCReport:
+    """The TOC of one layout for one workload, plus the underlying metrics."""
+
+    layout_name: str
+    workload_name: str
+    metric: str
+    layout_cost_cents_per_hour: float
+    execution_time_s: Optional[float]
+    throughput_tasks_per_hour: Optional[float]
+    transactions_per_minute: Optional[float]
+    toc_cents: float
+    run_result: object = None
+
+    @property
+    def response_time_s(self) -> Optional[float]:
+        """Alias for the workload execution time (DSS workloads)."""
+        return self.execution_time_s
+
+
+class TOCModel:
+    """Evaluates layouts against workloads to produce TOC reports.
+
+    Parameters
+    ----------
+    estimator:
+        A workload estimator exposing ``estimate_workload`` and
+        ``run_workload`` (normally :class:`repro.dbms.executor.WorkloadEstimator`).
+    cost_override:
+        Optional callable ``layout -> cents_per_hour`` replacing the default
+        linear layout cost; used by the discrete-sized cost model of
+        Section 5.2.
+    """
+
+    def __init__(self, estimator, cost_override: Optional[Callable[[Layout], float]] = None):
+        self.estimator = estimator
+        self.cost_override = cost_override
+
+    # ------------------------------------------------------------------
+    def layout_cost(self, layout: Layout) -> float:
+        """The layout cost ``C(L)`` in cents per hour."""
+        if self.cost_override is not None:
+            return self.cost_override(layout)
+        return layout.storage_cost_cents_per_hour()
+
+    def evaluate(self, layout: Layout, workload, mode: str = "estimate") -> TOCReport:
+        """Compute the TOC of a layout for a workload.
+
+        ``mode`` selects optimizer estimates (``"estimate"``) or a simulated
+        test run (``"run"``).
+        """
+        if mode == "estimate":
+            result = self.estimator.estimate_workload(workload, layout.placement())
+        elif mode == "run":
+            result = self.estimator.run_workload(workload, layout.placement())
+        else:
+            raise WorkloadError(f"unknown TOC evaluation mode {mode!r}")
+        return self.report_from_result(layout, workload, result)
+
+    def report_from_result(self, layout: Layout, workload, result) -> TOCReport:
+        """Build a TOC report from an existing workload run result."""
+        cost_per_hour = self.layout_cost(layout)
+        if getattr(workload, "is_oltp", False) or result.kind == "oltp":
+            tasks_per_hour = result.tasks_per_hour
+            if tasks_per_hour <= 0:
+                raise WorkloadError("cannot compute TOC for zero throughput")
+            toc = cost_per_hour / tasks_per_hour
+            return TOCReport(
+                layout_name=layout.name,
+                workload_name=result.workload_name,
+                metric="cents_per_transaction",
+                layout_cost_cents_per_hour=cost_per_hour,
+                execution_time_s=None,
+                throughput_tasks_per_hour=tasks_per_hour,
+                transactions_per_minute=result.transactions_per_minute,
+                toc_cents=toc,
+                run_result=result,
+            )
+        hours = result.total_time_hours
+        toc = cost_per_hour * hours
+        return TOCReport(
+            layout_name=layout.name,
+            workload_name=result.workload_name,
+            metric="cents_per_workload_execution",
+            layout_cost_cents_per_hour=cost_per_hour,
+            execution_time_s=result.total_time_s,
+            throughput_tasks_per_hour=result.tasks_per_hour,
+            transactions_per_minute=None,
+            toc_cents=toc,
+            run_result=result,
+        )
+
+    # ------------------------------------------------------------------
+    def compare(self, layouts: Dict[str, Layout], workload, mode: str = "estimate") -> Dict[str, TOCReport]:
+        """Evaluate several layouts against the same workload."""
+        return {name: self.evaluate(layout, workload, mode=mode) for name, layout in layouts.items()}

@@ -1,0 +1,50 @@
+"""Miniature DBMS substrate: catalog, statistics, storage-aware optimizer, executor.
+
+The paper extends PostgreSQL's query optimizer so that plan costs reflect the
+I/O profile of whichever storage class each object sits on, and uses the
+optimizer's plan output (without executing queries) to estimate workload I/O
+behaviour and response time.  Since the reproduction cannot ship PostgreSQL,
+this package provides a small cost-based optimizer and execution simulator
+with the same observable behaviour:
+
+* plans are chosen per candidate data layout (sequential vs index scans,
+  hash join vs indexed nested-loop join);
+* every plan reports the number of I/Os of each type it performs against each
+  database object -- the ``chi`` profile DOT consumes;
+* an executor turns plans into simulated response times / throughput,
+  optionally with buffer-pool effects and measurement noise, for DOT's
+  validation ("test run") phase.
+"""
+
+from repro.dbms.schema import Column, ColumnType, Index, Table
+from repro.dbms.statistics import IndexStats, TableStats
+from repro.dbms.catalog import DatabaseCatalog
+from repro.dbms.query import JoinSpec, Query, TableAccess, WriteOp
+from repro.dbms.plan import PlanNode, QueryPlan
+from repro.dbms.cost_model import CostModel, CostParameters
+from repro.dbms.optimizer import QueryOptimizer
+from repro.dbms.buffer_pool import BufferPool
+from repro.dbms.executor import ExecutionResult, WorkloadEstimator, WorkloadRunResult
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Index",
+    "Table",
+    "IndexStats",
+    "TableStats",
+    "DatabaseCatalog",
+    "JoinSpec",
+    "Query",
+    "TableAccess",
+    "WriteOp",
+    "PlanNode",
+    "QueryPlan",
+    "CostModel",
+    "CostParameters",
+    "QueryOptimizer",
+    "BufferPool",
+    "ExecutionResult",
+    "WorkloadEstimator",
+    "WorkloadRunResult",
+]

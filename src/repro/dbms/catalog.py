@@ -1,0 +1,166 @@
+"""The database catalog: schema plus statistics plus placeable objects.
+
+A :class:`DatabaseCatalog` records every table and index of the simulated
+database together with its derived statistics, and can emit the list of
+:class:`~repro.objects.DatabaseObject` instances (with sizes in GB) that the
+DOT layout optimizer places onto storage classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dbms.schema import Index, Table
+from repro.dbms.statistics import IndexStats, TableStats
+from repro.exceptions import ConfigurationError, UnknownObjectError
+from repro.objects import DatabaseObject, ObjectKind
+
+
+class DatabaseCatalog:
+    """Holds tables, indexes and their statistics for one simulated database."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._table_stats: Dict[str, TableStats] = {}
+        self._indexes: Dict[str, Index] = {}
+        self._index_stats: Dict[str, IndexStats] = {}
+        self._extra_objects: Dict[str, DatabaseObject] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table, row_count: float) -> TableStats:
+        """Register a table and derive its statistics from the row count."""
+        if table.name in self._tables:
+            raise ConfigurationError(f"table {table.name!r} already registered")
+        stats = TableStats.from_schema(table, row_count)
+        self._tables[table.name] = table
+        self._table_stats[table.name] = stats
+        return stats
+
+    def add_index(self, index: Index) -> IndexStats:
+        """Register an index on a previously registered table."""
+        if index.name in self._indexes:
+            raise ConfigurationError(f"index {index.name!r} already registered")
+        if index.table not in self._tables:
+            raise UnknownObjectError(index.table)
+        table = self._tables[index.table]
+        row_count = self._table_stats[index.table].row_count
+        stats = IndexStats.from_schema(index, table, row_count)
+        self._indexes[index.name] = index
+        self._index_stats[index.name] = stats
+        return stats
+
+    def add_object(self, obj: DatabaseObject) -> DatabaseObject:
+        """Register an extra placeable object (log, temp space)."""
+        if obj.name in self._tables or obj.name in self._indexes or obj.name in self._extra_objects:
+            raise ConfigurationError(f"object {obj.name!r} already registered")
+        self._extra_objects[obj.name] = obj
+        return obj
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        """Registered table names in registration order."""
+        return tuple(self._tables)
+
+    @property
+    def index_names(self) -> Tuple[str, ...]:
+        """Registered index names in registration order."""
+        return tuple(self._indexes)
+
+    def table(self, name: str) -> Table:
+        """Look up a table definition."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownObjectError(name) from None
+
+    def table_stats(self, name: str) -> TableStats:
+        """Look up table statistics."""
+        try:
+            return self._table_stats[name]
+        except KeyError:
+            raise UnknownObjectError(name) from None
+
+    def index(self, name: str) -> Index:
+        """Look up an index definition."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise UnknownObjectError(name) from None
+
+    def index_stats(self, name: str) -> IndexStats:
+        """Look up index statistics."""
+        try:
+            return self._index_stats[name]
+        except KeyError:
+            raise UnknownObjectError(name) from None
+
+    def has_object(self, name: str) -> bool:
+        """True if the name refers to any registered object."""
+        return name in self._tables or name in self._indexes or name in self._extra_objects
+
+    def indexes_on(self, table_name: str) -> List[Index]:
+        """All indexes registered on a table, primary key first."""
+        found = [index for index in self._indexes.values() if index.table == table_name]
+        found.sort(key=lambda index: (not index.primary, index.name))
+        return found
+
+    def primary_index(self, table_name: str) -> Optional[Index]:
+        """The table's primary-key index if one is registered."""
+        for index in self.indexes_on(table_name):
+            if index.primary:
+                return index
+        return None
+
+    def object_size_gb(self, name: str) -> float:
+        """Size in GB of any registered object."""
+        if name in self._table_stats:
+            return self._table_stats[name].size_gb
+        if name in self._index_stats:
+            return self._index_stats[name].size_gb
+        if name in self._extra_objects:
+            return self._extra_objects[name].size_gb
+        raise UnknownObjectError(name)
+
+    def total_size_gb(self) -> float:
+        """Total database size in GB."""
+        return sum(self.object_size_gb(obj.name) for obj in self.database_objects())
+
+    # ------------------------------------------------------------------
+    # Export to the placement layer
+    # ------------------------------------------------------------------
+    def database_objects(self) -> List[DatabaseObject]:
+        """All placeable objects (tables, indexes, extras) with their sizes."""
+        objects: List[DatabaseObject] = []
+        for name in self._tables:
+            objects.append(
+                DatabaseObject(
+                    name=name,
+                    size_gb=self._table_stats[name].size_gb,
+                    kind=ObjectKind.TABLE,
+                    table=name,
+                )
+            )
+        for name, index in self._indexes.items():
+            objects.append(
+                DatabaseObject(
+                    name=name,
+                    size_gb=self._index_stats[name].size_gb,
+                    kind=ObjectKind.INDEX,
+                    table=index.table,
+                )
+            )
+        objects.extend(self._extra_objects.values())
+        return objects
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatabaseCatalog({self.name!r}, tables={len(self._tables)}, "
+            f"indexes={len(self._indexes)}, size={self.total_size_gb():.1f} GB)"
+        )

@@ -1,0 +1,118 @@
+"""Synthetic database generation helpers.
+
+There is no real data in the reproduction; "generating" a database means
+populating a :class:`~repro.dbms.catalog.DatabaseCatalog` with tables, indexes
+and row-count-derived statistics.  The TPC-H and TPC-C schema builders in
+:mod:`repro.workloads` use these helpers, as do the tests and examples that
+need small ad-hoc databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dbms.catalog import DatabaseCatalog
+from repro.dbms.schema import Column, ColumnType, Index, Table
+from repro.objects import DatabaseObject, ObjectKind
+
+
+@dataclass(frozen=True)
+class SyntheticTableSpec:
+    """Specification of one synthetic table for :func:`build_synthetic_catalog`."""
+
+    name: str
+    row_count: float
+    row_width_bytes: int = 100
+    with_primary_index: bool = True
+    secondary_indexes: int = 0
+
+
+def generic_table(name: str, row_width_bytes: int) -> Table:
+    """Build a table whose columns pad out to roughly the requested row width."""
+    columns = [Column("id", ColumnType.BIGINT)]
+    remaining = max(row_width_bytes - 8, 0)
+    payload_index = 0
+    while remaining > 0:
+        width = min(remaining, 64)
+        columns.append(Column(f"payload_{payload_index}", ColumnType.VARCHAR, width))
+        remaining -= width
+        payload_index += 1
+    return Table(name=name, columns=tuple(columns))
+
+
+def build_synthetic_catalog(
+    specs: Sequence[SyntheticTableSpec],
+    name: str = "synthetic",
+    with_log: bool = False,
+    log_size_gb: float = 1.0,
+    with_temp: bool = False,
+    temp_size_gb: float = 2.0,
+) -> DatabaseCatalog:
+    """Create a catalog containing the requested synthetic tables and indexes."""
+    catalog = DatabaseCatalog(name=name)
+    for spec in specs:
+        table = generic_table(spec.name, spec.row_width_bytes)
+        catalog.add_table(table, spec.row_count)
+        if spec.with_primary_index:
+            catalog.add_index(
+                Index(
+                    name=f"{spec.name}_pkey",
+                    table=spec.name,
+                    columns=("id",),
+                    unique=True,
+                    primary=True,
+                )
+            )
+        for secondary in range(spec.secondary_indexes):
+            catalog.add_index(
+                Index(
+                    name=f"i_{spec.name}_{secondary}",
+                    table=spec.name,
+                    columns=(f"payload_{min(secondary, 0)}",),
+                )
+            )
+    if with_log:
+        catalog.add_object(
+            DatabaseObject(name="wal_log", size_gb=log_size_gb, kind=ObjectKind.LOG)
+        )
+    if with_temp:
+        catalog.add_object(
+            DatabaseObject(name="temp_space", size_gb=temp_size_gb, kind=ObjectKind.TEMP)
+        )
+    return catalog
+
+
+def random_table_specs(
+    num_tables: int,
+    total_rows: float = 1e7,
+    seed: Optional[int] = 7,
+    skew: float = 1.0,
+) -> Tuple[SyntheticTableSpec, ...]:
+    """Generate table specs whose sizes follow a Zipf-like distribution.
+
+    Useful for property-based and stress tests that need databases with a mix
+    of large fact tables and small dimension tables.
+    """
+    if num_tables < 1:
+        raise ValueError("num_tables must be >= 1")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_tables + 1, dtype=float)
+    weights = 1.0 / np.power(ranks, skew)
+    weights /= weights.sum()
+    rows = np.maximum((weights * total_rows).astype(int), 10)
+    widths = rng.integers(60, 300, size=num_tables)
+    specs = []
+    for position in range(num_tables):
+        specs.append(
+            SyntheticTableSpec(
+                name=f"t{position}",
+                row_count=float(rows[position]),
+                row_width_bytes=int(widths[position]),
+                with_primary_index=True,
+                secondary_indexes=int(rng.integers(0, 2)),
+            )
+        )
+    return tuple(specs)

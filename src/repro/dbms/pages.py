@@ -1,0 +1,59 @@
+"""Page-level size arithmetic for tables and B+-tree indexes."""
+
+from __future__ import annotations
+
+import math
+
+from repro.units import PAGE_SIZE_BYTES
+
+#: Fraction of each heap page actually holding tuples (fill factor).
+DEFAULT_HEAP_FILL_FACTOR = 0.90
+
+#: Fraction of each B+-tree leaf page holding entries.
+DEFAULT_LEAF_FILL_FACTOR = 0.70
+
+#: Fan-out assumed for interior B+-tree nodes when estimating tree height.
+DEFAULT_INTERIOR_FANOUT = 250
+
+
+def heap_pages(row_count: float, row_width_bytes: float,
+               fill_factor: float = DEFAULT_HEAP_FILL_FACTOR,
+               page_size_bytes: int = PAGE_SIZE_BYTES) -> int:
+    """Number of heap pages needed for ``row_count`` rows of the given width."""
+    if row_count <= 0:
+        return 0
+    rows_per_page = max(1.0, (page_size_bytes * fill_factor) / max(row_width_bytes, 1.0))
+    return int(math.ceil(row_count / rows_per_page))
+
+
+def leaf_pages(entry_count: float, entry_width_bytes: float,
+               fill_factor: float = DEFAULT_LEAF_FILL_FACTOR,
+               page_size_bytes: int = PAGE_SIZE_BYTES) -> int:
+    """Number of B+-tree leaf pages for ``entry_count`` entries."""
+    if entry_count <= 0:
+        return 0
+    entries_per_page = max(1.0, (page_size_bytes * fill_factor) / max(entry_width_bytes, 1.0))
+    return int(math.ceil(entry_count / entries_per_page))
+
+
+def btree_height(num_leaf_pages: int, fanout: int = DEFAULT_INTERIOR_FANOUT) -> int:
+    """Number of non-leaf levels above the leaves (root counted, leaves not).
+
+    A one-leaf tree has height 1 (just the root/leaf); each extra level
+    multiplies addressable leaves by ``fanout``.
+    """
+    if num_leaf_pages <= 1:
+        return 1
+    return 1 + int(math.ceil(math.log(num_leaf_pages, fanout)))
+
+
+def index_total_pages(num_leaf_pages: int, fanout: int = DEFAULT_INTERIOR_FANOUT) -> int:
+    """Total pages in the index: leaves plus interior nodes."""
+    if num_leaf_pages <= 0:
+        return 0
+    total = num_leaf_pages
+    level = num_leaf_pages
+    while level > 1:
+        level = int(math.ceil(level / fanout))
+        total += level
+    return total

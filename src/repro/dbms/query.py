@@ -1,0 +1,217 @@
+"""Logical query specifications.
+
+The reproduction does not parse SQL; queries are expressed as structured
+specifications that capture exactly what the storage-aware optimizer needs to
+choose between access paths and join algorithms:
+
+* which tables are accessed and how selective the per-table predicates are,
+* whether an index could serve the predicate (and which one),
+* the left-deep join order with per-join cardinality factors and the index
+  available on each inner table (for indexed nested-loop joins),
+* the rows written (inserts/updates) and which indexes those writes touch,
+* post-join work (sorts / aggregation) that contributes CPU time.
+
+Each of the paper's TPC-H templates and TPC-C transactions is encoded as one
+:class:`Query` in :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.dbms.statistics import clamp_selectivity
+from repro.exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class TableAccess:
+    """One base-table access with its predicate selectivity.
+
+    Attributes
+    ----------
+    table:
+        Name of the accessed table.
+    selectivity:
+        Fraction of the table's rows surviving the predicates applied at this
+        access (1.0 = full scan with no filter).
+    index:
+        Name of an index that could serve the predicate, or ``None`` if no
+        index is applicable (forcing a sequential scan).
+    key_lookup:
+        True when the predicate is an equality (or tight range) on the leading
+        index column, so an index scan touches only the matching entries.
+    repeat:
+        Number of times the access is executed within one query execution
+        (e.g. the ten item lookups of a TPC-C New-Order transaction, or a
+        correlated subquery evaluated per outer row).  Each repetition pays
+        the full access cost.
+    clustered:
+        True when the matching rows are physically adjacent (stored in key
+        order), so an index scan touches roughly ``rows / rows_per_page``
+        heap pages instead of one page per row.  The paper's TPC-H heaps are
+        deliberately shuffled (never clustered); TPC-C order lines of one
+        order are adjacent.
+    """
+
+    table: str
+    selectivity: float = 1.0
+    index: Optional[str] = None
+    key_lookup: bool = False
+    repeat: float = 1.0
+    clustered: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            raise WorkloadError("table access must name a table")
+        if self.repeat < 0:
+            raise WorkloadError("repeat count cannot be negative")
+        object.__setattr__(self, "selectivity", clamp_selectivity(self.selectivity))
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One step of the left-deep join pipeline.
+
+    The join combines the running intermediate result (the "outer") with the
+    table of the access at position ``inner_position`` in
+    :attr:`Query.accesses`.
+
+    Attributes
+    ----------
+    inner_position:
+        Index into ``Query.accesses`` of the inner relation.
+    rows_per_outer:
+        Average number of matching inner rows per outer row after applying
+        the join predicate and the inner access's own filters (this is the
+        cardinality multiplier of the join step).
+    inner_index:
+        Index on the inner join key, required for an indexed nested-loop
+        join; ``None`` disables INLJ for this step.
+    """
+
+    inner_position: int
+    rows_per_outer: float = 1.0
+    inner_index: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.inner_position < 1:
+            raise WorkloadError("inner_position must reference a non-first access")
+        if self.rows_per_outer < 0:
+            raise WorkloadError("rows_per_outer cannot be negative")
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Rows written by the query (inserts, updates or deletes).
+
+    Attributes
+    ----------
+    table:
+        Target table.
+    rows:
+        Number of rows written.
+    sequential:
+        True for append-style inserts (sequential writes), False for in-place
+        keyed updates (random writes preceded by random reads).
+    indexes:
+        Names of indexes that must also be maintained by the write.
+    clustered:
+        True when the written rows are physically adjacent, so an in-place
+        update dirties roughly ``rows / rows_per_page`` heap pages instead of
+        one page per row.
+    """
+
+    table: str
+    rows: float
+    sequential: bool = False
+    indexes: Tuple[str, ...] = ()
+    clustered: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rows < 0:
+            raise WorkloadError("write row count cannot be negative")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A logical query: accesses, joins, writes and post-processing."""
+
+    name: str
+    accesses: Tuple[TableAccess, ...] = ()
+    joins: Tuple[JoinSpec, ...] = ()
+    writes: Tuple[WriteOp, ...] = ()
+    sort_rows: float = 0.0
+    aggregate_rows: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("query must have a name")
+        if not self.accesses and not self.writes:
+            raise WorkloadError(f"query {self.name!r} accesses no tables and writes nothing")
+        positions = [join.inner_position for join in self.joins]
+        if len(set(positions)) != len(positions):
+            raise WorkloadError(f"query {self.name!r} joins the same access twice")
+        for join in self.joins:
+            if join.inner_position >= len(self.accesses):
+                raise WorkloadError(
+                    f"query {self.name!r}: join references access #{join.inner_position} "
+                    f"but only {len(self.accesses)} accesses are defined"
+                )
+        if self.sort_rows < 0 or self.aggregate_rows < 0:
+            raise WorkloadError(f"query {self.name!r} has negative sort/aggregate rows")
+
+    # ------------------------------------------------------------------
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        """All distinct tables referenced (reads and writes), in order."""
+        seen = []
+        for access in self.accesses:
+            if access.table not in seen:
+                seen.append(access.table)
+        for write in self.writes:
+            if write.table not in seen:
+                seen.append(write.table)
+        return tuple(seen)
+
+    @property
+    def referenced_objects(self) -> Tuple[str, ...]:
+        """All object names (tables and candidate indexes) the query may touch."""
+        seen = []
+        for access in self.accesses:
+            for name in (access.table, access.index):
+                if name and name not in seen:
+                    seen.append(name)
+        for join in self.joins:
+            if join.inner_index and join.inner_index not in seen:
+                seen.append(join.inner_index)
+        for write in self.writes:
+            if write.table not in seen:
+                seen.append(write.table)
+            for index_name in write.indexes:
+                if index_name not in seen:
+                    seen.append(index_name)
+        return tuple(seen)
+
+    @property
+    def is_read_only(self) -> bool:
+        """True if the query performs no writes."""
+        return not self.writes
+
+    def join_for(self, position: int) -> Optional[JoinSpec]:
+        """The join spec whose inner relation is the access at ``position``."""
+        for join in self.joins:
+            if join.inner_position == position:
+                return join
+        return None
+
+
+def make_scan_query(name: str, table: str, selectivity: float = 1.0,
+                    index: Optional[str] = None, key_lookup: bool = False) -> Query:
+    """Convenience builder for single-table read queries (used in tests)."""
+    return Query(
+        name=name,
+        accesses=(TableAccess(table=table, selectivity=selectivity, index=index,
+                              key_lookup=key_lookup),),
+    )

@@ -1,0 +1,151 @@
+"""Relational schema definitions: columns, tables and indexes.
+
+The schema layer is purely structural -- it knows column widths and which
+indexes exist on which tables, but not how many rows a table holds (that is
+the job of :mod:`repro.dbms.statistics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+class ColumnType(str, Enum):
+    """Supported column types with default storage widths."""
+
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    DECIMAL = "decimal"
+    CHAR = "char"
+    VARCHAR = "varchar"
+    DATE = "date"
+    TEXT = "text"
+
+    @property
+    def default_width_bytes(self) -> int:
+        """Typical on-disk width in bytes for the type."""
+        return {
+            ColumnType.INTEGER: 4,
+            ColumnType.BIGINT: 8,
+            ColumnType.DECIMAL: 8,
+            ColumnType.CHAR: 1,
+            ColumnType.VARCHAR: 16,
+            ColumnType.DATE: 4,
+            ColumnType.TEXT: 32,
+        }[self]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A table column.
+
+    ``width_bytes`` overrides the type's default width (used for CHAR(n) and
+    VARCHAR(n) columns where the declared length matters).
+    """
+
+    name: str
+    type: ColumnType = ColumnType.INTEGER
+    width_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("column name must be non-empty")
+        if self.width_bytes is not None and self.width_bytes <= 0:
+            raise ConfigurationError(f"column {self.name!r} width must be positive")
+
+    @property
+    def storage_width_bytes(self) -> int:
+        """Effective on-disk width."""
+        if self.width_bytes is not None:
+            return self.width_bytes
+        return self.type.default_width_bytes
+
+
+#: Per-row storage overhead (tuple header, item pointer), roughly PostgreSQL's.
+ROW_OVERHEAD_BYTES = 28
+
+
+@dataclass(frozen=True)
+class Table:
+    """A base table definition."""
+
+    name: str
+    columns: Tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("table name must be non-empty")
+        if not self.columns:
+            raise ConfigurationError(f"table {self.name!r} must have at least one column")
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"table {self.name!r} has duplicate column names")
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """Names of the columns in declaration order."""
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        for candidate in self.columns:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"table {self.name!r} has no column {name!r}")
+
+    @property
+    def row_width_bytes(self) -> int:
+        """Estimated on-disk width of one row including per-row overhead."""
+        return ROW_OVERHEAD_BYTES + sum(column.storage_width_bytes for column in self.columns)
+
+
+#: Per-index-entry overhead (item pointer + alignment), roughly a B+-tree's.
+INDEX_ENTRY_OVERHEAD_BYTES = 12
+
+
+@dataclass(frozen=True)
+class Index:
+    """A (B+-tree) index on one or more columns of a table."""
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    unique: bool = False
+    primary: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("index name must be non-empty")
+        if not self.table:
+            raise ConfigurationError(f"index {self.name!r} must reference a table")
+        if not self.columns:
+            raise ConfigurationError(f"index {self.name!r} must cover at least one column")
+
+    def key_width_bytes(self, table: Table) -> int:
+        """Width of one index entry given the owning table's column widths."""
+        width = INDEX_ENTRY_OVERHEAD_BYTES
+        for column_name in self.columns:
+            width += table.column(column_name).storage_width_bytes
+        return width
+
+
+def make_table(name: str, columns: Sequence[tuple]) -> Table:
+    """Convenience builder: ``make_table("t", [("id", ColumnType.INTEGER), ...])``.
+
+    Each entry of ``columns`` is ``(name, type)`` or ``(name, type, width)``.
+    """
+    built = []
+    for spec in columns:
+        if len(spec) == 2:
+            column_name, column_type = spec
+            built.append(Column(column_name, column_type))
+        elif len(spec) == 3:
+            column_name, column_type, width = spec
+            built.append(Column(column_name, column_type, width))
+        else:
+            raise ConfigurationError(f"bad column spec {spec!r}")
+    return Table(name=name, columns=tuple(built))

@@ -1,0 +1,109 @@
+"""Table and index statistics used by the query optimizer.
+
+Statistics are derived from row counts and schema widths (there is no real
+data in the simulator), mirroring what ``ANALYZE`` would provide: page
+counts, row counts, index entry counts, leaf page counts and B+-tree heights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbms import pages as page_math
+from repro.dbms.schema import Index, Table
+from repro.exceptions import ConfigurationError
+from repro.units import pages_to_gb
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Physical statistics of one base table."""
+
+    table: str
+    row_count: float
+    row_width_bytes: float
+    pages: int
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise ConfigurationError(f"table {self.table!r} cannot have negative row count")
+        if self.pages < 0:
+            raise ConfigurationError(f"table {self.table!r} cannot have negative page count")
+
+    @property
+    def size_gb(self) -> float:
+        """On-disk size in GB."""
+        return pages_to_gb(self.pages)
+
+    @property
+    def rows_per_page(self) -> float:
+        """Average number of rows per heap page."""
+        if self.pages == 0:
+            return 0.0
+        return self.row_count / self.pages
+
+    @classmethod
+    def from_schema(cls, table: Table, row_count: float) -> "TableStats":
+        """Derive statistics from a table definition and a row count."""
+        width = table.row_width_bytes
+        return cls(
+            table=table.name,
+            row_count=row_count,
+            row_width_bytes=width,
+            pages=page_math.heap_pages(row_count, width),
+        )
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Physical statistics of one B+-tree index."""
+
+    index: str
+    table: str
+    entry_count: float
+    entry_width_bytes: float
+    leaf_pages: int
+    height: int
+    total_pages: int
+
+    def __post_init__(self) -> None:
+        if self.entry_count < 0:
+            raise ConfigurationError(f"index {self.index!r} cannot have negative entries")
+        if self.height < 1 and self.leaf_pages > 0:
+            raise ConfigurationError(f"index {self.index!r} height must be >= 1")
+
+    @property
+    def size_gb(self) -> float:
+        """On-disk size in GB."""
+        return pages_to_gb(self.total_pages)
+
+    @property
+    def entries_per_leaf(self) -> float:
+        """Average number of entries per leaf page."""
+        if self.leaf_pages == 0:
+            return 0.0
+        return self.entry_count / self.leaf_pages
+
+    @classmethod
+    def from_schema(cls, index: Index, table: Table, row_count: float) -> "IndexStats":
+        """Derive statistics from an index definition and the table's row count."""
+        entry_width = index.key_width_bytes(table)
+        leaves = page_math.leaf_pages(row_count, entry_width)
+        return cls(
+            index=index.name,
+            table=index.table,
+            entry_count=row_count,
+            entry_width_bytes=entry_width,
+            leaf_pages=leaves,
+            height=page_math.btree_height(leaves),
+            total_pages=page_math.index_total_pages(leaves),
+        )
+
+
+def clamp_selectivity(selectivity: float) -> float:
+    """Clamp a selectivity estimate into ``[0, 1]``."""
+    if selectivity < 0.0:
+        return 0.0
+    if selectivity > 1.0:
+        return 1.0
+    return selectivity

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the storage-provisioning reproduction.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A storage class, device, or box configuration is invalid.
+
+    Raised for problems such as non-positive capacities, unknown device
+    names, or RAID arrays built from zero member devices.
+    """
+
+
+class UnknownObjectError(ReproError, KeyError):
+    """A database object referenced by name does not exist in the catalog."""
+
+
+class UnknownStorageClassError(ReproError, KeyError):
+    """A storage class referenced by name is not part of the storage system."""
+
+
+class CapacityError(ReproError):
+    """A layout assigns more bytes to a storage class than it can hold."""
+
+    def __init__(self, storage_class: str, used_gb: float, capacity_gb: float):
+        self.storage_class = storage_class
+        self.used_gb = used_gb
+        self.capacity_gb = capacity_gb
+        super().__init__(
+            f"storage class {storage_class!r} over capacity: "
+            f"{used_gb:.2f} GB assigned, {capacity_gb:.2f} GB available"
+        )
+
+
+class InfeasibleLayoutError(ReproError):
+    """No layout satisfying both capacity and SLA constraints was found.
+
+    The optimizer raises this when the search completes without a single
+    feasible candidate; the caller is expected to relax the performance
+    constraint (as the paper's refinement loop in Figure 2 does) and retry.
+    """
+
+
+class ProfileError(ReproError):
+    """A workload profile is missing or inconsistent with the request."""
+
+
+class PlanningError(ReproError):
+    """The query optimizer could not produce a physical plan for a query."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is malformed (e.g. empty query list)."""
+
+
+class SLAError(ReproError):
+    """A performance constraint is malformed or cannot be resolved."""

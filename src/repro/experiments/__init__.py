@@ -1,0 +1,15 @@
+"""Experiment harness reproducing every table and figure of the paper's evaluation."""
+
+from repro.experiments.boxes import box1, box2, both_boxes
+from repro.experiments.runner import ExperimentRunner, LayoutEvaluation
+from repro.experiments import figures, reporting
+
+__all__ = [
+    "box1",
+    "box2",
+    "both_boxes",
+    "ExperimentRunner",
+    "LayoutEvaluation",
+    "figures",
+    "reporting",
+]

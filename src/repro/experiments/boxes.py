@@ -1,0 +1,32 @@
+"""The two experimental server boxes of Section 4.1 and their variants."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.storage import catalog as storage_catalog
+from repro.storage.pricing import PricingModel
+from repro.storage.storage_class import StorageSystem
+
+
+def box1(pricing: Optional[PricingModel] = None,
+         capacity_limits_gb: Optional[Mapping[str, float]] = None) -> StorageSystem:
+    """Box 1: HDD RAID 0 + L-SSD + H-SSD, optionally with capacity limits."""
+    system = storage_catalog.box1(pricing)
+    if capacity_limits_gb:
+        system = system.with_capacity_limits(capacity_limits_gb)
+    return system
+
+
+def box2(pricing: Optional[PricingModel] = None,
+         capacity_limits_gb: Optional[Mapping[str, float]] = None) -> StorageSystem:
+    """Box 2: HDD + L-SSD RAID 0 + H-SSD, optionally with capacity limits."""
+    system = storage_catalog.box2(pricing)
+    if capacity_limits_gb:
+        system = system.with_capacity_limits(capacity_limits_gb)
+    return system
+
+
+def both_boxes(pricing: Optional[PricingModel] = None) -> Dict[str, StorageSystem]:
+    """Both boxes keyed by their paper names."""
+    return {"Box 1": box1(pricing), "Box 2": box2(pricing)}

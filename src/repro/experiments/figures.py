@@ -1,0 +1,577 @@
+"""Per-figure / per-table experiment drivers.
+
+Every entry of the paper's evaluation section has one function here that
+regenerates it: the storage profile table (Table 1), the TPC-H
+cost/performance comparisons (Figures 3, 5, 7) and their recommended layouts
+(Figures 4, 6), the heuristics-versus-exhaustive-search studies (Sections
+4.4.3 and 4.5.3 / Figure 9), the TPC-C results (Figure 8, Table 3), and the
+Section 5 extensions.  Each function accepts scale parameters so the same
+code drives both the full paper-scale reproduction and the quick versions
+used by tests and CI-sized benchmark runs.
+
+Functions return a dictionary with structured results plus a ``"text"`` entry
+containing a rendered table, so benchmarks can both assert on the numbers and
+print something a human can compare against the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.advisor import ProvisioningAdvisor
+from repro.core.discrete_cost import DiscreteCostModel
+from repro.core.dot import DOTOptimizer
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.ilp import MILPPlacement
+from repro.core.layout import Layout
+from repro.core.object_advisor import ObjectAdvisor
+from repro.core.profiler import WorkloadProfiler
+from repro.core.provisioning import GeneralizedProvisioner, ProvisioningOption
+from repro.core.simple_layouts import simple_layouts
+from repro.core.toc import TOCModel
+from repro.dbms.buffer_pool import BufferPool
+from repro.dbms.executor import WorkloadEstimator
+from repro.experiments import boxes
+from repro.experiments.reporting import (
+    format_evaluations,
+    format_layout_assignment,
+    format_table,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.objects import group_objects
+from repro.sla.constraints import RelativeSLA
+from repro.storage import catalog as storage_catalog
+from repro.storage.microbench import MicroBenchmark, format_table1
+from repro.workloads import tpcc, tpch
+
+
+# ---------------------------------------------------------------------------
+# Shared plumbing
+# ---------------------------------------------------------------------------
+
+def _tpch_setup(scale_factor: float, workload_kind: str, repetitions: Optional[int]):
+    """Catalog, workload and estimator for a TPC-H experiment."""
+    catalog = tpch.build_catalog(scale_factor)
+    if workload_kind == "original":
+        workload = tpch.original_workload(scale_factor, repetitions=repetitions or 3)
+    elif workload_kind == "modified":
+        workload = tpch.modified_workload(scale_factor, repetitions=repetitions or 20)
+    elif workload_kind == "es-subset":
+        workload = tpch.es_subset_workload(scale_factor, repetitions=repetitions or 3)
+    else:
+        raise ValueError(f"unknown TPC-H workload kind {workload_kind!r}")
+    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
+    return catalog, workload, estimator
+
+
+def _tpcc_setup(warehouses: int, concurrency: int = 300):
+    """Catalog, workload and estimator for a TPC-C experiment."""
+    catalog = tpcc.build_catalog(warehouses)
+    workload = tpcc.oltp_workload(warehouses, concurrency=concurrency)
+    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
+    return catalog, workload, estimator
+
+
+# ---------------------------------------------------------------------------
+# Table 1 and Table 2
+# ---------------------------------------------------------------------------
+
+def table1(concurrencies: Sequence[int] = (1, 300)) -> Dict[str, object]:
+    """Regenerate Table 1: storage prices and measured I/O profiles."""
+    classes = storage_catalog.all_storage_classes()
+    prices = {name: sc.price_cents_per_gb_hour for name, sc in classes.items()}
+    bench = MicroBenchmark()
+    rows = bench.profile_all(classes, concurrencies)
+    return {
+        "prices_cents_per_gb_hour": prices,
+        "published_prices": dict(storage_catalog.PUBLISHED_PRICES_CENTS_PER_GB_HOUR),
+        "profiles": rows,
+        "text": format_table1(rows, prices),
+    }
+
+
+def table2() -> Dict[str, object]:
+    """Regenerate Table 2: device specifications."""
+    devices = storage_catalog.ALL_DEVICES
+    headers = ["Attribute"] + list(devices)
+    attribute_rows = [
+        ["Brand & model"] + [spec.name for spec in devices.values()],
+        ["Flash type"] + [spec.flash_type or "N/A" for spec in devices.values()],
+        ["Capacity (GB)"] + [spec.capacity_gb for spec in devices.values()],
+        ["Interface"] + [spec.interface for spec in devices.values()],
+        ["RPM"] + [spec.rpm or "N/A" for spec in devices.values()],
+        ["Cache (MB)"] + [spec.cache_mb or "N/A" for spec in devices.values()],
+        ["Purchase cost ($)"] + [spec.purchase_cost_usd for spec in devices.values()],
+        ["Power (W)"] + [spec.power_watts for spec in devices.values()],
+    ]
+    return {"devices": devices, "text": format_table(headers, attribute_rows)}
+
+
+# ---------------------------------------------------------------------------
+# TPC-H comparisons (Figures 3-7)
+# ---------------------------------------------------------------------------
+
+def tpch_comparison(
+    box_name: str = "Box 1",
+    sla_ratio: float = 0.5,
+    workload_kind: str = "original",
+    scale_factor: float = 20.0,
+    repetitions: Optional[int] = None,
+    include_object_advisor: bool = True,
+) -> Dict[str, object]:
+    """Cost/performance comparison of DOT, OA and the simple layouts.
+
+    This single driver, parameterised by workload kind and SLA ratio,
+    regenerates Figures 3 (original, 0.5), 5 (modified, 0.5) and 7
+    (modified, 0.25), together with the DOT layouts shown in Figures 4 and 6.
+    """
+    catalog, workload, estimator = _tpch_setup(scale_factor, workload_kind, repetitions)
+    system = boxes.box1() if box_name == "Box 1" else boxes.box2()
+    objects = catalog.database_objects()
+    runner = ExperimentRunner(objects, system, estimator)
+    sla = RelativeSLA(sla_ratio, metric="response_time")
+    measured_constraint = runner.resolve_constraint(workload, sla, mode="run")
+
+    layouts: Dict[str, Layout] = dict(simple_layouts(objects, system))
+
+    advisor = ProvisioningAdvisor(objects, system, estimator)
+    recommendation = advisor.recommend(workload, sla=sla)
+    layouts["DOT"] = recommendation.layout
+
+    oa_layout = None
+    if include_object_advisor:
+        oa_layout = ObjectAdvisor(objects, system, estimator).recommend(workload).layout
+        layouts["OA"] = oa_layout
+
+    evaluations = runner.evaluate_layouts(layouts, workload, sla=measured_constraint)
+    evaluations.sort(key=lambda evaluation: evaluation.toc_cents)
+    return {
+        "box": box_name,
+        "workload": workload.name,
+        "sla_ratio": sla_ratio,
+        "constraint": measured_constraint,
+        "evaluations": evaluations,
+        "dot_layout": recommendation.layout,
+        "dot_recommendation": recommendation,
+        "oa_layout": oa_layout,
+        "text": format_evaluations(evaluations, metric_label="Response time (s)"),
+    }
+
+
+def figure3(scale_factor: float = 20.0, repetitions: Optional[int] = None) -> Dict[str, object]:
+    """Figure 3: original TPC-H workload at relative SLA 0.5 on both boxes."""
+    return {
+        box_name: tpch_comparison(box_name, 0.5, "original", scale_factor, repetitions)
+        for box_name in ("Box 1", "Box 2")
+    }
+
+
+def figure4(scale_factor: float = 20.0, repetitions: Optional[int] = None) -> Dict[str, object]:
+    """Figure 4: the DOT layouts recommended for the original workload (SLA 0.5)."""
+    results = figure3(scale_factor, repetitions)
+    return {
+        box_name: {
+            "layout": result["dot_layout"],
+            "text": format_layout_assignment(result["dot_layout"]),
+        }
+        for box_name, result in results.items()
+    }
+
+
+def figure5(scale_factor: float = 20.0, repetitions: Optional[int] = None) -> Dict[str, object]:
+    """Figure 5: modified TPC-H workload at relative SLA 0.5 on both boxes."""
+    return {
+        box_name: tpch_comparison(box_name, 0.5, "modified", scale_factor, repetitions)
+        for box_name in ("Box 1", "Box 2")
+    }
+
+
+def figure6(scale_factor: float = 20.0, repetitions: Optional[int] = None) -> Dict[str, object]:
+    """Figure 6: the DOT layouts recommended for the modified workload (SLA 0.5)."""
+    results = figure5(scale_factor, repetitions)
+    return {
+        box_name: {
+            "layout": result["dot_layout"],
+            "text": format_layout_assignment(result["dot_layout"]),
+        }
+        for box_name, result in results.items()
+    }
+
+
+def figure7(scale_factor: float = 20.0, repetitions: Optional[int] = None) -> Dict[str, object]:
+    """Figure 7: modified TPC-H workload at relative SLA 0.25 on both boxes."""
+    return {
+        box_name: tpch_comparison(box_name, 0.25, "modified", scale_factor, repetitions)
+        for box_name in ("Box 1", "Box 2")
+    }
+
+
+# ---------------------------------------------------------------------------
+# Heuristics vs exhaustive search on TPC-H (Section 4.4.3)
+# ---------------------------------------------------------------------------
+
+def es_vs_dot_tpch(
+    scale_factor: float = 20.0,
+    sla_ratio: float = 0.5,
+    capacity_limits_gb: Optional[Mapping[str, Mapping[str, float]]] = None,
+    repetitions: int = 3,
+) -> Dict[str, object]:
+    """Section 4.4.3: DOT vs exhaustive search on the reduced TPC-H workload.
+
+    ``capacity_limits_gb`` maps box name to per-class capacity limits, e.g.
+    ``{"Box 1": {"HDD RAID 0": 24.0}, "Box 2": {"HDD": 8.0}}``.
+    """
+    catalog, workload, estimator = _tpch_setup(scale_factor, "es-subset", repetitions)
+    objects = [
+        obj
+        for obj in catalog.database_objects()
+        if obj.name in set(tpch_es_objects())
+    ]
+    limits = capacity_limits_gb or {"Box 1": {}, "Box 2": {}}
+    results: Dict[str, Dict[str, object]] = {}
+
+    for box_name, box_limits in limits.items():
+        system = (
+            boxes.box1(capacity_limits_gb=box_limits)
+            if box_name == "Box 1"
+            else boxes.box2(capacity_limits_gb=box_limits)
+        )
+        runner = ExperimentRunner(objects, system, estimator)
+        search_constraint = runner.resolve_constraint(
+            workload, RelativeSLA(sla_ratio), mode="estimate"
+        )
+        constraint = runner.resolve_constraint(workload, RelativeSLA(sla_ratio), mode="run")
+
+        profiler = WorkloadProfiler(objects, system, estimator)
+        profiles = profiler.profile(workload, mode="estimate")
+
+        dot = DOTOptimizer(objects, system, estimator, constraint=search_constraint)
+        dot_result = dot.optimize(workload, profiles)
+
+        search = ExhaustiveSearch(objects, system, estimator, constraint=search_constraint)
+        es_result = search.search(workload)
+
+        comparison: Dict[str, object] = {
+            "constraint": constraint,
+            "dot": dot_result,
+            "es": es_result,
+            "dot_elapsed_s": dot_result.elapsed_s,
+            "es_elapsed_s": es_result.elapsed_s,
+            "dot_evaluated": dot_result.evaluated_layouts,
+            "es_evaluated": es_result.evaluated_layouts,
+        }
+        rows = []
+        for label, outcome in (("DOT", dot_result), ("ES", es_result)):
+            if outcome.feasible:
+                evaluation = runner.evaluate_layout(outcome.layout, workload, constraint)
+                comparison[f"{label.lower()}_evaluation"] = evaluation
+                rows.append(
+                    [label, evaluation.response_time_s, evaluation.toc_cents,
+                     outcome.evaluated_layouts, outcome.elapsed_s]
+                )
+            else:
+                rows.append([label, float("nan"), float("nan"),
+                             outcome.evaluated_layouts, outcome.elapsed_s])
+        comparison["text"] = format_table(
+            ["Method", "Response time (s)", "TOC (cents)", "Layouts", "Search time (s)"], rows
+        )
+        results[box_name] = comparison
+    return results
+
+
+def tpch_es_objects() -> Tuple[str, ...]:
+    """The eight objects of the Section 4.4.3 study."""
+    from repro.workloads.tpch.queries import ES_SUBSET_OBJECTS
+
+    return ES_SUBSET_OBJECTS
+
+
+# ---------------------------------------------------------------------------
+# TPC-C experiments (Figure 8, Table 3, Figure 9)
+# ---------------------------------------------------------------------------
+
+def figure8(
+    warehouses: int = 300,
+    sla_ratios: Sequence[float] = (0.5, 0.25, 0.125),
+    concurrency: int = 300,
+) -> Dict[str, object]:
+    """Figure 8: TPC-C tpmC versus TOC for DOT (per SLA) and the simple layouts."""
+    catalog, workload, estimator = _tpcc_setup(warehouses, concurrency)
+    objects = catalog.database_objects()
+    results: Dict[str, Dict[str, object]] = {}
+    for box_name in ("Box 1", "Box 2"):
+        system = boxes.box1() if box_name == "Box 1" else boxes.box2()
+        runner = ExperimentRunner(objects, system, estimator)
+        profiler = WorkloadProfiler(objects, system, estimator)
+        # The paper profiles TPC-C on a single All H-SSD baseline via a test
+        # run, because the (random-I/O) plans never change with the layout.
+        single_pattern = profiler.single_baseline_pattern()
+        profiles = profiler.profile(workload, mode="testrun", patterns=[single_pattern])
+
+        layouts: Dict[str, Layout] = dict(simple_layouts(objects, system))
+        dot_layouts: Dict[str, Layout] = {}
+        per_sla = {}
+        for ratio in sla_ratios:
+            constraint = runner.resolve_constraint(
+                workload, RelativeSLA(ratio, metric="throughput"), mode="estimate"
+            )
+            dot = DOTOptimizer(objects, system, estimator, constraint=constraint)
+            outcome = dot.optimize(workload, profiles)
+            per_sla[ratio] = outcome
+            if outcome.feasible:
+                name = f"DOT (SLA {ratio:g})"
+                dot_layouts[name] = outcome.layout.renamed(name)
+        layouts.update(dot_layouts)
+        evaluations = runner.evaluate_layouts(layouts, workload, sla=None)
+        evaluations.sort(key=lambda evaluation: -(evaluation.transactions_per_minute or 0.0))
+        results[box_name] = {
+            "evaluations": evaluations,
+            "dot_results": per_sla,
+            "text": format_evaluations(evaluations, metric_label="tpmC"),
+        }
+    return results
+
+
+def table3(
+    warehouses: int = 300,
+    sla_ratios: Sequence[float] = (0.5, 0.25, 0.125),
+    concurrency: int = 300,
+) -> Dict[str, object]:
+    """Table 3: the DOT layouts on Box 2 for TPC-C under each relative SLA."""
+    catalog, workload, estimator = _tpcc_setup(warehouses, concurrency)
+    objects = catalog.database_objects()
+    system = boxes.box2()
+    runner = ExperimentRunner(objects, system, estimator)
+    profiler = WorkloadProfiler(objects, system, estimator)
+    profiles = profiler.profile(
+        workload, mode="testrun", patterns=[profiler.single_baseline_pattern()]
+    )
+    layouts: Dict[float, Layout] = {}
+    for ratio in sla_ratios:
+        constraint = runner.resolve_constraint(
+            workload, RelativeSLA(ratio, metric="throughput"), mode="estimate"
+        )
+        dot = DOTOptimizer(objects, system, estimator, constraint=constraint)
+        outcome = dot.optimize(workload, profiles)
+        if outcome.feasible:
+            layouts[ratio] = outcome.layout
+    text_parts = []
+    for ratio, layout in layouts.items():
+        text_parts.append(f"--- relative SLA {ratio:g} ---")
+        text_parts.append(format_layout_assignment(layout))
+    return {"layouts": layouts, "text": "\n".join(text_parts)}
+
+
+def figure9(
+    warehouses: int = 300,
+    sla_ratio: float = 0.25,
+    hssd_capacity_limits_gb: Sequence[Optional[float]] = (None, 21.0),
+    concurrency: int = 300,
+    hot_groups: Sequence[str] = ("stock", "order_line", "customer"),
+) -> Dict[str, object]:
+    """Figure 9 / Section 4.5.3: ES vs DOT for TPC-C under H-SSD capacity limits.
+
+    The paper's exhaustive search over all TPC-C objects is intractable to
+    enumerate literally (3^19 layouts); the enumeration is therefore
+    restricted to the objects that dominate the I/O -- the ``hot_groups``
+    tables and their indexes -- with the remaining (small or rarely touched)
+    objects pinned to the cheapest class.  DOT runs over the same restricted
+    object set so that the DOT-vs-ES comparison stays apples to apples.
+    """
+    catalog, workload, estimator = _tpcc_setup(warehouses, concurrency)
+    all_objects = catalog.database_objects()
+    hot = [obj for obj in all_objects if (obj.table or obj.name) in set(hot_groups)]
+    cold = [obj for obj in all_objects if obj not in hot]
+
+    results: Dict[str, Dict[str, object]] = {}
+    for limit in hssd_capacity_limits_gb:
+        limits = {"H-SSD": limit} if limit is not None else {}
+        system = boxes.box2(capacity_limits_gb=limits)
+        pinned_class = system.most_expensive().name
+
+        runner = ExperimentRunner(all_objects, system, estimator)
+        search_constraint = runner.resolve_constraint(
+            workload, RelativeSLA(sla_ratio, metric="throughput"), mode="estimate"
+        )
+        constraint = runner.resolve_constraint(
+            workload, RelativeSLA(sla_ratio, metric="throughput"), mode="run"
+        )
+
+        profiler = WorkloadProfiler(all_objects, system, estimator)
+        profiles = profiler.profile(
+            workload, mode="testrun", patterns=[profiler.single_baseline_pattern()]
+        )
+
+        # DOT over the full object set (as the paper does).
+        dot = DOTOptimizer(all_objects, system, estimator, constraint=search_constraint)
+        dot_outcome = dot.optimize(workload, profiles)
+
+        # ES over the hot objects with the cold objects pinned.
+        search = ExhaustiveSearch(
+            hot,
+            system,
+            estimator,
+            constraint=search_constraint,
+            per_group=True,
+            pinned_objects=cold,
+            pinned_class=pinned_class,
+        )
+        es_outcome = search.search(workload)
+
+        label = f"H-SSD limit {limit:g} GB" if limit is not None else "No limit"
+        rows = []
+        entry: Dict[str, object] = {
+            "constraint": constraint,
+            "dot": dot_outcome,
+            "es": es_outcome,
+        }
+        for method, outcome in (("DOT", dot_outcome), ("ES", es_outcome)):
+            if not outcome.feasible:
+                rows.append([method, float("nan"), float("nan"), outcome.elapsed_s])
+                continue
+            evaluation = runner.evaluate_layout(
+                outcome.layout.renamed(method), workload, constraint
+            )
+            entry[f"{method.lower()}_evaluation"] = evaluation
+            rows.append(
+                [method, evaluation.transactions_per_minute, evaluation.toc_cents,
+                 outcome.elapsed_s]
+            )
+        entry["text"] = format_table(["Method", "tpmC", "TOC (cents/txn)", "Search time (s)"], rows)
+        results[label] = entry
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Section 5 extensions and ablations
+# ---------------------------------------------------------------------------
+
+def generalized_provisioning(
+    scale_factor: float = 4.0,
+    sla_ratio: float = 0.5,
+    repetitions: int = 1,
+) -> Dict[str, object]:
+    """Section 5.1: choose the storage configuration (box) and the layout."""
+    catalog, workload, estimator = _tpch_setup(scale_factor, "original", repetitions)
+    objects = catalog.database_objects()
+    options = [
+        ProvisioningOption("Box 1", boxes.box1(), "HDD RAID 0 + L-SSD + H-SSD"),
+        ProvisioningOption("Box 2", boxes.box2(), "HDD + L-SSD RAID 0 + H-SSD"),
+        ProvisioningOption(
+            "All classes", storage_catalog.full_system(), "hypothetical box with all five classes"
+        ),
+    ]
+    provisioner = GeneralizedProvisioner(objects, estimator)
+    decision = provisioner.decide(workload, options, sla=RelativeSLA(sla_ratio))
+    return {"decision": decision, "text": decision.describe()}
+
+
+def discrete_cost_experiment(
+    scale_factor: float = 4.0,
+    sla_ratio: float = 0.5,
+    alphas: Sequence[float] = (0.0, 0.5, 1.0),
+    repetitions: int = 1,
+) -> Dict[str, object]:
+    """Section 5.2: DOT under the discrete-sized storage cost model."""
+    catalog, workload, estimator = _tpch_setup(scale_factor, "original", repetitions)
+    objects = catalog.database_objects()
+    system = boxes.box1()
+    runner = ExperimentRunner(objects, system, estimator)
+    constraint = runner.resolve_constraint(workload, RelativeSLA(sla_ratio), mode="estimate")
+    profiler = WorkloadProfiler(objects, system, estimator)
+    profiles = profiler.profile(workload, mode="estimate")
+
+    rows = []
+    per_alpha: Dict[float, object] = {}
+    for alpha in alphas:
+        cost_model = DiscreteCostModel(alpha=alpha)
+        dot = DOTOptimizer(objects, system, estimator, constraint=constraint,
+                           cost_override=cost_model)
+        outcome = dot.optimize(workload, profiles)
+        per_alpha[alpha] = outcome
+        if outcome.feasible:
+            classes_used = sum(
+                1 for _, used in outcome.layout.space_used_gb().items() if used > 0
+            )
+            rows.append([alpha, outcome.toc_cents, classes_used])
+        else:
+            rows.append([alpha, float("nan"), 0])
+    return {
+        "results": per_alpha,
+        "text": format_table(["alpha", "TOC (cents)", "classes used"], rows),
+    }
+
+
+def ablation_grouping(
+    scale_factor: float = 4.0,
+    sla_ratio: float = 0.5,
+    repetitions: int = 4,
+) -> Dict[str, object]:
+    """Ablation: DOT's object groups vs per-object (layout-interaction-blind) moves."""
+    catalog, workload, estimator = _tpch_setup(scale_factor, "modified", repetitions)
+    objects = catalog.database_objects()
+    system = boxes.box1()
+    runner = ExperimentRunner(objects, system, estimator)
+    constraint = runner.resolve_constraint(workload, RelativeSLA(sla_ratio), mode="estimate")
+    profiler = WorkloadProfiler(objects, system, estimator)
+    profiles = profiler.profile(workload, mode="estimate")
+
+    rows = []
+    outcomes = {}
+    for label, independent in (("grouped (DOT)", False), ("independent objects", True)):
+        dot = DOTOptimizer(objects, system, estimator, constraint=constraint,
+                           independent_objects=independent)
+        outcome = dot.optimize(workload, profiles)
+        outcomes[label] = outcome
+        if outcome.feasible:
+            evaluation = runner.evaluate_layout(outcome.layout, workload, constraint)
+            rows.append([label, evaluation.response_time_s, evaluation.toc_cents, evaluation.psr])
+        else:
+            rows.append([label, float("nan"), float("nan"), 0.0])
+    return {
+        "results": outcomes,
+        "text": format_table(["Enumeration", "Response time (s)", "TOC (cents)", "PSR"], rows),
+    }
+
+
+def ablation_ilp(
+    scale_factor: float = 4.0,
+    sla_ratio: float = 0.5,
+    repetitions: int = 3,
+) -> Dict[str, object]:
+    """Ablation: DOT's greedy walk vs the exact MILP relaxation."""
+    catalog, workload, estimator = _tpch_setup(scale_factor, "es-subset", repetitions)
+    objects = [obj for obj in catalog.database_objects() if obj.name in set(tpch_es_objects())]
+    system = boxes.box1()
+    runner = ExperimentRunner(objects, system, estimator)
+    constraint = runner.resolve_constraint(workload, RelativeSLA(sla_ratio), mode="estimate")
+    profiler = WorkloadProfiler(objects, system, estimator)
+    profiles = profiler.profile(workload, mode="estimate")
+
+    dot = DOTOptimizer(objects, system, estimator, constraint=constraint)
+    dot_outcome = dot.optimize(workload, profiles)
+
+    # The MILP's time budget is the all-fast layout's profiled I/O time share
+    # scaled by the SLA ratio.
+    groups = group_objects(objects)
+    best_class = system.most_expensive().name
+    best_time = sum(
+        profiles.io_time_share_ms(group, tuple([best_class] * len(group))) for group in groups
+    )
+    milp = MILPPlacement(objects, system)
+    milp_outcome = milp.solve(profiles, io_time_budget_ms=best_time / sla_ratio)
+
+    rows = []
+    toc_model = TOCModel(estimator)
+    results = {"dot": dot_outcome, "milp": milp_outcome}
+    if dot_outcome.feasible:
+        rows.append(["DOT", dot_outcome.toc_cents, dot_outcome.elapsed_s])
+    if milp_outcome.feasible:
+        milp_report = toc_model.evaluate(milp_outcome.layout, workload, mode="estimate")
+        results["milp_report"] = milp_report
+        rows.append(["MILP", milp_report.toc_cents, milp_outcome.elapsed_s])
+    return {
+        "results": results,
+        "text": format_table(["Method", "TOC (cents)", "Solve time (s)"], rows),
+    }

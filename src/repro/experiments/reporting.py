@@ -1,0 +1,78 @@
+"""Plain-text reporting helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.layout import Layout
+from repro.experiments.runner import LayoutEvaluation
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 precision: int = 4) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(f"{value:.{precision}g}")
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[position]) for position, header in enumerate(headers)),
+        "  ".join("-" * widths[position] for position in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[position]) for position, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_evaluations(evaluations: Sequence[LayoutEvaluation], metric_label: str) -> str:
+    """Render layout evaluations as the cost/performance tables of Figures 3-9."""
+    headers = ["Layout", metric_label, "TOC (cents)", "Storage (c/h)", "PSR (%)"]
+    rows = []
+    for evaluation in evaluations:
+        rows.append(
+            [
+                evaluation.layout_name,
+                evaluation.performance_value,
+                evaluation.toc_cents,
+                evaluation.layout_cost_cents_per_hour,
+                round(evaluation.psr * 100.0, 1),
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def format_layout_assignment(layout: Layout) -> str:
+    """Render a layout as the per-class object listings of Figure 4 / Table 3."""
+    lines = [f"Layout: {layout.name}"]
+    for class_name in layout.system.class_names:
+        members = layout.objects_on(class_name)
+        lines.append(f"  {class_name}:")
+        if not members:
+            lines.append("    (empty)")
+            continue
+        for obj in sorted(members, key=lambda o: -o.size_gb):
+            lines.append(f"    {obj.name:<24s} {obj.size_gb:8.2f} GB")
+    return "\n".join(lines)
+
+
+def format_comparison(results: Mapping[str, Mapping[str, float]], value_label: str) -> str:
+    """Render a nested ``{row: {column: value}}`` mapping as a matrix table."""
+    columns: List[str] = []
+    for row_values in results.values():
+        for column in row_values:
+            if column not in columns:
+                columns.append(column)
+    headers = [value_label] + columns
+    rows = []
+    for row_name, row_values in results.items():
+        rows.append([row_name] + [row_values.get(column, float("nan")) for column in columns])
+    return format_table(headers, rows)

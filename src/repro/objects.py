@@ -1,0 +1,162 @@
+"""Database objects and object groups (paper Sections 2.2 and 3.2).
+
+A database instance consists of objects -- tables, indexes, temporary space,
+logs -- each of which must be placed on exactly one storage class.  DOT's
+heuristic treats a table together with its indexes as an *object group* and
+considers every placement combination within a group (because moving a table
+can flip the optimizer's plan and thereby change how its indexes are used),
+while assuming independence across groups.
+
+This module is dependency-free so both the DOT core and the DBMS substrate
+can share the same object model without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+class ObjectKind(str, Enum):
+    """What kind of database object this is."""
+
+    TABLE = "table"
+    INDEX = "index"
+    LOG = "log"
+    TEMP = "temp"
+
+
+@dataclass(frozen=True)
+class DatabaseObject:
+    """A placeable database object.
+
+    Attributes
+    ----------
+    name:
+        Unique object name, e.g. ``"lineitem"`` or ``"lineitem_pkey"``.
+    size_gb:
+        On-disk size in GB (``s_i`` in the paper).
+    kind:
+        Table, index, log or temporary space.
+    table:
+        For indexes, the name of the base table; for tables, their own name.
+        Log/temp objects may leave this ``None``.
+    """
+
+    name: str
+    size_gb: float
+    kind: ObjectKind = ObjectKind.TABLE
+    table: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("database object name must be non-empty")
+        if self.size_gb < 0:
+            raise ConfigurationError(f"object {self.name!r} cannot have negative size")
+
+    @property
+    def group_key(self) -> str:
+        """The grouping key: the owning table, or the object itself if standalone."""
+        if self.kind in (ObjectKind.TABLE,):
+            return self.name
+        if self.table:
+            return self.table
+        return self.name
+
+    @property
+    def is_index(self) -> bool:
+        """True if this object is an index."""
+        return self.kind is ObjectKind.INDEX
+
+    @property
+    def is_table(self) -> bool:
+        """True if this object is a base table."""
+        return self.kind is ObjectKind.TABLE
+
+
+@dataclass(frozen=True)
+class ObjectGroup:
+    """A table together with its indexes (paper Section 3.2).
+
+    Placement combinations are enumerated per group; the order of ``members``
+    is significant because a *placement* is a tuple of storage-class names
+    parallel to it.
+    """
+
+    key: str
+    members: Tuple[DatabaseObject, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ConfigurationError(f"object group {self.key!r} must have at least one member")
+        names = [member.name for member in self.members]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"object group {self.key!r} has duplicate members")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    @property
+    def member_names(self) -> Tuple[str, ...]:
+        """Names of the group members in placement order."""
+        return tuple(member.name for member in self.members)
+
+    @property
+    def size_gb(self) -> float:
+        """Total size of the group."""
+        return sum(member.size_gb for member in self.members)
+
+    def member(self, name: str) -> DatabaseObject:
+        """Look up a member by name."""
+        for candidate in self.members:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+
+def group_objects(objects: Sequence[DatabaseObject]) -> List[ObjectGroup]:
+    """Partition objects into groups: each table with its indexes.
+
+    Indexes whose base table is not among ``objects`` form their own
+    singleton group, as do logs and temporary spaces.  The group order
+    follows the first appearance of each group key in ``objects``; within a
+    group the base table comes first, then its indexes in input order.
+    """
+    names = [obj.name for obj in objects]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("database object names must be unique")
+
+    table_names = {obj.name for obj in objects if obj.is_table}
+    by_key: Dict[str, List[DatabaseObject]] = {}
+    key_order: List[str] = []
+    for obj in objects:
+        key = obj.group_key
+        if obj.is_index and obj.table not in table_names:
+            key = obj.name  # orphan index: its own group
+        if key not in by_key:
+            by_key[key] = []
+            key_order.append(key)
+        by_key[key].append(obj)
+
+    groups: List[ObjectGroup] = []
+    for key in key_order:
+        members = by_key[key]
+        members.sort(key=lambda o: (0 if o.is_table else 1))
+        groups.append(ObjectGroup(key=key, members=tuple(members)))
+    return groups
+
+
+def total_size_gb(objects: Iterable[DatabaseObject]) -> float:
+    """Total size of a collection of objects in GB."""
+    return sum(obj.size_gb for obj in objects)
+
+
+def objects_by_name(objects: Iterable[DatabaseObject]) -> Dict[str, DatabaseObject]:
+    """Index a collection of objects by name."""
+    return {obj.name: obj for obj in objects}

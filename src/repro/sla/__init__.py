@@ -1,0 +1,18 @@
+"""SLA performance constraints and the performance satisfaction ratio (PSR)."""
+
+from repro.sla.constraints import (
+    PerformanceConstraint,
+    RelativeSLA,
+    ResponseTimeConstraint,
+    ThroughputConstraint,
+)
+from repro.sla.psr import performance_satisfaction_ratio, violations
+
+__all__ = [
+    "PerformanceConstraint",
+    "RelativeSLA",
+    "ResponseTimeConstraint",
+    "ThroughputConstraint",
+    "performance_satisfaction_ratio",
+    "violations",
+]

@@ -1,0 +1,174 @@
+"""Performance constraints (SLAs) on workloads.
+
+The paper expresses SLAs as a *relative* performance target: the workload may
+be at most ``1/ratio`` times slower than its best achievable performance,
+where "best" means all objects placed on the high-end SSD (Section 2.4 and
+4.3).  DSS workloads constrain each query's response time; OLTP workloads
+constrain the overall throughput (tpmC).
+
+A :class:`RelativeSLA` is resolved against a baseline workload result into an
+absolute :class:`ResponseTimeConstraint` or :class:`ThroughputConstraint`,
+which DOT's feasibility check and the PSR report then evaluate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import SLAError
+
+
+@dataclass(frozen=True)
+class ConstraintCheck:
+    """Result of evaluating a constraint against a workload result."""
+
+    satisfied: bool
+    satisfied_fraction: float
+    violations: Tuple[str, ...] = ()
+    detail: str = ""
+
+
+class PerformanceConstraint(ABC):
+    """Common interface of absolute performance constraints."""
+
+    @abstractmethod
+    def check(self, result) -> ConstraintCheck:
+        """Evaluate the constraint against a ``WorkloadRunResult``-like object."""
+
+    @abstractmethod
+    def relaxed(self, factor: float) -> "PerformanceConstraint":
+        """Return a copy loosened by ``factor`` (> 1 loosens); used by refinement."""
+
+
+@dataclass(frozen=True)
+class ResponseTimeConstraint(PerformanceConstraint):
+    """Per-query response-time caps (the paper's ``T = {t_i^j}``).
+
+    ``caps_ms`` maps query name to the maximum allowed response time.  A
+    workload result satisfies the constraint when *every* execution of every
+    capped query finishes within its cap.
+    """
+
+    caps_ms: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.caps_ms:
+            raise SLAError("response-time constraint needs at least one cap")
+        for query_name, cap in self.caps_ms.items():
+            if cap <= 0:
+                raise SLAError(f"cap for query {query_name!r} must be positive")
+
+    def cap_for(self, query_name: str) -> Optional[float]:
+        """The cap for one query, or ``None`` if the query is unconstrained."""
+        return self.caps_ms.get(query_name)
+
+    def check(self, result) -> ConstraintCheck:
+        """Check every per-query time in ``result.per_query_times_ms``."""
+        total = 0
+        satisfied = 0
+        violated: List[str] = []
+        for query_name, time_ms in result.per_query_times_ms:
+            cap = self.caps_ms.get(query_name)
+            if cap is None:
+                continue
+            total += 1
+            if time_ms <= cap:
+                satisfied += 1
+            else:
+                violated.append(query_name)
+        fraction = 1.0 if total == 0 else satisfied / total
+        return ConstraintCheck(
+            satisfied=not violated,
+            satisfied_fraction=fraction,
+            violations=tuple(violated),
+            detail=f"{satisfied}/{total} query executions within their caps",
+        )
+
+    def relaxed(self, factor: float) -> "ResponseTimeConstraint":
+        if factor <= 0:
+            raise SLAError("relaxation factor must be positive")
+        return ResponseTimeConstraint(
+            {query: cap * factor for query, cap in self.caps_ms.items()}
+        )
+
+
+@dataclass(frozen=True)
+class ThroughputConstraint(PerformanceConstraint):
+    """A floor on workload throughput (transactions per minute)."""
+
+    min_transactions_per_minute: float
+
+    def __post_init__(self) -> None:
+        if self.min_transactions_per_minute <= 0:
+            raise SLAError("throughput floor must be positive")
+
+    def check(self, result) -> ConstraintCheck:
+        """Check ``result.transactions_per_minute`` against the floor."""
+        tpm = result.transactions_per_minute
+        if tpm is None:
+            raise SLAError("throughput constraint applied to a non-throughput workload result")
+        satisfied = tpm >= self.min_transactions_per_minute
+        fraction = min(tpm / self.min_transactions_per_minute, 1.0)
+        return ConstraintCheck(
+            satisfied=satisfied,
+            satisfied_fraction=fraction,
+            violations=() if satisfied else (result.workload_name,),
+            detail=f"throughput {tpm:.0f} tpm vs floor {self.min_transactions_per_minute:.0f} tpm",
+        )
+
+    def relaxed(self, factor: float) -> "ThroughputConstraint":
+        if factor <= 0:
+            raise SLAError("relaxation factor must be positive")
+        return ThroughputConstraint(self.min_transactions_per_minute / factor)
+
+
+@dataclass(frozen=True)
+class RelativeSLA:
+    """A relative performance target (paper Sections 2.4 / 4.3).
+
+    ``ratio`` of 0.5 means the workload may run at half the best-case
+    performance: response times may be up to ``1 / 0.5 = 2x`` the best-case
+    times, or throughput must be at least ``0.5x`` the best-case throughput.
+    """
+
+    ratio: float
+    metric: str = "response_time"  # or "throughput"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio <= 1.0:
+            raise SLAError("relative SLA ratio must be in (0, 1]")
+        if self.metric not in ("response_time", "throughput"):
+            raise SLAError(f"unknown SLA metric {self.metric!r}")
+
+    # ------------------------------------------------------------------
+    def resolve_response_time(self, baseline_result) -> ResponseTimeConstraint:
+        """Turn the relative target into per-query caps from a baseline run.
+
+        The cap of each query is its *baseline* (best-case) response time
+        divided by the ratio; when a query appears several times in the
+        baseline workload, its slowest baseline execution is used so the cap
+        is attainable.
+        """
+        caps: Dict[str, float] = {}
+        for query_name, time_ms in baseline_result.per_query_times_ms:
+            cap = time_ms / self.ratio
+            if query_name not in caps or cap > caps[query_name]:
+                caps[query_name] = cap
+        if not caps:
+            raise SLAError("baseline result has no per-query times to resolve the SLA against")
+        return ResponseTimeConstraint(caps)
+
+    def resolve_throughput(self, baseline_result) -> ThroughputConstraint:
+        """Turn the relative target into a throughput floor from a baseline run."""
+        tpm = baseline_result.transactions_per_minute
+        if tpm is None or tpm <= 0:
+            raise SLAError("baseline result has no throughput to resolve the SLA against")
+        return ThroughputConstraint(min_transactions_per_minute=tpm * self.ratio)
+
+    def resolve(self, baseline_result) -> PerformanceConstraint:
+        """Resolve against a baseline according to the configured metric."""
+        if self.metric == "throughput":
+            return self.resolve_throughput(baseline_result)
+        return self.resolve_response_time(baseline_result)

@@ -1,0 +1,24 @@
+"""The performance satisfaction ratio (PSR) of Section 4.3.
+
+The PSR of a layout is the fraction of query executions that meet their
+relative SLA; the paper reports it in parentheses next to every layout in
+Figures 3, 5 and 7.  For throughput workloads the PSR degenerates into a
+0/1 indicator (the throughput either meets the floor or it does not), which
+is why the paper reports no separate PSR for TPC-C.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.sla.constraints import PerformanceConstraint
+
+
+def performance_satisfaction_ratio(constraint: PerformanceConstraint, result) -> float:
+    """Fraction (0..1) of constrained query executions that meet their caps."""
+    return constraint.check(result).satisfied_fraction
+
+
+def violations(constraint: PerformanceConstraint, result) -> Tuple[str, ...]:
+    """Names of the query executions that violate the constraint."""
+    return constraint.check(result).violations

@@ -1,0 +1,34 @@
+"""Storage substrate: devices, RAID arrays, I/O profiles, pricing, storage classes.
+
+This package models everything the paper's evaluation platform provided in
+hardware: the three physical devices of Table 2, their RAID 0 compositions,
+the amortised cent/GB/hour prices of Table 1, and the per-I/O-type service
+times (at degree of concurrency 1 and 300) that the extended query optimizer
+consumes.
+"""
+
+from repro.storage.device import DeviceKind, DeviceSpec
+from repro.storage.io_profile import IOProfile, IOType
+from repro.storage.pricing import PricingModel, amortized_price_cents_per_gb_hour
+from repro.storage.raid import Raid0Array
+from repro.storage.storage_class import StorageClass, StorageSystem
+from repro.storage import catalog
+from repro.storage.simulator import DeviceSimulator, IORequest
+from repro.storage.microbench import MicroBenchmark, StorageClassProfileRow
+
+__all__ = [
+    "DeviceKind",
+    "DeviceSpec",
+    "IOProfile",
+    "IOType",
+    "PricingModel",
+    "amortized_price_cents_per_gb_hour",
+    "Raid0Array",
+    "StorageClass",
+    "StorageSystem",
+    "catalog",
+    "DeviceSimulator",
+    "IORequest",
+    "MicroBenchmark",
+    "StorageClassProfileRow",
+]

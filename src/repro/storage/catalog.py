@@ -1,0 +1,203 @@
+"""Built-in catalog of the paper's devices, I/O profiles and storage classes.
+
+The constants in this module transcribe the paper's Table 1 (storage prices
+and I/O profiles at degree of concurrency 1 and 300) and Table 2 (device
+specifications).  They are the calibration data every experiment uses, so
+regenerating Table 1 is a direct check of :mod:`repro.storage.pricing` and
+:mod:`repro.storage.microbench` against the published numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.storage.device import DeviceKind, DeviceSpec
+from repro.storage.io_profile import IOProfile, IOType
+from repro.storage.pricing import PricingModel
+from repro.storage.raid import Raid0Array, RaidController
+from repro.storage.storage_class import StorageClass, StorageSystem
+
+# ---------------------------------------------------------------------------
+# Table 2: device specifications
+# ---------------------------------------------------------------------------
+
+#: Western Digital Caviar Black 500 GB (the paper's HDD).
+HDD_DEVICE = DeviceSpec(
+    name="WD Caviar Black",
+    kind=DeviceKind.HDD,
+    capacity_gb=500.0,
+    purchase_cost_usd=34.0,
+    power_watts=8.3,
+    interface="SATA II",
+    rpm=7200,
+    cache_mb=32.0,
+)
+
+#: Imation M-Class 2.5" 128 GB MLC SSD (the paper's low-end SSD).
+LSSD_DEVICE = DeviceSpec(
+    name="Imation M-Class 2.5\"",
+    kind=DeviceKind.SSD,
+    capacity_gb=128.0,
+    purchase_cost_usd=253.0,
+    power_watts=2.5,
+    interface="SATA II",
+    cache_mb=64.0,
+    flash_type="MLC",
+)
+
+#: Fusion-io ioDrive 80 GB SLC (the paper's high-end SSD).
+HSSD_DEVICE = DeviceSpec(
+    name="Fusion IO ioDrive",
+    kind=DeviceKind.SSD,
+    capacity_gb=80.0,
+    purchase_cost_usd=3550.0,
+    power_watts=10.5,
+    interface="PCI-Express",
+    flash_type="SLC",
+)
+
+#: The Dell SAS6/iR controller used for both RAID 0 arrays.
+RAID_CONTROLLER = RaidController(
+    name="Dell SAS6/iR", purchase_cost_usd=110.0, cache_mb=256.0, power_watts=8.25
+)
+
+ALL_DEVICES: Dict[str, DeviceSpec] = {
+    "HDD": HDD_DEVICE,
+    "L-SSD": LSSD_DEVICE,
+    "H-SSD": HSSD_DEVICE,
+}
+
+# ---------------------------------------------------------------------------
+# Table 1 rows 3-6: measured I/O profiles.
+#
+# For each storage class the boldfaced number (degree of concurrency 1) and
+# the parenthesised number (degree of concurrency 300) are transcribed
+# directly from the paper.  Reads are per I/O request; writes are per row.
+# ---------------------------------------------------------------------------
+
+_T = IOType
+
+HDD_PROFILE = IOProfile.from_two_points(
+    single={_T.SEQ_READ: 0.072, _T.RAND_READ: 13.32, _T.SEQ_WRITE: 0.012, _T.RAND_WRITE: 10.15},
+    concurrent={_T.SEQ_READ: 0.174, _T.RAND_READ: 8.903, _T.SEQ_WRITE: 0.039, _T.RAND_WRITE: 8.124},
+)
+
+HDD_RAID0_PROFILE = IOProfile.from_two_points(
+    single={_T.SEQ_READ: 0.049, _T.RAND_READ: 12.19, _T.SEQ_WRITE: 0.011, _T.RAND_WRITE: 11.55},
+    concurrent={_T.SEQ_READ: 0.096, _T.RAND_READ: 2.712, _T.SEQ_WRITE: 0.034, _T.RAND_WRITE: 3.770},
+)
+
+LSSD_PROFILE = IOProfile.from_two_points(
+    single={_T.SEQ_READ: 0.036, _T.RAND_READ: 1.759, _T.SEQ_WRITE: 0.020, _T.RAND_WRITE: 62.01},
+    concurrent={_T.SEQ_READ: 0.053, _T.RAND_READ: 1.468, _T.SEQ_WRITE: 0.341, _T.RAND_WRITE: 37.45},
+)
+
+LSSD_RAID0_PROFILE = IOProfile.from_two_points(
+    single={_T.SEQ_READ: 0.021, _T.RAND_READ: 1.570, _T.SEQ_WRITE: 0.013, _T.RAND_WRITE: 21.14},
+    concurrent={_T.SEQ_READ: 0.037, _T.RAND_READ: 0.826, _T.SEQ_WRITE: 0.082, _T.RAND_WRITE: 17.71},
+)
+
+HSSD_PROFILE = IOProfile.from_two_points(
+    single={_T.SEQ_READ: 0.016, _T.RAND_READ: 0.091, _T.SEQ_WRITE: 0.009, _T.RAND_WRITE: 0.928},
+    concurrent={_T.SEQ_READ: 0.013, _T.RAND_READ: 0.024, _T.SEQ_WRITE: 0.025, _T.RAND_WRITE: 0.986},
+)
+
+MEASURED_PROFILES: Dict[str, IOProfile] = {
+    "HDD": HDD_PROFILE,
+    "HDD RAID 0": HDD_RAID0_PROFILE,
+    "L-SSD": LSSD_PROFILE,
+    "L-SSD RAID 0": LSSD_RAID0_PROFILE,
+    "H-SSD": HSSD_PROFILE,
+}
+
+#: Storage prices in cents/GB/hour as published in Table 1 row 2, for
+#: calibration checks of :mod:`repro.storage.pricing`.
+PUBLISHED_PRICES_CENTS_PER_GB_HOUR: Dict[str, float] = {
+    "HDD": 3.47e-4,
+    "HDD RAID 0": 8.19e-4,
+    "L-SSD": 7.65e-3,
+    "L-SSD RAID 0": 9.51e-3,
+    "H-SSD": 1.69e-1,
+}
+
+#: Canonical storage class names in the order the paper's Table 1 lists them.
+STORAGE_CLASS_NAMES = ("HDD", "HDD RAID 0", "L-SSD", "L-SSD RAID 0", "H-SSD")
+
+
+# ---------------------------------------------------------------------------
+# Storage class builders
+# ---------------------------------------------------------------------------
+
+def hdd(pricing: Optional[PricingModel] = None) -> StorageClass:
+    """The single-HDD storage class."""
+    return StorageClass.from_device("HDD", HDD_DEVICE, HDD_PROFILE, pricing)
+
+
+def hdd_raid0(pricing: Optional[PricingModel] = None) -> StorageClass:
+    """The 2-way HDD RAID 0 storage class."""
+    array = Raid0Array(member=HDD_DEVICE, num_members=2, controller=RAID_CONTROLLER)
+    return StorageClass.from_raid0("HDD RAID 0", array, HDD_RAID0_PROFILE, pricing)
+
+
+def lssd(pricing: Optional[PricingModel] = None) -> StorageClass:
+    """The single low-end SSD storage class."""
+    return StorageClass.from_device("L-SSD", LSSD_DEVICE, LSSD_PROFILE, pricing)
+
+
+def lssd_raid0(pricing: Optional[PricingModel] = None) -> StorageClass:
+    """The 2-way L-SSD RAID 0 storage class."""
+    array = Raid0Array(member=LSSD_DEVICE, num_members=2, controller=RAID_CONTROLLER)
+    return StorageClass.from_raid0("L-SSD RAID 0", array, LSSD_RAID0_PROFILE, pricing)
+
+
+def hssd(pricing: Optional[PricingModel] = None) -> StorageClass:
+    """The high-end SSD (Fusion IO) storage class."""
+    return StorageClass.from_device("H-SSD", HSSD_DEVICE, HSSD_PROFILE, pricing)
+
+
+_BUILDERS = {
+    "HDD": hdd,
+    "HDD RAID 0": hdd_raid0,
+    "L-SSD": lssd,
+    "L-SSD RAID 0": lssd_raid0,
+    "H-SSD": hssd,
+}
+
+
+def make_storage_class(name: str, pricing: Optional[PricingModel] = None) -> StorageClass:
+    """Build one of the five paper storage classes by its Table 1 name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown storage class {name!r}; expected one of {sorted(_BUILDERS)}"
+        ) from None
+    return builder(pricing)
+
+
+def all_storage_classes(pricing: Optional[PricingModel] = None) -> Dict[str, StorageClass]:
+    """All five storage classes keyed by name, in Table 1 order."""
+    return {name: make_storage_class(name, pricing) for name in STORAGE_CLASS_NAMES}
+
+
+def box1(pricing: Optional[PricingModel] = None) -> StorageSystem:
+    """Box 1 of the paper: one HDD RAID 0, one L-SSD and one H-SSD."""
+    return StorageSystem(
+        [hssd(pricing), lssd(pricing), hdd_raid0(pricing)],
+        name="Box 1",
+    )
+
+
+def box2(pricing: Optional[PricingModel] = None) -> StorageSystem:
+    """Box 2 of the paper: one HDD, one L-SSD RAID 0 and one H-SSD."""
+    return StorageSystem(
+        [hssd(pricing), lssd_raid0(pricing), hdd(pricing)],
+        name="Box 2",
+    )
+
+
+def full_system(pricing: Optional[PricingModel] = None) -> StorageSystem:
+    """A hypothetical box exposing all five storage classes (used in examples)."""
+    classes = [make_storage_class(name, pricing) for name in STORAGE_CLASS_NAMES]
+    classes.sort(key=lambda sc: sc.price_cents_per_gb_hour, reverse=True)
+    return StorageSystem(classes, name="All classes")

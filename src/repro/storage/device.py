@@ -1,0 +1,98 @@
+"""Physical storage device specifications (the paper's Table 2).
+
+A :class:`DeviceSpec` captures the purchase cost, capacity, power draw and
+interface details of a single physical device.  Storage classes (HDD,
+HDD RAID 0, L-SSD, L-SSD RAID 0, H-SSD) are built from device specs in
+:mod:`repro.storage.storage_class` and :mod:`repro.storage.raid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+
+class DeviceKind(str, Enum):
+    """Broad device technology categories."""
+
+    HDD = "HDD"
+    SSD = "SSD"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Specification of a single physical storage device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable model name (e.g. ``"WD Caviar Black"``).
+    kind:
+        Whether the device is a spinning disk or a solid state drive.
+    capacity_gb:
+        Usable capacity in GB.
+    purchase_cost_usd:
+        One-off purchase price in US dollars.
+    power_watts:
+        Average power dissipation while serving the workload, in watts.  The
+        paper uses the average of read and write active power.
+    interface:
+        Connection interface (SATA II, PCI-Express, ...).
+    rpm:
+        Spindle speed for HDDs, ``None`` for SSDs.
+    cache_mb:
+        On-device cache size in MB, ``None`` if not applicable/unknown.
+    flash_type:
+        ``"MLC"`` / ``"SLC"`` for SSDs, ``None`` for HDDs.
+    """
+
+    name: str
+    kind: DeviceKind
+    capacity_gb: float
+    purchase_cost_usd: float
+    power_watts: float
+    interface: str = "SATA II"
+    rpm: Optional[int] = None
+    cache_mb: Optional[float] = None
+    flash_type: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0:
+            raise ConfigurationError(f"device {self.name!r} must have positive capacity")
+        if self.purchase_cost_usd < 0:
+            raise ConfigurationError(f"device {self.name!r} cannot have negative purchase cost")
+        if self.power_watts < 0:
+            raise ConfigurationError(f"device {self.name!r} cannot have negative power draw")
+
+    @property
+    def is_ssd(self) -> bool:
+        """True if the device is flash based."""
+        return self.kind is DeviceKind.SSD
+
+    @property
+    def is_hdd(self) -> bool:
+        """True if the device is a spinning disk."""
+        return self.kind is DeviceKind.HDD
+
+    @property
+    def dollars_per_gb(self) -> float:
+        """Purchase cost per GB (not amortised)."""
+        return self.purchase_cost_usd / self.capacity_gb
+
+    def describe(self) -> str:
+        """One-line human readable description used in reports."""
+        extra = []
+        if self.rpm:
+            extra.append(f"{self.rpm} RPM")
+        if self.flash_type:
+            extra.append(self.flash_type)
+        if self.cache_mb:
+            extra.append(f"{self.cache_mb:g} MB cache")
+        suffix = f" ({', '.join(extra)})" if extra else ""
+        return (
+            f"{self.name}: {self.kind.value}, {self.capacity_gb:g} GB, "
+            f"${self.purchase_cost_usd:,.0f}, {self.power_watts:g} W, {self.interface}{suffix}"
+        )

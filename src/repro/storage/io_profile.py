@@ -1,0 +1,213 @@
+"""Per-I/O-type service-time profiles for storage classes.
+
+The paper characterises each storage class with the time of one I/O operation
+for four access patterns -- sequential read (SR), random read (RR), sequential
+write (SW) and random write (RW) -- measured end-to-end from inside the DBMS
+at two degrees of concurrency (1 and 300).  Table 1 of the paper records the
+measurements; this module holds them in an interpolatable form so the cost
+model can ask for the effective latency at any degree of concurrency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+class IOType(str, Enum):
+    """The four I/O access patterns used throughout the paper (Section 3.3)."""
+
+    SEQ_READ = "SR"
+    RAND_READ = "RR"
+    SEQ_WRITE = "SW"
+    RAND_WRITE = "RW"
+
+    @property
+    def is_read(self) -> bool:
+        """True for sequential/random reads."""
+        return self in (IOType.SEQ_READ, IOType.RAND_READ)
+
+    @property
+    def is_write(self) -> bool:
+        """True for sequential/random writes."""
+        return self in (IOType.SEQ_WRITE, IOType.RAND_WRITE)
+
+    @property
+    def is_random(self) -> bool:
+        """True for random reads/writes."""
+        return self in (IOType.RAND_READ, IOType.RAND_WRITE)
+
+    @property
+    def is_sequential(self) -> bool:
+        """True for sequential reads/writes."""
+        return self in (IOType.SEQ_READ, IOType.SEQ_WRITE)
+
+
+#: All I/O types in the canonical order used by the paper's Table 1.
+ALL_IO_TYPES: Tuple[IOType, ...] = (
+    IOType.SEQ_READ,
+    IOType.RAND_READ,
+    IOType.SEQ_WRITE,
+    IOType.RAND_WRITE,
+)
+
+
+@dataclass(frozen=True)
+class IOProfile:
+    """Service time (milliseconds per I/O) for each I/O type and concurrency.
+
+    Parameters
+    ----------
+    latencies_ms:
+        Nested mapping ``{io_type: {degree_of_concurrency: ms_per_io}}``.
+        At least one calibration point per I/O type is required.  The paper
+        calibrates every storage class at concurrency 1 and 300.
+
+    Notes
+    -----
+    Between calibration points the latency is interpolated linearly in
+    ``log(concurrency)``; outside the calibrated range the nearest point is
+    used (flat extrapolation).  Concurrency affects devices very differently
+    -- HDD random reads get *better* per-request under concurrency thanks to
+    elevator scheduling, while SSD writes can get worse -- so no parametric
+    queueing model fits all rows of Table 1; interpolation between measured
+    points is both simpler and more faithful.
+    """
+
+    latencies_ms: Mapping[IOType, Mapping[int, float]]
+
+    def __post_init__(self) -> None:
+        for io_type in ALL_IO_TYPES:
+            if io_type not in self.latencies_ms:
+                raise ConfigurationError(f"IOProfile missing latencies for {io_type.value}")
+            points = self.latencies_ms[io_type]
+            if not points:
+                raise ConfigurationError(
+                    f"IOProfile for {io_type.value} needs at least one calibration point"
+                )
+            for concurrency, latency in points.items():
+                if concurrency < 1:
+                    raise ConfigurationError("degree of concurrency must be >= 1")
+                if latency <= 0:
+                    raise ConfigurationError(
+                        f"latency for {io_type.value}@{concurrency} must be positive"
+                    )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_two_points(
+        cls,
+        single: Mapping[IOType, float],
+        concurrent: Mapping[IOType, float],
+        concurrent_degree: int = 300,
+    ) -> "IOProfile":
+        """Build a profile from the two calibration columns of Table 1.
+
+        ``single`` holds the boldfaced (concurrency 1) numbers and
+        ``concurrent`` the parenthesised (concurrency ``concurrent_degree``)
+        numbers.
+        """
+        latencies: Dict[IOType, Dict[int, float]] = {}
+        for io_type in ALL_IO_TYPES:
+            latencies[io_type] = {
+                1: float(single[io_type]),
+                int(concurrent_degree): float(concurrent[io_type]),
+            }
+        return cls(latencies)
+
+    @classmethod
+    def constant(cls, latency_by_type: Mapping[IOType, float]) -> "IOProfile":
+        """Build a concurrency-independent profile (useful in tests)."""
+        return cls({io_type: {1: float(latency_by_type[io_type])} for io_type in ALL_IO_TYPES})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def calibration_points(self, io_type: IOType) -> Tuple[int, ...]:
+        """Return the sorted degrees of concurrency calibrated for ``io_type``."""
+        return tuple(sorted(self.latencies_ms[io_type]))
+
+    def service_time_ms(self, io_type: IOType, concurrency: int = 1) -> float:
+        """Milliseconds to service one I/O of ``io_type`` at ``concurrency``.
+
+        Linear interpolation in log(concurrency) between calibration points,
+        flat extrapolation beyond the calibrated range.
+        """
+        if concurrency < 1:
+            raise ValueError("degree of concurrency must be >= 1")
+        points = self.latencies_ms[io_type]
+        degrees = sorted(points)
+        if concurrency <= degrees[0]:
+            return points[degrees[0]]
+        if concurrency >= degrees[-1]:
+            return points[degrees[-1]]
+        # Find the surrounding calibration points.
+        for low, high in zip(degrees, degrees[1:]):
+            if low <= concurrency <= high:
+                lo_lat, hi_lat = points[low], points[high]
+                span = math.log(high) - math.log(low)
+                frac = (math.log(concurrency) - math.log(low)) / span
+                return lo_lat + frac * (hi_lat - lo_lat)
+        raise AssertionError("unreachable: concurrency within calibrated range")
+
+    def as_row(self, concurrency: int = 1) -> Dict[IOType, float]:
+        """Return ``{io_type: ms}`` at the given concurrency (one Table 1 column)."""
+        return {io_type: self.service_time_ms(io_type, concurrency) for io_type in ALL_IO_TYPES}
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def scaled(self, factors: Mapping[IOType, float]) -> "IOProfile":
+        """Return a new profile with each I/O type's latencies multiplied by a factor.
+
+        Used to derive RAID 0 profiles from single-device profiles when no
+        direct calibration of the array is available.
+        """
+        latencies: Dict[IOType, Dict[int, float]] = {}
+        for io_type in ALL_IO_TYPES:
+            factor = float(factors.get(io_type, 1.0))
+            if factor <= 0:
+                raise ConfigurationError("scale factors must be positive")
+            latencies[io_type] = {
+                degree: latency * factor for degree, latency in self.latencies_ms[io_type].items()
+            }
+        return IOProfile(latencies)
+
+    def merged_with(self, other: "IOProfile", weight: float = 0.5) -> "IOProfile":
+        """Return a point-wise weighted geometric mean of two profiles."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError("weight must be within [0, 1]")
+        latencies: Dict[IOType, Dict[int, float]] = {}
+        for io_type in ALL_IO_TYPES:
+            degrees = set(self.latencies_ms[io_type]) | set(other.latencies_ms[io_type])
+            latencies[io_type] = {
+                degree: (
+                    self.service_time_ms(io_type, degree) ** weight
+                    * other.service_time_ms(io_type, degree) ** (1.0 - weight)
+                )
+                for degree in degrees
+            }
+        return IOProfile(latencies)
+
+
+def profile_table(
+    profiles: Mapping[str, IOProfile], concurrencies: Iterable[int] = (1, 300)
+) -> Dict[str, Dict[IOType, Dict[int, float]]]:
+    """Tabulate several profiles at the requested concurrencies.
+
+    Convenience used by the Table 1 reproduction harness: returns
+    ``{class_name: {io_type: {concurrency: ms}}}``.
+    """
+    table: Dict[str, Dict[IOType, Dict[int, float]]] = {}
+    for name, profile in profiles.items():
+        table[name] = {
+            io_type: {int(c): profile.service_time_ms(io_type, int(c)) for c in concurrencies}
+            for io_type in ALL_IO_TYPES
+        }
+    return table

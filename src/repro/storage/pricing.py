@@ -1,0 +1,84 @@
+"""Amortised storage pricing (cent/GB/hour), reproducing Table 1 row 2.
+
+The paper's cost model (Section 2.1 and 4.1) distributes the purchase cost of
+each device (including any RAID controller) over a 36-month lifespan and adds
+the run-time energy cost at $0.07 per kWh.  The result is a price ``p_j`` in
+cents per GB per hour for each storage class ``d_j``; the layout cost is then
+``C(L) = sum_j p_j * S_j`` where ``S_j`` is the space the layout uses on
+class ``j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.units import dollars_to_cents, months_to_hours, watts_to_kilowatts
+
+#: Amortisation period used by the paper (Section 2.1).
+DEFAULT_LIFESPAN_MONTHS = 36.0
+
+#: Data-centre energy price used by the paper ($/kWh, from Hamilton's CEMS work).
+DEFAULT_ENERGY_USD_PER_KWH = 0.07
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Computes amortised cent/GB/hour prices for storage hardware.
+
+    Parameters
+    ----------
+    lifespan_months:
+        Period over which the purchase cost is amortised (paper: 36 months).
+    energy_usd_per_kwh:
+        Electricity price (paper: $0.07/kWh).
+    """
+
+    lifespan_months: float = DEFAULT_LIFESPAN_MONTHS
+    energy_usd_per_kwh: float = DEFAULT_ENERGY_USD_PER_KWH
+
+    def __post_init__(self) -> None:
+        if self.lifespan_months <= 0:
+            raise ConfigurationError("amortisation lifespan must be positive")
+        if self.energy_usd_per_kwh < 0:
+            raise ConfigurationError("energy price cannot be negative")
+
+    # ------------------------------------------------------------------
+    def amortized_purchase_cents_per_hour(self, purchase_cost_usd: float) -> float:
+        """Purchase cost converted to cents per hour of ownership."""
+        if purchase_cost_usd < 0:
+            raise ConfigurationError("purchase cost cannot be negative")
+        return dollars_to_cents(purchase_cost_usd) / months_to_hours(self.lifespan_months)
+
+    def energy_cents_per_hour(self, power_watts: float) -> float:
+        """Run-time energy cost in cents per hour for a given power draw."""
+        if power_watts < 0:
+            raise ConfigurationError("power draw cannot be negative")
+        kwh_per_hour = watts_to_kilowatts(power_watts)
+        return dollars_to_cents(kwh_per_hour * self.energy_usd_per_kwh)
+
+    def total_cents_per_hour(self, purchase_cost_usd: float, power_watts: float) -> float:
+        """Total (purchase + energy) cost in cents per hour of operation."""
+        return self.amortized_purchase_cents_per_hour(purchase_cost_usd) + self.energy_cents_per_hour(
+            power_watts
+        )
+
+    def price_cents_per_gb_hour(
+        self, purchase_cost_usd: float, power_watts: float, capacity_gb: float
+    ) -> float:
+        """The storage price ``p_j`` of the paper: cents per GB per hour."""
+        if capacity_gb <= 0:
+            raise ConfigurationError("capacity must be positive")
+        return self.total_cents_per_hour(purchase_cost_usd, power_watts) / capacity_gb
+
+
+def amortized_price_cents_per_gb_hour(
+    purchase_cost_usd: float,
+    power_watts: float,
+    capacity_gb: float,
+    lifespan_months: float = DEFAULT_LIFESPAN_MONTHS,
+    energy_usd_per_kwh: float = DEFAULT_ENERGY_USD_PER_KWH,
+) -> float:
+    """Functional shortcut for :meth:`PricingModel.price_cents_per_gb_hour`."""
+    model = PricingModel(lifespan_months=lifespan_months, energy_usd_per_kwh=energy_usd_per_kwh)
+    return model.price_cents_per_gb_hour(purchase_cost_usd, power_watts, capacity_gb)

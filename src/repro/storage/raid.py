@@ -1,0 +1,122 @@
+"""RAID 0 composition of identical devices.
+
+The paper's Box 1 and Box 2 include an HDD RAID 0 and an L-SSD RAID 0, each
+built from two identical devices behind a Dell SAS6/iR controller ($110,
+256 MB onboard cache, 8.25 W power surcharge).  A :class:`Raid0Array`
+aggregates capacity, purchase cost and power of its members and derives an
+I/O profile for the array from the member profile when a directly calibrated
+array profile is not supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.storage.device import DeviceSpec
+from repro.storage.io_profile import IOProfile, IOType
+
+
+#: Default striping speed-up factors applied to a single-device profile when
+#: deriving a 2-way RAID 0 profile analytically.  Sequential I/O parallelises
+#: well across stripes; random reads benefit mildly (two independent heads);
+#: random writes benefit from spreading the writes over both members (the
+#: effect the paper calls out for the L-SSD RAID 0 in Section 4.5.2).
+DEFAULT_RAID0_SCALING: Mapping[IOType, float] = {
+    IOType.SEQ_READ: 0.60,
+    IOType.RAND_READ: 0.90,
+    IOType.SEQ_WRITE: 0.80,
+    IOType.RAND_WRITE: 0.55,
+}
+
+
+@dataclass(frozen=True)
+class RaidController:
+    """A RAID controller card contributing cost, cache and power surcharge."""
+
+    name: str = "Dell SAS6/iR"
+    purchase_cost_usd: float = 110.0
+    cache_mb: float = 256.0
+    power_watts: float = 8.25
+
+    def __post_init__(self) -> None:
+        if self.purchase_cost_usd < 0 or self.power_watts < 0:
+            raise ConfigurationError("controller cost and power must be non-negative")
+
+
+@dataclass(frozen=True)
+class Raid0Array:
+    """A RAID 0 stripe set of ``num_members`` identical devices.
+
+    Attributes
+    ----------
+    member:
+        The device spec of each stripe member.
+    num_members:
+        Number of identical devices in the array (the paper uses 2).
+    controller:
+        The RAID controller in front of the array.
+    """
+
+    member: DeviceSpec
+    num_members: int = 2
+    controller: RaidController = RaidController()
+
+    def __post_init__(self) -> None:
+        if self.num_members < 1:
+            raise ConfigurationError("a RAID 0 array needs at least one member device")
+
+    # ------------------------------------------------------------------
+    # Aggregated hardware characteristics
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Derived array name, e.g. ``"WD Caviar Black x2 RAID 0"``."""
+        return f"{self.member.name} x{self.num_members} RAID 0"
+
+    @property
+    def capacity_gb(self) -> float:
+        """RAID 0 capacity is the sum of member capacities."""
+        return self.member.capacity_gb * self.num_members
+
+    @property
+    def purchase_cost_usd(self) -> float:
+        """Total purchase cost: members plus controller."""
+        return self.member.purchase_cost_usd * self.num_members + self.controller.purchase_cost_usd
+
+    @property
+    def power_watts(self) -> float:
+        """Total power draw: members plus controller surcharge."""
+        return self.member.power_watts * self.num_members + self.controller.power_watts
+
+    # ------------------------------------------------------------------
+    # I/O profile derivation
+    # ------------------------------------------------------------------
+    def derive_profile(
+        self,
+        member_profile: IOProfile,
+        scaling: Optional[Mapping[IOType, float]] = None,
+    ) -> IOProfile:
+        """Derive an array I/O profile from the single-member profile.
+
+        ``scaling`` maps each I/O type to the factor by which the per-request
+        latency shrinks (values < 1 mean the array is faster).  The defaults in
+        :data:`DEFAULT_RAID0_SCALING` are calibrated for a 2-member array; for
+        larger arrays the sequential factors are divided further by
+        ``num_members / 2`` (capped so latency never improves beyond an even
+        split across members).
+        """
+        factors = dict(scaling or DEFAULT_RAID0_SCALING)
+        if self.num_members > 2:
+            extra = self.num_members / 2.0
+            for io_type in (IOType.SEQ_READ, IOType.SEQ_WRITE):
+                factors[io_type] = max(factors[io_type] / extra, 1.0 / self.num_members)
+        return member_profile.scaled(factors)
+
+    def describe(self) -> str:
+        """One-line human readable description used in reports."""
+        return (
+            f"{self.name}: {self.capacity_gb:g} GB, ${self.purchase_cost_usd:,.0f} "
+            f"(incl. {self.controller.name}), {self.power_watts:g} W"
+        )

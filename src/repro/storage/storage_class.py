@@ -1,0 +1,241 @@
+"""Storage classes and storage systems.
+
+A *storage class* (paper Section 2.2) is the unit onto which database objects
+are placed: an individual device or a RAID group, with a price ``p_j``
+(cent/GB/hour), a capacity ``c_j`` (GB) and an I/O profile.  A *storage
+system* is the ordered collection of storage classes available in one server
+box (the paper's Box 1 and Box 2 each expose three classes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, UnknownStorageClassError
+from repro.storage.device import DeviceSpec
+from repro.storage.io_profile import IOProfile, IOType
+from repro.storage.pricing import PricingModel
+from repro.storage.raid import Raid0Array
+
+
+@dataclass(frozen=True)
+class StorageClass:
+    """A placement target: device or RAID group with price, capacity and profile.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in layouts and reports (e.g. ``"HDD RAID 0"``).
+    capacity_gb:
+        Usable capacity in GB (``c_j`` in the paper).
+    price_cents_per_gb_hour:
+        Amortised storage price (``p_j`` in the paper, Table 1 row 2).
+    io_profile:
+        Per-I/O-type service times at calibrated concurrencies.
+    description:
+        Optional free-form hardware description for reports.
+    """
+
+    name: str
+    capacity_gb: float
+    price_cents_per_gb_hour: float
+    io_profile: IOProfile
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("storage class name must be non-empty")
+        if self.capacity_gb <= 0:
+            raise ConfigurationError(f"storage class {self.name!r} must have positive capacity")
+        if self.price_cents_per_gb_hour <= 0:
+            raise ConfigurationError(f"storage class {self.name!r} must have a positive price")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_device(
+        cls,
+        name: str,
+        device: DeviceSpec,
+        io_profile: IOProfile,
+        pricing: Optional[PricingModel] = None,
+        capacity_gb: Optional[float] = None,
+    ) -> "StorageClass":
+        """Build a storage class from a single device and its measured profile."""
+        pricing = pricing or PricingModel()
+        price = pricing.price_cents_per_gb_hour(
+            device.purchase_cost_usd, device.power_watts, device.capacity_gb
+        )
+        return cls(
+            name=name,
+            capacity_gb=capacity_gb if capacity_gb is not None else device.capacity_gb,
+            price_cents_per_gb_hour=price,
+            io_profile=io_profile,
+            description=device.describe(),
+        )
+
+    @classmethod
+    def from_raid0(
+        cls,
+        name: str,
+        array: Raid0Array,
+        io_profile: IOProfile,
+        pricing: Optional[PricingModel] = None,
+        capacity_gb: Optional[float] = None,
+    ) -> "StorageClass":
+        """Build a storage class from a RAID 0 array and its (derived) profile."""
+        pricing = pricing or PricingModel()
+        price = pricing.price_cents_per_gb_hour(
+            array.purchase_cost_usd, array.power_watts, array.capacity_gb
+        )
+        return cls(
+            name=name,
+            capacity_gb=capacity_gb if capacity_gb is not None else array.capacity_gb,
+            price_cents_per_gb_hour=price,
+            io_profile=io_profile,
+            description=array.describe(),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def service_time_ms(self, io_type: IOType, concurrency: int = 1) -> float:
+        """Milliseconds per I/O of ``io_type`` at the given degree of concurrency."""
+        return self.io_profile.service_time_ms(io_type, concurrency)
+
+    def storage_cost_cents_per_hour(self, used_gb: float) -> float:
+        """Hourly cost of occupying ``used_gb`` GB of this class (``p_j * S_j``)."""
+        if used_gb < 0:
+            raise ValueError("used space cannot be negative")
+        return self.price_cents_per_gb_hour * used_gb
+
+    def with_capacity(self, capacity_gb: float) -> "StorageClass":
+        """Return a copy of this class with a different capacity limit.
+
+        Used by the capacity-constrained experiments (Sections 4.4.3, 4.5.3)
+        where artificial limits are imposed on otherwise large devices.
+        """
+        return StorageClass(
+            name=self.name,
+            capacity_gb=capacity_gb,
+            price_cents_per_gb_hour=self.price_cents_per_gb_hour,
+            io_profile=self.io_profile,
+            description=self.description,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StorageClass({self.name!r}, {self.capacity_gb:g} GB, "
+            f"{self.price_cents_per_gb_hour:.3e} c/GB/h)"
+        )
+
+
+class StorageSystem:
+    """The set of storage classes available on one server box.
+
+    The order of classes is preserved; by convention the classes are listed
+    from most expensive (per GB/hour) to least, but :meth:`sorted_by_price`
+    never relies on insertion order.
+    """
+
+    def __init__(self, classes: Sequence[StorageClass], name: str = "storage-system"):
+        if not classes:
+            raise ConfigurationError("a storage system needs at least one storage class")
+        names = [storage_class.name for storage_class in classes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("storage class names within a system must be unique")
+        self.name = name
+        self._classes: Dict[str, StorageClass] = {sc.name: sc for sc in classes}
+        self._order: List[str] = list(names)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[StorageClass]:
+        return iter(self._classes[name] for name in self._order)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._classes
+
+    def __getitem__(self, name: str) -> StorageClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownStorageClassError(name) from None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def class_names(self) -> Tuple[str, ...]:
+        """The storage class names in their declared order."""
+        return tuple(self._order)
+
+    def get(self, name: str) -> StorageClass:
+        """Look up a storage class by name (raises :class:`UnknownStorageClassError`)."""
+        return self[name]
+
+    def sorted_by_price(self, descending: bool = True) -> List[StorageClass]:
+        """Classes sorted by price per GB/hour (most expensive first by default)."""
+        return sorted(
+            self._classes.values(),
+            key=lambda sc: sc.price_cents_per_gb_hour,
+            reverse=descending,
+        )
+
+    def most_expensive(self) -> StorageClass:
+        """The priciest class -- DOT's initial layout puts every object here."""
+        return self.sorted_by_price(descending=True)[0]
+
+    def cheapest(self) -> StorageClass:
+        """The cheapest class per GB/hour."""
+        return self.sorted_by_price(descending=False)[0]
+
+    def fastest_for(self, io_type: IOType, concurrency: int = 1) -> StorageClass:
+        """The class with the lowest service time for the given I/O type."""
+        return min(self._classes.values(), key=lambda sc: sc.service_time_ms(io_type, concurrency))
+
+    def total_capacity_gb(self) -> float:
+        """Sum of all class capacities."""
+        return sum(sc.capacity_gb for sc in self._classes.values())
+
+    def price_vector(self) -> Dict[str, float]:
+        """The paper's price vector ``P = {p_1, ..., p_M}`` keyed by class name."""
+        return {name: self._classes[name].price_cents_per_gb_hour for name in self._order}
+
+    def capacity_vector(self) -> Dict[str, float]:
+        """The paper's capacity vector ``C = {c_1, ..., c_M}`` keyed by class name."""
+        return {name: self._classes[name].capacity_gb for name in self._order}
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_capacity_limits(self, limits_gb: Mapping[str, float]) -> "StorageSystem":
+        """Return a new system with some class capacities replaced.
+
+        ``limits_gb`` maps class name to the new capacity; classes not listed
+        keep their capacity.  Used by the ES-vs-DOT experiments that impose
+        artificial capacity limits.
+        """
+        new_classes = []
+        for name in self._order:
+            storage_class = self._classes[name]
+            if name in limits_gb:
+                storage_class = storage_class.with_capacity(limits_gb[name])
+            new_classes.append(storage_class)
+        return StorageSystem(new_classes, name=self.name)
+
+    def subset(self, names: Iterable[str]) -> "StorageSystem":
+        """Return a system restricted to the named classes (order preserved)."""
+        wanted = [name for name in self._order if name in set(names)]
+        if not wanted:
+            raise ConfigurationError("subset would produce an empty storage system")
+        return StorageSystem([self._classes[name] for name in wanted], name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StorageSystem({self.name!r}, classes={list(self._order)})"

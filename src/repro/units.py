@@ -1,0 +1,106 @@
+"""Unit conversion helpers shared across the library.
+
+The paper mixes several unit systems: storage prices are quoted in
+cents/GB/hour, device latencies in milliseconds per I/O, workloads run for
+seconds or hours, and hardware is amortised over months.  Centralising the
+conversions here keeps every other module free of magic constants.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Storage sizes
+# ---------------------------------------------------------------------------
+
+BYTES_PER_KB = 1024
+BYTES_PER_MB = 1024 * BYTES_PER_KB
+BYTES_PER_GB = 1024 * BYTES_PER_MB
+
+#: Default database page size used by the mini-DBMS substrate (PostgreSQL's 8 KiB).
+PAGE_SIZE_BYTES = 8192
+
+
+def bytes_to_gb(num_bytes: float) -> float:
+    """Convert a byte count to gibibytes."""
+    return num_bytes / BYTES_PER_GB
+
+
+def gb_to_bytes(gigabytes: float) -> float:
+    """Convert gibibytes to bytes."""
+    return gigabytes * BYTES_PER_GB
+
+
+def mb_to_gb(megabytes: float) -> float:
+    """Convert mebibytes to gibibytes."""
+    return megabytes / 1024.0
+
+
+def pages_to_gb(pages: float, page_size_bytes: int = PAGE_SIZE_BYTES) -> float:
+    """Convert a page count to gibibytes."""
+    return bytes_to_gb(pages * page_size_bytes)
+
+
+def gb_to_pages(gigabytes: float, page_size_bytes: int = PAGE_SIZE_BYTES) -> float:
+    """Convert gibibytes to (fractional) pages."""
+    return gb_to_bytes(gigabytes) / page_size_bytes
+
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+MS_PER_SECOND = 1000.0
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+MINUTES_PER_HOUR = 60.0
+HOURS_PER_DAY = 24.0
+#: Average hours in a month (365.25 days / 12 months * 24 hours).
+HOURS_PER_MONTH = 365.25 * HOURS_PER_DAY / 12.0
+
+
+def ms_to_seconds(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds / MS_PER_SECOND
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * MS_PER_SECOND
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to seconds."""
+    return hours * SECONDS_PER_HOUR
+
+
+def months_to_hours(months: float) -> float:
+    """Convert an amortisation period expressed in months to hours."""
+    return months * HOURS_PER_MONTH
+
+
+# ---------------------------------------------------------------------------
+# Money and energy
+# ---------------------------------------------------------------------------
+
+CENTS_PER_DOLLAR = 100.0
+WATTS_PER_KILOWATT = 1000.0
+
+
+def dollars_to_cents(dollars: float) -> float:
+    """Convert US dollars to cents."""
+    return dollars * CENTS_PER_DOLLAR
+
+
+def cents_to_dollars(cents: float) -> float:
+    """Convert cents to US dollars."""
+    return cents / CENTS_PER_DOLLAR
+
+
+def watts_to_kilowatts(watts: float) -> float:
+    """Convert watts to kilowatts."""
+    return watts / WATTS_PER_KILOWATT

@@ -1,0 +1,6 @@
+"""Workload definitions: the generic container plus TPC-H / TPC-C style generators."""
+
+from repro.workloads.workload import Workload
+from repro.workloads import synthetic, tpcc, tpch
+
+__all__ = ["Workload", "synthetic", "tpcc", "tpch"]

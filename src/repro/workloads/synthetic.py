@@ -1,0 +1,134 @@
+"""Generic synthetic workload generator.
+
+Used by tests, examples and ablation benchmarks that need workloads outside
+the TPC-H / TPC-C shapes: a configurable mix of scans, keyed lookups, joins
+and writes over an arbitrary catalog, with deterministic pseudo-random
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.dbms.catalog import DatabaseCatalog
+from repro.dbms.query import JoinSpec, Query, TableAccess, WriteOp
+from repro.exceptions import WorkloadError
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class SyntheticWorkloadConfig:
+    """Knobs of the synthetic workload generator."""
+
+    num_queries: int = 50
+    scan_fraction: float = 0.4
+    lookup_fraction: float = 0.3
+    join_fraction: float = 0.2
+    write_fraction: float = 0.1
+    scan_selectivity: float = 0.5
+    lookup_rows: float = 100.0
+    join_rows_per_outer: float = 5.0
+    write_rows: float = 50.0
+    concurrency: int = 1
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        total = (
+            self.scan_fraction
+            + self.lookup_fraction
+            + self.join_fraction
+            + self.write_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError("synthetic workload fractions must sum to 1.0")
+        if self.num_queries < 1:
+            raise WorkloadError("num_queries must be >= 1")
+
+
+def generate(catalog: DatabaseCatalog,
+             config: Optional[SyntheticWorkloadConfig] = None,
+             name: str = "synthetic") -> Workload:
+    """Generate a deterministic synthetic DSS workload over ``catalog``."""
+    config = config or SyntheticWorkloadConfig()
+    rng = np.random.default_rng(config.seed)
+    tables = list(catalog.table_names)
+    if not tables:
+        raise WorkloadError("catalog has no tables to generate a workload over")
+
+    kinds = rng.choice(
+        ["scan", "lookup", "join", "write"],
+        size=config.num_queries,
+        p=[
+            config.scan_fraction,
+            config.lookup_fraction,
+            config.join_fraction,
+            config.write_fraction,
+        ],
+    )
+    queries: List[Query] = []
+    for position, kind in enumerate(kinds):
+        table = tables[int(rng.integers(0, len(tables)))]
+        primary = catalog.primary_index(table)
+        index_name = primary.name if primary else None
+        stats = catalog.table_stats(table)
+        if kind == "scan":
+            queries.append(
+                Query(
+                    name=f"syn_scan_{position}",
+                    accesses=(TableAccess(table, selectivity=config.scan_selectivity),),
+                    aggregate_rows=stats.row_count * config.scan_selectivity,
+                )
+            )
+        elif kind == "lookup":
+            selectivity = min(config.lookup_rows / max(stats.row_count, 1.0), 1.0)
+            queries.append(
+                Query(
+                    name=f"syn_lookup_{position}",
+                    accesses=(
+                        TableAccess(table, selectivity=selectivity, index=index_name,
+                                    key_lookup=True),
+                    ),
+                )
+            )
+        elif kind == "join":
+            other = tables[int(rng.integers(0, len(tables)))]
+            other_primary = catalog.primary_index(other)
+            queries.append(
+                Query(
+                    name=f"syn_join_{position}",
+                    accesses=(
+                        TableAccess(table, selectivity=0.1),
+                        TableAccess(other, selectivity=1.0,
+                                    index=other_primary.name if other_primary else None),
+                    ),
+                    joins=(
+                        JoinSpec(
+                            inner_position=1,
+                            rows_per_outer=config.join_rows_per_outer,
+                            inner_index=other_primary.name if other_primary else None,
+                        ),
+                    ),
+                    aggregate_rows=stats.row_count * 0.1 * config.join_rows_per_outer,
+                )
+            )
+        else:  # write
+            indexes = tuple(index.name for index in catalog.indexes_on(table))
+            queries.append(
+                Query(
+                    name=f"syn_write_{position}",
+                    writes=(
+                        WriteOp(table, rows=config.write_rows, sequential=bool(rng.integers(0, 2)),
+                                indexes=indexes),
+                    ),
+                )
+            )
+    return Workload(
+        name=name,
+        kind="dss",
+        queries=tuple(queries),
+        concurrency=config.concurrency,
+        description=f"synthetic workload with {config.num_queries} queries",
+    )

@@ -1,0 +1,7 @@
+"""TPC-C style OLTP schema, transactions and workload generator."""
+
+from repro.workloads.tpcc.schema import build_catalog
+from repro.workloads.tpcc.transactions import standard_mix, transaction_queries
+from repro.workloads.tpcc.generator import oltp_workload
+
+__all__ = ["build_catalog", "standard_mix", "transaction_queries", "oltp_workload"]

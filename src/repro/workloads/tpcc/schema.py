@@ -1,0 +1,186 @@
+"""TPC-C style schema and catalog builder.
+
+The paper's OLTP experiments use a 30 GB TPC-C database at scale factor 300
+(300 warehouses) populated through DBT-2.  This module defines the nine
+TPC-C tables with per-warehouse cardinalities and representative row widths,
+and registers the index set that appears in the paper's Table 3 layouts:
+one primary-key index per table (named ``pk_<table>``) plus the two secondary
+indexes ``i_customer`` (customer by last name) and ``i_orders`` (orders by
+customer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.dbms.catalog import DatabaseCatalog
+from repro.dbms.schema import Column, ColumnType, Index, Table
+
+#: Rows per warehouse for the scaling tables (TPC-C specification, clause 4.3).
+ROWS_PER_WAREHOUSE: Dict[str, float] = {
+    "warehouse": 1,
+    "district": 10,
+    "customer": 30_000,
+    "history": 30_000,
+    "orders": 30_000,
+    "new_order": 9_000,
+    "order_line": 300_000,
+    "stock": 100_000,
+}
+
+#: The item table does not scale with warehouses.
+ITEM_ROWS = 100_000
+
+TPCC_TABLE_NAMES = (
+    "warehouse",
+    "district",
+    "customer",
+    "history",
+    "new_order",
+    "orders",
+    "order_line",
+    "item",
+    "stock",
+)
+
+
+def _c(name: str, column_type: ColumnType, width: int | None = None) -> Column:
+    return Column(name, column_type, width)
+
+
+def _padded(name: str, key_columns: Tuple[Column, ...], payload_bytes: int) -> Table:
+    """Build a table with explicit key columns plus a payload blob of given width."""
+    columns = list(key_columns)
+    if payload_bytes > 0:
+        columns.append(Column("payload", ColumnType.VARCHAR, payload_bytes))
+    return Table(name=name, columns=tuple(columns))
+
+
+def _tables() -> Dict[str, Table]:
+    """The nine TPC-C tables with representative row widths."""
+    return {
+        "warehouse": _padded("warehouse", (_c("w_id", ColumnType.INTEGER),), 85),
+        "district": _padded(
+            "district",
+            (_c("d_w_id", ColumnType.INTEGER), _c("d_id", ColumnType.INTEGER)),
+            90,
+        ),
+        "customer": _padded(
+            "customer",
+            (
+                _c("c_w_id", ColumnType.INTEGER),
+                _c("c_d_id", ColumnType.INTEGER),
+                _c("c_id", ColumnType.INTEGER),
+                _c("c_last", ColumnType.VARCHAR, 16),
+            ),
+            620,
+        ),
+        "history": _padded(
+            "history",
+            (_c("h_c_id", ColumnType.INTEGER), _c("h_date", ColumnType.DATE)),
+            38,
+        ),
+        "new_order": _padded(
+            "new_order",
+            (
+                _c("no_w_id", ColumnType.INTEGER),
+                _c("no_d_id", ColumnType.INTEGER),
+                _c("no_o_id", ColumnType.INTEGER),
+            ),
+            0,
+        ),
+        "orders": _padded(
+            "orders",
+            (
+                _c("o_w_id", ColumnType.INTEGER),
+                _c("o_d_id", ColumnType.INTEGER),
+                _c("o_id", ColumnType.INTEGER),
+                _c("o_c_id", ColumnType.INTEGER),
+            ),
+            12,
+        ),
+        "order_line": _padded(
+            "order_line",
+            (
+                _c("ol_w_id", ColumnType.INTEGER),
+                _c("ol_d_id", ColumnType.INTEGER),
+                _c("ol_o_id", ColumnType.INTEGER),
+                _c("ol_number", ColumnType.INTEGER),
+            ),
+            40,
+        ),
+        "item": _padded("item", (_c("i_id", ColumnType.INTEGER),), 78),
+        "stock": _padded(
+            "stock",
+            (_c("s_w_id", ColumnType.INTEGER), _c("s_i_id", ColumnType.INTEGER)),
+            298,
+        ),
+    }
+
+
+#: Primary-key columns per table.
+PRIMARY_KEYS: Dict[str, Tuple[str, ...]] = {
+    "warehouse": ("w_id",),
+    "district": ("d_w_id", "d_id"),
+    "customer": ("c_w_id", "c_d_id", "c_id"),
+    "history": ("h_c_id", "h_date"),
+    "new_order": ("no_w_id", "no_d_id", "no_o_id"),
+    "orders": ("o_w_id", "o_d_id", "o_id"),
+    "order_line": ("ol_w_id", "ol_d_id", "ol_o_id", "ol_number"),
+    "item": ("i_id",),
+    "stock": ("s_w_id", "s_i_id"),
+}
+
+
+def pk_name(table: str) -> str:
+    """Name of a TPC-C table's primary-key index (paper Table 3 naming)."""
+    return f"pk_{table}"
+
+
+def table_row_count(table: str, warehouses: int) -> float:
+    """Row count of a TPC-C table at the given warehouse count."""
+    if table == "item":
+        return ITEM_ROWS
+    return ROWS_PER_WAREHOUSE[table] * warehouses
+
+
+def build_catalog(warehouses: int = 300, name: str = "tpcc") -> DatabaseCatalog:
+    """Build a TPC-C catalog for ``warehouses`` warehouses.
+
+    The history table carries no index (matching the paper's Table 3, where
+    ``history`` appears without a ``pk_history`` entry); every other table has
+    its primary-key index, and ``customer`` / ``orders`` additionally carry
+    the secondary indexes ``i_customer`` and ``i_orders``.
+    """
+    if warehouses < 1:
+        raise ValueError("warehouse count must be >= 1")
+    catalog = DatabaseCatalog(name=f"{name}-w{warehouses}")
+    tables = _tables()
+    for table_name in TPCC_TABLE_NAMES:
+        catalog.add_table(tables[table_name], table_row_count(table_name, warehouses))
+        if table_name == "history":
+            continue
+        catalog.add_index(
+            Index(
+                name=pk_name(table_name),
+                table=table_name,
+                columns=PRIMARY_KEYS[table_name],
+                unique=True,
+                primary=True,
+            )
+        )
+    catalog.add_index(
+        Index(
+            name="i_customer",
+            table="customer",
+            columns=("c_w_id", "c_d_id", "c_last"),
+        )
+    )
+    catalog.add_index(
+        Index(
+            name="i_orders",
+            table="orders",
+            columns=("o_w_id", "o_d_id", "o_c_id"),
+        )
+    )
+    return catalog

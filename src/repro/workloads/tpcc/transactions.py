@@ -1,0 +1,152 @@
+"""The five TPC-C transaction types as logical query specs.
+
+Each transaction is expressed with the row-level footprint of the TPC-C
+specification: keyed point reads (expressed as highly selective index
+accesses with a ``repeat`` count) and keyed writes (inserts and in-place
+updates, including the indexes they maintain).  The access pattern is almost
+entirely random I/O, which reproduces the paper's observation that TPC-C
+query plans do not change with the data layout -- only the time each I/O
+takes does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.dbms.query import Query, TableAccess, WriteOp
+from repro.workloads.tpcc.schema import pk_name, table_row_count
+
+#: The standard TPC-C transaction mix (weights sum to 1.0).
+STANDARD_MIX_WEIGHTS: Dict[str, float] = {
+    "new_order": 0.45,
+    "payment": 0.43,
+    "order_status": 0.04,
+    "delivery": 0.04,
+    "stock_level": 0.04,
+}
+
+#: Average number of order lines per order (TPC-C clause 2.4.1.3).
+LINES_PER_ORDER = 10.0
+
+
+def _point(table: str, warehouses: int, repeat: float = 1.0,
+           index: str | None = None, rows: float = 1.0,
+           clustered: bool = False) -> TableAccess:
+    """A keyed point/range read touching ``rows`` rows of ``table``."""
+    row_count = table_row_count(table, warehouses)
+    return TableAccess(
+        table=table,
+        selectivity=min(rows / max(row_count, 1.0), 1.0),
+        index=index or pk_name(table),
+        key_lookup=True,
+        repeat=repeat,
+        clustered=clustered,
+    )
+
+
+def new_order_transaction(warehouses: int) -> Query:
+    """The New-Order transaction: the measured transaction of tpmC."""
+    return Query(
+        name="new_order",
+        accesses=(
+            _point("warehouse", warehouses),
+            _point("district", warehouses),
+            _point("customer", warehouses),
+            _point("item", warehouses, repeat=LINES_PER_ORDER),
+            _point("stock", warehouses, repeat=LINES_PER_ORDER),
+        ),
+        writes=(
+            WriteOp("district", rows=1, sequential=False),
+            WriteOp("stock", rows=LINES_PER_ORDER, sequential=False),
+            WriteOp("orders", rows=1, sequential=True, indexes=(pk_name("orders"), "i_orders")),
+            WriteOp("new_order", rows=1, sequential=True, indexes=(pk_name("new_order"),)),
+            WriteOp("order_line", rows=LINES_PER_ORDER, sequential=True,
+                    indexes=(pk_name("order_line"),)),
+        ),
+        description="Enter a new order: 10 item/stock lookups, order + line inserts",
+    )
+
+
+def payment_transaction(warehouses: int) -> Query:
+    """The Payment transaction: balance updates plus a history insert."""
+    return Query(
+        name="payment",
+        accesses=(
+            _point("warehouse", warehouses),
+            _point("district", warehouses),
+            _point("customer", warehouses, index="i_customer", rows=3.0),
+        ),
+        writes=(
+            WriteOp("warehouse", rows=1, sequential=False),
+            WriteOp("district", rows=1, sequential=False),
+            WriteOp("customer", rows=1, sequential=False),
+            WriteOp("history", rows=1, sequential=True),
+        ),
+        description="Record a customer payment and append to history",
+    )
+
+
+def order_status_transaction(warehouses: int) -> Query:
+    """The Order-Status transaction: read-only customer order lookup."""
+    return Query(
+        name="order_status",
+        accesses=(
+            _point("customer", warehouses, index="i_customer", rows=3.0),
+            _point("orders", warehouses, index="i_orders"),
+            _point("order_line", warehouses, rows=LINES_PER_ORDER, clustered=True),
+        ),
+        description="Query the status of a customer's most recent order",
+    )
+
+
+def delivery_transaction(warehouses: int) -> Query:
+    """The Delivery transaction: process one new order per district."""
+    districts = 10.0
+    return Query(
+        name="delivery",
+        accesses=(
+            _point("new_order", warehouses, repeat=districts),
+            _point("orders", warehouses, repeat=districts),
+            _point("order_line", warehouses, repeat=districts, rows=LINES_PER_ORDER,
+                   clustered=True),
+        ),
+        writes=(
+            WriteOp("new_order", rows=districts, sequential=False),
+            WriteOp("orders", rows=districts, sequential=False),
+            WriteOp("order_line", rows=districts * LINES_PER_ORDER, sequential=False,
+                    clustered=True),
+            WriteOp("customer", rows=districts, sequential=False),
+        ),
+        description="Deliver the oldest undelivered order of each district",
+    )
+
+
+def stock_level_transaction(warehouses: int) -> Query:
+    """The Stock-Level transaction: read-only scan of recent order lines."""
+    recent_lines = 200.0
+    return Query(
+        name="stock_level",
+        accesses=(
+            _point("district", warehouses),
+            _point("order_line", warehouses, rows=recent_lines, clustered=True),
+            _point("stock", warehouses, rows=recent_lines),
+        ),
+        description="Count low-stock items among recently sold items",
+    )
+
+
+def transaction_queries(warehouses: int = 300) -> Dict[str, Query]:
+    """All five transaction types keyed by name."""
+    return {
+        "new_order": new_order_transaction(warehouses),
+        "payment": payment_transaction(warehouses),
+        "order_status": order_status_transaction(warehouses),
+        "delivery": delivery_transaction(warehouses),
+        "stock_level": stock_level_transaction(warehouses),
+    }
+
+
+def standard_mix(warehouses: int = 300) -> List[Tuple[Query, float]]:
+    """The standard TPC-C transaction mix as ``(query, weight)`` pairs."""
+    queries = transaction_queries(warehouses)
+    return [(queries[name], weight) for name, weight in STANDARD_MIX_WEIGHTS.items()]

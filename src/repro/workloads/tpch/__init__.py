@@ -1,0 +1,20 @@
+"""TPC-H style decision-support schema, queries and workload generators."""
+
+from repro.workloads.tpch.schema import build_catalog, table_row_count
+from repro.workloads.tpch.queries import original_queries
+from repro.workloads.tpch.modified import modified_queries
+from repro.workloads.tpch.generator import (
+    es_subset_workload,
+    modified_workload,
+    original_workload,
+)
+
+__all__ = [
+    "build_catalog",
+    "table_row_count",
+    "original_queries",
+    "modified_queries",
+    "original_workload",
+    "modified_workload",
+    "es_subset_workload",
+]

@@ -1,0 +1,79 @@
+"""TPC-H workload generators matching the paper's three DSS workloads.
+
+* :func:`original_workload` -- 66 queries: each of the 22 templates three
+  times, executed sequentially (Section 4.4, following Ozmen et al. [22]).
+* :func:`modified_workload` -- 100 queries: the five modified templates
+  twenty times each (Section 4.4.2, following Canim et al. [10]).
+* :func:`es_subset_workload` -- 33 queries from the 11-template subset used
+  for the exhaustive-search comparison (Section 4.4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.workloads.tpch.modified import modified_queries
+from repro.workloads.tpch.queries import ES_SUBSET_TEMPLATES, original_queries
+from repro.workloads.workload import Workload
+
+
+def original_workload(scale_factor: float = 20.0, repetitions: int = 3) -> Workload:
+    """The original TPC-H workload: every template repeated ``repetitions`` times."""
+    templates = original_queries(scale_factor)
+    stream = []
+    for _ in range(repetitions):
+        stream.extend(templates[name] for name in sorted(templates, key=_template_order))
+    return Workload(
+        name=f"tpch-original-sf{scale_factor:g}",
+        kind="dss",
+        queries=tuple(stream),
+        concurrency=1,
+        description=(
+            f"{len(stream)} queries from the 22 original TPC-H templates "
+            f"({repetitions} repetitions), sequential-read dominated"
+        ),
+    )
+
+
+def modified_workload(scale_factor: float = 20.0, repetitions: int = 20,
+                      key_range_rows: float = 2000.0) -> Workload:
+    """The modified (ODS-style) TPC-H workload: 5 selective templates repeated."""
+    templates = modified_queries(scale_factor, key_range_rows=key_range_rows)
+    stream = []
+    for _ in range(repetitions):
+        stream.extend(templates[name] for name in sorted(templates))
+    return Workload(
+        name=f"tpch-modified-sf{scale_factor:g}",
+        kind="dss",
+        queries=tuple(stream),
+        concurrency=1,
+        description=(
+            f"{len(stream)} queries from the 5 modified TPC-H templates "
+            f"({repetitions} repetitions), mixed random/sequential I/O"
+        ),
+    )
+
+
+def es_subset_workload(scale_factor: float = 20.0, repetitions: int = 3,
+                       templates: Optional[Sequence[str]] = None) -> Workload:
+    """The reduced workload used for the exhaustive-search comparison."""
+    wanted = tuple(templates) if templates is not None else ES_SUBSET_TEMPLATES
+    all_templates = original_queries(scale_factor)
+    stream = []
+    for _ in range(repetitions):
+        stream.extend(all_templates[name] for name in wanted)
+    return Workload(
+        name=f"tpch-es-subset-sf{scale_factor:g}",
+        kind="dss",
+        queries=tuple(stream),
+        concurrency=1,
+        description=(
+            f"{len(stream)} queries from {len(wanted)} TPC-H templates used in the "
+            "exhaustive-search comparison"
+        ),
+    )
+
+
+def _template_order(name: str) -> int:
+    """Sort q1..q22 numerically rather than lexicographically."""
+    return int(name.lstrip("q"))

@@ -1,0 +1,458 @@
+"""The 22 TPC-H query templates as structured logical query specs.
+
+Each builder encodes the access/join structure and approximate predicate
+selectivities of the corresponding TPC-H template.  Two properties matter for
+reproducing the paper (and both are preserved):
+
+* the *original* workload is dominated by sequential reads -- most templates
+  filter on non-key columns, so their driver tables are sequentially scanned
+  and only joins whose key matches a primary-key index can become indexed
+  nested-loop joins (the paper observes only ~11 % INLJ on DOT layouts);
+* join cardinalities follow the TPC-H ratios (four lineitems per order, ten
+  orders per customer, four partsupp entries per part, ...), so moving
+  ``lineitem``/``orders`` between storage classes shifts the bulk of the I/O.
+
+Selectivities are the commonly cited values for the default substitution
+parameters; absolute precision is unnecessary because every experiment
+compares layouts under the *same* workload model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dbms.query import JoinSpec, Query, TableAccess, WriteOp
+from repro.workloads.tpch.schema import pkey_name, table_row_count
+
+# Child-per-parent join ratios implied by the TPC-H schema (scale invariant).
+LINEITEMS_PER_ORDER = 4.0
+ORDERS_PER_CUSTOMER = 10.0
+PARTSUPP_PER_PART = 4.0
+LINEITEMS_PER_PART = 30.0
+LINEITEMS_PER_SUPPLIER = 600.0
+PARTSUPP_PER_SUPPLIER = 80.0
+NATIONS_PER_REGION = 5.0
+
+
+def _rows(table: str, scale_factor: float) -> float:
+    return table_row_count(table, scale_factor)
+
+
+def original_queries(scale_factor: float = 20.0) -> Dict[str, Query]:
+    """Build the 22 original TPC-H query templates for a scale factor."""
+    sf = scale_factor
+    customers_per_nation = _rows("customer", sf) / 25.0
+    suppliers_per_nation = _rows("supplier", sf) / 25.0
+    queries: Dict[str, Query] = {}
+
+    # Q1: pricing summary report -- one big filtered scan of lineitem.
+    queries["q1"] = Query(
+        name="q1",
+        accesses=(TableAccess("lineitem", selectivity=0.97),),
+        aggregate_rows=_rows("lineitem", sf) * 0.97,
+        sort_rows=4,
+        description="Pricing summary report: near-full lineitem scan with aggregation",
+    )
+
+    # Q2: minimum cost supplier -- small part slice, correlated partsupp lookup.
+    q2_parts = _rows("part", sf) * 0.004
+    queries["q2"] = Query(
+        name="q2",
+        accesses=(
+            TableAccess("part", selectivity=0.004),
+            TableAccess("partsupp", selectivity=1.0, index=pkey_name("partsupp")),
+            TableAccess("supplier", selectivity=1.0, index=pkey_name("supplier")),
+            TableAccess("nation", selectivity=1.0, index=pkey_name("nation")),
+            TableAccess("region", selectivity=0.2),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=PARTSUPP_PER_PART,
+                     inner_index=pkey_name("partsupp")),
+            JoinSpec(inner_position=2, rows_per_outer=1.0, inner_index=pkey_name("supplier")),
+            JoinSpec(inner_position=3, rows_per_outer=1.0, inner_index=pkey_name("nation")),
+            JoinSpec(inner_position=4, rows_per_outer=0.2),
+        ),
+        sort_rows=q2_parts,
+        aggregate_rows=q2_parts * PARTSUPP_PER_PART,
+        description="Minimum cost supplier over a small part slice",
+    )
+
+    # Q3: shipping priority -- segment customers, recent orders, open lineitems.
+    q3_orders = _rows("customer", sf) * 0.2 * ORDERS_PER_CUSTOMER * 0.48
+    queries["q3"] = Query(
+        name="q3",
+        accesses=(
+            TableAccess("customer", selectivity=0.2),
+            TableAccess("orders", selectivity=0.48),
+            TableAccess("lineitem", selectivity=0.54, index=pkey_name("lineitem")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=ORDERS_PER_CUSTOMER * 0.48),
+            JoinSpec(inner_position=2, rows_per_outer=LINEITEMS_PER_ORDER * 0.54,
+                     inner_index=pkey_name("lineitem")),
+        ),
+        sort_rows=q3_orders,
+        aggregate_rows=q3_orders * LINEITEMS_PER_ORDER * 0.54,
+        description="Shipping priority: customer/orders/lineitem join",
+    )
+
+    # Q4: order priority checking -- quarter of orders, lineitem existence check.
+    q4_orders = _rows("orders", sf) * 0.038
+    queries["q4"] = Query(
+        name="q4",
+        accesses=(
+            TableAccess("orders", selectivity=0.038),
+            TableAccess("lineitem", selectivity=0.63, index=pkey_name("lineitem")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=1.0, inner_index=pkey_name("lineitem")),
+        ),
+        aggregate_rows=q4_orders,
+        sort_rows=5,
+        description="Order priority checking with lineitem semi-join",
+    )
+
+    # Q5: local supplier volume -- region/nation/customer/orders/lineitem/supplier.
+    q5_customers = NATIONS_PER_REGION * customers_per_nation
+    q5_orders = q5_customers * ORDERS_PER_CUSTOMER * 0.15
+    queries["q5"] = Query(
+        name="q5",
+        accesses=(
+            TableAccess("region", selectivity=0.2),
+            TableAccess("nation", selectivity=1.0),
+            TableAccess("customer", selectivity=1.0),
+            TableAccess("orders", selectivity=0.15),
+            TableAccess("lineitem", selectivity=1.0, index=pkey_name("lineitem")),
+            TableAccess("supplier", selectivity=1.0),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=NATIONS_PER_REGION),
+            JoinSpec(inner_position=2, rows_per_outer=customers_per_nation),
+            JoinSpec(inner_position=3, rows_per_outer=ORDERS_PER_CUSTOMER * 0.15),
+            JoinSpec(inner_position=4, rows_per_outer=LINEITEMS_PER_ORDER,
+                     inner_index=pkey_name("lineitem")),
+            JoinSpec(inner_position=5, rows_per_outer=0.04),
+        ),
+        aggregate_rows=q5_orders * LINEITEMS_PER_ORDER,
+        sort_rows=5,
+        description="Local supplier volume within one region and year",
+    )
+
+    # Q6: forecasting revenue change -- highly selective lineitem scan, no index.
+    queries["q6"] = Query(
+        name="q6",
+        accesses=(TableAccess("lineitem", selectivity=0.019),),
+        aggregate_rows=_rows("lineitem", sf) * 0.019,
+        description="Forecasting revenue change: filtered lineitem scan",
+    )
+
+    # Q7: volume shipping between two nations.
+    q7_suppliers = 2.0 * suppliers_per_nation
+    q7_lineitems = q7_suppliers * LINEITEMS_PER_SUPPLIER * 0.3
+    queries["q7"] = Query(
+        name="q7",
+        accesses=(
+            TableAccess("nation", selectivity=0.08),
+            TableAccess("supplier", selectivity=1.0),
+            TableAccess("lineitem", selectivity=0.3),
+            TableAccess("orders", selectivity=1.0, index=pkey_name("orders")),
+            TableAccess("customer", selectivity=0.08, index=pkey_name("customer")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=suppliers_per_nation),
+            JoinSpec(inner_position=2, rows_per_outer=LINEITEMS_PER_SUPPLIER * 0.3),
+            JoinSpec(inner_position=3, rows_per_outer=1.0, inner_index=pkey_name("orders")),
+            JoinSpec(inner_position=4, rows_per_outer=0.08, inner_index=pkey_name("customer")),
+        ),
+        aggregate_rows=q7_lineitems,
+        sort_rows=8,
+        description="Volume shipping between two nations",
+    )
+
+    # Q8: national market share -- narrow part slice drives the join.
+    q8_parts = _rows("part", sf) * 0.0013
+    q8_lineitems = q8_parts * LINEITEMS_PER_PART
+    queries["q8"] = Query(
+        name="q8",
+        accesses=(
+            TableAccess("part", selectivity=0.0013),
+            TableAccess("lineitem", selectivity=1.0),
+            TableAccess("orders", selectivity=0.3, index=pkey_name("orders")),
+            TableAccess("customer", selectivity=1.0, index=pkey_name("customer")),
+            TableAccess("nation", selectivity=0.2),
+            TableAccess("supplier", selectivity=1.0, index=pkey_name("supplier")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=LINEITEMS_PER_PART),
+            JoinSpec(inner_position=2, rows_per_outer=0.3, inner_index=pkey_name("orders")),
+            JoinSpec(inner_position=3, rows_per_outer=1.0, inner_index=pkey_name("customer")),
+            JoinSpec(inner_position=4, rows_per_outer=0.2),
+            JoinSpec(inner_position=5, rows_per_outer=1.0, inner_index=pkey_name("supplier")),
+        ),
+        aggregate_rows=q8_lineitems,
+        sort_rows=2,
+        description="National market share for a part type",
+    )
+
+    # Q9: product type profit measure -- large part slice, joins most of the schema.
+    q9_parts = _rows("part", sf) * 0.055
+    q9_lineitems = q9_parts * LINEITEMS_PER_PART
+    queries["q9"] = Query(
+        name="q9",
+        accesses=(
+            TableAccess("part", selectivity=0.055),
+            TableAccess("lineitem", selectivity=1.0),
+            TableAccess("partsupp", selectivity=1.0, index=pkey_name("partsupp")),
+            TableAccess("supplier", selectivity=1.0, index=pkey_name("supplier")),
+            TableAccess("orders", selectivity=1.0, index=pkey_name("orders")),
+            TableAccess("nation", selectivity=1.0, index=pkey_name("nation")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=LINEITEMS_PER_PART),
+            JoinSpec(inner_position=2, rows_per_outer=1.0, inner_index=pkey_name("partsupp")),
+            JoinSpec(inner_position=3, rows_per_outer=1.0, inner_index=pkey_name("supplier")),
+            JoinSpec(inner_position=4, rows_per_outer=1.0, inner_index=pkey_name("orders")),
+            JoinSpec(inner_position=5, rows_per_outer=1.0, inner_index=pkey_name("nation")),
+        ),
+        aggregate_rows=q9_lineitems,
+        sort_rows=175,
+        description="Product type profit measure across the whole schema",
+    )
+
+    # Q10: returned item reporting -- one quarter of orders, returned lineitems.
+    q10_orders = _rows("orders", sf) * 0.03
+    queries["q10"] = Query(
+        name="q10",
+        accesses=(
+            TableAccess("orders", selectivity=0.03),
+            TableAccess("lineitem", selectivity=0.25, index=pkey_name("lineitem")),
+            TableAccess("customer", selectivity=1.0, index=pkey_name("customer")),
+            TableAccess("nation", selectivity=1.0, index=pkey_name("nation")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=LINEITEMS_PER_ORDER * 0.25,
+                     inner_index=pkey_name("lineitem")),
+            JoinSpec(inner_position=2, rows_per_outer=1.0, inner_index=pkey_name("customer")),
+            JoinSpec(inner_position=3, rows_per_outer=1.0, inner_index=pkey_name("nation")),
+        ),
+        aggregate_rows=q10_orders * LINEITEMS_PER_ORDER * 0.25,
+        sort_rows=q10_orders,
+        description="Returned item reporting by customer",
+    )
+
+    # Q11: important stock identification over one nation's suppliers.
+    q11_suppliers = suppliers_per_nation
+    q11_partsupp = q11_suppliers * PARTSUPP_PER_SUPPLIER
+    queries["q11"] = Query(
+        name="q11",
+        accesses=(
+            TableAccess("nation", selectivity=0.04),
+            TableAccess("supplier", selectivity=1.0),
+            TableAccess("partsupp", selectivity=1.0),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=q11_suppliers),
+            JoinSpec(inner_position=2, rows_per_outer=PARTSUPP_PER_SUPPLIER),
+        ),
+        aggregate_rows=q11_partsupp,
+        sort_rows=q11_partsupp * 0.05,
+        description="Important stock identification for one nation",
+    )
+
+    # Q12: shipping modes and order priority.
+    q12_lineitems = _rows("lineitem", sf) * 0.04
+    queries["q12"] = Query(
+        name="q12",
+        accesses=(
+            TableAccess("lineitem", selectivity=0.04),
+            TableAccess("orders", selectivity=1.0, index=pkey_name("orders")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=1.0, inner_index=pkey_name("orders")),
+        ),
+        aggregate_rows=q12_lineitems,
+        sort_rows=2,
+        description="Shipping modes and order priority",
+    )
+
+    # Q13: customer distribution -- full customer/orders join.
+    queries["q13"] = Query(
+        name="q13",
+        accesses=(
+            TableAccess("customer", selectivity=1.0),
+            TableAccess("orders", selectivity=0.98),
+        ),
+        joins=(JoinSpec(inner_position=1, rows_per_outer=ORDERS_PER_CUSTOMER * 0.98),),
+        aggregate_rows=_rows("orders", sf) * 0.98,
+        sort_rows=45,
+        description="Customer distribution: full customer x orders join",
+    )
+
+    # Q14: promotion effect -- one month of lineitems, part lookups.
+    q14_lineitems = _rows("lineitem", sf) * 0.0125
+    queries["q14"] = Query(
+        name="q14",
+        accesses=(
+            TableAccess("lineitem", selectivity=0.0125),
+            TableAccess("part", selectivity=1.0, index=pkey_name("part")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=1.0, inner_index=pkey_name("part")),
+        ),
+        aggregate_rows=q14_lineitems,
+        description="Promotion effect over one month of lineitems",
+    )
+
+    # Q15: top supplier -- three months of lineitems grouped by supplier.
+    q15_lineitems = _rows("lineitem", sf) * 0.04
+    queries["q15"] = Query(
+        name="q15",
+        accesses=(
+            TableAccess("lineitem", selectivity=0.04),
+            TableAccess("supplier", selectivity=1.0, index=pkey_name("supplier")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=1.0, inner_index=pkey_name("supplier")),
+        ),
+        aggregate_rows=q15_lineitems,
+        sort_rows=_rows("supplier", sf),
+        description="Top supplier over a three month window",
+    )
+
+    # Q16: parts/supplier relationship -- partsupp scan with part filter.
+    queries["q16"] = Query(
+        name="q16",
+        accesses=(
+            TableAccess("partsupp", selectivity=1.0),
+            TableAccess("part", selectivity=0.8, index=pkey_name("part")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=0.8, inner_index=pkey_name("part")),
+        ),
+        aggregate_rows=_rows("partsupp", sf) * 0.8,
+        sort_rows=18_000,
+        description="Parts/supplier relationship counts",
+    )
+
+    # Q17: small-quantity-order revenue -- tiny part slice, correlated lineitem avg.
+    q17_parts = _rows("part", sf) * 0.001
+    queries["q17"] = Query(
+        name="q17",
+        accesses=(
+            TableAccess("part", selectivity=0.001),
+            TableAccess("lineitem", selectivity=1.0),
+        ),
+        joins=(JoinSpec(inner_position=1, rows_per_outer=LINEITEMS_PER_PART),),
+        aggregate_rows=q17_parts * LINEITEMS_PER_PART,
+        description="Small-quantity-order revenue with correlated average",
+    )
+
+    # Q18: large volume customers -- lineitem aggregation then order/customer lookups.
+    q18_orders = _rows("orders", sf) * 0.0001
+    queries["q18"] = Query(
+        name="q18",
+        accesses=(
+            TableAccess("lineitem", selectivity=1.0),
+            TableAccess("orders", selectivity=1.0, index=pkey_name("orders")),
+            TableAccess("customer", selectivity=1.0, index=pkey_name("customer")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=0.0001, inner_index=pkey_name("orders")),
+            JoinSpec(inner_position=2, rows_per_outer=1.0, inner_index=pkey_name("customer")),
+        ),
+        aggregate_rows=_rows("lineitem", sf),
+        sort_rows=q18_orders * LINEITEMS_PER_ORDER,
+        description="Large volume customers via lineitem group-by",
+    )
+
+    # Q19: discounted revenue -- lineitem with part filters on brand/container.
+    q19_lineitems = _rows("lineitem", sf) * 0.002
+    queries["q19"] = Query(
+        name="q19",
+        accesses=(
+            TableAccess("lineitem", selectivity=0.002),
+            TableAccess("part", selectivity=1.0, index=pkey_name("part")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=1.0, inner_index=pkey_name("part")),
+        ),
+        aggregate_rows=q19_lineitems,
+        description="Discounted revenue for selected brands/containers",
+    )
+
+    # Q20: potential part promotion -- forest parts, partsupp, availability check.
+    q20_parts = _rows("part", sf) * 0.01
+    queries["q20"] = Query(
+        name="q20",
+        accesses=(
+            TableAccess("part", selectivity=0.01),
+            TableAccess("partsupp", selectivity=1.0, index=pkey_name("partsupp")),
+            TableAccess("lineitem", selectivity=0.01),
+            TableAccess("supplier", selectivity=1.0, index=pkey_name("supplier")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=PARTSUPP_PER_PART,
+                     inner_index=pkey_name("partsupp")),
+            JoinSpec(inner_position=2, rows_per_outer=LINEITEMS_PER_PART * 0.01),
+            JoinSpec(inner_position=3, rows_per_outer=1.0, inner_index=pkey_name("supplier")),
+        ),
+        aggregate_rows=q20_parts * PARTSUPP_PER_PART,
+        sort_rows=q20_parts,
+        description="Potential part promotion (forest parts)",
+    )
+
+    # Q21: suppliers who kept orders waiting -- one nation, late lineitems.
+    q21_suppliers = suppliers_per_nation * 0.04 * 25.0
+    q21_lineitems = q21_suppliers * LINEITEMS_PER_SUPPLIER * 0.5
+    queries["q21"] = Query(
+        name="q21",
+        accesses=(
+            TableAccess("supplier", selectivity=0.04),
+            TableAccess("lineitem", selectivity=0.5),
+            TableAccess("orders", selectivity=0.49, index=pkey_name("orders")),
+            TableAccess("lineitem", selectivity=1.0, index=pkey_name("lineitem")),
+        ),
+        joins=(
+            JoinSpec(inner_position=1, rows_per_outer=LINEITEMS_PER_SUPPLIER * 0.5),
+            JoinSpec(inner_position=2, rows_per_outer=0.49, inner_index=pkey_name("orders")),
+            JoinSpec(inner_position=3, rows_per_outer=LINEITEMS_PER_ORDER,
+                     inner_index=pkey_name("lineitem")),
+        ),
+        aggregate_rows=q21_lineitems,
+        sort_rows=q21_suppliers,
+        description="Suppliers who kept orders waiting",
+    )
+
+    # Q22: global sales opportunity -- customer scan with orders anti-join.
+    q22_customers = _rows("customer", sf) * 0.25
+    queries["q22"] = Query(
+        name="q22",
+        accesses=(
+            TableAccess("customer", selectivity=0.25),
+            TableAccess("orders", selectivity=1.0),
+        ),
+        joins=(JoinSpec(inner_position=1, rows_per_outer=0.35),),
+        aggregate_rows=q22_customers,
+        sort_rows=7,
+        description="Global sales opportunity (customers without orders)",
+    )
+
+    return queries
+
+
+#: The eleven-template subset the paper uses for the exhaustive-search
+#: comparison (Section 4.4.3).
+ES_SUBSET_TEMPLATES = ("q1", "q3", "q4", "q6", "q12", "q13", "q14", "q17", "q18", "q19", "q22")
+
+#: The objects involved in the ES comparison: lineitem, orders, customer, part
+#: and their primary-key indexes (eight objects).
+ES_SUBSET_OBJECTS = (
+    "lineitem",
+    "lineitem_pkey",
+    "orders",
+    "orders_pkey",
+    "customer",
+    "customer_pkey",
+    "part",
+    "part_pkey",
+)

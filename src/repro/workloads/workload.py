@@ -1,0 +1,138 @@
+"""The workload container.
+
+A workload is what the paper calls ``W``: a collection of queries together
+with its concurrency and the metric the SLA is expressed in.  Two flavours
+exist:
+
+* **DSS** workloads are an explicit stream of queries executed back to back
+  (the paper's TPC-H workloads, concurrency 1, per-query response-time SLAs);
+* **OLTP** workloads are a weighted transaction mix driven by a closed
+  population of clients (the paper's TPC-C workload, concurrency 300,
+  throughput SLA measured on the New-Order transaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dbms.query import Query
+from repro.exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A query workload with its execution parameters.
+
+    Attributes
+    ----------
+    name:
+        Workload identifier used in reports.
+    kind:
+        ``"dss"`` (query stream, response-time metric) or ``"oltp"``
+        (transaction mix, throughput metric).
+    queries:
+        The DSS query stream (ignored for OLTP workloads).
+    transaction_mix:
+        ``(query, weight)`` pairs describing the OLTP mix (ignored for DSS).
+    concurrency:
+        Degree of concurrency the workload runs at; selects the I/O profile
+        calibration point (the paper uses 1 for TPC-H and 300 for TPC-C).
+    measured_transaction_fraction:
+        For OLTP, the share of the mix that counts toward the reported
+        throughput metric (e.g. New-Order transactions for tpmC).
+    duration_s:
+        Nominal measurement window for OLTP workloads.
+    description:
+        Free-form description used in reports.
+    """
+
+    name: str
+    kind: str = "dss"
+    queries: Tuple[Query, ...] = ()
+    transaction_mix: Tuple[Tuple[Query, float], ...] = ()
+    concurrency: int = 1
+    measured_transaction_fraction: float = 1.0
+    duration_s: float = 3600.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("dss", "oltp"):
+            raise WorkloadError(f"unknown workload kind {self.kind!r}")
+        if self.kind == "dss" and not self.queries:
+            raise WorkloadError(f"DSS workload {self.name!r} has no queries")
+        if self.kind == "oltp" and not self.transaction_mix:
+            raise WorkloadError(f"OLTP workload {self.name!r} has no transaction mix")
+        if self.concurrency < 1:
+            raise WorkloadError("workload concurrency must be >= 1")
+        if not 0.0 < self.measured_transaction_fraction <= 1.0:
+            raise WorkloadError("measured transaction fraction must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_dss(self) -> bool:
+        """True for query-stream workloads."""
+        return self.kind == "dss"
+
+    @property
+    def is_oltp(self) -> bool:
+        """True for transaction-mix workloads."""
+        return self.kind == "oltp"
+
+    @property
+    def all_queries(self) -> Tuple[Query, ...]:
+        """Every query in the workload regardless of kind."""
+        if self.is_dss:
+            return self.queries
+        return tuple(query for query, _ in self.transaction_mix)
+
+    @property
+    def query_names(self) -> Tuple[str, ...]:
+        """Names of all queries in stream/mix order (duplicates preserved)."""
+        return tuple(query.name for query in self.all_queries)
+
+    def distinct_queries(self) -> List[Query]:
+        """The distinct query templates of the workload (first occurrence order)."""
+        seen: Dict[str, Query] = {}
+        for query in self.all_queries:
+            seen.setdefault(query.name, query)
+        return list(seen.values())
+
+    def referenced_objects(self) -> Tuple[str, ...]:
+        """All object names referenced by any query of the workload."""
+        seen: List[str] = []
+        for query in self.all_queries:
+            for name in query.referenced_objects:
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def scaled_stream(self, repetitions: int) -> "Workload":
+        """Return a DSS workload whose stream is repeated ``repetitions`` times."""
+        if not self.is_dss:
+            raise WorkloadError("scaled_stream only applies to DSS workloads")
+        if repetitions < 1:
+            raise WorkloadError("repetitions must be >= 1")
+        return Workload(
+            name=f"{self.name}-x{repetitions}",
+            kind="dss",
+            queries=self.queries * repetitions,
+            concurrency=self.concurrency,
+            description=self.description,
+        )
+
+    def subset(self, query_names: Sequence[str], name: Optional[str] = None) -> "Workload":
+        """Return a DSS workload restricted to the named query templates."""
+        if not self.is_dss:
+            raise WorkloadError("subset only applies to DSS workloads")
+        wanted = set(query_names)
+        queries = tuple(query for query in self.queries if query.name in wanted)
+        if not queries:
+            raise WorkloadError("subset selects no queries")
+        return Workload(
+            name=name or f"{self.name}-subset",
+            kind="dss",
+            queries=queries,
+            concurrency=self.concurrency,
+            description=self.description,
+        )

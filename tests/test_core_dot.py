@@ -1,0 +1,316 @@
+"""The DOT optimizer, exhaustive search, Object Advisor, simple layouts and advisor facade."""
+
+import pytest
+
+from repro.core.advisor import ProvisioningAdvisor
+from repro.core.dot import DOTOptimizer
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.layout import Layout
+from repro.core.object_advisor import ObjectAdvisor
+from repro.core.profiler import WorkloadProfiler
+from repro.core.simple_layouts import all_on, index_data_split, simple_layouts
+from repro.core.toc import TOCModel
+from repro.exceptions import ConfigurationError, InfeasibleLayoutError
+from repro.sla.constraints import RelativeSLA, ResponseTimeConstraint
+from repro.storage import catalog as storage_catalog
+
+
+@pytest.fixture
+def profiles(small_objects, box1_system, small_estimator, small_workload):
+    profiler = WorkloadProfiler(small_objects, box1_system, small_estimator)
+    return profiler.profile(small_workload, mode="estimate")
+
+
+@pytest.fixture
+def loose_constraint(small_objects, box1_system, small_estimator, small_workload):
+    """A relative SLA of 0.25 resolved against estimated all-H-SSD performance."""
+    toc = TOCModel(small_estimator)
+    reference = toc.evaluate(
+        Layout.uniform(small_objects, box1_system, "H-SSD"), small_workload, mode="estimate"
+    )
+    return RelativeSLA(0.25).resolve(reference.run_result)
+
+
+class TestSimpleLayouts:
+    def test_all_on(self, small_objects, box1_system):
+        layout = all_on(small_objects, box1_system, "L-SSD")
+        assert set(layout.assignment().values()) == {"L-SSD"}
+
+    def test_index_data_split(self, small_objects, box1_system):
+        layout = index_data_split(small_objects, box1_system, "H-SSD", "L-SSD")
+        assert layout.class_name_of("fact_pkey") == "H-SSD"
+        assert layout.class_name_of("fact") == "L-SSD"
+
+    def test_index_data_split_unknown_class(self, small_objects, box1_system):
+        with pytest.raises(ConfigurationError):
+            index_data_split(small_objects, box1_system, "H-SSD", "floppy")
+
+    def test_simple_layouts_cover_every_class(self, small_objects, box1_system):
+        layouts = simple_layouts(small_objects, box1_system)
+        for class_name in box1_system.class_names:
+            assert f"All {class_name}" in layouts
+        assert "Index H-SSD Data L-SSD" in layouts
+
+    def test_simple_layouts_on_box2_use_lssd_raid(self, small_objects, box2_system):
+        layouts = simple_layouts(small_objects, box2_system)
+        assert "Index H-SSD Data L-SSD RAID 0" in layouts
+
+
+class TestDOTOptimizer:
+    def test_initial_layout_is_all_most_expensive(self, small_objects, box1_system,
+                                                   small_estimator):
+        dot = DOTOptimizer(small_objects, box1_system, small_estimator)
+        initial = dot.initial_layout()
+        assert set(initial.assignment().values()) == {"H-SSD"}
+
+    def test_unconstrained_dot_moves_everything_cheap(self, small_objects, box1_system,
+                                                      small_estimator, small_workload, profiles):
+        dot = DOTOptimizer(small_objects, box1_system, small_estimator, constraint=None)
+        result = dot.optimize(small_workload, profiles)
+        assert result.feasible
+        # Without an SLA the TOC-optimal layout should be at least as cheap as
+        # leaving everything on the H-SSD.
+        assert result.toc_cents <= result.initial_report.toc_cents
+
+    def test_constrained_dot_meets_constraint_in_estimates(
+        self, small_objects, box1_system, small_estimator, small_workload, profiles,
+        loose_constraint
+    ):
+        dot = DOTOptimizer(small_objects, box1_system, small_estimator,
+                           constraint=loose_constraint)
+        result = dot.optimize(small_workload, profiles)
+        assert result.feasible
+        check = loose_constraint.check(result.toc_report.run_result)
+        assert check.satisfied
+
+    def test_dot_toc_not_worse_than_initial(self, small_objects, box1_system, small_estimator,
+                                            small_workload, profiles, loose_constraint):
+        dot = DOTOptimizer(small_objects, box1_system, small_estimator,
+                           constraint=loose_constraint)
+        result = dot.optimize(small_workload, profiles)
+        assert result.toc_cents <= result.initial_report.toc_cents
+
+    def test_tighter_sla_never_gives_cheaper_toc(self, small_objects, box1_system,
+                                                 small_estimator, small_workload, profiles):
+        toc = TOCModel(small_estimator)
+        reference = toc.evaluate(
+            Layout.uniform(small_objects, box1_system, "H-SSD"), small_workload, mode="estimate"
+        )
+        results = {}
+        for ratio in (0.9, 0.25):
+            constraint = RelativeSLA(ratio).resolve(reference.run_result)
+            dot = DOTOptimizer(small_objects, box1_system, small_estimator, constraint=constraint)
+            results[ratio] = dot.optimize(small_workload, profiles).toc_cents
+        assert results[0.9] >= results[0.25]
+
+    def test_history_records_every_move(self, small_objects, box1_system, small_estimator,
+                                        small_workload, profiles):
+        dot = DOTOptimizer(small_objects, box1_system, small_estimator)
+        result = dot.optimize(small_workload, profiles)
+        assert len(result.history) == result.evaluated_layouts - 1
+        assert any(trace.accepted for trace in result.history)
+
+    def test_impossible_constraint_reports_infeasible(self, small_objects, box1_system,
+                                                      small_estimator, small_workload, profiles,
+                                                      small_catalog):
+        impossible = ResponseTimeConstraint(
+            {name: 1e-9 for name in small_workload.query_names}
+        )
+        dot = DOTOptimizer(small_objects, box1_system, small_estimator, constraint=impossible)
+        result = dot.optimize(small_workload, profiles)
+        assert not result.feasible
+        with pytest.raises(InfeasibleLayoutError):
+            result.require_layout()
+
+    def test_capacity_relaxed_walk_recovers_from_overfull_start(
+        self, small_objects, box1_system, small_estimator, small_workload, profiles
+    ):
+        # H-SSD capacity below the database size: the initial layout violates
+        # capacity, but the walk should still find a feasible layout.
+        total = sum(obj.size_gb for obj in small_objects)
+        limited = box1_system.with_capacity_limits({"H-SSD": total * 0.4})
+        profiler = WorkloadProfiler(small_objects, limited, small_estimator)
+        limited_profiles = profiler.profile(small_workload, mode="estimate")
+        dot = DOTOptimizer(small_objects, limited, small_estimator, constraint=None)
+        result = dot.optimize(small_workload, limited_profiles)
+        assert result.feasible
+        assert result.layout.satisfies_capacity()
+
+    def test_validation_returns_measured_report(self, small_objects, box1_system,
+                                                small_estimator, small_workload, profiles,
+                                                loose_constraint):
+        dot = DOTOptimizer(small_objects, box1_system, small_estimator,
+                           constraint=loose_constraint)
+        result = dot.optimize(small_workload, profiles)
+        check, report = dot.validate(result.layout, small_workload, loose_constraint)
+        assert report.toc_cents > 0
+        assert check.capacity_ok
+
+    def test_independent_objects_mode_uses_singleton_groups(self, small_objects, box1_system,
+                                                            small_estimator):
+        dot = DOTOptimizer(small_objects, box1_system, small_estimator, independent_objects=True)
+        assert all(len(group) == 1 for group in dot.groups)
+        assert len(dot.groups) == len(small_objects)
+
+
+class TestExhaustiveSearch:
+    def test_space_size(self, small_objects, box1_system, small_estimator):
+        search = ExhaustiveSearch(small_objects, box1_system, small_estimator)
+        assert search.search_space_size() == 3 ** len(small_objects)
+
+    def test_per_group_space_size(self, small_objects, box1_system, small_estimator):
+        search = ExhaustiveSearch(small_objects, box1_system, small_estimator, per_group=True)
+        assert search.search_space_size() == 81  # two groups of size two
+
+    def test_layout_budget_enforced(self, small_objects, box1_system, small_estimator):
+        search = ExhaustiveSearch(small_objects, box1_system, small_estimator, max_layouts=10)
+        with pytest.raises(ConfigurationError):
+            search.search(None)
+
+    def test_es_finds_layout_at_least_as_cheap_as_dot(
+        self, small_objects, box1_system, small_estimator, small_workload, profiles,
+        loose_constraint
+    ):
+        dot = DOTOptimizer(small_objects, box1_system, small_estimator,
+                           constraint=loose_constraint)
+        dot_result = dot.optimize(small_workload, profiles)
+        search = ExhaustiveSearch(small_objects, box1_system, small_estimator,
+                                  constraint=loose_constraint)
+        es_result = search.search(small_workload)
+        assert es_result.feasible
+        assert es_result.toc_cents <= dot_result.toc_cents * 1.0000001
+
+    def test_dot_close_to_es(self, small_objects, box1_system, small_estimator, small_workload,
+                             profiles, loose_constraint):
+        """The paper's headline: DOT within ~16 % of exhaustive search."""
+        dot_result = DOTOptimizer(
+            small_objects, box1_system, small_estimator, constraint=loose_constraint
+        ).optimize(small_workload, profiles)
+        es_result = ExhaustiveSearch(
+            small_objects, box1_system, small_estimator, constraint=loose_constraint
+        ).search(small_workload)
+        assert dot_result.toc_cents <= es_result.toc_cents * 1.30
+
+    def test_dot_evaluates_far_fewer_layouts_than_es(self, small_objects, box1_system,
+                                                     small_estimator, small_workload, profiles):
+        dot_result = DOTOptimizer(small_objects, box1_system, small_estimator).optimize(
+            small_workload, profiles
+        )
+        es = ExhaustiveSearch(small_objects, box1_system, small_estimator)
+        assert dot_result.evaluated_layouts < es.search_space_size() / 3
+
+    def test_pinned_objects_included_in_candidates(self, small_objects, box1_system,
+                                                   small_estimator, small_workload):
+        movable = [obj for obj in small_objects if obj.table == "fact"]
+        pinned = [obj for obj in small_objects if obj.table != "fact"]
+        search = ExhaustiveSearch(movable, box1_system, small_estimator,
+                                  pinned_objects=pinned, pinned_class="HDD RAID 0")
+        result = search.search(small_workload)
+        assert result.feasible
+        for obj in pinned:
+            assert result.layout.class_name_of(obj.name) == "HDD RAID 0"
+
+    def test_infeasible_constraint(self, small_objects, box1_system, small_estimator,
+                                   small_workload):
+        impossible = ResponseTimeConstraint({name: 1e-9 for name in small_workload.query_names})
+        search = ExhaustiveSearch(small_objects, box1_system, small_estimator,
+                                  constraint=impossible)
+        result = search.search(small_workload)
+        assert not result.feasible
+        assert result.toc_cents == float("inf")
+
+
+class TestObjectAdvisor:
+    def test_oa_promotes_high_benefit_objects(self, small_objects, box1_system, small_catalog,
+                                              small_workload):
+        from repro.dbms.executor import WorkloadEstimator
+
+        estimator = WorkloadEstimator(small_catalog, noise=0.0)
+        oa = ObjectAdvisor(small_objects, box1_system, estimator)
+        result = oa.recommend(small_workload)
+        assert result.layout.name == "OA"
+        # The object with the highest benefit-per-GB must be promoted off the
+        # cheapest class.
+        best = max(result.benefits_ms_per_gb, key=result.benefits_ms_per_gb.get)
+        assert result.layout.class_name_of(best) != box1_system.cheapest().name
+
+    def test_oa_misses_plan_layout_interaction(self, small_objects, box1_system, small_catalog,
+                                               small_workload):
+        """OA profiles on the all-cheapest layout, where the optimizer never
+        touches ``fact_pkey`` (scans win on the HDD), so OA sees zero benefit
+        for it and leaves it on the cheapest class -- the blindness the paper
+        contrasts DOT against."""
+        from repro.dbms.executor import WorkloadEstimator
+
+        estimator = WorkloadEstimator(small_catalog, noise=0.0)
+        oa = ObjectAdvisor(small_objects, box1_system, estimator)
+        result = oa.recommend(small_workload)
+        assert result.benefits_ms_per_gb["fact_pkey"] == pytest.approx(0.0)
+        assert result.layout.class_name_of("fact_pkey") == box1_system.cheapest().name
+
+    def test_oa_respects_budget(self, small_objects, box1_system, small_estimator,
+                                small_workload):
+        oa = ObjectAdvisor(small_objects, box1_system, small_estimator)
+        tight = oa.recommend(small_workload, budgets_gb={"H-SSD": 0.0, "L-SSD": 0.0})
+        assert set(tight.layout.assignment().values()) == {box1_system.cheapest().name}
+
+    def test_oa_benefits_are_per_gb(self, small_objects, box1_system, small_estimator,
+                                    small_workload):
+        oa = ObjectAdvisor(small_objects, box1_system, small_estimator)
+        result = oa.recommend(small_workload)
+        assert set(result.benefits_ms_per_gb) == {obj.name for obj in small_objects}
+
+
+class TestProvisioningAdvisor:
+    def test_recommendation_pipeline(self, small_objects, box1_system, small_catalog,
+                                     small_workload):
+        from repro.dbms.buffer_pool import BufferPool
+        from repro.dbms.executor import WorkloadEstimator
+
+        estimator = WorkloadEstimator(small_catalog, buffer_pool=BufferPool(1.0), noise=0.01)
+        advisor = ProvisioningAdvisor(small_objects, box1_system, estimator)
+        recommendation = advisor.recommend(small_workload, sla=RelativeSLA(0.25))
+        assert recommendation.layout.name == "DOT"
+        assert recommendation.toc_cents <= recommendation.baseline_report.toc_cents
+        assert 0.0 <= recommendation.psr <= 1.0
+        assert "Recommendation" in recommendation.describe()
+
+    def test_recommendation_without_sla(self, small_objects, box1_system, small_estimator,
+                                        small_workload):
+        advisor = ProvisioningAdvisor(small_objects, box1_system, small_estimator)
+        recommendation = advisor.recommend(small_workload, sla=None)
+        assert recommendation.constraint is None
+        assert recommendation.psr == 1.0
+
+    def test_absolute_constraint_passthrough(self, small_objects, box1_system, small_estimator,
+                                             small_workload):
+        constraint = ResponseTimeConstraint({name: 1e12 for name in small_workload.query_names})
+        advisor = ProvisioningAdvisor(small_objects, box1_system, small_estimator)
+        assert advisor.resolve_constraint(small_workload, constraint) is constraint
+
+    def test_impossible_sla_raises_after_budget_exhausted(self, small_objects, box1_system,
+                                                          small_estimator, small_workload):
+        impossible = ResponseTimeConstraint({name: 1e-9 for name in small_workload.query_names})
+        advisor = ProvisioningAdvisor(small_objects, box1_system, small_estimator)
+        with pytest.raises(InfeasibleLayoutError):
+            advisor.recommend(small_workload, sla=impossible, max_refinements=0,
+                              max_relaxations=2)
+
+    def test_slightly_infeasible_sla_recovered_by_relaxation(self, small_objects, box1_system,
+                                                             small_estimator, small_workload):
+        """Caps 10 % below the best-case estimates become satisfiable after the
+        advisor's relaxation loop loosens them."""
+        toc = TOCModel(small_estimator)
+        reference = toc.evaluate(
+            Layout.uniform(small_objects, box1_system, "H-SSD"), small_workload, mode="estimate"
+        )
+        tight = ResponseTimeConstraint(
+            {name: time_ms * 0.9 for name, time_ms in reference.run_result.per_query_times_ms}
+        )
+        advisor = ProvisioningAdvisor(small_objects, box1_system, small_estimator)
+        recommendation = advisor.recommend(
+            small_workload, sla=tight, max_refinements=0, max_relaxations=3,
+            relaxation_factor=1.5,
+        )
+        assert recommendation.layout is not None
+        assert recommendation.relaxations_used >= 1

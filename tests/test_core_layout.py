@@ -1,0 +1,328 @@
+"""Objects, groups, layouts, TOC model, profiles, moves and feasibility."""
+
+import pytest
+
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.layout import Layout
+from repro.core.moves import Move, enumerate_moves, group_cost_cents_per_hour
+from repro.core.profiler import WorkloadProfiler
+from repro.core.profiles import WorkloadProfileSet, baseline_placements, placement_for_group
+from repro.core.toc import TOCModel
+from repro.exceptions import (
+    CapacityError,
+    ConfigurationError,
+    ProfileError,
+    UnknownObjectError,
+    UnknownStorageClassError,
+)
+from repro.objects import DatabaseObject, ObjectGroup, ObjectKind, group_objects, total_size_gb
+from repro.sla.constraints import ResponseTimeConstraint
+from repro.storage import catalog as storage_catalog
+from repro.storage.io_profile import IOType
+
+
+@pytest.fixture
+def objects():
+    return [
+        DatabaseObject("orders", 10.0, ObjectKind.TABLE, table="orders"),
+        DatabaseObject("orders_pkey", 2.0, ObjectKind.INDEX, table="orders"),
+        DatabaseObject("items", 30.0, ObjectKind.TABLE, table="items"),
+        DatabaseObject("wal", 1.0, ObjectKind.LOG),
+    ]
+
+
+@pytest.fixture
+def box1(box1_system):
+    return box1_system
+
+
+class TestObjectsAndGroups:
+    def test_grouping_puts_index_with_table(self, objects):
+        groups = {group.key: group for group in group_objects(objects)}
+        assert groups["orders"].member_names == ("orders", "orders_pkey")
+        assert groups["items"].member_names == ("items",)
+        assert groups["wal"].member_names == ("wal",)
+
+    def test_orphan_index_forms_own_group(self):
+        orphan = DatabaseObject("ghost_idx", 1.0, ObjectKind.INDEX, table="missing")
+        groups = group_objects([orphan])
+        assert groups[0].key == "ghost_idx"
+
+    def test_duplicate_names_rejected(self):
+        duplicate = DatabaseObject("a", 1.0)
+        with pytest.raises(ConfigurationError):
+            group_objects([duplicate, duplicate])
+
+    def test_group_size_and_member_lookup(self, objects):
+        group = group_objects(objects)[0]
+        assert group.size_gb == pytest.approx(12.0)
+        assert group.member("orders_pkey").is_index
+        with pytest.raises(KeyError):
+            group.member("zzz")
+
+    def test_total_size(self, objects):
+        assert total_size_gb(objects) == pytest.approx(43.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatabaseObject("bad", -1.0)
+
+
+class TestLayout:
+    def test_uniform_layout(self, objects, box1):
+        layout = Layout.uniform(objects, box1, "H-SSD")
+        assert all(layout.class_name_of(obj.name) == "H-SSD" for obj in objects)
+        assert layout.space_used_gb()["H-SSD"] == pytest.approx(43.0)
+
+    def test_missing_assignment_rejected(self, objects, box1):
+        with pytest.raises(ConfigurationError):
+            Layout(objects, box1, {"orders": "H-SSD"})
+
+    def test_unknown_object_rejected(self, objects, box1):
+        assignment = {obj.name: "H-SSD" for obj in objects}
+        assignment["ghost"] = "H-SSD"
+        with pytest.raises(UnknownObjectError):
+            Layout(objects, box1, assignment)
+
+    def test_unknown_class_rejected(self, objects, box1):
+        assignment = {obj.name: "H-SSD" for obj in objects}
+        assignment["orders"] = "floppy"
+        with pytest.raises(UnknownStorageClassError):
+            Layout(objects, box1, assignment)
+
+    def test_storage_cost_is_price_times_space(self, objects, box1):
+        layout = Layout.uniform(objects, box1, "L-SSD")
+        expected = 43.0 * box1["L-SSD"].price_cents_per_gb_hour
+        assert layout.storage_cost_cents_per_hour() == pytest.approx(expected)
+
+    def test_capacity_violation_detected(self, objects, box1):
+        # H-SSD holds only 80 GB; force 43 GB -> fine, then shrink capacity.
+        limited = box1.with_capacity_limits({"H-SSD": 20.0})
+        layout = Layout.uniform(objects, limited, "H-SSD")
+        assert not layout.satisfies_capacity()
+        assert layout.excess_gb() == pytest.approx(23.0)
+        with pytest.raises(CapacityError):
+            layout.validate_capacity()
+
+    def test_with_assignment_returns_new_layout(self, objects, box1):
+        layout = Layout.uniform(objects, box1, "H-SSD")
+        moved = layout.with_assignment("items", "HDD RAID 0")
+        assert layout.class_name_of("items") == "H-SSD"
+        assert moved.class_name_of("items") == "HDD RAID 0"
+        assert moved.storage_cost_cents_per_hour() < layout.storage_cost_cents_per_hour()
+
+    def test_with_group_placement(self, objects, box1):
+        layout = Layout.uniform(objects, box1, "H-SSD")
+        group = group_objects(objects)[0]
+        moved = layout.with_group_placement(group, ("HDD RAID 0", "L-SSD"))
+        assert moved.class_name_of("orders") == "HDD RAID 0"
+        assert moved.class_name_of("orders_pkey") == "L-SSD"
+
+    def test_with_group_placement_length_mismatch(self, objects, box1):
+        layout = Layout.uniform(objects, box1, "H-SSD")
+        group = group_objects(objects)[0]
+        with pytest.raises(ConfigurationError):
+            layout.with_group_placement(group, ("HDD RAID 0",))
+
+    def test_objects_on_and_describe(self, objects, box1):
+        layout = Layout.uniform(objects, box1, "H-SSD").with_assignment("wal", "L-SSD")
+        assert [obj.name for obj in layout.objects_on("L-SSD")] == ["wal"]
+        assert "wal" in layout.describe()
+
+    def test_equality_and_hash_by_assignment(self, objects, box1):
+        first = Layout.uniform(objects, box1, "H-SSD")
+        second = Layout.uniform(objects, box1, "H-SSD").renamed("other")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_placement_maps_to_storage_classes(self, objects, box1):
+        placement = Layout.uniform(objects, box1, "H-SSD").placement()
+        assert placement["orders"].name == "H-SSD"
+
+
+class TestProfilesAndProfiler:
+    def test_baseline_placements_count(self, box1):
+        assert len(baseline_placements(box1, 2)) == 9
+        assert len(baseline_placements(box1, 1)) == 3
+
+    def test_placement_for_group_prefix_and_padding(self, objects, box1):
+        groups = group_objects(objects)
+        pattern = ("H-SSD", "L-SSD")
+        assert placement_for_group(pattern, groups[0]) == ("H-SSD", "L-SSD")
+        assert placement_for_group(pattern, groups[1]) == ("H-SSD",)
+        assert placement_for_group(("H-SSD",), groups[0]) == ("H-SSD", "H-SSD")
+
+    def test_profiler_produces_profiles_for_all_patterns(
+        self, small_objects, box1, small_estimator, small_workload
+    ):
+        profiler = WorkloadProfiler(small_objects, box1, small_estimator)
+        profiles = profiler.profile(small_workload, mode="estimate")
+        assert len(profiles.patterns) == len(box1) ** profiler.max_group_size
+        assert "fact" in profiles.objects_profiled()
+
+    def test_profile_single_pattern(self, small_objects, box1, small_estimator, small_workload):
+        profiler = WorkloadProfiler(small_objects, box1, small_estimator)
+        pattern = profiler.single_baseline_pattern()
+        profiles = profiler.profile(small_workload, patterns=[pattern])
+        assert profiles.patterns == (pattern,)
+
+    def test_io_time_share_uses_placement_latencies(
+        self, small_objects, box1, small_estimator, small_workload
+    ):
+        profiler = WorkloadProfiler(small_objects, box1, small_estimator)
+        profiles = profiler.profile(small_workload, mode="estimate")
+        group = next(g for g in profiler.groups if g.key == "fact")
+        fast = profiles.io_time_share_ms(group, ("H-SSD", "H-SSD"))
+        slow = profiles.io_time_share_ms(group, ("HDD RAID 0", "HDD RAID 0"))
+        assert slow > fast
+
+    def test_io_time_share_length_mismatch(self, small_objects, box1, small_estimator,
+                                            small_workload):
+        profiler = WorkloadProfiler(small_objects, box1, small_estimator)
+        profiles = profiler.profile(small_workload, mode="estimate")
+        group = profiler.groups[0]
+        with pytest.raises(ProfileError):
+            profiles.io_time_share_ms(group, ("H-SSD",) * (len(group) + 1))
+
+    def test_unknown_pattern_without_fallback_raises(self, box1):
+        profiles = WorkloadProfileSet(system=box1)
+        profiles.add(("H-SSD",), {"a": {IOType.SEQ_READ: 1.0}})
+        profiles.add(("L-SSD",), {"a": {IOType.SEQ_READ: 2.0}})
+        with pytest.raises(ProfileError):
+            profiles.io_counts(("HDD RAID 0",), "a")
+
+    def test_invalid_mode_rejected(self, small_objects, box1, small_estimator, small_workload):
+        profiler = WorkloadProfiler(small_objects, box1, small_estimator)
+        with pytest.raises(ProfileError):
+            profiler.profile(small_workload, mode="magic")
+
+    def test_testrun_profiles_differ_from_estimates_with_buffer(
+        self, small_objects, box1, small_catalog, small_workload
+    ):
+        from repro.dbms.buffer_pool import BufferPool
+        from repro.dbms.executor import WorkloadEstimator
+
+        estimator = WorkloadEstimator(small_catalog, buffer_pool=BufferPool(2.0), noise=0.0)
+        profiler = WorkloadProfiler(small_objects, box1, estimator)
+        pattern = profiler.single_baseline_pattern()
+        estimated = profiler.profile(small_workload, mode="estimate", patterns=[pattern])
+        actual = profiler.profile(small_workload, mode="testrun", patterns=[pattern])
+        group = profiler.groups[0]
+        placement = placement_for_group(pattern, group)
+        assert actual.io_time_share_ms(group, placement) <= estimated.io_time_share_ms(
+            group, placement
+        )
+
+
+class TestMoves:
+    def test_enumerate_moves_counts(self, small_objects, box1, small_estimator, small_workload):
+        profiler = WorkloadProfiler(small_objects, box1, small_estimator)
+        profiles = profiler.profile(small_workload, mode="estimate")
+        moves = enumerate_moves(profiler.groups, box1, profiles)
+        # Two groups of size two: each has 3^2 - 1 = 8 non-initial placements.
+        assert len(moves) == 16
+
+    def test_moves_sorted_by_score(self, small_objects, box1, small_estimator, small_workload):
+        profiler = WorkloadProfiler(small_objects, box1, small_estimator)
+        profiles = profiler.profile(small_workload, mode="estimate")
+        moves = enumerate_moves(profiler.groups, box1, profiles)
+        scores = [move.score for move in moves]
+        assert scores == sorted(scores)
+
+    def test_move_apply_changes_group_placement(self, small_objects, box1, small_estimator,
+                                                small_workload):
+        profiler = WorkloadProfiler(small_objects, box1, small_estimator)
+        profiles = profiler.profile(small_workload, mode="estimate")
+        moves = enumerate_moves(profiler.groups, box1, profiles)
+        layout = Layout.uniform(small_objects, box1, "H-SSD")
+        moved = moves[0].apply_to(layout)
+        assert moved.group_placement(moves[0].group) == moves[0].placement
+
+    def test_all_moves_save_cost_by_default(self, small_objects, box1, small_estimator,
+                                            small_workload):
+        profiler = WorkloadProfiler(small_objects, box1, small_estimator)
+        profiles = profiler.profile(small_workload, mode="estimate")
+        for move in enumerate_moves(profiler.groups, box1, profiles):
+            assert move.saves_cost
+
+    def test_group_cost(self, objects, box1):
+        group = group_objects(objects)[0]
+        cost = group_cost_cents_per_hour(group, ("H-SSD", "H-SSD"), box1)
+        assert cost == pytest.approx(12.0 * box1["H-SSD"].price_cents_per_gb_hour)
+
+    def test_move_describe_mentions_group_and_score(self, objects, box1):
+        group = group_objects(objects)[0]
+        move = Move(group=group, placement=("L-SSD", "L-SSD"), time_penalty_ms=5.0,
+                    cost_saving_cents_per_hour=2.0)
+        text = move.describe()
+        assert "orders" in text and "score" in text
+        assert move.score == pytest.approx(2.5)
+
+    def test_zero_saving_move_scores_infinite(self, objects, box1):
+        group = group_objects(objects)[0]
+        move = Move(group=group, placement=("H-SSD", "H-SSD"), time_penalty_ms=5.0,
+                    cost_saving_cents_per_hour=0.0)
+        assert move.score == float("inf")
+
+
+class TestTOCAndFeasibility:
+    def test_dss_toc_is_cost_times_hours(self, small_objects, box1, small_estimator,
+                                         small_workload):
+        toc = TOCModel(small_estimator)
+        layout = Layout.uniform(small_objects, box1, "H-SSD")
+        report = toc.evaluate(layout, small_workload, mode="estimate")
+        assert report.metric == "cents_per_workload_execution"
+        assert report.toc_cents == pytest.approx(
+            report.layout_cost_cents_per_hour * report.execution_time_s / 3600.0
+        )
+
+    def test_cheaper_class_has_lower_layout_cost_but_longer_time(
+        self, small_objects, box1, small_estimator, small_workload
+    ):
+        toc = TOCModel(small_estimator)
+        expensive = toc.evaluate(Layout.uniform(small_objects, box1, "H-SSD"), small_workload)
+        cheap = toc.evaluate(Layout.uniform(small_objects, box1, "HDD RAID 0"), small_workload)
+        assert cheap.layout_cost_cents_per_hour < expensive.layout_cost_cents_per_hour
+        assert cheap.execution_time_s > expensive.execution_time_s
+
+    def test_cost_override_changes_layout_cost(self, small_objects, box1, small_estimator,
+                                               small_workload):
+        toc = TOCModel(small_estimator, cost_override=lambda layout: 42.0)
+        report = toc.evaluate(Layout.uniform(small_objects, box1, "H-SSD"), small_workload)
+        assert report.layout_cost_cents_per_hour == 42.0
+
+    def test_compare_returns_all_layouts(self, small_objects, box1, small_estimator,
+                                         small_workload):
+        toc = TOCModel(small_estimator)
+        layouts = {
+            "a": Layout.uniform(small_objects, box1, "H-SSD"),
+            "b": Layout.uniform(small_objects, box1, "L-SSD"),
+        }
+        reports = toc.compare(layouts, small_workload)
+        assert set(reports) == {"a", "b"}
+
+    def test_feasibility_capacity_and_performance(self, small_objects, box1, small_estimator,
+                                                  small_workload):
+        toc = TOCModel(small_estimator)
+        layout = Layout.uniform(small_objects, box1, "H-SSD")
+        report = toc.evaluate(layout, small_workload, mode="estimate")
+        generous = FeasibilityChecker(
+            ResponseTimeConstraint({name: 1e12 for name in small_workload.query_names})
+        )
+        assert generous.check(layout, report.run_result).feasible
+        strict = FeasibilityChecker(
+            ResponseTimeConstraint({name: 1e-6 for name in small_workload.query_names})
+        )
+        result = strict.check(layout, report.run_result)
+        assert not result.feasible and result.capacity_ok and not result.performance_ok
+
+    def test_feasibility_capacity_violation(self, small_objects, box1):
+        limited = box1.with_capacity_limits({"H-SSD": 0.01})
+        layout = Layout.uniform(small_objects, limited, "H-SSD")
+        result = FeasibilityChecker().check_capacity(layout)
+        assert not result.capacity_ok
+        assert "capacity violated" in result.describe()
+
+    def test_checker_with_constraint_copy(self):
+        checker = FeasibilityChecker()
+        assert checker.with_constraint(None).constraint is None

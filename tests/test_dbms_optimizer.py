@@ -1,0 +1,271 @@
+"""Query model, cost model, plans and the storage-aware optimizer."""
+
+import pytest
+
+from repro.dbms.cost_model import CostModel, CostParameters
+from repro.dbms.optimizer import QueryOptimizer
+from repro.dbms.plan import merge_io_counts, scale_io_counts, total_io_count
+from repro.dbms.query import JoinSpec, Query, TableAccess, WriteOp, make_scan_query
+from repro.exceptions import PlanningError, WorkloadError
+from repro.storage import catalog as storage_catalog
+from repro.storage.io_profile import IOType
+from tests.conftest import uniform_placement
+
+
+@pytest.fixture
+def hdd_placement(small_catalog):
+    return uniform_placement(small_catalog, storage_catalog.hdd())
+
+
+@pytest.fixture
+def hssd_placement(small_catalog):
+    return uniform_placement(small_catalog, storage_catalog.hssd())
+
+
+@pytest.fixture
+def optimizer(small_catalog):
+    return QueryOptimizer(small_catalog)
+
+
+class TestQuerySpec:
+    def test_query_requires_accesses_or_writes(self):
+        with pytest.raises(WorkloadError):
+            Query(name="empty")
+
+    def test_join_position_validation(self):
+        with pytest.raises(WorkloadError):
+            Query(
+                name="bad",
+                accesses=(TableAccess("fact"),),
+                joins=(JoinSpec(inner_position=1),),
+            )
+
+    def test_duplicate_join_positions_rejected(self):
+        with pytest.raises(WorkloadError):
+            Query(
+                name="bad",
+                accesses=(TableAccess("a"), TableAccess("b")),
+                joins=(JoinSpec(inner_position=1), JoinSpec(inner_position=1)),
+            )
+
+    def test_selectivity_clamped(self):
+        access = TableAccess("t", selectivity=1.7)
+        assert access.selectivity == 1.0
+
+    def test_referenced_objects(self, join_query):
+        assert set(join_query.referenced_objects) >= {"dim", "fact", "fact_pkey"}
+
+    def test_tables_include_writes(self, write_query):
+        assert write_query.tables == ("dim",)
+
+    def test_is_read_only(self, scan_query, write_query):
+        assert scan_query.is_read_only
+        assert not write_query.is_read_only
+
+    def test_make_scan_query(self):
+        query = make_scan_query("q", "fact", 0.1)
+        assert query.accesses[0].selectivity == 0.1
+
+
+class TestCostModel:
+    def test_io_time_uses_placement_latency(self, small_catalog, hdd_placement):
+        model = CostModel(hdd_placement, concurrency=1)
+        assert model.io_time_ms("fact", IOType.RAND_READ, 10) == pytest.approx(10 * 13.32)
+
+    def test_unknown_object_raises(self, hdd_placement):
+        model = CostModel(hdd_placement)
+        with pytest.raises(Exception):
+            model.io_latency_ms("not-there", IOType.SEQ_READ)
+
+    def test_io_time_by_class_groups_busy_time(self, small_catalog, hdd_placement):
+        model = CostModel(hdd_placement)
+        busy = model.io_time_by_class({"fact": {IOType.SEQ_READ: 100}})
+        assert set(busy) == {"HDD"}
+        assert busy["HDD"] == pytest.approx(100 * 0.072)
+
+    def test_sort_cpu_grows_superlinearly(self):
+        model = CostModel({}, parameters=CostParameters())
+        assert model.sort_cpu_ms(1_000_000) > 10 * model.sort_cpu_ms(100_000) / 2
+
+    def test_descent_io_levels_floor(self):
+        params = CostParameters(cached_index_levels=2)
+        assert params.descent_io_levels(1) == 1
+        assert params.descent_io_levels(3) == 1
+        assert params.descent_io_levels(5) == 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CostParameters(cpu_tuple_cost_ms=-1)
+        with pytest.raises(ValueError):
+            CostParameters(heap_refetch_discount=1.0)
+
+    def test_invalid_concurrency_rejected(self, hdd_placement):
+        with pytest.raises(ValueError):
+            CostModel(hdd_placement, concurrency=0)
+
+
+class TestPlanHelpers:
+    def test_merge_and_scale_io_counts(self):
+        counts = {}
+        merge_io_counts(counts, {"a": {IOType.SEQ_READ: 5}})
+        merge_io_counts(counts, {"a": {IOType.SEQ_READ: 3, IOType.RAND_READ: 2}})
+        assert counts["a"][IOType.SEQ_READ] == 8
+        scaled = scale_io_counts(counts, 0.5)
+        assert scaled["a"][IOType.SEQ_READ] == 4
+        assert total_io_count(scaled) == pytest.approx(4 + 1)
+
+
+class TestAccessPathSelection:
+    def test_selective_lookup_prefers_index_on_fast_random_device(
+        self, optimizer, lookup_query, hssd_placement
+    ):
+        plan = optimizer.plan(lookup_query, hssd_placement)
+        assert plan.access_paths["fact"] == "IndexScan"
+
+    def test_selective_lookup_on_hdd_still_prefers_index_for_point_reads(
+        self, optimizer, lookup_query, hdd_placement
+    ):
+        # 200 matching rows of 2M: even at 13 ms per random read the index
+        # scan beats reading 30k+ pages sequentially.
+        plan = optimizer.plan(lookup_query, hdd_placement)
+        assert plan.access_paths["fact"] == "IndexScan"
+
+    def test_full_scan_always_sequential(self, optimizer, scan_query, hssd_placement):
+        plan = optimizer.plan(scan_query, hssd_placement)
+        assert plan.access_paths["fact"] == "SeqScan"
+
+    def test_moderate_selectivity_flips_with_device(self, optimizer, small_catalog):
+        query = Query(
+            name="moderate",
+            accesses=(TableAccess("fact", selectivity=0.005, index="fact_pkey"),),
+        )
+        hdd_plan = optimizer.plan(query, uniform_placement(small_catalog, storage_catalog.hdd()))
+        hssd_plan = optimizer.plan(query, uniform_placement(small_catalog, storage_catalog.hssd()))
+        assert hdd_plan.access_paths["fact"] == "SeqScan"
+        assert hssd_plan.access_paths["fact"] == "IndexScan"
+
+    def test_plan_io_counts_cover_scanned_table(self, optimizer, scan_query, hdd_placement):
+        plan = optimizer.plan(scan_query, hdd_placement)
+        assert plan.io_for("fact")[IOType.SEQ_READ] > 0
+
+    def test_estimated_time_is_io_plus_cpu(self, optimizer, scan_query, hdd_placement):
+        plan = optimizer.plan(scan_query, hdd_placement)
+        assert plan.estimated_time_ms == pytest.approx(plan.io_time_ms + plan.cpu_time_ms)
+
+
+class TestJoinSelection:
+    def test_join_algorithm_flips_with_device(self, optimizer, join_query, small_catalog):
+        hdd_plan = optimizer.plan(join_query, uniform_placement(small_catalog, storage_catalog.hdd()))
+        hssd_plan = optimizer.plan(join_query, uniform_placement(small_catalog, storage_catalog.hssd()))
+        assert hdd_plan.join_algorithms == ("HashJoin",)
+        assert hssd_plan.join_algorithms == ("IndexNLJoin",)
+        assert hssd_plan.uses_index_nlj()
+
+    def test_inlj_does_not_scan_inner_table(self, optimizer, join_query, hssd_placement):
+        plan = optimizer.plan(join_query, hssd_placement)
+        assert IOType.SEQ_READ not in plan.io_for("fact")
+
+    def test_hash_join_scans_inner_table(self, optimizer, join_query, hdd_placement):
+        plan = optimizer.plan(join_query, hdd_placement)
+        assert plan.io_for("fact").get(IOType.SEQ_READ, 0) > 0
+
+    def test_join_without_inner_index_is_hash_join(self, optimizer, small_catalog, hssd_placement):
+        query = Query(
+            name="no-index-join",
+            accesses=(TableAccess("dim", selectivity=0.01), TableAccess("fact", selectivity=1.0)),
+            joins=(JoinSpec(inner_position=1, rows_per_outer=5.0),),
+        )
+        plan = optimizer.plan(query, hssd_placement)
+        assert plan.join_algorithms == ("HashJoin",)
+
+    def test_missing_join_spec_appends_independent_access(self, optimizer, small_catalog,
+                                                          hssd_placement):
+        query = Query(
+            name="two-independent",
+            accesses=(TableAccess("dim"), TableAccess("fact", selectivity=0.5)),
+        )
+        plan = optimizer.plan(query, hssd_placement)
+        assert plan.io_for("dim") and plan.io_for("fact")
+
+    def test_unknown_inner_index_raises(self, optimizer, small_catalog, hssd_placement):
+        query = Query(
+            name="bad-index",
+            accesses=(TableAccess("dim"), TableAccess("fact")),
+            joins=(JoinSpec(inner_position=1, inner_index="nope"),),
+        )
+        with pytest.raises(PlanningError):
+            optimizer.plan(query, hssd_placement)
+
+
+class TestWritesAndRepeats:
+    def test_update_produces_random_io(self, optimizer, write_query, hdd_placement):
+        plan = optimizer.plan(write_query, hdd_placement)
+        assert plan.io_for("dim")[IOType.RAND_WRITE] == pytest.approx(100)
+        assert plan.io_for("dim_pkey")[IOType.RAND_WRITE] == pytest.approx(100)
+
+    def test_insert_produces_sequential_io(self, optimizer, small_catalog, hdd_placement):
+        query = Query(
+            name="insert",
+            writes=(WriteOp("dim", rows=500, sequential=True, indexes=("dim_pkey",)),),
+        )
+        plan = optimizer.plan(query, hdd_placement)
+        assert plan.io_for("dim")[IOType.SEQ_WRITE] == pytest.approx(500)
+        # Index maintenance for appends is modelled as sequential writes.
+        assert plan.io_for("dim_pkey")[IOType.SEQ_WRITE] == pytest.approx(500)
+
+    def test_clustered_update_touches_fewer_pages(self, optimizer, small_catalog, hdd_placement):
+        scattered = Query(name="u1", writes=(WriteOp("fact", rows=1000, sequential=False),))
+        clustered = Query(
+            name="u2", writes=(WriteOp("fact", rows=1000, sequential=False, clustered=True),)
+        )
+        io_scattered = optimizer.plan(scattered, hdd_placement).io_for("fact")[IOType.RAND_WRITE]
+        io_clustered = optimizer.plan(clustered, hdd_placement).io_for("fact")[IOType.RAND_WRITE]
+        assert io_clustered < io_scattered / 10
+
+    def test_repeat_multiplies_access_cost(self, optimizer, small_catalog, hssd_placement):
+        single = Query(
+            name="one",
+            accesses=(TableAccess("dim", selectivity=1e-4, index="dim_pkey", key_lookup=True),),
+        )
+        repeated = Query(
+            name="ten",
+            accesses=(
+                TableAccess("dim", selectivity=1e-4, index="dim_pkey", key_lookup=True, repeat=10),
+            ),
+        )
+        one = optimizer.plan(single, hssd_placement)
+        ten = optimizer.plan(repeated, hssd_placement)
+        assert ten.total_io_operations == pytest.approx(one.total_io_operations * 10, rel=0.01)
+
+    def test_write_to_unknown_index_raises(self, optimizer, hdd_placement):
+        query = Query(name="bad", writes=(WriteOp("dim", rows=1, indexes=("ghost",)),))
+        with pytest.raises(PlanningError):
+            optimizer.plan(query, hdd_placement)
+
+
+class TestPlanCache:
+    def test_same_placement_returns_cached_plan(self, optimizer, scan_query, hdd_placement):
+        first = optimizer.plan(scan_query, hdd_placement)
+        second = optimizer.plan(scan_query, hdd_placement)
+        assert first is second
+
+    def test_different_placement_misses_cache(self, optimizer, scan_query, small_catalog):
+        hdd_plan = optimizer.plan(scan_query, uniform_placement(small_catalog, storage_catalog.hdd()))
+        hssd_plan = optimizer.plan(scan_query, uniform_placement(small_catalog, storage_catalog.hssd()))
+        assert hdd_plan is not hssd_plan
+
+    def test_clear_cache(self, optimizer, scan_query, hdd_placement):
+        first = optimizer.plan(scan_query, hdd_placement)
+        optimizer.clear_cache()
+        second = optimizer.plan(scan_query, hdd_placement)
+        assert first is not second
+
+    def test_cache_can_be_bypassed(self, optimizer, scan_query, hdd_placement):
+        first = optimizer.plan(scan_query, hdd_placement)
+        second = optimizer.plan(scan_query, hdd_placement, use_cache=False)
+        assert first is not second
+
+    def test_plan_render_contains_operators(self, optimizer, join_query, hdd_placement):
+        text = optimizer.plan(join_query, hdd_placement).render()
+        assert "HashJoin" in text or "IndexNLJoin" in text
+        assert "rows=" in text

@@ -1,0 +1,159 @@
+"""Schema, page arithmetic, statistics, catalog and data generation."""
+
+import pytest
+
+from repro.dbms import pages as page_math
+from repro.dbms.catalog import DatabaseCatalog
+from repro.dbms.datagen import SyntheticTableSpec, build_synthetic_catalog, random_table_specs
+from repro.dbms.schema import Column, ColumnType, Index, Table, make_table
+from repro.dbms.statistics import IndexStats, TableStats, clamp_selectivity
+from repro.exceptions import ConfigurationError, UnknownObjectError
+from repro.objects import ObjectKind
+
+
+class TestSchema:
+    def test_column_widths(self):
+        assert Column("a", ColumnType.INTEGER).storage_width_bytes == 4
+        assert Column("b", ColumnType.CHAR, 25).storage_width_bytes == 25
+
+    def test_row_width_includes_overhead(self):
+        table = make_table("t", [("id", ColumnType.BIGINT), ("v", ColumnType.CHAR, 10)])
+        assert table.row_width_bytes == 28 + 8 + 10
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table("t", (Column("a"), Column("a")))
+
+    def test_column_lookup(self):
+        table = make_table("t", [("id", ColumnType.INTEGER)])
+        assert table.column("id").name == "id"
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_index_key_width(self):
+        table = make_table("t", [("id", ColumnType.BIGINT), ("name", ColumnType.CHAR, 20)])
+        index = Index("t_pkey", "t", ("id",), unique=True, primary=True)
+        assert index.key_width_bytes(table) == 12 + 8
+
+    def test_index_without_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Index("bad", "t", ())
+
+    def test_make_table_with_three_element_spec(self):
+        table = make_table("t", [("id", ColumnType.INTEGER), ("pad", ColumnType.VARCHAR, 99)])
+        assert table.column("pad").storage_width_bytes == 99
+
+
+class TestPages:
+    def test_heap_pages_zero_rows(self):
+        assert page_math.heap_pages(0, 100) == 0
+
+    def test_heap_pages_rounding_up(self):
+        # 100-byte rows, 8 KiB pages, 90 % fill: 73 rows per page.
+        assert page_math.heap_pages(74, 100) == 2
+
+    def test_heap_pages_wide_rows(self):
+        # A row wider than the page still fits one per page.
+        assert page_math.heap_pages(10, 50_000) == 10
+
+    def test_leaf_pages(self):
+        assert page_math.leaf_pages(0, 20) == 0
+        assert page_math.leaf_pages(1000, 20) >= 1
+
+    def test_btree_height_grows_with_leaves(self):
+        assert page_math.btree_height(1) == 1
+        assert page_math.btree_height(200) == 2
+        assert page_math.btree_height(200_000) >= 3
+
+    def test_index_total_pages_exceeds_leaves(self):
+        assert page_math.index_total_pages(1000) > 1000
+        assert page_math.index_total_pages(0) == 0
+
+
+class TestStatistics:
+    def test_table_stats_from_schema(self):
+        table = make_table("t", [("id", ColumnType.BIGINT), ("pad", ColumnType.VARCHAR, 92)])
+        stats = TableStats.from_schema(table, 1_000_000)
+        assert stats.row_count == 1_000_000
+        assert stats.pages > 0
+        assert stats.size_gb > 0
+        assert stats.rows_per_page == pytest.approx(1_000_000 / stats.pages)
+
+    def test_index_stats_from_schema(self):
+        table = make_table("t", [("id", ColumnType.BIGINT)])
+        index = Index("t_pkey", "t", ("id",), primary=True)
+        stats = IndexStats.from_schema(index, table, 1_000_000)
+        assert stats.leaf_pages > 0
+        assert stats.height >= 1
+        assert stats.total_pages >= stats.leaf_pages
+        assert stats.size_gb < TableStats.from_schema(table, 1_000_000).size_gb * 10
+
+    def test_clamp_selectivity(self):
+        assert clamp_selectivity(-0.5) == 0.0
+        assert clamp_selectivity(0.5) == 0.5
+        assert clamp_selectivity(1.5) == 1.0
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TableStats(table="t", row_count=-1, row_width_bytes=10, pages=1)
+
+
+class TestDatabaseCatalog:
+    def test_add_and_lookup(self, small_catalog):
+        assert "fact" in small_catalog.table_names
+        assert small_catalog.table_stats("fact").row_count == 2_000_000
+        assert small_catalog.primary_index("fact").name == "fact_pkey"
+
+    def test_duplicate_table_rejected(self, small_catalog):
+        with pytest.raises(ConfigurationError):
+            small_catalog.add_table(make_table("fact", [("id", ColumnType.INTEGER)]), 10)
+
+    def test_index_on_unknown_table_rejected(self):
+        catalog = DatabaseCatalog()
+        with pytest.raises(UnknownObjectError):
+            catalog.add_index(Index("i", "missing", ("c",)))
+
+    def test_unknown_lookups_raise(self, small_catalog):
+        with pytest.raises(UnknownObjectError):
+            small_catalog.table("nope")
+        with pytest.raises(UnknownObjectError):
+            small_catalog.object_size_gb("nope")
+
+    def test_database_objects_cover_tables_and_indexes(self, small_catalog):
+        objects = {obj.name: obj for obj in small_catalog.database_objects()}
+        assert objects["fact"].kind is ObjectKind.TABLE
+        assert objects["fact_pkey"].kind is ObjectKind.INDEX
+        assert objects["fact_pkey"].table == "fact"
+
+    def test_total_size_is_sum_of_objects(self, small_catalog):
+        total = small_catalog.total_size_gb()
+        assert total == pytest.approx(
+            sum(obj.size_gb for obj in small_catalog.database_objects())
+        )
+
+    def test_indexes_on_orders_primary_first(self, small_catalog):
+        indexes = small_catalog.indexes_on("fact")
+        assert indexes[0].primary
+
+
+class TestDatagen:
+    def test_build_synthetic_catalog_with_extras(self):
+        catalog = build_synthetic_catalog(
+            [SyntheticTableSpec("t", 1000, 100, secondary_indexes=1)],
+            with_log=True,
+            with_temp=True,
+        )
+        names = {obj.name for obj in catalog.database_objects()}
+        assert {"t", "t_pkey", "i_t_0", "wal_log", "temp_space"} <= names
+
+    def test_generic_table_width_close_to_request(self):
+        catalog = build_synthetic_catalog([SyntheticTableSpec("t", 1000, 333)])
+        width = catalog.table_stats("t").row_width_bytes
+        assert width == pytest.approx(333 + 28, abs=40)
+
+    def test_random_table_specs_deterministic(self):
+        assert random_table_specs(5, seed=3) == random_table_specs(5, seed=3)
+
+    def test_random_table_specs_validation(self):
+        with pytest.raises(ValueError):
+            random_table_specs(0)

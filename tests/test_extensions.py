@@ -1,0 +1,215 @@
+"""Section 5 extensions: MILP reference, discrete cost model, generalized provisioning,
+plus the experiment runner/reporting utilities."""
+
+import pytest
+
+from repro.core.discrete_cost import DiscreteCostModel
+from repro.core.dot import DOTOptimizer
+from repro.core.ilp import MILPPlacement
+from repro.core.layout import Layout
+from repro.core.profiler import WorkloadProfiler
+from repro.core.provisioning import GeneralizedProvisioner, ProvisioningOption
+from repro.core.toc import TOCModel
+from repro.exceptions import ConfigurationError, InfeasibleLayoutError
+from repro.experiments.reporting import (
+    format_comparison,
+    format_evaluations,
+    format_layout_assignment,
+    format_table,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.objects import group_objects
+from repro.sla.constraints import RelativeSLA
+from repro.storage import catalog as storage_catalog
+
+
+@pytest.fixture
+def profiles(small_objects, box1_system, small_estimator, small_workload):
+    profiler = WorkloadProfiler(small_objects, box1_system, small_estimator)
+    return profiler.profile(small_workload, mode="estimate")
+
+
+class TestMILP:
+    def test_milp_solves_and_respects_budget(self, small_objects, box1_system, profiles):
+        groups = group_objects(small_objects)
+        best = sum(
+            profiles.io_time_share_ms(group, tuple(["H-SSD"] * len(group))) for group in groups
+        )
+        milp = MILPPlacement(small_objects, box1_system)
+        result = milp.solve(profiles, io_time_budget_ms=best * 4)
+        assert result.feasible
+        assert result.io_time_ms <= best * 4 * 1.0001
+        assert result.layout.satisfies_capacity()
+
+    def test_milp_cheaper_budget_gives_cheaper_layout(self, small_objects, box1_system, profiles):
+        groups = group_objects(small_objects)
+        best = sum(
+            profiles.io_time_share_ms(group, tuple(["H-SSD"] * len(group))) for group in groups
+        )
+        milp = MILPPlacement(small_objects, box1_system)
+        tight = milp.solve(profiles, io_time_budget_ms=best * 1.5)
+        loose = milp.solve(profiles, io_time_budget_ms=best * 50)
+        assert loose.objective_cents_per_hour <= tight.objective_cents_per_hour
+
+    def test_milp_matches_or_beats_dot_layout_cost_under_same_budget(
+        self, small_objects, box1_system, small_estimator, small_workload, profiles
+    ):
+        groups = group_objects(small_objects)
+        best = sum(
+            profiles.io_time_share_ms(group, tuple(["H-SSD"] * len(group))) for group in groups
+        )
+        budget = best * 3
+        milp_result = MILPPlacement(small_objects, box1_system).solve(profiles, budget)
+        dot_result = DOTOptimizer(small_objects, box1_system, small_estimator).optimize(
+            small_workload, profiles
+        )
+        # The MILP minimises layout cost under the aggregate time budget, so no
+        # DOT layout satisfying the same budget can be cheaper per hour.
+        dot_time = sum(
+            profiles.io_time_share_ms(group, dot_result.layout.group_placement(group))
+            for group in groups
+        )
+        if dot_time <= budget:
+            assert (
+                milp_result.objective_cents_per_hour
+                <= dot_result.layout.storage_cost_cents_per_hour() + 1e-9
+            )
+
+    def test_invalid_budget_rejected(self, small_objects, box1_system, profiles):
+        with pytest.raises(ConfigurationError):
+            MILPPlacement(small_objects, box1_system).solve(profiles, io_time_budget_ms=0.0)
+
+    def test_impossible_capacity_reports_infeasible(self, small_objects, profiles,
+                                                    box1_system, small_estimator,
+                                                    small_workload):
+        tiny = box1_system.with_capacity_limits(
+            {name: 1e-6 for name in box1_system.class_names}
+        )
+        profiler = WorkloadProfiler(small_objects, tiny, small_estimator)
+        tiny_profiles = profiler.profile(small_workload, mode="estimate")
+        result = MILPPlacement(small_objects, tiny).solve(tiny_profiles, io_time_budget_ms=1e12)
+        assert not result.feasible
+
+
+class TestDiscreteCostModel:
+    def test_alpha_zero_equals_linear_cost(self, small_objects, box1_system):
+        layout = Layout.uniform(small_objects, box1_system, "H-SSD")
+        model = DiscreteCostModel(alpha=0.0)
+        assert model(layout) == pytest.approx(layout.storage_cost_cents_per_hour())
+
+    def test_alpha_one_charges_full_devices(self, small_objects, box1_system):
+        layout = Layout.uniform(small_objects, box1_system, "H-SSD")
+        model = DiscreteCostModel(alpha=1.0)
+        hssd = box1_system["H-SSD"]
+        assert model(layout) == pytest.approx(hssd.price_cents_per_gb_hour * hssd.capacity_gb)
+
+    def test_cost_increases_with_alpha_for_sparse_usage(self, small_objects, box1_system):
+        layout = Layout.uniform(small_objects, box1_system, "H-SSD")
+        costs = [DiscreteCostModel(alpha=a)(layout) for a in (0.0, 0.5, 1.0)]
+        assert costs == sorted(costs)
+
+    def test_empty_classes_not_charged_by_default(self, small_objects, box1_system):
+        layout = Layout.uniform(small_objects, box1_system, "H-SSD")
+        partial = DiscreteCostModel(alpha=1.0)(layout)
+        charged_all = DiscreteCostModel(alpha=1.0, charge_empty_classes=True)(layout)
+        assert charged_all > partial
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiscreteCostModel(alpha=1.5)
+
+    def test_dot_with_discrete_cost_prefers_fewer_classes(self, small_objects, box1_system,
+                                                          small_estimator, small_workload,
+                                                          profiles):
+        linear = DOTOptimizer(small_objects, box1_system, small_estimator).optimize(
+            small_workload, profiles
+        )
+        discrete = DOTOptimizer(
+            small_objects, box1_system, small_estimator, cost_override=DiscreteCostModel(alpha=1.0)
+        ).optimize(small_workload, profiles)
+        used = lambda layout: sum(1 for _, gb in layout.space_used_gb().items() if gb > 0)
+        assert used(discrete.layout) <= used(linear.layout)
+
+
+class TestGeneralizedProvisioning:
+    def test_decides_among_options(self, small_objects, small_catalog, small_workload):
+        from repro.dbms.executor import WorkloadEstimator
+
+        estimator = WorkloadEstimator(small_catalog, noise=0.0)
+        options = [
+            ProvisioningOption("Box 1", storage_catalog.box1()),
+            ProvisioningOption("Box 2", storage_catalog.box2()),
+        ]
+        provisioner = GeneralizedProvisioner(small_objects, estimator)
+        decision = provisioner.decide(small_workload, options, sla=RelativeSLA(0.25))
+        assert decision.feasible
+        assert decision.chosen.name in {"Box 1", "Box 2"}
+        assert set(decision.per_option) == {"Box 1", "Box 2"}
+        best = min(
+            (rec.toc_cents for rec in decision.per_option.values() if rec is not None)
+        )
+        assert decision.recommendation.toc_cents == pytest.approx(best)
+        assert "Generalized provisioning" in decision.describe()
+
+    def test_empty_options_rejected(self, small_objects, small_estimator, small_workload):
+        provisioner = GeneralizedProvisioner(small_objects, small_estimator)
+        with pytest.raises(InfeasibleLayoutError):
+            provisioner.decide(small_workload, [])
+
+
+class TestExperimentRunner:
+    def test_evaluations_include_psr_and_toc(self, small_objects, box1_system, small_catalog,
+                                             small_workload):
+        from repro.dbms.executor import WorkloadEstimator
+
+        estimator = WorkloadEstimator(small_catalog, noise=0.0)
+        runner = ExperimentRunner(small_objects, box1_system, estimator)
+        layouts = {
+            "All H-SSD": Layout.uniform(small_objects, box1_system, "H-SSD"),
+            "All HDD RAID 0": Layout.uniform(small_objects, box1_system, "HDD RAID 0"),
+        }
+        evaluations = runner.evaluate_layouts(layouts, small_workload, sla=RelativeSLA(0.5))
+        by_name = {evaluation.layout_name: evaluation for evaluation in evaluations}
+        assert by_name["All H-SSD"].psr == pytest.approx(1.0)
+        assert by_name["All H-SSD"].toc_cents > 0
+        assert by_name["All HDD RAID 0"].response_time_s > by_name["All H-SSD"].response_time_s
+
+    def test_resolve_constraint_modes(self, small_objects, box1_system, small_catalog,
+                                      small_workload):
+        from repro.dbms.buffer_pool import BufferPool
+        from repro.dbms.executor import WorkloadEstimator
+
+        estimator = WorkloadEstimator(small_catalog, buffer_pool=BufferPool(2.0), noise=0.0)
+        runner = ExperimentRunner(small_objects, box1_system, estimator)
+        measured = runner.resolve_constraint(small_workload, RelativeSLA(0.5), mode="run")
+        estimated = runner.resolve_constraint(small_workload, RelativeSLA(0.5), mode="estimate")
+        # Measured (buffer-assisted) caps are at most the estimate-based caps.
+        for name, cap in measured.caps_ms.items():
+            assert cap <= estimated.caps_ms[name] * 1.001
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "b"], [[1, 2.34567], ["xyz", 4]])
+        assert "a" in text and "xyz" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_evaluations(self, small_objects, box1_system, small_estimator,
+                                small_workload):
+        runner = ExperimentRunner(small_objects, box1_system, small_estimator)
+        evaluations = runner.evaluate_layouts(
+            {"All H-SSD": Layout.uniform(small_objects, box1_system, "H-SSD")},
+            small_workload,
+        )
+        text = format_evaluations(evaluations, "Response time (s)")
+        assert "All H-SSD" in text and "TOC" in text
+
+    def test_format_layout_assignment_lists_all_classes(self, small_objects, box1_system):
+        layout = Layout.uniform(small_objects, box1_system, "H-SSD")
+        text = format_layout_assignment(layout)
+        for class_name in box1_system.class_names:
+            assert class_name in text
+
+    def test_format_comparison_matrix(self):
+        text = format_comparison({"row1": {"c1": 1.0, "c2": 2.0}}, "metric")
+        assert "row1" in text and "c1" in text

@@ -1,0 +1,114 @@
+"""I/O profiles: calibration points, interpolation and transformations."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.storage import catalog
+from repro.storage.io_profile import ALL_IO_TYPES, IOProfile, IOType, profile_table
+
+
+class TestIOType:
+    def test_read_write_partition(self):
+        reads = [t for t in ALL_IO_TYPES if t.is_read]
+        writes = [t for t in ALL_IO_TYPES if t.is_write]
+        assert set(reads) | set(writes) == set(ALL_IO_TYPES)
+        assert not set(reads) & set(writes)
+
+    def test_random_sequential_partition(self):
+        assert IOType.RAND_READ.is_random and not IOType.RAND_READ.is_sequential
+        assert IOType.SEQ_WRITE.is_sequential and not IOType.SEQ_WRITE.is_random
+
+
+class TestIOProfileConstruction:
+    def test_missing_io_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IOProfile({IOType.SEQ_READ: {1: 0.1}})
+
+    def test_non_positive_latency_rejected(self):
+        bad = {t: {1: 1.0} for t in ALL_IO_TYPES}
+        bad[IOType.RAND_WRITE] = {1: 0.0}
+        with pytest.raises(ConfigurationError):
+            IOProfile(bad)
+
+    def test_invalid_concurrency_rejected(self):
+        bad = {t: {0: 1.0} for t in ALL_IO_TYPES}
+        with pytest.raises(ConfigurationError):
+            IOProfile(bad)
+
+    def test_from_two_points_records_both(self):
+        profile = catalog.HDD_PROFILE
+        assert profile.calibration_points(IOType.RAND_READ) == (1, 300)
+
+
+class TestInterpolation:
+    def test_exact_points_returned(self):
+        profile = catalog.HDD_PROFILE
+        assert profile.service_time_ms(IOType.RAND_READ, 1) == pytest.approx(13.32)
+        assert profile.service_time_ms(IOType.RAND_READ, 300) == pytest.approx(8.903)
+
+    def test_extrapolation_is_flat(self):
+        profile = catalog.HDD_PROFILE
+        assert profile.service_time_ms(IOType.RAND_READ, 1000) == pytest.approx(8.903)
+
+    def test_interpolation_is_between_calibration_points(self):
+        profile = catalog.HDD_PROFILE
+        mid = profile.service_time_ms(IOType.RAND_READ, 30)
+        assert 8.903 < mid < 13.32
+
+    def test_interpolation_monotone_for_decreasing_latency(self):
+        profile = catalog.HDD_PROFILE
+        values = [profile.service_time_ms(IOType.RAND_READ, c) for c in (1, 5, 30, 100, 300)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(ValueError):
+            catalog.HDD_PROFILE.service_time_ms(IOType.RAND_READ, 0)
+
+    def test_as_row_contains_all_types(self):
+        row = catalog.HSSD_PROFILE.as_row(1)
+        assert set(row) == set(ALL_IO_TYPES)
+
+
+class TestTransformations:
+    def test_scaled_profile(self):
+        scaled = catalog.HDD_PROFILE.scaled({IOType.SEQ_READ: 0.5})
+        assert scaled.service_time_ms(IOType.SEQ_READ, 1) == pytest.approx(0.072 * 0.5)
+        # Other types untouched.
+        assert scaled.service_time_ms(IOType.RAND_READ, 1) == pytest.approx(13.32)
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(ConfigurationError):
+            catalog.HDD_PROFILE.scaled({IOType.SEQ_READ: 0.0})
+
+    def test_merged_with_is_between_inputs(self):
+        merged = catalog.HDD_PROFILE.merged_with(catalog.HSSD_PROFILE, weight=0.5)
+        value = merged.service_time_ms(IOType.RAND_READ, 1)
+        assert catalog.HSSD_PROFILE.service_time_ms(IOType.RAND_READ, 1) < value
+        assert value < catalog.HDD_PROFILE.service_time_ms(IOType.RAND_READ, 1)
+
+    def test_merged_weight_validation(self):
+        with pytest.raises(ValueError):
+            catalog.HDD_PROFILE.merged_with(catalog.HSSD_PROFILE, weight=1.5)
+
+
+class TestPaperProfiles:
+    def test_hssd_random_read_is_two_orders_faster_than_hdd(self):
+        hdd = catalog.HDD_PROFILE.service_time_ms(IOType.RAND_READ, 1)
+        hssd = catalog.HSSD_PROFILE.service_time_ms(IOType.RAND_READ, 1)
+        assert hdd / hssd > 100
+
+    def test_lssd_random_write_is_poor(self):
+        """The L-SSD's random writes are slower than the HDD's (Table 1)."""
+        lssd = catalog.LSSD_PROFILE.service_time_ms(IOType.RAND_WRITE, 1)
+        hdd = catalog.HDD_PROFILE.service_time_ms(IOType.RAND_WRITE, 1)
+        assert lssd > hdd
+
+    def test_raid0_improves_hdd_random_read_under_concurrency(self):
+        single = catalog.HDD_PROFILE.service_time_ms(IOType.RAND_READ, 300)
+        raid = catalog.HDD_RAID0_PROFILE.service_time_ms(IOType.RAND_READ, 300)
+        assert raid < single
+
+    def test_profile_table_structure(self):
+        table = profile_table({"HDD": catalog.HDD_PROFILE}, concurrencies=(1, 300))
+        assert table["HDD"][IOType.SEQ_READ][1] == pytest.approx(0.072)
+        assert table["HDD"][IOType.SEQ_READ][300] == pytest.approx(0.174)

@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import Layout
+from repro.core.moves import group_cost_cents_per_hour
+from repro.dbms import pages as page_math
+from repro.objects import DatabaseObject, ObjectKind, group_objects
+from repro.storage.io_profile import ALL_IO_TYPES, IOProfile, IOType
+from repro.storage.pricing import PricingModel
+from repro.storage import catalog as storage_catalog
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+positive_floats = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False,
+                            allow_infinity=False)
+
+
+@st.composite
+def io_profiles(draw):
+    """Random two-point I/O profiles with positive latencies."""
+    latencies = {}
+    for io_type in ALL_IO_TYPES:
+        single = draw(st.floats(min_value=1e-3, max_value=100.0))
+        concurrent = draw(st.floats(min_value=1e-3, max_value=100.0))
+        latencies[io_type] = {1: single, 300: concurrent}
+    return IOProfile(latencies)
+
+
+@st.composite
+def object_sets(draw):
+    """Random sets of tables with optional indexes."""
+    num_tables = draw(st.integers(min_value=1, max_value=6))
+    objects = []
+    for table_index in range(num_tables):
+        table_name = f"t{table_index}"
+        objects.append(
+            DatabaseObject(table_name, draw(st.floats(min_value=0.01, max_value=50.0)),
+                           ObjectKind.TABLE, table=table_name)
+        )
+        for index_position in range(draw(st.integers(min_value=0, max_value=2))):
+            objects.append(
+                DatabaseObject(
+                    f"{table_name}_idx{index_position}",
+                    draw(st.floats(min_value=0.001, max_value=5.0)),
+                    ObjectKind.INDEX,
+                    table=table_name,
+                )
+            )
+    return objects
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+class TestPricingProperties:
+    @given(purchase=st.floats(min_value=0, max_value=1e6),
+           power=st.floats(min_value=0, max_value=1e4),
+           capacity=st.floats(min_value=1, max_value=1e5))
+    def test_price_is_positive_and_monotone_in_cost(self, purchase, power, capacity):
+        model = PricingModel()
+        price = model.price_cents_per_gb_hour(purchase, power, capacity)
+        assert price >= 0
+        assert model.price_cents_per_gb_hour(purchase + 100, power, capacity) >= price
+
+    @given(purchase=st.floats(min_value=1, max_value=1e6),
+           power=st.floats(min_value=0, max_value=1e4),
+           capacity=st.floats(min_value=1, max_value=1e5),
+           factor=st.floats(min_value=1.1, max_value=10))
+    def test_price_decreases_with_capacity(self, purchase, power, capacity, factor):
+        model = PricingModel()
+        assert model.price_cents_per_gb_hour(purchase, power, capacity * factor) < (
+            model.price_cents_per_gb_hour(purchase, power, capacity)
+        )
+
+
+class TestIOProfileProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(profile=io_profiles(),
+           concurrency=st.integers(min_value=1, max_value=1000))
+    def test_interpolation_within_calibrated_envelope(self, profile, concurrency):
+        for io_type in ALL_IO_TYPES:
+            value = profile.service_time_ms(io_type, concurrency)
+            low = min(profile.latencies_ms[io_type].values())
+            high = max(profile.latencies_ms[io_type].values())
+            assert low - 1e-9 <= value <= high + 1e-9
+
+    @settings(deadline=None)
+    @given(profile=io_profiles(), factor=st.floats(min_value=0.1, max_value=10))
+    def test_scaling_scales_latencies_linearly(self, profile, factor):
+        scaled = profile.scaled({io_type: factor for io_type in ALL_IO_TYPES})
+        for io_type in ALL_IO_TYPES:
+            assert scaled.service_time_ms(io_type, 1) == pytest.approx(
+                profile.service_time_ms(io_type, 1) * factor
+            )
+
+
+class TestPageMathProperties:
+    @given(rows=st.integers(min_value=0, max_value=10_000_000),
+           width=st.integers(min_value=1, max_value=4000))
+    def test_heap_pages_hold_all_rows(self, rows, width):
+        pages = page_math.heap_pages(rows, width)
+        if rows == 0:
+            assert pages == 0
+        else:
+            rows_per_page = max(1.0, (8192 * 0.9) / width)
+            assert pages * rows_per_page >= rows
+            # Never more than one page per row (plus rounding).
+            assert pages <= rows
+
+    @given(leaves=st.integers(min_value=1, max_value=10_000_000))
+    def test_btree_height_is_logarithmic(self, leaves):
+        height = page_math.btree_height(leaves)
+        assert height >= 1
+        assert height <= 2 + math.ceil(math.log(max(leaves, 2), 250))
+
+
+class TestGroupingProperties:
+    @settings(deadline=None)
+    @given(objects=object_sets())
+    def test_grouping_is_a_partition(self, objects):
+        groups = group_objects(objects)
+        names = [member.name for group in groups for member in group.members]
+        assert sorted(names) == sorted(obj.name for obj in objects)
+
+    @settings(deadline=None)
+    @given(objects=object_sets())
+    def test_indexes_grouped_with_their_table(self, objects):
+        groups = {group.key: group for group in group_objects(objects)}
+        for obj in objects:
+            if obj.is_index:
+                assert obj.name in groups[obj.table].member_names
+
+
+class TestLayoutProperties:
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(objects=object_sets(), data=st.data())
+    def test_layout_cost_equals_sum_of_class_costs(self, objects, data):
+        system = storage_catalog.box1()
+        class_names = list(system.class_names)
+        assignment = {
+            obj.name: data.draw(st.sampled_from(class_names), label=obj.name) for obj in objects
+        }
+        layout = Layout(objects, system, assignment)
+        expected = sum(
+            system[class_name].price_cents_per_gb_hour * used
+            for class_name, used in layout.space_used_gb().items()
+        )
+        assert layout.storage_cost_cents_per_hour() == pytest.approx(expected)
+        # Space accounting is a partition of the total size.
+        assert sum(layout.space_used_gb().values()) == pytest.approx(
+            sum(obj.size_gb for obj in objects)
+        )
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(objects=object_sets(), data=st.data())
+    def test_moving_to_cheaper_class_never_raises_cost(self, objects, data):
+        system = storage_catalog.box1()
+        layout = Layout.uniform(objects, system, "H-SSD")
+        obj = data.draw(st.sampled_from(objects), label="object")
+        cheaper = data.draw(st.sampled_from(["L-SSD", "HDD RAID 0"]), label="target")
+        moved = layout.with_assignment(obj.name, cheaper)
+        assert moved.storage_cost_cents_per_hour() <= layout.storage_cost_cents_per_hour() + 1e-12
+
+    @settings(deadline=None)
+    @given(objects=object_sets())
+    def test_group_cost_matches_layout_cost_for_uniform_placement(self, objects):
+        system = storage_catalog.box1()
+        groups = group_objects(objects)
+        layout = Layout.uniform(objects, system, "L-SSD")
+        via_groups = sum(
+            group_cost_cents_per_hour(group, tuple(["L-SSD"] * len(group)), system)
+            for group in groups
+        )
+        assert via_groups == pytest.approx(layout.storage_cost_cents_per_hour())

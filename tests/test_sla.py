@@ -1,0 +1,143 @@
+"""SLA constraints, relative SLA resolution and the PSR metric."""
+
+import pytest
+
+from repro.dbms.executor import WorkloadRunResult
+from repro.dbms.concurrency import ThroughputEstimate
+from repro.exceptions import SLAError
+from repro.sla.constraints import RelativeSLA, ResponseTimeConstraint, ThroughputConstraint
+from repro.sla.psr import performance_satisfaction_ratio, violations
+
+
+def dss_result(times):
+    """Build a DSS run result from ``[(query, ms), ...]``."""
+    result = WorkloadRunResult(workload_name="w", kind="dss", concurrency=1)
+    result.per_query_times_ms = list(times)
+    result.total_time_s = sum(t for _, t in times) / 1000.0
+    return result
+
+
+def oltp_result(tpm):
+    """Build an OLTP run result with the given measured tpm."""
+    result = WorkloadRunResult(workload_name="w", kind="oltp", concurrency=300,
+                               measured_transaction_fraction=1.0)
+    result.throughput = ThroughputEstimate(
+        transactions_per_second=tpm / 60.0,
+        response_time_ms=10.0,
+        bottleneck_class="d",
+        bottleneck_busy_ms=1.0,
+        population_bound_tps=tpm / 60.0,
+        bottleneck_bound_tps=tpm / 60.0,
+    )
+    return result
+
+
+class TestResponseTimeConstraint:
+    def test_all_within_caps(self):
+        constraint = ResponseTimeConstraint({"q1": 100.0, "q2": 50.0})
+        check = constraint.check(dss_result([("q1", 80), ("q2", 40)]))
+        assert check.satisfied
+        assert check.satisfied_fraction == 1.0
+
+    def test_violation_detected(self):
+        constraint = ResponseTimeConstraint({"q1": 100.0})
+        check = constraint.check(dss_result([("q1", 150), ("q1", 50)]))
+        assert not check.satisfied
+        assert check.satisfied_fraction == pytest.approx(0.5)
+        assert check.violations == ("q1",)
+
+    def test_unconstrained_queries_ignored(self):
+        constraint = ResponseTimeConstraint({"q1": 100.0})
+        check = constraint.check(dss_result([("q1", 10), ("other", 1e9)]))
+        assert check.satisfied
+
+    def test_relaxed_scales_caps(self):
+        constraint = ResponseTimeConstraint({"q1": 100.0}).relaxed(2.0)
+        assert constraint.caps_ms["q1"] == pytest.approx(200.0)
+
+    def test_cap_for(self):
+        constraint = ResponseTimeConstraint({"q1": 100.0})
+        assert constraint.cap_for("q1") == 100.0
+        assert constraint.cap_for("zzz") is None
+
+    def test_validation(self):
+        with pytest.raises(SLAError):
+            ResponseTimeConstraint({})
+        with pytest.raises(SLAError):
+            ResponseTimeConstraint({"q": 0.0})
+        with pytest.raises(SLAError):
+            ResponseTimeConstraint({"q": 1.0}).relaxed(0.0)
+
+
+class TestThroughputConstraint:
+    def test_floor_satisfied(self):
+        constraint = ThroughputConstraint(1000.0)
+        assert constraint.check(oltp_result(1500)).satisfied
+
+    def test_floor_violated(self):
+        constraint = ThroughputConstraint(1000.0)
+        check = constraint.check(oltp_result(500))
+        assert not check.satisfied
+        assert check.satisfied_fraction == pytest.approx(0.5)
+
+    def test_relaxed_lowers_floor(self):
+        constraint = ThroughputConstraint(1000.0).relaxed(2.0)
+        assert constraint.min_transactions_per_minute == pytest.approx(500.0)
+
+    def test_applied_to_dss_result_raises(self):
+        with pytest.raises(SLAError):
+            ThroughputConstraint(10.0).check(dss_result([("q", 1.0)]))
+
+
+class TestRelativeSLA:
+    def test_ratio_validation(self):
+        with pytest.raises(SLAError):
+            RelativeSLA(0.0)
+        with pytest.raises(SLAError):
+            RelativeSLA(1.5)
+        with pytest.raises(SLAError):
+            RelativeSLA(0.5, metric="latency")
+
+    def test_resolve_response_time_caps_are_scaled_baseline(self):
+        sla = RelativeSLA(0.5)
+        constraint = sla.resolve(dss_result([("q1", 100), ("q2", 10)]))
+        assert isinstance(constraint, ResponseTimeConstraint)
+        assert constraint.caps_ms["q1"] == pytest.approx(200.0)
+        assert constraint.caps_ms["q2"] == pytest.approx(20.0)
+
+    def test_resolve_uses_slowest_instance(self):
+        sla = RelativeSLA(0.5)
+        constraint = sla.resolve(dss_result([("q1", 100), ("q1", 150)]))
+        assert constraint.caps_ms["q1"] == pytest.approx(300.0)
+
+    def test_resolve_throughput(self):
+        sla = RelativeSLA(0.25, metric="throughput")
+        constraint = sla.resolve(oltp_result(2000))
+        assert isinstance(constraint, ThroughputConstraint)
+        assert constraint.min_transactions_per_minute == pytest.approx(500.0)
+
+    def test_resolve_empty_baseline_raises(self):
+        with pytest.raises(SLAError):
+            RelativeSLA(0.5).resolve(dss_result([]))
+
+    def test_tighter_ratio_means_tighter_caps(self):
+        baseline = dss_result([("q1", 100)])
+        loose = RelativeSLA(0.25).resolve(baseline)
+        tight = RelativeSLA(0.5).resolve(baseline)
+        assert tight.caps_ms["q1"] < loose.caps_ms["q1"]
+
+
+class TestPSR:
+    def test_psr_full_satisfaction(self):
+        constraint = ResponseTimeConstraint({"q1": 100.0})
+        assert performance_satisfaction_ratio(constraint, dss_result([("q1", 10)])) == 1.0
+
+    def test_psr_partial(self):
+        constraint = ResponseTimeConstraint({"q1": 100.0, "q2": 100.0})
+        result = dss_result([("q1", 10), ("q1", 200), ("q2", 10), ("q2", 10)])
+        assert performance_satisfaction_ratio(constraint, result) == pytest.approx(0.75)
+
+    def test_violations_lists_failing_queries(self):
+        constraint = ResponseTimeConstraint({"q1": 100.0, "q2": 100.0})
+        result = dss_result([("q1", 200), ("q2", 10)])
+        assert violations(constraint, result) == ("q1",)

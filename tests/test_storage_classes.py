@@ -1,0 +1,168 @@
+"""Storage classes, storage systems, the device simulator and the micro-benchmark."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, UnknownStorageClassError
+from repro.storage import catalog
+from repro.storage.io_profile import IOType
+from repro.storage.microbench import MicroBenchmark, MicroBenchmarkConfig, format_table1
+from repro.storage.simulator import DeviceSimulator, IORequest
+from repro.storage.storage_class import StorageClass, StorageSystem
+
+
+class TestStorageClass:
+    def test_from_device_derives_price_and_capacity(self):
+        sc = catalog.hssd()
+        assert sc.capacity_gb == 80
+        assert sc.price_cents_per_gb_hour == pytest.approx(1.69e-1, rel=0.05)
+
+    def test_storage_cost_scales_with_usage(self):
+        sc = catalog.hdd()
+        assert sc.storage_cost_cents_per_hour(100) == pytest.approx(
+            100 * sc.price_cents_per_gb_hour
+        )
+
+    def test_storage_cost_rejects_negative_usage(self):
+        with pytest.raises(ValueError):
+            catalog.hdd().storage_cost_cents_per_hour(-1)
+
+    def test_with_capacity_preserves_price(self):
+        limited = catalog.hssd().with_capacity(21.0)
+        assert limited.capacity_gb == 21.0
+        assert limited.price_cents_per_gb_hour == catalog.hssd().price_cents_per_gb_hour
+
+    def test_invalid_price_rejected(self, flat_profile):
+        with pytest.raises(ConfigurationError):
+            StorageClass("x", capacity_gb=10, price_cents_per_gb_hour=0, io_profile=flat_profile)
+
+    def test_service_time_delegates_to_profile(self):
+        assert catalog.hdd().service_time_ms(IOType.RAND_READ, 1) == pytest.approx(13.32)
+
+
+class TestStorageSystem:
+    def test_lookup_and_contains(self, box1_system):
+        assert "H-SSD" in box1_system
+        assert box1_system["H-SSD"].name == "H-SSD"
+
+    def test_unknown_class(self, box1_system):
+        with pytest.raises(UnknownStorageClassError):
+            box1_system["floppy"]
+
+    def test_most_expensive_is_hssd(self, box1_system, box2_system):
+        assert box1_system.most_expensive().name == "H-SSD"
+        assert box2_system.most_expensive().name == "H-SSD"
+
+    def test_cheapest(self, box1_system, box2_system):
+        assert box1_system.cheapest().name == "HDD RAID 0"
+        assert box2_system.cheapest().name == "HDD"
+
+    def test_fastest_for_random_read(self, box1_system):
+        assert box1_system.fastest_for(IOType.RAND_READ).name == "H-SSD"
+
+    def test_price_and_capacity_vectors(self, box2_system):
+        prices = box2_system.price_vector()
+        capacities = box2_system.capacity_vector()
+        assert set(prices) == set(capacities) == set(box2_system.class_names)
+        assert capacities["HDD"] == 500
+
+    def test_with_capacity_limits(self, box2_system):
+        limited = box2_system.with_capacity_limits({"H-SSD": 21.0})
+        assert limited["H-SSD"].capacity_gb == 21.0
+        assert limited["HDD"].capacity_gb == 500
+
+    def test_subset(self, box1_system):
+        subset = box1_system.subset(["H-SSD", "L-SSD"])
+        assert set(subset.class_names) == {"H-SSD", "L-SSD"}
+
+    def test_subset_empty_rejected(self, box1_system):
+        with pytest.raises(ConfigurationError):
+            box1_system.subset(["does-not-exist"])
+
+    def test_duplicate_names_rejected(self):
+        sc = catalog.hdd()
+        with pytest.raises(ConfigurationError):
+            StorageSystem([sc, sc])
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StorageSystem([])
+
+    def test_iteration_order_preserved(self, box1_system):
+        assert [sc.name for sc in box1_system] == list(box1_system.class_names)
+
+
+class TestDeviceSimulator:
+    def test_deterministic_without_jitter(self):
+        sim = DeviceSimulator(catalog.hdd(), concurrency=1, jitter=0.0)
+        elapsed = sim.run([IORequest(IOType.RAND_READ, 10)])
+        assert elapsed == pytest.approx(10 * 13.32)
+
+    def test_counters_accumulate(self):
+        sim = DeviceSimulator(catalog.hdd(), jitter=0.0)
+        sim.run([IORequest(IOType.SEQ_READ, 5), IORequest(IOType.SEQ_READ, 5)])
+        assert sim.counters.requests[IOType.SEQ_READ] == 10
+        assert sim.observed_service_time_ms(IOType.SEQ_READ) == pytest.approx(0.072)
+
+    def test_jitter_keeps_mean_close(self):
+        sim = DeviceSimulator(catalog.hssd(), jitter=0.05, seed=1)
+        sim.run([IORequest(IOType.RAND_READ, 100) for _ in range(200)])
+        observed = sim.observed_service_time_ms(IOType.RAND_READ)
+        assert observed == pytest.approx(0.091, rel=0.05)
+
+    def test_concurrency_selects_calibration(self):
+        sim = DeviceSimulator(catalog.hdd(), concurrency=300, jitter=0.0)
+        assert sim.mean_service_time_ms(IOType.RAND_READ) == pytest.approx(8.903)
+
+    def test_reset(self):
+        sim = DeviceSimulator(catalog.hdd(), jitter=0.0)
+        sim.submit(IORequest(IOType.SEQ_WRITE, 3))
+        sim.reset()
+        assert sim.counters.total_requests() == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            IORequest(IOType.SEQ_READ, -1)
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSimulator(catalog.hdd(), concurrency=0)
+
+
+class TestMicroBenchmark:
+    def test_profile_recovers_calibrated_latencies(self):
+        bench = MicroBenchmark(jitter=0.0)
+        row = bench.profile(catalog.hdd(), concurrency=1)
+        assert row.seq_read_ms == pytest.approx(0.072, rel=0.02)
+        assert row.rand_read_ms == pytest.approx(13.32, rel=0.02)
+        assert row.seq_write_ms == pytest.approx(0.012, rel=0.02)
+        assert row.rand_write_ms == pytest.approx(10.15, rel=0.05)
+
+    def test_profile_at_concurrency_300(self):
+        bench = MicroBenchmark(jitter=0.0)
+        row = bench.profile(catalog.hssd(), concurrency=300)
+        assert row.rand_read_ms == pytest.approx(0.024, rel=0.05)
+
+    def test_profile_all_covers_all_classes(self, paper_storage_classes):
+        bench = MicroBenchmark(jitter=0.01, config=MicroBenchmarkConfig(table_pages=200))
+        table = bench.profile_all(paper_storage_classes, (1,))
+        assert set(table) == set(paper_storage_classes)
+
+    def test_rw_derivation_subtracts_rr(self):
+        """The RW estimate is the update time minus its random-read component."""
+        bench = MicroBenchmark(jitter=0.0)
+        row = bench.profile(catalog.lssd(), concurrency=1)
+        # L-SSD random writes are far slower than its random reads (Table 1).
+        assert row.rand_write_ms > 10 * row.rand_read_ms
+
+    def test_format_table1_contains_all_classes(self, paper_storage_classes):
+        bench = MicroBenchmark(jitter=0.0, config=MicroBenchmarkConfig(table_pages=100))
+        rows = bench.profile_all(paper_storage_classes, (1, 300))
+        text = format_table1(rows, catalog.PUBLISHED_PRICES_CENTS_PER_GB_HOUR)
+        for name in paper_storage_classes:
+            assert name in text
+        assert "Random Read" in text
+
+    def test_as_dict_round_trip(self):
+        bench = MicroBenchmark(jitter=0.0)
+        row = bench.profile(catalog.hdd(), 1)
+        assert set(row.as_dict()) == set(IOType)

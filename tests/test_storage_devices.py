@@ -1,0 +1,139 @@
+"""Device specs, RAID composition and pricing (Tables 1 and 2)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.storage import catalog
+from repro.storage.device import DeviceKind, DeviceSpec
+from repro.storage.pricing import PricingModel, amortized_price_cents_per_gb_hour
+from repro.storage.raid import DEFAULT_RAID0_SCALING, Raid0Array, RaidController
+from repro.storage.io_profile import IOType
+
+
+class TestDeviceSpec:
+    def test_table2_hdd_spec(self):
+        assert catalog.HDD_DEVICE.capacity_gb == 500
+        assert catalog.HDD_DEVICE.purchase_cost_usd == 34
+        assert catalog.HDD_DEVICE.rpm == 7200
+        assert catalog.HDD_DEVICE.is_hdd and not catalog.HDD_DEVICE.is_ssd
+
+    def test_table2_hssd_spec(self):
+        assert catalog.HSSD_DEVICE.capacity_gb == 80
+        assert catalog.HSSD_DEVICE.purchase_cost_usd == 3550
+        assert catalog.HSSD_DEVICE.flash_type == "SLC"
+        assert catalog.HSSD_DEVICE.is_ssd
+
+    def test_dollars_per_gb(self):
+        assert catalog.LSSD_DEVICE.dollars_per_gb == pytest.approx(253 / 128)
+
+    def test_describe_mentions_name_and_capacity(self):
+        text = catalog.HDD_DEVICE.describe()
+        assert "WD Caviar Black" in text and "500" in text
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec("bad", DeviceKind.HDD, capacity_gb=0, purchase_cost_usd=10, power_watts=5)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec("bad", DeviceKind.HDD, capacity_gb=10, purchase_cost_usd=-1, power_watts=5)
+
+
+class TestRaid0:
+    def test_capacity_and_cost_aggregation(self):
+        array = Raid0Array(member=catalog.HDD_DEVICE, num_members=2,
+                           controller=catalog.RAID_CONTROLLER)
+        assert array.capacity_gb == 1000
+        assert array.purchase_cost_usd == pytest.approx(2 * 34 + 110)
+        assert array.power_watts == pytest.approx(2 * 8.3 + 8.25)
+
+    def test_name_mentions_raid(self):
+        array = Raid0Array(member=catalog.LSSD_DEVICE)
+        assert "RAID 0" in array.name
+
+    def test_zero_members_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Raid0Array(member=catalog.HDD_DEVICE, num_members=0)
+
+    def test_derived_profile_is_faster_for_sequential_reads(self):
+        array = Raid0Array(member=catalog.HDD_DEVICE, num_members=2)
+        derived = array.derive_profile(catalog.HDD_PROFILE)
+        assert derived.service_time_ms(IOType.SEQ_READ, 1) < catalog.HDD_PROFILE.service_time_ms(
+            IOType.SEQ_READ, 1
+        )
+
+    def test_derived_profile_larger_arrays_scale_sequential(self):
+        two = Raid0Array(member=catalog.HDD_DEVICE, num_members=2)
+        four = Raid0Array(member=catalog.HDD_DEVICE, num_members=4)
+        assert four.derive_profile(catalog.HDD_PROFILE).service_time_ms(
+            IOType.SEQ_READ, 1
+        ) < two.derive_profile(catalog.HDD_PROFILE).service_time_ms(IOType.SEQ_READ, 1)
+
+    def test_controller_validation(self):
+        with pytest.raises(ConfigurationError):
+            RaidController(purchase_cost_usd=-5)
+
+
+class TestPricing:
+    def test_paper_prices_within_ten_percent(self):
+        """The regenerated cent/GB/hour prices match Table 1 within 10 %."""
+        for name, storage_class in catalog.all_storage_classes().items():
+            published = catalog.PUBLISHED_PRICES_CENTS_PER_GB_HOUR[name]
+            assert storage_class.price_cents_per_gb_hour == pytest.approx(published, rel=0.10)
+
+    def test_lssd_price_matches_paper_closely(self):
+        price = catalog.lssd().price_cents_per_gb_hour
+        assert price == pytest.approx(7.65e-3, rel=0.01)
+
+    def test_hssd_is_three_orders_of_magnitude_pricier_than_hdd(self):
+        prices = {name: sc.price_cents_per_gb_hour for name, sc in catalog.all_storage_classes().items()}
+        assert prices["H-SSD"] / prices["HDD"] > 300
+
+    def test_energy_component(self):
+        model = PricingModel()
+        # 1 kW at $0.07/kWh is 7 cents per hour.
+        assert model.energy_cents_per_hour(1000.0) == pytest.approx(7.0)
+
+    def test_amortized_purchase_component(self):
+        model = PricingModel(lifespan_months=36)
+        cents_per_hour = model.amortized_purchase_cents_per_hour(3550.0)
+        assert cents_per_hour == pytest.approx(3550 * 100 / (36 * 730.5))
+
+    def test_functional_shortcut_matches_class(self):
+        direct = amortized_price_cents_per_gb_hour(100.0, 10.0, 50.0)
+        model = PricingModel().price_cents_per_gb_hour(100.0, 10.0, 50.0)
+        assert direct == pytest.approx(model)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PricingModel().price_cents_per_gb_hour(10.0, 1.0, 0.0)
+
+    def test_negative_energy_price_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PricingModel(energy_usd_per_kwh=-0.01)
+
+
+class TestBuiltinCatalog:
+    def test_five_storage_classes(self):
+        assert set(catalog.STORAGE_CLASS_NAMES) == set(catalog.all_storage_classes())
+
+    def test_make_storage_class_unknown_name(self):
+        with pytest.raises(KeyError):
+            catalog.make_storage_class("floppy")
+
+    def test_box1_composition(self):
+        names = set(catalog.box1().class_names)
+        assert names == {"H-SSD", "L-SSD", "HDD RAID 0"}
+
+    def test_box2_composition(self):
+        names = set(catalog.box2().class_names)
+        assert names == {"H-SSD", "L-SSD RAID 0", "HDD"}
+
+    def test_full_system_has_all_classes_sorted_by_price(self):
+        system = catalog.full_system()
+        prices = [sc.price_cents_per_gb_hour for sc in system]
+        assert prices == sorted(prices, reverse=True)
+        assert len(system) == 5
+
+    def test_raid_scaling_constants_are_speedups(self):
+        assert all(0 < factor <= 1.0 for factor in DEFAULT_RAID0_SCALING.values())

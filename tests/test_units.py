@@ -1,0 +1,45 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestSizes:
+    def test_bytes_gb_roundtrip(self):
+        assert units.bytes_to_gb(units.gb_to_bytes(3.5)) == pytest.approx(3.5)
+
+    def test_gb_to_bytes(self):
+        assert units.gb_to_bytes(1) == 1024**3
+
+    def test_mb_to_gb(self):
+        assert units.mb_to_gb(2048) == pytest.approx(2.0)
+
+    def test_pages_to_gb(self):
+        assert units.pages_to_gb(units.gb_to_pages(2.0)) == pytest.approx(2.0)
+
+    def test_page_size_is_8k(self):
+        assert units.PAGE_SIZE_BYTES == 8192
+
+
+class TestTime:
+    def test_ms_seconds_roundtrip(self):
+        assert units.seconds_to_ms(units.ms_to_seconds(1500)) == pytest.approx(1500)
+
+    def test_seconds_to_hours(self):
+        assert units.seconds_to_hours(7200) == pytest.approx(2.0)
+
+    def test_hours_to_seconds(self):
+        assert units.hours_to_seconds(0.5) == pytest.approx(1800)
+
+    def test_months_to_hours_36_months(self):
+        # 36 months at 730.5 hours/month: the paper's amortisation window.
+        assert units.months_to_hours(36) == pytest.approx(36 * 730.5)
+
+
+class TestMoneyEnergy:
+    def test_dollars_cents_roundtrip(self):
+        assert units.cents_to_dollars(units.dollars_to_cents(12.34)) == pytest.approx(12.34)
+
+    def test_watts_to_kilowatts(self):
+        assert units.watts_to_kilowatts(250) == pytest.approx(0.25)

@@ -1,0 +1,223 @@
+"""Workload container, TPC-H / TPC-C generators and the synthetic generator."""
+
+import pytest
+
+from repro.dbms.executor import WorkloadEstimator
+from repro.exceptions import WorkloadError
+from repro.storage import catalog as storage_catalog
+from repro.storage.io_profile import IOType
+from repro.workloads import synthetic, tpcc, tpch
+from repro.workloads.synthetic import SyntheticWorkloadConfig
+from repro.workloads.tpch.queries import ES_SUBSET_OBJECTS, ES_SUBSET_TEMPLATES
+from repro.workloads.workload import Workload
+
+
+class TestWorkloadContainer:
+    def test_dss_requires_queries(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="w", kind="dss")
+
+    def test_oltp_requires_mix(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="w", kind="oltp")
+
+    def test_unknown_kind_rejected(self, scan_query):
+        with pytest.raises(WorkloadError):
+            Workload(name="w", kind="batch", queries=(scan_query,))
+
+    def test_distinct_queries(self, scan_query, lookup_query):
+        workload = Workload(name="w", queries=(scan_query, lookup_query, scan_query))
+        assert len(workload.distinct_queries()) == 2
+
+    def test_scaled_stream(self, scan_query):
+        workload = Workload(name="w", queries=(scan_query,))
+        assert len(workload.scaled_stream(5).queries) == 5
+
+    def test_subset(self, scan_query, lookup_query):
+        workload = Workload(name="w", queries=(scan_query, lookup_query))
+        subset = workload.subset(["scan_fact"])
+        assert subset.query_names == ("scan_fact",)
+
+    def test_subset_empty_rejected(self, scan_query):
+        workload = Workload(name="w", queries=(scan_query,))
+        with pytest.raises(WorkloadError):
+            workload.subset(["nope"])
+
+    def test_referenced_objects(self, join_query):
+        workload = Workload(name="w", queries=(join_query,))
+        assert "fact_pkey" in workload.referenced_objects()
+
+
+class TestTPCHSchema:
+    def test_sixteen_objects(self):
+        catalog = tpch.build_catalog(scale_factor=1)
+        assert len(catalog.database_objects()) == 16
+
+    def test_sf20_size_close_to_paper_30gb(self):
+        catalog = tpch.build_catalog(scale_factor=20)
+        assert 25 <= catalog.total_size_gb() <= 40
+
+    def test_size_scales_with_sf(self):
+        small = tpch.build_catalog(1).total_size_gb()
+        large = tpch.build_catalog(10).total_size_gb()
+        assert large > 8 * small
+
+    def test_lineitem_is_largest_table(self):
+        catalog = tpch.build_catalog(2)
+        sizes = {obj.name: obj.size_gb for obj in catalog.database_objects()}
+        assert sizes["lineitem"] == max(sizes.values())
+
+    def test_fixed_tables_do_not_scale(self):
+        assert tpch.table_row_count("nation", 100) == 25
+        assert tpch.table_row_count("region", 100) == 5
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            tpch.build_catalog(0)
+
+
+class TestTPCHQueries:
+    def test_all_22_templates_present(self):
+        queries = tpch.original_queries(2)
+        assert len(queries) == 22
+        assert set(queries) == {f"q{i}" for i in range(1, 23)}
+
+    def test_queries_reference_only_catalog_objects(self):
+        catalog = tpch.build_catalog(2)
+        for query in tpch.original_queries(2).values():
+            for name in query.referenced_objects:
+                assert catalog.has_object(name), f"{query.name} references unknown {name}"
+
+    def test_modified_queries_reference_only_catalog_objects(self):
+        catalog = tpch.build_catalog(2)
+        for query in tpch.modified_queries(2).values():
+            for name in query.referenced_objects:
+                assert catalog.has_object(name), f"{query.name} references unknown {name}"
+
+    def test_modified_templates_are_selective_key_lookups(self):
+        for query in tpch.modified_queries(20).values():
+            driver = query.accesses[0]
+            assert driver.key_lookup
+            assert driver.selectivity <= 0.01
+
+    def test_original_workload_counts(self):
+        workload = tpch.original_workload(2, repetitions=3)
+        assert len(workload.queries) == 66
+        assert workload.concurrency == 1
+
+    def test_modified_workload_counts(self):
+        workload = tpch.modified_workload(2, repetitions=20)
+        assert len(workload.queries) == 100
+
+    def test_es_subset_workload(self):
+        workload = tpch.es_subset_workload(2, repetitions=3)
+        assert len(workload.queries) == 33
+        assert set(workload.query_names) <= set(ES_SUBSET_TEMPLATES)
+
+    def test_es_subset_objects_cover_all_referenced(self):
+        workload = tpch.es_subset_workload(2, repetitions=1)
+        assert set(workload.referenced_objects()) <= set(ES_SUBSET_OBJECTS)
+
+    def test_original_workload_is_sequential_read_dominated(self):
+        """The original workload's I/O on an all-HDD layout is mostly sequential."""
+        catalog = tpch.build_catalog(2)
+        estimator = WorkloadEstimator(catalog, noise=0.0)
+        placement = {obj.name: storage_catalog.hdd() for obj in catalog.database_objects()}
+        result = estimator.estimate_workload(tpch.original_workload(2, repetitions=1), placement)
+        seq = sum(by.get(IOType.SEQ_READ, 0) for by in result.io_by_object.values())
+        rand = sum(by.get(IOType.RAND_READ, 0) for by in result.io_by_object.values())
+        assert seq > rand
+
+    def test_modified_workload_has_more_random_reads_than_original(self):
+        catalog = tpch.build_catalog(2)
+        estimator = WorkloadEstimator(catalog, noise=0.0)
+        placement = {obj.name: storage_catalog.hssd() for obj in catalog.database_objects()}
+
+        def random_fraction(workload):
+            result = estimator.estimate_workload(workload, placement)
+            seq = sum(by.get(IOType.SEQ_READ, 0) for by in result.io_by_object.values())
+            rand = sum(by.get(IOType.RAND_READ, 0) for by in result.io_by_object.values())
+            return rand / (seq + rand)
+
+        assert random_fraction(tpch.modified_workload(2, repetitions=1)) > random_fraction(
+            tpch.original_workload(2, repetitions=1)
+        )
+
+
+class TestTPCC:
+    def test_table3_object_names_present(self):
+        catalog = tpcc.build_catalog(10)
+        names = {obj.name for obj in catalog.database_objects()}
+        for expected in ("stock", "order_line", "customer", "pk_stock", "pk_order_line",
+                         "i_customer", "i_orders", "history", "new_order"):
+            assert expected in names
+
+    def test_history_has_no_index(self):
+        catalog = tpcc.build_catalog(10)
+        assert catalog.indexes_on("history") == []
+
+    def test_w300_size_close_to_paper_30gb(self):
+        catalog = tpcc.build_catalog(300)
+        assert 25 <= catalog.total_size_gb() <= 40
+
+    def test_item_table_does_not_scale(self):
+        small = tpcc.build_catalog(10).table_stats("item").row_count
+        large = tpcc.build_catalog(300).table_stats("item").row_count
+        assert small == large == 100_000
+
+    def test_transactions_reference_only_catalog_objects(self):
+        catalog = tpcc.build_catalog(10)
+        for query in tpcc.transaction_queries(10).values():
+            for name in query.referenced_objects:
+                assert catalog.has_object(name), f"{query.name} references unknown {name}"
+
+    def test_standard_mix_weights(self):
+        mix = tpcc.standard_mix(10)
+        assert sum(weight for _, weight in mix) == pytest.approx(1.0)
+        names = {query.name for query, _ in mix}
+        assert names == {"new_order", "payment", "order_status", "delivery", "stock_level"}
+
+    def test_oltp_workload_configuration(self):
+        workload = tpcc.oltp_workload(10, concurrency=300)
+        assert workload.is_oltp
+        assert workload.concurrency == 300
+        assert workload.measured_transaction_fraction == pytest.approx(0.45)
+
+    def test_tpcc_io_is_random_dominated(self):
+        catalog = tpcc.build_catalog(10)
+        estimator = WorkloadEstimator(catalog, noise=0.0)
+        placement = {obj.name: storage_catalog.hssd() for obj in catalog.database_objects()}
+        result = estimator.estimate_workload(tpcc.oltp_workload(10), placement)
+        seq = sum(by.get(IOType.SEQ_READ, 0) for by in result.io_by_object.values())
+        rand = sum(
+            by.get(IOType.RAND_READ, 0) + by.get(IOType.RAND_WRITE, 0)
+            for by in result.io_by_object.values()
+        )
+        assert rand > seq
+
+    def test_invalid_warehouses(self):
+        with pytest.raises(ValueError):
+            tpcc.build_catalog(0)
+
+
+class TestSyntheticWorkload:
+    def test_deterministic_generation(self, small_catalog):
+        first = synthetic.generate(small_catalog)
+        second = synthetic.generate(small_catalog)
+        assert first.query_names == second.query_names
+
+    def test_query_count(self, small_catalog):
+        config = SyntheticWorkloadConfig(num_queries=17)
+        workload = synthetic.generate(small_catalog, config)
+        assert len(workload.queries) == 17
+
+    def test_fraction_validation(self):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkloadConfig(scan_fraction=0.9, lookup_fraction=0.9,
+                                    join_fraction=0.1, write_fraction=0.1)
+
+    def test_generated_queries_are_estimable(self, small_catalog, small_estimator):
+        workload = synthetic.generate(small_catalog, SyntheticWorkloadConfig(num_queries=20))
+        placement = {obj.name: storage_catalog.hssd() for obj in small_catalog.database_objects()}
+        result = small_estimator.estimate_workload(workload, placement)
+        assert result.total_time_s > 0
