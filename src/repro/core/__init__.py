@@ -16,6 +16,13 @@ This package implements everything in Sections 2, 3 and 5 of the paper:
 """
 
 from repro.objects import DatabaseObject, ObjectGroup, ObjectKind, group_objects
+from repro.core.batch_eval import (
+    BatchEvalStats,
+    BatchLayoutEvaluator,
+    IncrementalWorkloadEvaluator,
+    UnsupportedBatchEvaluation,
+    iter_assignment_chunks,
+)
 from repro.core.layout import Layout
 from repro.core.toc import TOCModel, TOCReport
 from repro.core.profiles import BaselinePlacement, WorkloadProfileSet
@@ -36,6 +43,11 @@ __all__ = [
     "ObjectGroup",
     "ObjectKind",
     "group_objects",
+    "BatchEvalStats",
+    "BatchLayoutEvaluator",
+    "IncrementalWorkloadEvaluator",
+    "UnsupportedBatchEvaluation",
+    "iter_assignment_chunks",
     "Layout",
     "TOCModel",
     "TOCReport",

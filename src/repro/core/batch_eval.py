@@ -1,0 +1,717 @@
+"""Vectorized batch evaluation of candidate layouts (TOC + feasibility).
+
+The paper's searches -- exhaustive search (Section 4.4.3/4.5.3), DOT's walk
+(Procedure 1) and the MILP relaxation -- all reduce to the same inner loop:
+"evaluate total operating cost and feasibility for many candidate layouts".
+The scalar implementation pays full Python overhead per candidate: a fresh
+:class:`~repro.core.layout.Layout`, a per-object placement dict, a plan-cache
+key per query, and dict-merge bookkeeping for I/O counts, even when every
+plan is a cache hit.
+
+This module removes that overhead without changing a single result:
+
+* :class:`BatchLayoutEvaluator` represents candidate layouts as integer
+  class-index matrices and scores whole batches with array operations.  The
+  only remaining per-candidate Python work is one optimizer estimate per
+  *new* ``(query, touched-placement-signature)`` pair -- everything else
+  (space, capacity, layout cost, workload time, SLA filtering) is numpy.
+* :class:`IncrementalWorkloadEvaluator` is the scalar counterpart used by
+  DOT's move walk: per-query estimates are cached by placement signature, so
+  a candidate that only moves one object group re-estimates only the queries
+  touching that group.
+* :func:`group_placement_coefficients` builds the MILP's per-(group,
+  placement) cost/time coefficient vectors from the same machinery.
+
+Exactness contract
+------------------
+Every floating-point reduction below is performed in the *same operation
+order* as the scalar code path it replaces (sequential per-object adds for
+space and cost, per-stream-instance adds for workload time, the original
+dict-merge order for OLTP aggregation).  IEEE 754 addition is deterministic,
+so batch results are bitwise identical to the legacy path -- the exhaustive
+search returns the identical best layout and TOC, it just gets there faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.toc import TOCModel, TOCReport
+from repro.dbms.concurrency import ClosedLoopModel
+from repro.dbms.executor import ExecutionResult, WorkloadRunResult
+from repro.dbms.plan import merge_io_counts, scale_io_counts
+from repro.objects import DatabaseObject
+from repro.sla.constraints import PerformanceConstraint
+from repro.storage.io_profile import IOType
+from repro.storage.storage_class import StorageClass, StorageSystem
+from repro.units import MS_PER_SECOND, SECONDS_PER_HOUR
+
+
+class UnsupportedBatchEvaluation(Exception):
+    """Raised when a configuration cannot take the vectorized fast path.
+
+    Callers catch this and fall back to the scalar implementation, so raising
+    it is never an error condition -- it is the feature-gating mechanism for
+    cost overrides, unknown constraint types and exotic workload kinds.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Candidate enumeration
+# ---------------------------------------------------------------------------
+
+def iter_assignment_chunks(
+    num_objects: int, num_classes: int, chunk_size: int = 4096
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Enumerate all ``M^N`` assignments as ``(start_index, matrix)`` chunks.
+
+    Rows follow ``itertools.product(range(M), repeat=N)`` order exactly (the
+    last column varies fastest), which is the enumeration order of the scalar
+    exhaustive search; each matrix holds class indices with one column per
+    object.
+    """
+    if num_objects < 1:
+        raise ValueError("need at least one object column to enumerate")
+    if num_classes < 1:
+        raise ValueError("need at least one storage class to enumerate")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    total = num_classes**num_objects
+    for start in range(0, total, chunk_size):
+        stop = min(start + chunk_size, total)
+        indices = np.arange(start, stop, dtype=np.int64)
+        matrix = np.empty((stop - start, num_objects), dtype=np.int64)
+        for column in range(num_objects - 1, -1, -1):
+            matrix[:, column] = indices % num_classes
+            indices //= num_classes
+        yield start, matrix
+
+
+def _mixed_radix_weights(positions: int, base: int) -> np.ndarray:
+    """Weights turning a row of class indices into a single signature code."""
+    weights = np.empty(positions, dtype=np.int64)
+    value = 1
+    for position in range(positions - 1, -1, -1):
+        if value > 2**62:
+            raise UnsupportedBatchEvaluation(
+                "signature space too large for 64-bit encoding"
+            )
+        weights[position] = value
+        value *= base
+    return weights
+
+
+# ---------------------------------------------------------------------------
+# Shared replication of the scalar estimator's aggregation
+# ---------------------------------------------------------------------------
+
+class _ServiceTimeTable:
+    """Memoized per-(storage class, I/O type) service times at one concurrency.
+
+    Values are exactly ``StorageClass.service_time_ms`` results (cached like
+    ``CostModel.io_latency_ms`` does per placement, but shared across all
+    candidates of a search)."""
+
+    __slots__ = ("concurrency", "_cache")
+
+    def __init__(self, concurrency: int):
+        self.concurrency = concurrency
+        self._cache: Dict[Tuple[str, IOType], float] = {}
+
+    def latency_ms(self, storage_class: StorageClass, io_type: IOType) -> float:
+        key = (storage_class.name, io_type)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = storage_class.service_time_ms(io_type, self.concurrency)
+            self._cache[key] = cached
+        return cached
+
+
+class _OltpMixModel:
+    """The workload-level constants of an OLTP mix evaluation."""
+
+    __slots__ = ("mix", "total_weight", "model", "measured_fraction")
+
+    def __init__(self, workload, estimator, concurrency: int):
+        self.mix = list(workload.transaction_mix)
+        self.total_weight = sum(weight for _, weight in self.mix)
+        if self.total_weight <= 0:
+            raise UnsupportedBatchEvaluation(
+                "transaction mix weights must sum to a positive value"
+            )
+        self.model = ClosedLoopModel(
+            concurrency=concurrency, efficiency=estimator.oltp_efficiency
+        )
+        self.measured_fraction = getattr(workload, "measured_transaction_fraction", 1.0)
+
+
+def _replay_mix(mix, total_weight, execution_for):
+    """Replays ``WorkloadEstimator._run_mix``'s accumulation from cached
+    executions (same merge and float order).  ``execution_for`` is called
+    once per mix entry, in mix order."""
+    io_by_object: Dict[str, Dict[IOType, float]] = {}
+    per_query_times: List[Tuple[str, float]] = []
+    avg_response_ms = 0.0
+    avg_cpu_ms = 0.0
+    for query, weight in mix:
+        share = weight / total_weight
+        execution = execution_for(query)
+        per_query_times.append((query.name, execution.response_time_ms))
+        merge_io_counts(io_by_object, scale_io_counts(execution.io_counts, share))
+        avg_response_ms += share * execution.response_time_ms
+        avg_cpu_ms += share * execution.cpu_time_ms
+    return io_by_object, per_query_times, avg_response_ms, avg_cpu_ms
+
+
+def _busy_time_by_class(io_counts, storage_class_of, service_times: _ServiceTimeTable):
+    """Replicates ``CostModel.io_time_by_class`` bit for bit: same iteration
+    order, and counts <= 0 contribute an exact ``0.0``."""
+    busy: Dict[str, float] = {}
+    for object_name, by_type in io_counts.items():
+        storage_class = storage_class_of(object_name)
+        class_name = storage_class.name
+        for io_type, count in by_type.items():
+            if count <= 0:
+                time_ms = 0.0
+            else:
+                time_ms = count * service_times.latency_ms(storage_class, io_type)
+            busy[class_name] = busy.get(class_name, 0.0) + time_ms
+    return busy
+
+
+# ---------------------------------------------------------------------------
+# Per-query estimate cache
+# ---------------------------------------------------------------------------
+
+class QueryEstimateCache:
+    """Caches optimizer estimates by (query, touched-placement-signature).
+
+    The signature covers every object whose storage class can influence the
+    estimate: the query's referenced objects plus the optimizer's temporary
+    object (spills pay I/O against it).  Two placements with equal signatures
+    yield bitwise-identical estimates, so the cached
+    :class:`~repro.dbms.executor.ExecutionResult` can stand in for a fresh
+    call.
+    """
+
+    def __init__(self, estimator, concurrency: int):
+        self.estimator = estimator
+        self.concurrency = concurrency
+        self._cache: Dict[tuple, ExecutionResult] = {}
+        self._signature_objects: Dict[str, Tuple[str, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def signature_objects(self, query) -> Tuple[str, ...]:
+        names = self._signature_objects.get(query.name)
+        if names is None:
+            names = self.estimator.signature_objects(query)
+            self._signature_objects[query.name] = names
+        return names
+
+    def signature(self, query, placement: Mapping[str, StorageClass]) -> tuple:
+        parts = []
+        for name in self.signature_objects(query):
+            storage_class = placement.get(name)
+            parts.append(storage_class.name if storage_class is not None else None)
+        return tuple(parts)
+
+    def get(self, query, placement: Mapping[str, StorageClass]) -> ExecutionResult:
+        key = (query.name, self.signature(query, placement))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        execution = self.estimator.estimate_query(query, placement, self.concurrency)
+        self._cache[key] = execution
+        return execution
+
+
+# ---------------------------------------------------------------------------
+# Scalar fast path (DOT's move walk)
+# ---------------------------------------------------------------------------
+
+class IncrementalWorkloadEvaluator:
+    """Drop-in for ``TOCModel.evaluate(layout, workload, mode="estimate")``.
+
+    Re-estimates only the queries whose touched-placement signature changed
+    since the last evaluation (every other query hits the estimate cache) and
+    skips the per-candidate I/O bookkeeping that feasibility checking never
+    reads.  The numbers it produces are bitwise identical to the legacy path;
+    only dispensable side products (the DSS candidates' merged I/O counts)
+    are omitted, which is why search loops re-evaluate their final winner
+    through the full estimator.
+    """
+
+    def __init__(self, estimator, workload, toc_model: TOCModel):
+        kind = getattr(workload, "kind", "dss")
+        if kind not in ("dss", "oltp"):
+            raise UnsupportedBatchEvaluation(f"unsupported workload kind {kind!r}")
+        self.estimator = estimator
+        self.workload = workload
+        self.toc_model = toc_model
+        self.kind = kind
+        self.concurrency = getattr(workload, "concurrency", 1)
+        self.cache = QueryEstimateCache(estimator, self.concurrency)
+        self._service_times = _ServiceTimeTable(self.concurrency)
+        if kind == "oltp":
+            self._oltp = _OltpMixModel(workload, estimator, self.concurrency)
+
+    # ------------------------------------------------------------------
+    def run_result(self, layout) -> WorkloadRunResult:
+        """Estimate the workload under ``layout`` (cached per-query plans)."""
+        placement = layout.placement()
+        name = getattr(self.workload, "name", "workload")
+        if self.kind == "oltp":
+            result = WorkloadRunResult(
+                workload_name=name,
+                kind="oltp",
+                concurrency=self.concurrency,
+                measured_transaction_fraction=self._oltp.measured_fraction,
+            )
+            io_by_object, per_query_times, avg_response_ms, avg_cpu_ms = _replay_mix(
+                self._oltp.mix, self._oltp.total_weight,
+                lambda query: self.cache.get(query, placement),
+            )
+            result.io_by_object = io_by_object
+            result.per_query_times_ms = per_query_times
+            busy_by_class = _busy_time_by_class(
+                io_by_object, placement.__getitem__, self._service_times
+            )
+            result.throughput = self._oltp.model.estimate(
+                response_time_ms=max(avg_response_ms, 1e-9),
+                busy_time_by_class_ms=busy_by_class,
+                cpu_time_ms=avg_cpu_ms,
+            )
+            result.busy_time_by_class_ms = busy_by_class
+            result.total_time_s = getattr(self.workload, "duration_s", 3600.0)
+            return result
+
+        result = WorkloadRunResult(
+            workload_name=name, kind="dss", concurrency=self.concurrency
+        )
+        total_ms = 0.0
+        for query in self.workload.queries:
+            execution = self.cache.get(query, placement)
+            result.per_query_times_ms.append((query.name, execution.response_time_ms))
+            total_ms += execution.response_time_ms
+        result.total_time_s = total_ms / 1000.0
+        return result
+
+    def evaluate(self, layout) -> TOCReport:
+        """The TOC report of one candidate layout (estimate mode)."""
+        return self.toc_model.report_from_result(layout, self.workload, self.run_result(layout))
+
+
+# ---------------------------------------------------------------------------
+# Batch evaluation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BatchEvalStats:
+    """Work accounting of a batch evaluation run."""
+
+    candidates: int = 0
+    capacity_feasible: int = 0
+    feasible: int = 0
+    estimator_calls: int = 0
+    oltp_aggregations: int = 0
+    chunks: int = 0
+
+
+@dataclass
+class ChunkEvaluation:
+    """Scores of one candidate chunk.
+
+    ``toc_cents`` is ``inf`` for candidates failing the capacity pre-filter
+    (their workload estimate is never computed, matching the scalar search's
+    pre-filter); ``feasible`` combines capacity and SLA feasibility.
+    """
+
+    toc_cents: np.ndarray
+    capacity_ok: np.ndarray
+    feasible: np.ndarray
+
+    @property
+    def best_index(self) -> Optional[int]:
+        """Row of the cheapest feasible candidate, or ``None``."""
+        if not bool(self.feasible.any()):
+            return None
+        masked = np.where(self.feasible, self.toc_cents, np.inf)
+        return int(np.argmin(masked))
+
+
+class _QueryTable:
+    """Per-query estimate table indexed by placement-signature slots."""
+
+    __slots__ = (
+        "query", "var_columns", "weights", "code_to_slot",
+        "response_ms", "executions", "touched_classes",
+    )
+
+    def __init__(self, query, var_columns: List[int], num_classes: int):
+        self.query = query
+        self.var_columns = np.array(var_columns, dtype=np.int64)
+        self.weights = _mixed_radix_weights(len(var_columns), num_classes) \
+            if var_columns else np.zeros(0, dtype=np.int64)
+        self.code_to_slot: Dict[int, int] = {}
+        self.response_ms: List[float] = []
+        self.executions: List[ExecutionResult] = []
+        #: Per slot: {object_name: class_name} for the signature's placeable
+        #: objects (used to type OLTP busy time by storage class).
+        self.touched_classes: List[Dict[str, str]] = []
+
+
+class BatchLayoutEvaluator:
+    """Scores batches of candidate layouts with array operations.
+
+    Candidates are rows of an integer matrix: column ``k`` holds the storage
+    class index (into ``system.class_names``) of the ``k``-th *variable*
+    object.  Pinned objects are part of every candidate at a fixed class and
+    participate in space, cost and query signatures, mirroring the scalar
+    exhaustive search's ``pinned_objects`` semantics.
+
+    Parameters
+    ----------
+    variable_objects:
+        The objects the candidate columns assign, in column order.  The order
+        must match the scalar enumeration being replaced (object order for
+        flat enumeration, group-by-group member order for per-group
+        enumeration) so that floating-point accumulation order -- and thus
+        every result bit -- is preserved.
+    pinned:
+        ``(object, class_name)`` pairs included in every candidate.
+    workload:
+        The workload to estimate (DSS stream or OLTP mix).
+    constraint:
+        Optional SLA; only the two concrete paper constraint types are
+        vectorizable, anything else raises
+        :class:`UnsupportedBatchEvaluation`.
+    """
+
+    def __init__(
+        self,
+        variable_objects: Sequence[DatabaseObject],
+        system: StorageSystem,
+        estimator,
+        workload,
+        pinned: Sequence[Tuple[DatabaseObject, str]] = (),
+        constraint: Optional[PerformanceConstraint] = None,
+    ):
+        from repro.core.feasibility import constraint_signature
+
+        if not variable_objects:
+            raise UnsupportedBatchEvaluation("no variable objects to enumerate")
+        kind = getattr(workload, "kind", "dss")
+        if kind not in ("dss", "oltp"):
+            raise UnsupportedBatchEvaluation(f"unsupported workload kind {kind!r}")
+        signature = constraint_signature(constraint)
+        if signature is None:
+            raise UnsupportedBatchEvaluation(
+                f"constraint type {type(constraint).__name__} is not vectorizable"
+            )
+        self._constraint_kind, self._constraint_data = signature
+        if self._constraint_kind == "response_time" and kind != "dss":
+            raise UnsupportedBatchEvaluation("response-time SLA on a non-DSS workload")
+        if self._constraint_kind == "throughput" and kind != "oltp":
+            raise UnsupportedBatchEvaluation("throughput SLA on a non-OLTP workload")
+
+        self.system = system
+        self.estimator = estimator
+        self.workload = workload
+        self.kind = kind
+        self.concurrency = getattr(workload, "concurrency", 1)
+        self.class_names: Tuple[str, ...] = tuple(system.class_names)
+        self.classes: List[StorageClass] = [system[name] for name in self.class_names]
+        self.num_classes = len(self.class_names)
+
+        self.variable_objects = list(variable_objects)
+        self.var_names = [obj.name for obj in self.variable_objects]
+        self._var_index = {name: k for k, name in enumerate(self.var_names)}
+        self.var_sizes = [obj.size_gb for obj in self.variable_objects]
+        self.pinned = [(obj.name, system.class_names.index(class_name), obj.size_gb)
+                       for obj, class_name in pinned]
+        self._pinned_classes = {obj.name: class_name for obj, class_name in pinned}
+
+        self.prices = [storage_class.price_cents_per_gb_hour for storage_class in self.classes]
+        self.capacities = np.array(
+            [storage_class.capacity_gb for storage_class in self.classes]
+        )
+
+        self.cache = QueryEstimateCache(estimator, self.concurrency)
+        self.stats = BatchEvalStats()
+
+        if kind == "oltp":
+            self._oltp = _OltpMixModel(workload, estimator, self.concurrency)
+            self._instances = [query for query, _ in self._oltp.mix]
+        else:
+            self._instances = list(workload.queries)
+        self._service_times = _ServiceTimeTable(self.concurrency)
+        self._oltp_aggregates: Dict[tuple, Tuple[float, float]] = {}
+
+        self._tables: Dict[str, _QueryTable] = {}
+        self._template_order: List[_QueryTable] = []
+        for query in self._instances:
+            if query.name in self._tables:
+                continue
+            var_columns = [
+                self._var_index[name]
+                for name in self.cache.signature_objects(query)
+                if name in self._var_index
+            ]
+            table = _QueryTable(query, var_columns, self.num_classes)
+            self._tables[query.name] = table
+            self._template_order.append(table)
+
+    # ------------------------------------------------------------------
+    # Candidate materialization helpers
+    # ------------------------------------------------------------------
+    def assignment_for_row(self, row: np.ndarray) -> Dict[str, str]:
+        """The object -> class-name dict of one candidate (scalar dict order:
+        pinned objects first, then variable objects in column order)."""
+        assignment = {name: self.class_names[class_index]
+                      for name, class_index, _ in self.pinned}
+        for column, name in enumerate(self.var_names):
+            assignment[name] = self.class_names[int(row[column])]
+        return assignment
+
+    def _placement_for_row(self, row: np.ndarray) -> Dict[str, StorageClass]:
+        placement = {name: self.classes[class_index]
+                     for name, class_index, _ in self.pinned}
+        for column, name in enumerate(self.var_names):
+            placement[name] = self.classes[int(row[column])]
+        return placement
+
+    # ------------------------------------------------------------------
+    # Space, capacity and layout cost
+    # ------------------------------------------------------------------
+    def _space_used(self, var_assign: np.ndarray) -> np.ndarray:
+        """Per-candidate space per class, accumulated in scalar-path order
+        (pinned objects first, then variable objects column by column)."""
+        batch = var_assign.shape[0]
+        used = np.zeros((batch, self.num_classes))
+        for _, class_index, size_gb in self.pinned:
+            used[:, class_index] += size_gb
+        rows = np.arange(batch)
+        for column, size_gb in enumerate(self.var_sizes):
+            used[rows, var_assign[:, column]] += size_gb
+        return used
+
+    def _layout_cost(self, used: np.ndarray) -> np.ndarray:
+        """``C(L) = sum_j p_j * S_j`` with the scalar per-class add order."""
+        cost = np.zeros(used.shape[0])
+        for class_index, price in enumerate(self.prices):
+            cost += price * used[:, class_index]
+        return cost
+
+    # ------------------------------------------------------------------
+    # Per-query signature slots
+    # ------------------------------------------------------------------
+    def _slots_for(self, table: _QueryTable, sub_assign: np.ndarray) -> np.ndarray:
+        """Slot index per candidate row, estimating new signatures on demand.
+
+        New signatures are estimated in first-occurrence (enumeration) order,
+        so the optimizer's plan cache is populated by exactly the same
+        placements, in the same order, as in the scalar search.
+        """
+        if table.var_columns.size == 0:
+            codes = np.zeros(sub_assign.shape[0], dtype=np.int64)
+        else:
+            codes = sub_assign[:, table.var_columns] @ table.weights
+        unique_codes, first_rows, inverse = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+        missing = [position for position, code in enumerate(unique_codes)
+                   if int(code) not in table.code_to_slot]
+        if missing:
+            for position in sorted(missing, key=lambda p: first_rows[p]):
+                code = int(unique_codes[position])
+                row = sub_assign[first_rows[position]]
+                placement = self._placement_for_row(row)
+                execution = self.estimator.estimate_query(
+                    table.query, placement, self.concurrency
+                )
+                self.stats.estimator_calls += 1
+                slot = len(table.response_ms)
+                table.code_to_slot[code] = slot
+                table.response_ms.append(execution.response_time_ms)
+                table.executions.append(execution)
+                table.touched_classes.append(
+                    {
+                        name: placement[name].name
+                        for name in self.cache.signature_objects(table.query)
+                        if name in placement
+                    }
+                )
+        slot_of_unique = np.array(
+            [table.code_to_slot[int(code)] for code in unique_codes], dtype=np.intp
+        )
+        return slot_of_unique[inverse]
+
+    # ------------------------------------------------------------------
+    # OLTP aggregation (per unique per-query slot tuple)
+    # ------------------------------------------------------------------
+    def _aggregate_oltp(self, slot_tuple: tuple) -> Tuple[float, float]:
+        """``(tasks_per_hour, transactions_per_minute)`` for one slot tuple.
+
+        Replicates ``WorkloadEstimator._run_mix`` (same merge and iteration
+        order) from cached per-query executions; candidates sharing the slot
+        tuple share the result bit for bit.
+        """
+        cached = self._oltp_aggregates.get(slot_tuple)
+        if cached is not None:
+            return cached
+        class_of: Dict[str, str] = {}
+        slots = iter(slot_tuple)
+
+        def execution_for(query):
+            slot = next(slots)
+            table = self._tables[query.name]
+            class_of.update(table.touched_classes[slot])
+            return table.executions[slot]
+
+        io_by_object, _, avg_response_ms, avg_cpu_ms = _replay_mix(
+            self._oltp.mix, self._oltp.total_weight, execution_for
+        )
+        busy_by_class = _busy_time_by_class(
+            io_by_object,
+            lambda object_name: self.system[class_of[object_name]],
+            self._service_times,
+        )
+        throughput = self._oltp.model.estimate(
+            response_time_ms=max(avg_response_ms, 1e-9),
+            busy_time_by_class_ms=busy_by_class,
+            cpu_time_ms=avg_cpu_ms,
+        )
+        tasks_per_hour = throughput.transactions_per_hour * self._oltp.measured_fraction
+        transactions_per_minute = (
+            throughput.transactions_per_minute * self._oltp.measured_fraction
+        )
+        result = (tasks_per_hour, transactions_per_minute)
+        self._oltp_aggregates[slot_tuple] = result
+        self.stats.oltp_aggregations += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Chunk evaluation
+    # ------------------------------------------------------------------
+    def evaluate_chunk(self, var_assign: np.ndarray) -> ChunkEvaluation:
+        """Score one batch of candidates.
+
+        ``var_assign`` is a ``(batch, len(variable_objects))`` integer matrix
+        of class indices.  Returns per-candidate TOC (``inf`` where the
+        capacity pre-filter rejected the candidate) plus feasibility masks.
+        """
+        var_assign = np.asarray(var_assign, dtype=np.int64)
+        batch = var_assign.shape[0]
+        self.stats.candidates += batch
+        self.stats.chunks += 1
+
+        used = self._space_used(var_assign)
+        capacity_ok = (used <= self.capacities[None, :]).all(axis=1)
+        toc_cents = np.full(batch, np.inf)
+        feasible = np.zeros(batch, dtype=bool)
+        rows = np.flatnonzero(capacity_ok)
+        self.stats.capacity_feasible += int(rows.size)
+        if rows.size == 0:
+            return ChunkEvaluation(toc_cents, capacity_ok, feasible)
+
+        cost = self._layout_cost(used[rows])
+        sub_assign = var_assign[rows]
+        slots = {
+            table.query.name: self._slots_for(table, sub_assign)
+            for table in self._template_order
+        }
+
+        if self.kind == "dss":
+            total_ms = np.zeros(rows.size)
+            performance_ok = np.ones(rows.size, dtype=bool)
+            caps = self._constraint_data if self._constraint_kind == "response_time" else None
+            response_arrays = {
+                table.query.name: np.array(table.response_ms)
+                for table in self._template_order
+            }
+            for query in self._instances:
+                response = response_arrays[query.name][slots[query.name]]
+                total_ms += response
+                if caps is not None:
+                    cap = caps.get(query.name)
+                    if cap is not None:
+                        performance_ok &= response <= cap
+            toc_cents[rows] = cost * ((total_ms / MS_PER_SECOND) / SECONDS_PER_HOUR)
+            feasible[rows] = performance_ok
+        else:
+            slot_matrix = np.stack(
+                [slots[query.name] for query, _ in self._oltp.mix], axis=1
+            )
+            unique_rows, inverse = np.unique(slot_matrix, axis=0, return_inverse=True)
+            tasks = np.empty(unique_rows.shape[0])
+            tpm = np.empty(unique_rows.shape[0])
+            for position, slot_row in enumerate(unique_rows):
+                tasks[position], tpm[position] = self._aggregate_oltp(
+                    tuple(int(slot) for slot in slot_row)
+                )
+            toc_cents[rows] = cost / tasks[inverse]
+            if self._constraint_kind == "throughput":
+                feasible[rows] = tpm[inverse] >= self._constraint_data
+            else:
+                feasible[rows] = True
+
+        self.stats.feasible += int(feasible.sum())
+        return ChunkEvaluation(toc_cents, capacity_ok, feasible)
+
+
+# ---------------------------------------------------------------------------
+# MILP coefficient tables
+# ---------------------------------------------------------------------------
+
+def group_placement_coefficients(
+    groups, system: StorageSystem, profiles
+) -> Tuple[List[tuple], np.ndarray, np.ndarray]:
+    """Cost and I/O-time coefficient vectors for every (group, placement).
+
+    Returns ``(candidates, costs, times)`` where ``candidates`` lists
+    ``(group, placement)`` pairs -- per group, every
+    ``itertools.product(class_names, repeat=len(group))`` placement in
+    product order -- and the arrays hold the layout-cost and Eq.-1
+    time-share coefficients the MILP objective/constraints consume.  Service times are looked up once per
+    (class, I/O type) instead of once per candidate; accumulation order
+    matches the scalar helpers bit for bit.
+    """
+    class_names = tuple(system.class_names)
+    num_classes = len(class_names)
+    prices = np.array([system[name].price_cents_per_gb_hour for name in class_names])
+    service_times = _ServiceTimeTable(profiles.concurrency)
+
+    def service_ms(class_index: int, io_type: IOType) -> float:
+        return service_times.latency_ms(system[class_names[class_index]], io_type)
+
+    candidates: List[tuple] = []
+    cost_parts: List[np.ndarray] = []
+    time_parts: List[np.ndarray] = []
+    for group in groups:
+        size = len(group.members)
+        _, digits = next(iter_assignment_chunks(size, num_classes,
+                                                chunk_size=num_classes**size))
+        count = digits.shape[0]
+        costs = np.zeros(count)
+        for column, member in enumerate(group.members):
+            costs += prices[digits[:, column]] * member.size_gb
+        times = np.zeros(count)
+        for position in range(count):
+            placement = tuple(class_names[int(digit)] for digit in digits[position])
+            profile = profiles.profile_for(placement)
+            total_ms = 0.0
+            for column, member in enumerate(group.members):
+                by_type = profile.get(member.name, {})
+                for io_type, io_count in by_type.items():
+                    total_ms += io_count * service_ms(int(digits[position, column]), io_type)
+            times[position] = total_ms
+            candidates.append((group, placement))
+        cost_parts.append(costs)
+        time_parts.append(times)
+    return candidates, np.concatenate(cost_parts), np.concatenate(time_parts)

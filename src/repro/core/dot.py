@@ -15,7 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.feasibility import FeasibilityChecker, FeasibilityResult
+from repro.core.batch_eval import IncrementalWorkloadEvaluator, UnsupportedBatchEvaluation
+from repro.core.feasibility import FeasibilityChecker, FeasibilityResult, constraint_signature
 from repro.core.layout import Layout
 from repro.core.moves import Move, enumerate_moves
 from repro.core.profiles import WorkloadProfileSet
@@ -103,6 +104,14 @@ class DOTOptimizer:
         Canim et al. [10]).  Used by the grouping ablation benchmark; the
         paper argues -- and the ablation confirms -- that this misses the
         table/index plan interactions DOT's object groups capture.
+    incremental:
+        Evaluate candidate layouts through the
+        :class:`~repro.core.batch_eval.IncrementalWorkloadEvaluator`
+        (default): per-query estimates are cached by touched-placement
+        signature, so a move re-scores only the queries touching the moved
+        group.  Results are bitwise identical to full evaluation; the walk
+        falls back to it automatically for configurations the fast path
+        cannot represent.
     """
 
     def __init__(
@@ -116,6 +125,7 @@ class DOTOptimizer:
         cost_override=None,
         independent_objects: bool = False,
         walk_mode: str = "improvement",
+        incremental: bool = True,
     ):
         if walk_mode not in ("improvement", "paper"):
             raise ValueError(f"unknown walk_mode {walk_mode!r}")
@@ -126,6 +136,7 @@ class DOTOptimizer:
         self.initial_class = initial_class or system.most_expensive().name
         self.capacity_relaxed_walk = capacity_relaxed_walk
         self.walk_mode = walk_mode
+        self.incremental = incremental
         if independent_objects:
             self.groups = [
                 ObjectGroup(key=obj.name, members=(obj,)) for obj in self.objects
@@ -146,6 +157,23 @@ class DOTOptimizer:
         return enumerate_moves(self.groups, self.system, profiles,
                                initial_class=self.initial_class)
 
+    def _candidate_evaluator(self, workload, constraint):
+        """The per-candidate TOC evaluator for one optimization run.
+
+        Prefers the signature-cached incremental evaluator (bitwise-identical
+        results, far less Python per move); falls back to the full
+        ``TOCModel.evaluate`` for workload kinds or constraint types the fast
+        path cannot represent.
+        """
+        if self.incremental and constraint_signature(constraint) is not None:
+            try:
+                fast = IncrementalWorkloadEvaluator(self.estimator, workload, self.toc_model)
+            except UnsupportedBatchEvaluation:
+                pass
+            else:
+                return fast.evaluate
+        return lambda candidate: self.toc_model.evaluate(candidate, workload, mode="estimate")
+
     # ------------------------------------------------------------------
     def optimize(
         self,
@@ -154,8 +182,10 @@ class DOTOptimizer:
         constraint: Optional[PerformanceConstraint] = None,
     ) -> DOTResult:
         """Run the optimization phase (Procedure 1) and return the best layout."""
+        active_constraint = constraint if constraint is not None else self.constraint
         checker = self.checker if constraint is None else FeasibilityChecker(constraint)
         started = time.perf_counter()
+        evaluate_candidate = self._candidate_evaluator(workload, active_constraint)
 
         current = self.initial_layout()
         initial_report = self.toc_model.evaluate(current, workload, mode="estimate")
@@ -171,7 +201,7 @@ class DOTOptimizer:
         moves = self.enumerate_moves(profiles)
         for move in moves:
             candidate = move.apply_to(current)
-            report = self.toc_model.evaluate(candidate, workload, mode="estimate")
+            report = evaluate_candidate(candidate)
             evaluated += 1
             check = checker.check(candidate, report.run_result)
 
@@ -207,9 +237,10 @@ class DOTOptimizer:
         elapsed = time.perf_counter() - started
         if best_layout is not None:
             best_layout = best_layout.renamed("DOT")
-            best_report = self.toc_model.report_from_result(
-                best_layout, workload, best_report.run_result
-            )
+            # The incremental evaluator omits dispensable I/O bookkeeping from
+            # candidate run results, so the recommendation is re-evaluated in
+            # full; the numbers are identical, only the I/O fields are richer.
+            best_report = self.toc_model.evaluate(best_layout, workload, mode="estimate")
         return DOTResult(
             layout=best_layout,
             toc_report=best_report,

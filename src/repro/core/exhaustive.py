@@ -15,6 +15,11 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.core.batch_eval import (
+    BatchLayoutEvaluator,
+    UnsupportedBatchEvaluation,
+    iter_assignment_chunks,
+)
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.layout import Layout
 from repro.core.toc import TOCModel, TOCReport
@@ -68,6 +73,14 @@ class ExhaustiveSearch:
         ``pinned_class``); used when the enumeration is restricted to the
         "hot" objects of a database whose remaining objects still need a
         placement for the workload to be estimable.
+    batch:
+        Evaluate candidates through the vectorized
+        :class:`~repro.core.batch_eval.BatchLayoutEvaluator` (default).  The
+        batch path returns bitwise-identical results and falls back to the
+        scalar loop automatically for configurations it cannot vectorize
+        (cost overrides, exotic constraint types).
+    batch_chunk_size:
+        Number of candidate layouts scored per numpy batch.
     """
 
     def __init__(
@@ -81,6 +94,8 @@ class ExhaustiveSearch:
         cost_override=None,
         pinned_objects: Sequence[DatabaseObject] = (),
         pinned_class: Optional[str] = None,
+        batch: bool = True,
+        batch_chunk_size: int = 4096,
     ):
         self.objects = list(objects)
         self.system = system
@@ -90,8 +105,13 @@ class ExhaustiveSearch:
         self.per_group = per_group
         self.pinned_objects = list(pinned_objects)
         self.pinned_class = pinned_class or system.cheapest().name
+        self.batch = batch
+        self.batch_chunk_size = batch_chunk_size
         self.toc_model = TOCModel(estimator, cost_override=cost_override)
         self.checker = FeasibilityChecker(constraint)
+        #: Batch-evaluation statistics of the last batch-path search (None
+        #: when the scalar path ran).
+        self.last_batch_stats = None
 
     # ------------------------------------------------------------------
     def search_space_size(self) -> int:
@@ -126,6 +146,19 @@ class ExhaustiveSearch:
                 assignment.update(zip(names, combo))
                 yield Layout(all_objects, self.system, assignment, name="ES candidate")
 
+    def _variable_objects(self) -> List[DatabaseObject]:
+        """The enumerated objects in candidate-column order.
+
+        Per-group enumeration is the product of per-group placement products,
+        which flattens to a plain product over all members in group-by-group
+        order -- so both modes reduce to one mixed-radix enumeration; only
+        the column order differs (and with it the floating-point accumulation
+        order the batch path must preserve).
+        """
+        if self.per_group:
+            return [member for group in group_objects(self.objects) for member in group.members]
+        return list(self.objects)
+
     # ------------------------------------------------------------------
     def search(self, workload, constraint: Optional[PerformanceConstraint] = None) -> ExhaustiveSearchResult:
         """Enumerate all layouts and return the cheapest feasible one."""
@@ -135,7 +168,68 @@ class ExhaustiveSearch:
                 f"exhaustive search space has {space} layouts, exceeding the limit of "
                 f"{self.max_layouts}; reduce the object set or raise max_layouts"
             )
+        active_constraint = constraint if constraint is not None else self.constraint
         checker = self.checker if constraint is None else FeasibilityChecker(constraint)
+        self.last_batch_stats = None
+        if self.batch and self.toc_model.vectorizable_layout_cost:
+            result = self._search_batch(workload, active_constraint)
+            if result is not None:
+                return result
+        return self._search_scalar(workload, checker)
+
+    # ------------------------------------------------------------------
+    def _search_batch(
+        self, workload, constraint: Optional[PerformanceConstraint]
+    ) -> Optional[ExhaustiveSearchResult]:
+        """Vectorized enumeration; returns None when unsupported."""
+        started = time.perf_counter()
+        variable_objects = self._variable_objects()
+        try:
+            evaluator = BatchLayoutEvaluator(
+                variable_objects,
+                self.system,
+                self.estimator,
+                workload,
+                pinned=[(obj, self.pinned_class) for obj in self.pinned_objects],
+                constraint=constraint,
+            )
+        except UnsupportedBatchEvaluation:
+            return None
+
+        best_toc = float("inf")
+        best_row = None
+        evaluated = 0
+        for _, chunk in iter_assignment_chunks(
+            len(variable_objects), len(self.system), self.batch_chunk_size
+        ):
+            evaluation = evaluator.evaluate_chunk(chunk)
+            evaluated += chunk.shape[0]
+            index = evaluation.best_index
+            if index is not None and evaluation.toc_cents[index] < best_toc:
+                best_toc = float(evaluation.toc_cents[index])
+                best_row = chunk[index].copy()
+        self.last_batch_stats = evaluator.stats
+
+        best_layout: Optional[Layout] = None
+        best_report: Optional[TOCReport] = None
+        if best_row is not None:
+            all_objects = self.objects + self.pinned_objects
+            best_layout = Layout(
+                all_objects, self.system, evaluator.assignment_for_row(best_row), name="ES"
+            )
+            best_report = self.toc_model.evaluate(best_layout, workload, mode="estimate")
+        elapsed = time.perf_counter() - started
+        return ExhaustiveSearchResult(
+            layout=best_layout,
+            toc_report=best_report,
+            feasible=best_layout is not None,
+            evaluated_layouts=evaluated,
+            elapsed_s=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _search_scalar(self, workload, checker: FeasibilityChecker) -> ExhaustiveSearchResult:
+        """The original per-layout evaluation loop (reference path)."""
         started = time.perf_counter()
 
         best_layout: Optional[Layout] = None

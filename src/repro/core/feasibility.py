@@ -11,7 +11,33 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.layout import Layout
-from repro.sla.constraints import ConstraintCheck, PerformanceConstraint
+from repro.sla.constraints import (
+    ConstraintCheck,
+    PerformanceConstraint,
+    ResponseTimeConstraint,
+    ThroughputConstraint,
+)
+
+
+def constraint_signature(
+    constraint: Optional[PerformanceConstraint],
+) -> Optional[Tuple[str, object]]:
+    """Classify a constraint for vectorized (batch) feasibility checking.
+
+    Returns ``("none", None)``, ``("response_time", caps_ms_dict)`` or
+    ``("throughput", floor_tpm)`` for the two concrete paper constraint
+    types, and ``None`` for anything else -- including *subclasses* of the
+    known types, whose overridden ``check`` could read arbitrary fields of
+    the run result; callers seeing ``None`` must fall back to scalar
+    checking.
+    """
+    if constraint is None:
+        return ("none", None)
+    if type(constraint) is ResponseTimeConstraint:
+        return ("response_time", dict(constraint.caps_ms))
+    if type(constraint) is ThroughputConstraint:
+        return ("throughput", constraint.min_transactions_per_minute)
+    return None
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,6 @@ DOT's to quantify how much the greedy walk loses.
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -21,8 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize, sparse
 
+from repro.core.batch_eval import group_placement_coefficients
 from repro.core.layout import Layout
-from repro.core.moves import group_cost_cents_per_hour
 from repro.core.profiles import WorkloadProfileSet
 from repro.exceptions import ConfigurationError
 from repro.objects import DatabaseObject, ObjectGroup, group_objects
@@ -56,13 +55,6 @@ class MILPPlacement:
         self.groups: List[ObjectGroup] = group_objects(self.objects)
 
     # ------------------------------------------------------------------
-    def _candidates(self) -> List[Tuple[ObjectGroup, Tuple[str, ...]]]:
-        candidates = []
-        for group in self.groups:
-            for combo in itertools.product(self.system.class_names, repeat=len(group)):
-                candidates.append((group, tuple(combo)))
-        return candidates
-
     def solve(
         self,
         profiles: WorkloadProfileSet,
@@ -83,14 +75,13 @@ class MILPPlacement:
         if io_time_budget_ms <= 0:
             raise ConfigurationError("the I/O time budget must be positive")
         started = time.perf_counter()
-        candidates = self._candidates()
+        # Coefficient precomputation shares the batch evaluator's vectorized
+        # tables: identical values to the per-candidate helpers, one service
+        # -time lookup per (class, I/O type) instead of one per candidate.
+        candidates, costs, times = group_placement_coefficients(
+            self.groups, self.system, profiles
+        )
         num_vars = len(candidates)
-
-        costs = np.zeros(num_vars)
-        times = np.zeros(num_vars)
-        for position, (group, placement) in enumerate(candidates):
-            costs[position] = group_cost_cents_per_hour(group, placement, self.system)
-            times[position] = profiles.io_time_share_ms(group, placement)
 
         rows: List[int] = []
         cols: List[int] = []

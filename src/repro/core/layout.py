@@ -45,6 +45,10 @@ class Layout:
             if class_name not in system:
                 raise UnknownStorageClassError(class_name)
             self._assignment[obj_name] = class_name
+        # Layouts are immutable, so the object -> StorageClass mapping the
+        # DBMS cost model consumes can be built once and shared; DOT and the
+        # batch evaluators call placement() on every candidate evaluation.
+        self._placement: Optional[Dict[str, StorageClass]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -94,8 +98,17 @@ class Layout:
         return dict(self._assignment)
 
     def placement(self) -> Dict[str, StorageClass]:
-        """The object -> StorageClass mapping consumed by the DBMS cost model."""
-        return {obj_name: self.system[class_name] for obj_name, class_name in self._assignment.items()}
+        """The object -> StorageClass mapping consumed by the DBMS cost model.
+
+        The mapping is computed once and cached (layouts are immutable), so
+        repeated calls return the same dict object; treat it as read-only.
+        """
+        if self._placement is None:
+            self._placement = {
+                obj_name: self.system[class_name]
+                for obj_name, class_name in self._assignment.items()
+            }
+        return self._placement
 
     def objects_on(self, class_name: str) -> List[DatabaseObject]:
         """All objects assigned to one storage class (the paper's ``O_j``)."""

@@ -80,6 +80,16 @@ class WorkloadProfileSet:
         profile = self._lookup(pattern)
         return dict(profile.get(object_name, {}))
 
+    def profile_for(self, pattern: BaselinePlacement) -> ObjectIOProfile:
+        """The full per-object I/O profile for one placement pattern.
+
+        Resolves the pattern with the same prefix/fallback rules as every
+        other accessor and returns the *internal* profile dict (read-only by
+        convention); batch coefficient builders use it to avoid one lookup
+        per (object, pattern) pair.
+        """
+        return self._lookup(pattern)
+
     def _lookup(self, pattern: BaselinePlacement) -> ObjectIOProfile:
         key = tuple(pattern)
         if key in self.profiles:

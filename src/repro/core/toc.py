@@ -61,6 +61,16 @@ class TOCModel:
         self.cost_override = cost_override
 
     # ------------------------------------------------------------------
+    @property
+    def vectorizable_layout_cost(self) -> bool:
+        """True when the layout cost is the default linear ``C(L)``.
+
+        Batch evaluators may then compute costs from size/price matrices; a
+        ``cost_override`` (the discrete-sized model of Section 5.2) is an
+        opaque ``layout -> cents`` callable and forces the scalar path.
+        """
+        return self.cost_override is None
+
     def layout_cost(self, layout: Layout) -> float:
         """The layout cost ``C(L)`` in cents per hour."""
         if self.cost_override is not None:

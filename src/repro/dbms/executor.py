@@ -156,6 +156,24 @@ class WorkloadEstimator:
         }
 
     # ------------------------------------------------------------------
+    # Placement signatures
+    # ------------------------------------------------------------------
+    def signature_objects(self, query: Query) -> Tuple[str, ...]:
+        """Objects whose storage class can influence this query's estimate.
+
+        This is the query's referenced objects (the optimizer's plan-cache
+        key) plus the temporary-space object: spills pay I/O against temp, so
+        its class matters even though no query references it directly.  Two
+        placements agreeing on these objects produce identical estimates --
+        the invariant the batch/incremental evaluators key their tables on.
+        """
+        names = list(query.referenced_objects)
+        temp_object = self.optimizer.temp_object
+        if temp_object and temp_object not in names:
+            names.append(temp_object)
+        return tuple(names)
+
+    # ------------------------------------------------------------------
     # Single queries
     # ------------------------------------------------------------------
     def estimate_query(

@@ -34,6 +34,40 @@ from repro.storage.storage_class import StorageClass
 
 
 @dataclass
+class CacheStats:
+    """Hit/miss/size accounting of the optimizer's plan cache.
+
+    The searches (ES, DOT, the batch evaluator) re-plan the same queries
+    under thousands of placements; because the cache key only covers the
+    objects a query actually references, moving an *unrelated* object must
+    produce a hit.  These counters make that observable and are the basis of
+    the cache regression tests.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.size = 0
+
+
+@dataclass
 class _Candidate:
     """A costed sub-plan alternative."""
 
@@ -62,6 +96,7 @@ class QueryOptimizer:
         #: the database registers one and the placement covers it.
         self.temp_object = temp_object
         self._plan_cache: Dict[tuple, QueryPlan] = {}
+        self.cache_stats = CacheStats()
 
     # ------------------------------------------------------------------
     # Public API
@@ -79,17 +114,26 @@ class QueryOptimizer:
             cache_key = self._cache_key(query, placement, concurrency)
             cached = self._plan_cache.get(cache_key)
             if cached is not None:
+                self.cache_stats.hits += 1
                 return cached
+            self.cache_stats.misses += 1
 
         cost_model = CostModel(placement, concurrency=concurrency, parameters=self.parameters)
         plan = self._build_plan(query, cost_model)
         if cache_key is not None:
             self._plan_cache[cache_key] = plan
+            self.cache_stats.size = len(self._plan_cache)
         return plan
 
     def clear_cache(self) -> None:
         """Drop all cached plans (placements or statistics changed)."""
         self._plan_cache.clear()
+        self.cache_stats.size = 0
+
+    def plan_table(self) -> Dict[tuple, QueryPlan]:
+        """A snapshot of the plan cache keyed by (query, concurrency, touched
+        placements), for introspection and debugging of search runs."""
+        return dict(self._plan_cache)
 
     # ------------------------------------------------------------------
     # Internals

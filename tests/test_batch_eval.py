@@ -1,0 +1,428 @@
+"""The vectorized batch layout evaluation engine.
+
+The contract under test is strict: the batch exhaustive search and the
+incremental DOT walk must return *bitwise identical* layouts, TOCs and move
+histories compared to the scalar reference paths -- including on the paper's
+Figure 9 ES-vs-DOT TPC-C configuration.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.batch_eval import (
+    BatchLayoutEvaluator,
+    IncrementalWorkloadEvaluator,
+    UnsupportedBatchEvaluation,
+    group_placement_coefficients,
+    iter_assignment_chunks,
+)
+from repro.core.dot import DOTOptimizer
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.feasibility import constraint_signature
+from repro.core.layout import Layout
+from repro.core.moves import group_cost_cents_per_hour
+from repro.core.profiler import WorkloadProfiler
+from repro.core.toc import TOCModel
+from repro.dbms.executor import WorkloadEstimator
+from repro.sla.constraints import (
+    RelativeSLA,
+    ResponseTimeConstraint,
+    ThroughputConstraint,
+)
+from repro.workloads.workload import Workload
+
+
+def fresh_estimator(catalog):
+    """A fresh estimator (independent plan-cache state per search path)."""
+    return WorkloadEstimator(catalog, noise=0.0, buffer_pool=None, seed=7)
+
+
+@pytest.fixture
+def loose_constraint(small_objects, box1_system, small_catalog, small_workload):
+    toc = TOCModel(fresh_estimator(small_catalog))
+    reference = toc.evaluate(
+        Layout.uniform(small_objects, box1_system, "H-SSD"), small_workload, mode="estimate"
+    )
+    return RelativeSLA(0.25).resolve(reference.run_result)
+
+
+@pytest.fixture
+def oltp_workload(scan_query, lookup_query, write_query):
+    return Workload(
+        name="tiny-oltp",
+        kind="oltp",
+        transaction_mix=((scan_query, 1.0), (lookup_query, 8.0), (write_query, 3.0)),
+        concurrency=50,
+        measured_transaction_fraction=0.4,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Candidate enumeration
+# ---------------------------------------------------------------------------
+
+class TestAssignmentChunks:
+    def test_matches_itertools_product_order(self):
+        rows = np.concatenate(
+            [chunk for _, chunk in iter_assignment_chunks(3, 4, chunk_size=7)]
+        )
+        expected = np.array(list(itertools.product(range(4), repeat=3)))
+        assert rows.shape == expected.shape
+        assert (rows == expected).all()
+
+    def test_chunk_starts_and_sizes(self):
+        starts = []
+        total = 0
+        for start, chunk in iter_assignment_chunks(4, 3, chunk_size=10):
+            starts.append(start)
+            assert chunk.shape[0] <= 10
+            total += chunk.shape[0]
+        assert total == 3**4
+        assert starts == list(range(0, 3**4, 10))
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            next(iter_assignment_chunks(0, 3))
+        with pytest.raises(ValueError):
+            next(iter_assignment_chunks(3, 0))
+        with pytest.raises(ValueError):
+            next(iter_assignment_chunks(3, 3, chunk_size=0))
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive search identity (DSS)
+# ---------------------------------------------------------------------------
+
+def run_both_paths(objects, system, catalog, workload, **kwargs):
+    scalar = ExhaustiveSearch(
+        objects, system, fresh_estimator(catalog), batch=False, **kwargs
+    ).search(workload)
+    batch = ExhaustiveSearch(
+        objects, system, fresh_estimator(catalog), batch=True, **kwargs
+    ).search(workload)
+    return scalar, batch
+
+
+class TestBatchExhaustiveIdentity:
+    @pytest.mark.parametrize("per_group", [False, True])
+    def test_unconstrained(self, small_objects, box1_system, small_catalog, small_workload,
+                           per_group):
+        scalar, batch = run_both_paths(
+            small_objects, box1_system, small_catalog, small_workload, per_group=per_group
+        )
+        assert batch.layout == scalar.layout
+        assert batch.toc_cents == scalar.toc_cents
+        assert batch.evaluated_layouts == scalar.evaluated_layouts
+
+    @pytest.mark.parametrize("per_group", [False, True])
+    def test_with_response_time_sla(self, small_objects, box1_system, small_catalog,
+                                    small_workload, loose_constraint, per_group):
+        scalar, batch = run_both_paths(
+            small_objects, box1_system, small_catalog, small_workload,
+            constraint=loose_constraint, per_group=per_group,
+        )
+        assert batch.layout == scalar.layout
+        assert batch.toc_cents == scalar.toc_cents
+
+    def test_with_pinned_objects(self, small_objects, box1_system, small_catalog,
+                                 small_workload):
+        movable = [obj for obj in small_objects if obj.table == "fact"]
+        pinned = [obj for obj in small_objects if obj.table != "fact"]
+        scalar, batch = run_both_paths(
+            small_objects[:0] + movable, box1_system, small_catalog, small_workload,
+            pinned_objects=pinned, pinned_class="HDD RAID 0",
+        )
+        assert batch.layout == scalar.layout
+        assert batch.toc_cents == scalar.toc_cents
+        for obj in pinned:
+            assert batch.layout.class_name_of(obj.name) == "HDD RAID 0"
+
+    def test_oltp_identity(self, small_objects, box1_system, small_catalog, oltp_workload):
+        scalar, batch = run_both_paths(
+            small_objects, box1_system, small_catalog, oltp_workload
+        )
+        assert batch.layout == scalar.layout
+        assert batch.toc_cents == scalar.toc_cents
+
+    def test_oltp_with_throughput_sla(self, small_objects, box1_system, small_catalog,
+                                      oltp_workload):
+        toc = TOCModel(fresh_estimator(small_catalog))
+        reference = toc.evaluate(
+            Layout.uniform(small_objects, box1_system, "H-SSD"), oltp_workload,
+            mode="estimate",
+        )
+        constraint = RelativeSLA(0.25, metric="throughput").resolve(reference.run_result)
+        scalar, batch = run_both_paths(
+            small_objects, box1_system, small_catalog, oltp_workload, constraint=constraint
+        )
+        assert batch.feasible == scalar.feasible
+        assert batch.toc_cents == scalar.toc_cents
+        assert batch.layout == scalar.layout
+
+    def test_infeasible_constraint(self, small_objects, box1_system, small_catalog,
+                                   small_workload):
+        impossible = ResponseTimeConstraint(
+            {name: 1e-9 for name in small_workload.query_names}
+        )
+        scalar, batch = run_both_paths(
+            small_objects, box1_system, small_catalog, small_workload, constraint=impossible
+        )
+        assert not scalar.feasible and not batch.feasible
+        assert batch.toc_cents == scalar.toc_cents == float("inf")
+
+    def test_batch_path_records_stats(self, small_objects, box1_system, small_catalog,
+                                      small_workload):
+        search = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog), batch=True
+        )
+        search.search(small_workload)
+        stats = search.last_batch_stats
+        assert stats is not None
+        assert stats.candidates == search.search_space_size()
+        # Signature dedup: far fewer optimizer estimates than candidates x queries.
+        assert 0 < stats.estimator_calls < stats.candidates
+
+    def test_cost_override_falls_back_to_scalar(self, small_objects, box1_system,
+                                                small_catalog, small_workload):
+        search = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog),
+            cost_override=lambda layout: 42.0, batch=True,
+        )
+        result = search.search(small_workload)
+        assert search.last_batch_stats is None  # scalar path ran
+        assert result.feasible
+
+    def test_unknown_constraint_type_falls_back_to_scalar(self, small_objects, box1_system,
+                                                          small_catalog, small_workload):
+        class PickyConstraint(ResponseTimeConstraint):
+            pass
+
+        picky = PickyConstraint({name: 1e12 for name in small_workload.query_names})
+        search = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog),
+            constraint=picky, batch=True,
+        )
+        result = search.search(small_workload)
+        assert search.last_batch_stats is None
+        scalar = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog),
+            constraint=picky, batch=False,
+        ).search(small_workload)
+        assert result.layout == scalar.layout
+        assert result.toc_cents == scalar.toc_cents
+
+
+# ---------------------------------------------------------------------------
+# The evaluator building blocks
+# ---------------------------------------------------------------------------
+
+class TestBatchLayoutEvaluator:
+    def test_capacity_infeasible_candidates_get_inf(self, small_objects, box1_system,
+                                                    small_catalog, small_workload):
+        total = sum(obj.size_gb for obj in small_objects)
+        limited = box1_system.with_capacity_limits({"H-SSD": total * 0.01})
+        evaluator = BatchLayoutEvaluator(
+            small_objects, limited, fresh_estimator(small_catalog), small_workload
+        )
+        hssd = limited.class_names.index("H-SSD")
+        all_hssd = np.full((1, len(small_objects)), hssd)
+        evaluation = evaluator.evaluate_chunk(all_hssd)
+        assert evaluation.toc_cents[0] == float("inf")
+        assert not evaluation.capacity_ok[0]
+        assert evaluation.best_index is None
+
+    def test_chunk_toc_matches_scalar_toc_model(self, small_objects, box1_system,
+                                                small_catalog, small_workload):
+        estimator = fresh_estimator(small_catalog)
+        evaluator = BatchLayoutEvaluator(
+            small_objects, box1_system, estimator, small_workload
+        )
+        toc_model = TOCModel(fresh_estimator(small_catalog))
+        rows = np.array([
+            [0] * len(small_objects),
+            [1] * len(small_objects),
+            [0, 1, 2, 0][: len(small_objects)],
+        ])
+        evaluation = evaluator.evaluate_chunk(rows)
+        for row, toc_cents in zip(rows, evaluation.toc_cents):
+            layout = Layout(
+                small_objects, box1_system, evaluator.assignment_for_row(row)
+            )
+            expected = toc_model.evaluate(layout, small_workload, mode="estimate")
+            assert toc_cents == expected.toc_cents
+
+    def test_requires_variable_objects(self, box1_system, small_catalog, small_workload):
+        with pytest.raises(UnsupportedBatchEvaluation):
+            BatchLayoutEvaluator(
+                [], box1_system, fresh_estimator(small_catalog), small_workload
+            )
+
+
+class TestIncrementalEvaluator:
+    def test_dss_report_matches_full_evaluation(self, small_objects, box1_system,
+                                                small_catalog, small_workload):
+        estimator = fresh_estimator(small_catalog)
+        toc_model = TOCModel(estimator)
+        fast = IncrementalWorkloadEvaluator(estimator, small_workload, toc_model)
+        reference_model = TOCModel(fresh_estimator(small_catalog))
+        for class_name in box1_system.class_names:
+            layout = Layout.uniform(small_objects, box1_system, class_name)
+            fast_report = fast.evaluate(layout)
+            full_report = reference_model.evaluate(layout, small_workload, mode="estimate")
+            assert fast_report.toc_cents == full_report.toc_cents
+            assert (fast_report.run_result.per_query_times_ms
+                    == full_report.run_result.per_query_times_ms)
+
+    def test_oltp_report_matches_full_evaluation(self, small_objects, box1_system,
+                                                 small_catalog, oltp_workload):
+        estimator = fresh_estimator(small_catalog)
+        toc_model = TOCModel(estimator)
+        fast = IncrementalWorkloadEvaluator(estimator, oltp_workload, toc_model)
+        reference_model = TOCModel(fresh_estimator(small_catalog))
+        for class_name in box1_system.class_names:
+            layout = Layout.uniform(small_objects, box1_system, class_name)
+            fast_report = fast.evaluate(layout)
+            full_report = reference_model.evaluate(layout, oltp_workload, mode="estimate")
+            assert fast_report.toc_cents == full_report.toc_cents
+            assert (fast_report.run_result.transactions_per_minute
+                    == full_report.run_result.transactions_per_minute)
+            assert (fast_report.run_result.busy_time_by_class_ms
+                    == full_report.run_result.busy_time_by_class_ms)
+
+    def test_repeated_evaluations_hit_the_cache(self, small_objects, box1_system,
+                                                small_catalog, small_workload):
+        estimator = fresh_estimator(small_catalog)
+        fast = IncrementalWorkloadEvaluator(estimator, small_workload, TOCModel(estimator))
+        layout = Layout.uniform(small_objects, box1_system, "H-SSD")
+        fast.evaluate(layout)
+        misses = fast.cache.misses
+        # Moving an object no query touches re-uses every cached estimate.
+        fast.evaluate(layout)
+        assert fast.cache.misses == misses
+        assert fast.cache.hits > 0
+
+
+class TestConstraintSignature:
+    def test_known_types(self):
+        assert constraint_signature(None) == ("none", None)
+        kind, caps = constraint_signature(ResponseTimeConstraint({"q": 5.0}))
+        assert kind == "response_time" and caps == {"q": 5.0}
+        kind, floor = constraint_signature(ThroughputConstraint(100.0))
+        assert kind == "throughput" and floor == 100.0
+
+    def test_subclasses_are_not_vectorizable(self):
+        class Custom(ThroughputConstraint):
+            pass
+
+        assert constraint_signature(Custom(100.0)) is None
+
+
+# ---------------------------------------------------------------------------
+# DOT incremental path identity
+# ---------------------------------------------------------------------------
+
+class TestDOTIncrementalIdentity:
+    @pytest.mark.parametrize("workload_fixture", ["small_workload", "oltp_workload"])
+    def test_walk_is_bitwise_identical(self, request, small_objects, box1_system,
+                                       small_catalog, workload_fixture):
+        workload = request.getfixturevalue(workload_fixture)
+        results = {}
+        for incremental in (False, True):
+            estimator = fresh_estimator(small_catalog)
+            profiles = WorkloadProfiler(small_objects, box1_system, estimator).profile(
+                workload, mode="estimate"
+            )
+            dot = DOTOptimizer(small_objects, box1_system, estimator,
+                               incremental=incremental)
+            results[incremental] = dot.optimize(workload, profiles)
+        scalar, fast = results[False], results[True]
+        assert fast.layout == scalar.layout
+        assert fast.toc_cents == scalar.toc_cents
+        assert len(fast.history) == len(scalar.history)
+        for fast_move, scalar_move in zip(fast.history, scalar.history):
+            assert fast_move.move_description == scalar_move.move_description
+            assert fast_move.accepted == scalar_move.accepted
+            assert fast_move.feasible == scalar_move.feasible
+            assert fast_move.toc_cents == scalar_move.toc_cents
+            assert fast_move.feasibility == scalar_move.feasibility
+
+
+# ---------------------------------------------------------------------------
+# MILP coefficient tables
+# ---------------------------------------------------------------------------
+
+class TestGroupPlacementCoefficients:
+    def test_matches_scalar_helpers(self, small_objects, box1_system, small_catalog,
+                                    small_workload):
+        estimator = fresh_estimator(small_catalog)
+        profiles = WorkloadProfiler(small_objects, box1_system, estimator).profile(
+            small_workload, mode="estimate"
+        )
+        from repro.objects import group_objects
+
+        groups = group_objects(small_objects)
+        candidates, costs, times = group_placement_coefficients(
+            groups, box1_system, profiles
+        )
+        position = 0
+        for group in groups:
+            for combo in itertools.product(box1_system.class_names, repeat=len(group)):
+                candidate_group, placement = candidates[position]
+                assert candidate_group.key == group.key
+                assert placement == tuple(combo)
+                assert costs[position] == group_cost_cents_per_hour(
+                    group, placement, box1_system
+                )
+                assert times[position] == profiles.io_time_share_ms(group, placement)
+                position += 1
+        assert position == len(candidates)
+
+
+# ---------------------------------------------------------------------------
+# The acceptance bar: the Figure 9 ES configuration, bit for bit
+# ---------------------------------------------------------------------------
+
+class TestFigure9Configuration:
+    @pytest.fixture(scope="class")
+    def fig9_setup(self):
+        from repro.dbms.buffer_pool import BufferPool
+        from repro.experiments import boxes
+        from repro.workloads import tpcc
+
+        warehouses, concurrency = 300, 300
+        catalog = tpcc.build_catalog(warehouses)
+        workload = tpcc.oltp_workload(warehouses, concurrency=concurrency)
+        all_objects = catalog.database_objects()
+        hot_groups = {"stock", "order_line", "customer"}
+        hot = [obj for obj in all_objects if (obj.table or obj.name) in hot_groups]
+        cold = [obj for obj in all_objects if obj not in hot]
+        system = boxes.box2(capacity_limits_gb={"H-SSD": 21.0})
+
+        def build_search(batch):
+            estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
+            from repro.experiments.runner import ExperimentRunner
+
+            runner = ExperimentRunner(all_objects, system, estimator)
+            constraint = runner.resolve_constraint(
+                workload, RelativeSLA(0.25, metric="throughput"), mode="estimate"
+            )
+            return ExhaustiveSearch(
+                hot, system, estimator, constraint=constraint, per_group=True,
+                pinned_objects=cold, pinned_class=system.most_expensive().name,
+                batch=batch,
+            )
+
+        return workload, build_search
+
+    def test_batch_es_bitwise_identical_to_scalar(self, fig9_setup):
+        """Section 4.5.3 / Figure 9, H-SSD capped at 21 GB: the batch path
+        must return the identical best layout and TOC, bit for bit."""
+        workload, build_search = fig9_setup
+        scalar = build_search(batch=False).search(workload)
+        batch = build_search(batch=True).search(workload)
+        assert scalar.feasible and batch.feasible
+        assert batch.layout == scalar.layout
+        assert batch.toc_cents == scalar.toc_cents
+        assert batch.evaluated_layouts == scalar.evaluated_layouts

@@ -139,6 +139,20 @@ class TestLayout:
         placement = Layout.uniform(objects, box1, "H-SSD").placement()
         assert placement["orders"].name == "H-SSD"
 
+    def test_placement_is_cached(self, objects, box1):
+        """Repeated placement() calls return the same mapping object -- DOT
+        and the batch evaluators call it once per candidate evaluation."""
+        layout = Layout.uniform(objects, box1, "H-SSD")
+        assert layout.placement() is layout.placement()
+
+    def test_derived_layouts_do_not_share_placement_cache(self, objects, box1):
+        layout = Layout.uniform(objects, box1, "H-SSD")
+        original = layout.placement()
+        moved = layout.with_assignment("orders", "HDD RAID 0")
+        assert moved.placement() is not original
+        assert original["orders"].name == "H-SSD"
+        assert moved.placement()["orders"].name == "HDD RAID 0"
+
 
 class TestProfilesAndProfiler:
     def test_baseline_placements_count(self, box1):

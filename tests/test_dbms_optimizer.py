@@ -269,3 +269,39 @@ class TestPlanCache:
         text = optimizer.plan(join_query, hdd_placement).render()
         assert "HashJoin" in text or "IndexNLJoin" in text
         assert "rows=" in text
+
+
+class TestCacheStats:
+    def test_hits_misses_and_size_counted(self, optimizer, scan_query, hdd_placement):
+        assert optimizer.cache_stats.lookups == 0
+        optimizer.plan(scan_query, hdd_placement)
+        assert (optimizer.cache_stats.hits, optimizer.cache_stats.misses) == (0, 1)
+        assert optimizer.cache_stats.size == 1
+        optimizer.plan(scan_query, hdd_placement)
+        assert (optimizer.cache_stats.hits, optimizer.cache_stats.misses) == (1, 1)
+        assert optimizer.cache_stats.hit_rate == 0.5
+
+    def test_moving_unreferenced_object_still_hits(self, optimizer, scan_query, small_catalog):
+        """The cache key covers only the query's referenced objects, so
+        re-placing an object the query never touches must be a cache hit --
+        the invariant every batch search relies on."""
+        placement = uniform_placement(small_catalog, storage_catalog.hdd())
+        first = optimizer.plan(scan_query, placement)
+        moved = dict(placement)
+        assert "dim" not in scan_query.referenced_objects
+        moved["dim"] = storage_catalog.hssd()
+        second = optimizer.plan(scan_query, moved)
+        assert second is first
+        assert optimizer.cache_stats.hits == 1
+        assert optimizer.cache_stats.misses == 1
+
+    def test_bypassing_cache_leaves_stats_untouched(self, optimizer, scan_query, hdd_placement):
+        optimizer.plan(scan_query, hdd_placement, use_cache=False)
+        assert optimizer.cache_stats.lookups == 0
+        assert optimizer.cache_stats.size == 0
+
+    def test_clear_cache_resets_size(self, optimizer, scan_query, hdd_placement):
+        optimizer.plan(scan_query, hdd_placement)
+        optimizer.clear_cache()
+        assert optimizer.cache_stats.size == 0
+        assert optimizer.plan_table() == {}
