@@ -1,0 +1,43 @@
+"""Benchmark: online re-provisioning vs the frozen layout under drift.
+
+Runs the OLTP-to-OLAP crossfade experiment (see
+``repro.experiments.drift``) at paper-adjacent scale and asserts the
+qualitative shape of the result: the migration-aware online advisor must
+beat the provision-once baseline net of its migration charges, keep the
+SLA satisfied at every epoch, and actually perform at least one re-tier
+(a run that never migrates is not exercising the subsystem).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.drift import online_drift_experiment
+
+SLA_RATIO = 0.25
+
+
+def test_online_drift_crossfade(benchmark):
+    result = run_once(
+        benchmark,
+        online_drift_experiment,
+        scale_factor=4.0,
+        num_epochs=16,
+        sla_ratio=SLA_RATIO,
+        seed=2024,
+    )
+    summary = result["summary"]
+    print(result["text"])
+    benchmark.extra_info["report"] = result["text"]
+    benchmark.extra_info["summary"] = {
+        key: value for key, value in summary.items() if key != "retier_epochs"
+    }
+
+    assert summary["num_epochs"] == 16
+    assert summary["online_cumulative_cents"] < summary["frozen_cumulative_cents"]
+    assert summary["online_min_psr"] >= SLA_RATIO
+    assert len(summary["retier_epochs"]) >= 1
+    assert summary["migration_cents"] < summary["saving_cents"]
+    # Staying online must be worth a double-digit share of the frozen cost
+    # on this scenario (observed ~30 %).
+    assert summary["saving_fraction"] > 0.10

@@ -22,7 +22,7 @@ Quickstart
 'DOT'
 """
 
-from repro import core, dbms, experiments, sla, storage, workloads
+from repro import core, dbms, experiments, online, sla, storage, workloads
 from repro.exceptions import (
     CapacityError,
     ConfigurationError,
@@ -43,6 +43,7 @@ __all__ = [
     "core",
     "dbms",
     "experiments",
+    "online",
     "sla",
     "storage",
     "workloads",

@@ -20,6 +20,7 @@ from repro.core.batch_eval import (
     BatchEvalStats,
     BatchLayoutEvaluator,
     IncrementalWorkloadEvaluator,
+    QueryEstimateCache,
     UnsupportedBatchEvaluation,
     iter_assignment_chunks,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "BatchEvalStats",
     "BatchLayoutEvaluator",
     "IncrementalWorkloadEvaluator",
+    "QueryEstimateCache",
     "UnsupportedBatchEvaluation",
     "iter_assignment_chunks",
     "Layout",

@@ -195,6 +195,12 @@ class QueryEstimateCache:
     yield bitwise-identical estimates, so the cached
     :class:`~repro.dbms.executor.ExecutionResult` can stand in for a fresh
     call.
+
+    One cache instance can be *shared* between several evaluators (ES and
+    DOT of the same experiment, or successive epochs of the online advisor):
+    entries key on query name and signature only, so any consumer working
+    from the same estimator, the same query templates and the same
+    concurrency gets bitwise-identical results while re-estimating nothing.
     """
 
     def __init__(self, estimator, concurrency: int):
@@ -231,6 +237,30 @@ class QueryEstimateCache:
         return execution
 
 
+def _adopt_cache(cache: Optional[QueryEstimateCache], estimator,
+                 concurrency: int) -> QueryEstimateCache:
+    """Validate a shared estimate cache, or build a private one.
+
+    A shared cache is only sound when it was filled by the *same* estimator
+    at the *same* concurrency -- signatures do not encode either, so a
+    mismatch would serve estimates computed for a different calibration
+    point.  Mismatches raise :class:`UnsupportedBatchEvaluation` so callers
+    fall back to the scalar path instead of silently mixing tables.
+    """
+    if cache is None:
+        return QueryEstimateCache(estimator, concurrency)
+    if cache.estimator is not estimator:
+        raise UnsupportedBatchEvaluation(
+            "shared estimate cache was built for a different estimator"
+        )
+    if cache.concurrency != concurrency:
+        raise UnsupportedBatchEvaluation(
+            f"shared estimate cache calibrated at concurrency {cache.concurrency}, "
+            f"workload runs at {concurrency}"
+        )
+    return cache
+
+
 # ---------------------------------------------------------------------------
 # Scalar fast path (DOT's move walk)
 # ---------------------------------------------------------------------------
@@ -244,10 +274,15 @@ class IncrementalWorkloadEvaluator:
     reads.  The numbers it produces are bitwise identical to the legacy path;
     only dispensable side products (the DSS candidates' merged I/O counts)
     are omitted, which is why search loops re-evaluate their final winner
-    through the full estimator.
+    through the full estimator.  Consumers that *do* need the per-object I/O
+    counts (the online advisor's telemetry monitor) pass ``collect_io=True``,
+    which merges them from the cached executions in the scalar path's exact
+    order.
     """
 
-    def __init__(self, estimator, workload, toc_model: TOCModel):
+    def __init__(self, estimator, workload, toc_model: TOCModel,
+                 cache: Optional[QueryEstimateCache] = None,
+                 collect_io: bool = False):
         kind = getattr(workload, "kind", "dss")
         if kind not in ("dss", "oltp"):
             raise UnsupportedBatchEvaluation(f"unsupported workload kind {kind!r}")
@@ -256,7 +291,8 @@ class IncrementalWorkloadEvaluator:
         self.toc_model = toc_model
         self.kind = kind
         self.concurrency = getattr(workload, "concurrency", 1)
-        self.cache = QueryEstimateCache(estimator, self.concurrency)
+        self.cache = _adopt_cache(cache, estimator, self.concurrency)
+        self.collect_io = collect_io
         self._service_times = _ServiceTimeTable(self.concurrency)
         if kind == "oltp":
             self._oltp = _OltpMixModel(workload, estimator, self.concurrency)
@@ -298,6 +334,8 @@ class IncrementalWorkloadEvaluator:
         for query in self.workload.queries:
             execution = self.cache.get(query, placement)
             result.per_query_times_ms.append((query.name, execution.response_time_ms))
+            if self.collect_io:
+                merge_io_counts(result.io_by_object, execution.io_counts)
             total_ms += execution.response_time_ms
         result.total_time_s = total_ms / 1000.0
         return result
@@ -401,6 +439,7 @@ class BatchLayoutEvaluator:
         workload,
         pinned: Sequence[Tuple[DatabaseObject, str]] = (),
         constraint: Optional[PerformanceConstraint] = None,
+        cache: Optional[QueryEstimateCache] = None,
     ):
         from repro.core.feasibility import constraint_signature
 
@@ -442,7 +481,7 @@ class BatchLayoutEvaluator:
             [storage_class.capacity_gb for storage_class in self.classes]
         )
 
-        self.cache = QueryEstimateCache(estimator, self.concurrency)
+        self.cache = _adopt_cache(cache, estimator, self.concurrency)
         self.stats = BatchEvalStats()
 
         if kind == "oltp":
@@ -514,9 +553,11 @@ class BatchLayoutEvaluator:
     def _slots_for(self, table: _QueryTable, sub_assign: np.ndarray) -> np.ndarray:
         """Slot index per candidate row, estimating new signatures on demand.
 
-        New signatures are estimated in first-occurrence (enumeration) order,
-        so the optimizer's plan cache is populated by exactly the same
-        placements, in the same order, as in the scalar search.
+        New signatures are resolved through the (possibly shared) estimate
+        cache in first-occurrence (enumeration) order; on a cold cache the
+        optimizer's plan cache is therefore populated by exactly the same
+        placements, in the same order, as in the scalar search, and a warm
+        cache serves bitwise-identical executions without re-estimating.
         """
         if table.var_columns.size == 0:
             codes = np.zeros(sub_assign.shape[0], dtype=np.int64)
@@ -532,10 +573,9 @@ class BatchLayoutEvaluator:
                 code = int(unique_codes[position])
                 row = sub_assign[first_rows[position]]
                 placement = self._placement_for_row(row)
-                execution = self.estimator.estimate_query(
-                    table.query, placement, self.concurrency
-                )
-                self.stats.estimator_calls += 1
+                misses_before = self.cache.misses
+                execution = self.cache.get(table.query, placement)
+                self.stats.estimator_calls += self.cache.misses - misses_before
                 slot = len(table.response_ms)
                 table.code_to_slot[code] = slot
                 table.response_ms.append(execution.response_time_ms)

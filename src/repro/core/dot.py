@@ -112,6 +112,12 @@ class DOTOptimizer:
         group.  Results are bitwise identical to full evaluation; the walk
         falls back to it automatically for configurations the fast path
         cannot represent.
+    estimate_cache:
+        Optional shared :class:`~repro.core.batch_eval.QueryEstimateCache`.
+        Passing one cache to several optimizers (DOT and ES of the same
+        study, or the online advisor's successive epochs) reuses every
+        per-(query, signature) estimate across them; results are unchanged.
+        Ignored by the scalar fallback path.
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class DOTOptimizer:
         independent_objects: bool = False,
         walk_mode: str = "improvement",
         incremental: bool = True,
+        estimate_cache=None,
     ):
         if walk_mode not in ("improvement", "paper"):
             raise ValueError(f"unknown walk_mode {walk_mode!r}")
@@ -137,6 +144,7 @@ class DOTOptimizer:
         self.capacity_relaxed_walk = capacity_relaxed_walk
         self.walk_mode = walk_mode
         self.incremental = incremental
+        self.estimate_cache = estimate_cache
         if independent_objects:
             self.groups = [
                 ObjectGroup(key=obj.name, members=(obj,)) for obj in self.objects
@@ -167,7 +175,9 @@ class DOTOptimizer:
         """
         if self.incremental and constraint_signature(constraint) is not None:
             try:
-                fast = IncrementalWorkloadEvaluator(self.estimator, workload, self.toc_model)
+                fast = IncrementalWorkloadEvaluator(
+                    self.estimator, workload, self.toc_model, cache=self.estimate_cache
+                )
             except UnsupportedBatchEvaluation:
                 pass
             else:
@@ -180,14 +190,28 @@ class DOTOptimizer:
         workload,
         profiles: WorkloadProfileSet,
         constraint: Optional[PerformanceConstraint] = None,
+        initial_layout: Optional[Layout] = None,
     ) -> DOTResult:
-        """Run the optimization phase (Procedure 1) and return the best layout."""
+        """Run the optimization phase (Procedure 1) and return the best layout.
+
+        ``initial_layout`` warm-starts the walk from an existing layout
+        instead of the paper's all-most-expensive ``L_0`` -- the online
+        advisor passes the currently deployed layout so that a small
+        workload drift only has to explore moves *away* from it.  Move
+        priorities are still scored relative to ``L_0`` (Procedure 2's
+        scores are layout-independent rankings), and each candidate move
+        re-places a whole group, so applying them to a warm layout is
+        exactly as sound as applying them to ``L_0``.  Note the warm walk
+        can never return a group to the all-``initial_class`` placement
+        (such moves save nothing relative to ``L_0`` and are never
+        enumerated); callers needing that escape hatch re-run cold.
+        """
         active_constraint = constraint if constraint is not None else self.constraint
         checker = self.checker if constraint is None else FeasibilityChecker(constraint)
         started = time.perf_counter()
         evaluate_candidate = self._candidate_evaluator(workload, active_constraint)
 
-        current = self.initial_layout()
+        current = initial_layout if initial_layout is not None else self.initial_layout()
         initial_report = self.toc_model.evaluate(current, workload, mode="estimate")
         initial_check = checker.check(current, initial_report.run_result)
 

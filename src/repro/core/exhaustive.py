@@ -81,6 +81,11 @@ class ExhaustiveSearch:
         (cost overrides, exotic constraint types).
     batch_chunk_size:
         Number of candidate layouts scored per numpy batch.
+    estimate_cache:
+        Optional shared :class:`~repro.core.batch_eval.QueryEstimateCache`;
+        lets the search reuse (and contribute to) the per-(query,
+        signature) estimate table of a DOT run over the same estimator and
+        workload.  Results are unchanged; the scalar path ignores it.
     """
 
     def __init__(
@@ -96,6 +101,7 @@ class ExhaustiveSearch:
         pinned_class: Optional[str] = None,
         batch: bool = True,
         batch_chunk_size: int = 4096,
+        estimate_cache=None,
     ):
         self.objects = list(objects)
         self.system = system
@@ -107,6 +113,7 @@ class ExhaustiveSearch:
         self.pinned_class = pinned_class or system.cheapest().name
         self.batch = batch
         self.batch_chunk_size = batch_chunk_size
+        self.estimate_cache = estimate_cache
         self.toc_model = TOCModel(estimator, cost_override=cost_override)
         self.checker = FeasibilityChecker(constraint)
         #: Batch-evaluation statistics of the last batch-path search (None
@@ -192,6 +199,7 @@ class ExhaustiveSearch:
                 workload,
                 pinned=[(obj, self.pinned_class) for obj in self.pinned_objects],
                 constraint=constraint,
+                cache=self.estimate_cache,
             )
         except UnsupportedBatchEvaluation:
             return None

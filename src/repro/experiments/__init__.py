@@ -10,6 +10,18 @@ __all__ = [
     "both_boxes",
     "ExperimentRunner",
     "LayoutEvaluation",
+    "drift",
     "figures",
     "reporting",
 ]
+
+
+def __getattr__(name):
+    # The drift driver pulls in the whole repro.online subsystem; loading it
+    # lazily keeps `import repro.experiments` independent of it (and of any
+    # future online<->experiments import ordering).
+    if name == "drift":
+        from repro.experiments import drift as module
+
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

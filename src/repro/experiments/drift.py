@@ -1,0 +1,140 @@
+"""The workload-drift experiment: online re-provisioning vs provision-once.
+
+This driver exercises the :mod:`repro.online` subsystem end to end on an
+OLTP-to-OLAP crossfade built from the two TPC-H workload flavours:
+
+* the **transactional phase** is the modified (ODS-style) workload --
+  selective index lookups, random-I/O dominated;
+* the **analytical phase** is the original workload -- full scans and large
+  joins, sequential-I/O dominated.
+
+A smoothstep crossfade drifts the epoch mix from pure transactional to pure
+analytical.  The :class:`~repro.online.controller.OnlineAdvisor` re-tiers
+whenever its telemetry monitor flags drift and the projected TOC saving
+amortises the migration cost; the baseline replays the same epochs on the
+frozen epoch-0 layout.  With the deterministic estimator configuration used
+here (no noise, no buffer pool), the whole experiment -- epoch streams,
+layouts, every printed digit -- is bitwise reproducible from the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dbms.executor import WorkloadEstimator
+from repro.experiments import boxes
+from repro.experiments.reporting import format_layout_assignment, format_table
+from repro.online.controller import OnlineAdvisor
+from repro.online.drift import DriftingWorkloadGenerator, PhaseSchedule, WorkloadPhase
+from repro.online.migration import ReProvisioningPolicy
+from repro.online.monitor import DriftThresholds
+from repro.sla.constraints import RelativeSLA
+from repro.workloads import tpch
+
+
+def online_drift_experiment(
+    scale_factor: float = 4.0,
+    num_epochs: int = 12,
+    sla_ratio: float = 0.25,
+    seed: int = 2024,
+    box_name: str = "Box 1",
+    schedule: Optional[PhaseSchedule] = None,
+    thresholds: Optional[DriftThresholds] = None,
+    policy: Optional[ReProvisioningPolicy] = None,
+    oltp_repetitions: int = 4,
+    olap_repetitions: int = 1,
+) -> Dict[str, object]:
+    """Run the OLTP-to-OLAP crossfade and compare online vs frozen TOC.
+
+    Returns the online timeline, the frozen replay, and a rendered report;
+    ``summary`` carries the headline numbers (cumulative costs, the saving
+    net of migration charges, re-tier epochs, worst PSR).
+    """
+    if num_epochs < 2:
+        raise ValueError("the drift experiment needs at least two epochs")
+    catalog = tpch.build_catalog(scale_factor)
+    objects = catalog.database_objects()
+    # No noise and no buffer pool: estimates equal simulated runs, so the
+    # run is deterministic and PSR reflects the optimizer's own contract.
+    estimator = WorkloadEstimator(catalog, noise=0.0, buffer_pool=None)
+
+    transactional = tpch.modified_workload(scale_factor, repetitions=oltp_repetitions)
+    analytical = tpch.original_workload(scale_factor, repetitions=olap_repetitions)
+    phases = [
+        WorkloadPhase("oltp", transactional),
+        WorkloadPhase("olap", analytical),
+    ]
+    chosen_schedule = schedule or PhaseSchedule.crossfade(num_epochs, ("oltp", "olap"))
+    generator = DriftingWorkloadGenerator(phases, chosen_schedule, seed=seed,
+                                          name=f"tpch-crossfade-sf{scale_factor:g}")
+
+    if box_name == "Box 1":
+        system = boxes.box1()
+    elif box_name == "Box 2":
+        system = boxes.box2()
+    else:
+        raise ValueError(f"unknown box name {box_name!r} (expected 'Box 1' or 'Box 2')")
+    advisor = OnlineAdvisor(
+        objects,
+        system,
+        estimator,
+        sla=RelativeSLA(sla_ratio),
+        thresholds=thresholds or DriftThresholds(share_threshold=0.05),
+        policy=policy or ReProvisioningPolicy(horizon_epochs=4),
+    )
+
+    online = advisor.run(generator.epochs())
+    frozen_layout = online.records[0].layout
+    frozen = advisor.evaluate_frozen(generator.epochs(), frozen_layout)
+
+    saving_cents = frozen.cumulative_cost_cents - online.cumulative_cost_cents
+    summary = {
+        "num_epochs": online.num_epochs,
+        "online_cumulative_cents": online.cumulative_cost_cents,
+        "frozen_cumulative_cents": frozen.cumulative_cost_cents,
+        "saving_cents": saving_cents,
+        "saving_fraction": (
+            saving_cents / frozen.cumulative_cost_cents
+            if frozen.cumulative_cost_cents > 0
+            else 0.0
+        ),
+        "migration_cents": online.total_migration_cents,
+        "retier_epochs": online.retier_epochs,
+        "online_min_psr": online.min_psr,
+        "frozen_min_psr": frozen.min_psr,
+    }
+
+    comparison = format_table(
+        ["Strategy", "Cum. cost (cents)", "Migrations", "Min PSR (%)"],
+        [
+            ["Online (migration-aware)", online.cumulative_cost_cents,
+             len(online.retier_epochs), round(online.min_psr * 100.0, 1)],
+            ["Frozen epoch-0 layout", frozen.cumulative_cost_cents,
+             0, round(frozen.min_psr * 100.0, 1)],
+        ],
+    )
+    text = "\n".join(
+        [
+            f"Workload: {generator.name} over {online.num_epochs} epochs "
+            f"(relative SLA {sla_ratio:g}, seed {seed})",
+            "",
+            online.describe(),
+            "",
+            comparison,
+            "",
+            f"Net saving of staying online: {saving_cents:.4f} cents "
+            f"({summary['saving_fraction'] * 100.0:.1f} % of the frozen cost), "
+            f"of which {online.total_migration_cents:.4f} cents were spent on migrations.",
+            "",
+            format_layout_assignment(online.records[0].layout),
+            "",
+            format_layout_assignment(online.records[-1].layout),
+        ]
+    )
+    return {
+        "online": online,
+        "frozen": frozen,
+        "generator": generator,
+        "summary": summary,
+        "text": text,
+    }

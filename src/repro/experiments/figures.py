@@ -16,10 +16,10 @@ print something a human can compare against the paper.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.advisor import ProvisioningAdvisor
+from repro.core.batch_eval import QueryEstimateCache
 from repro.core.discrete_cost import DiscreteCostModel
 from repro.core.dot import DOTOptimizer
 from repro.core.exhaustive import ExhaustiveSearch
@@ -243,13 +243,20 @@ def es_vs_dot_tpch(
         )
         constraint = runner.resolve_constraint(workload, RelativeSLA(sla_ratio), mode="run")
 
-        profiler = WorkloadProfiler(objects, system, estimator)
+        # One estimate table serves profiling, DOT's walk and the exhaustive
+        # enumeration: every (query, touched-placement-signature) pair is
+        # estimated once for the whole comparison.
+        shared_estimates = QueryEstimateCache(estimator, workload.concurrency)
+        profiler = WorkloadProfiler(objects, system, estimator,
+                                    estimate_cache=shared_estimates)
         profiles = profiler.profile(workload, mode="estimate")
 
-        dot = DOTOptimizer(objects, system, estimator, constraint=search_constraint)
+        dot = DOTOptimizer(objects, system, estimator, constraint=search_constraint,
+                           estimate_cache=shared_estimates)
         dot_result = dot.optimize(workload, profiles)
 
-        search = ExhaustiveSearch(objects, system, estimator, constraint=search_constraint)
+        search = ExhaustiveSearch(objects, system, estimator, constraint=search_constraint,
+                                  estimate_cache=shared_estimates)
         es_result = search.search(workload)
 
         comparison: Dict[str, object] = {
@@ -403,8 +410,13 @@ def figure9(
             workload, mode="testrun", patterns=[profiler.single_baseline_pattern()]
         )
 
+        # One estimate table shared between DOT's walk and the exhaustive
+        # enumeration (profiling is a test run here, so it cannot share it).
+        shared_estimates = QueryEstimateCache(estimator, workload.concurrency)
+
         # DOT over the full object set (as the paper does).
-        dot = DOTOptimizer(all_objects, system, estimator, constraint=search_constraint)
+        dot = DOTOptimizer(all_objects, system, estimator, constraint=search_constraint,
+                           estimate_cache=shared_estimates)
         dot_outcome = dot.optimize(workload, profiles)
 
         # ES over the hot objects with the cold objects pinned.
@@ -416,6 +428,7 @@ def figure9(
             per_group=True,
             pinned_objects=cold,
             pinned_class=pinned_class,
+            estimate_cache=shared_estimates,
         )
         es_outcome = search.search(workload)
 

@@ -1,0 +1,64 @@
+"""Online re-provisioning: workload drift, migration-aware TOC, epoch loop.
+
+The paper's advisor provisions a *static* layout for a *fixed* workload;
+this package keeps provisioning as the workload moves.  It adds four
+pieces on top of the core pipeline:
+
+* :mod:`repro.online.drift` -- time-varying workloads composed from the
+  existing generators under phase schedules (ramp, diurnal, flash crowd,
+  OLTP-to-OLAP crossfade) with seeded, reproducible epoch streams;
+* :mod:`repro.online.monitor` -- per-epoch, per-object I/O telemetry folded
+  into workload profiles, with threshold-based drift detection;
+* :mod:`repro.online.migration` -- migration plans between layouts, a cost
+  model charging bytes moved between class pairs against the TOC, and the
+  amortization policy gating every re-tier;
+* :mod:`repro.online.controller` -- the :class:`OnlineAdvisor` epoch loop:
+  warm-started DOT with estimate tables shared across epochs, emitting a
+  timeline of layouts, PSRs and cumulative migration-aware cost.
+"""
+
+from repro.online.drift import (
+    DriftingWorkloadGenerator,
+    EpochWorkload,
+    PhaseSchedule,
+    WorkloadPhase,
+)
+from repro.online.monitor import (
+    DriftDecision,
+    DriftThresholds,
+    EpochTelemetry,
+    TelemetryMonitor,
+)
+from repro.online.migration import (
+    MigrationCost,
+    MigrationCostModel,
+    MigrationPlan,
+    ObjectMove,
+    ReProvisioningPolicy,
+)
+from repro.online.controller import (
+    EpochRecord,
+    FrozenRunResult,
+    OnlineAdvisor,
+    OnlineRunResult,
+)
+
+__all__ = [
+    "DriftingWorkloadGenerator",
+    "EpochWorkload",
+    "PhaseSchedule",
+    "WorkloadPhase",
+    "DriftDecision",
+    "DriftThresholds",
+    "EpochTelemetry",
+    "TelemetryMonitor",
+    "MigrationCost",
+    "MigrationCostModel",
+    "MigrationPlan",
+    "ObjectMove",
+    "ReProvisioningPolicy",
+    "EpochRecord",
+    "FrozenRunResult",
+    "OnlineAdvisor",
+    "OnlineRunResult",
+]

@@ -1,0 +1,512 @@
+"""The epoch-driven online re-provisioning controller.
+
+:class:`OnlineAdvisor` turns the one-shot Figure 2 pipeline into a loop.
+Each epoch it
+
+1. **observes** the epoch's workload on the currently deployed layout
+   (optimizer estimates standing in for live telemetry) and feeds the
+   per-object I/O counts to the :class:`~repro.online.monitor.TelemetryMonitor`;
+2. **detects drift** against the telemetry of the last provisioning;
+3. on drift, **re-profiles** and re-runs DOT *warm-started from the deployed
+   layout*, with every per-(query, signature) estimate shared across epochs
+   through one :class:`~repro.core.batch_eval.QueryEstimateCache` -- an
+   unchanged query on an unchanged placement is never re-estimated, which is
+   what makes running the advisor every epoch affordable;
+4. prices the layout transition with the
+   :class:`~repro.online.migration.MigrationCostModel` and only **re-tiers**
+   when the :class:`~repro.online.migration.ReProvisioningPolicy` projects
+   the TOC savings to amortise the migration within its horizon;
+5. records a timeline entry: the deployed layout, its TOC and PSR for the
+   epoch, any migration performed and the cumulative migration-aware cost.
+
+The controller's cumulative cost is directly comparable to
+:meth:`OnlineAdvisor.evaluate_frozen`, which replays the same epochs on a
+fixed layout -- the "provision once, never adapt" baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.batch_eval import (
+    IncrementalWorkloadEvaluator,
+    QueryEstimateCache,
+    UnsupportedBatchEvaluation,
+)
+from repro.core.dot import DOTOptimizer, DOTResult
+from repro.core.layout import Layout
+from repro.core.profiler import WorkloadProfiler
+from repro.core.toc import TOCModel, TOCReport
+from repro.objects import DatabaseObject
+from repro.online.drift import EpochWorkload
+from repro.online.migration import (
+    MigrationCost,
+    MigrationCostModel,
+    MigrationPlan,
+    ReProvisioningPolicy,
+)
+from repro.online.monitor import DriftDecision, DriftThresholds, TelemetryMonitor
+from repro.sla.constraints import PerformanceConstraint, RelativeSLA
+from repro.sla.psr import performance_satisfaction_ratio
+from repro.storage.storage_class import StorageSystem
+from repro.workloads.workload import Workload
+
+
+@dataclass
+class EpochRecord:
+    """One row of the online advisor's timeline."""
+
+    epoch: int
+    workload_name: str
+    phase_weights: Tuple[float, ...]
+    layout: Layout
+    toc_cents: float
+    psr: float
+    drift: DriftDecision
+    reoptimized: bool
+    migrated: bool
+    migration: Optional[MigrationCost]
+    migration_reason: str
+    epoch_cost_cents: float
+    cumulative_cost_cents: float
+    dot_result: Optional[DOTResult] = field(default=None, repr=False)
+    report: Optional[TOCReport] = field(default=None, repr=False)
+
+
+@dataclass
+class OnlineRunResult:
+    """The full timeline of one online re-provisioning run."""
+
+    records: List[EpochRecord]
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of epochs the run covered."""
+        return len(self.records)
+
+    @property
+    def cumulative_cost_cents(self) -> float:
+        """Total TOC plus migration charges over the whole run."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].cumulative_cost_cents
+
+    @property
+    def total_migration_cents(self) -> float:
+        """Total migration charges over the run."""
+        return sum(
+            record.migration.cost_cents
+            for record in self.records
+            if record.migrated and record.migration is not None
+        )
+
+    @property
+    def retier_epochs(self) -> Tuple[int, ...]:
+        """Epochs at which a charged migration re-tiered the deployed layout.
+
+        The initial provisioning (first record, ``migration is None``) is
+        not a re-tier, whatever its epoch label.
+        """
+        return tuple(
+            record.epoch
+            for record in self.records
+            if record.migrated and record.migration is not None
+        )
+
+    @property
+    def min_psr(self) -> float:
+        """The worst per-epoch PSR of the run."""
+        return min((record.psr for record in self.records), default=1.0)
+
+    def describe(self) -> str:
+        """Render the timeline as a fixed-width text table."""
+        from repro.experiments.reporting import format_table
+
+        rows = []
+        for record in self.records:
+            weights = "/".join(f"{weight * 100:.0f}" for weight in record.phase_weights)
+            migration_gb = (
+                record.migration.bytes_moved_gb
+                if record.migrated and record.migration is not None
+                else 0.0
+            )
+            migration_cents = (
+                record.migration.cost_cents
+                if record.migrated and record.migration is not None
+                else 0.0
+            )
+            rows.append(
+                [
+                    record.epoch,
+                    weights,
+                    record.layout.name,
+                    record.toc_cents,
+                    round(record.psr * 100.0, 1),
+                    f"{record.drift.share_distance:.3f}",
+                    "yes" if record.migrated else "no",
+                    migration_gb,
+                    migration_cents,
+                    record.cumulative_cost_cents,
+                ]
+            )
+        return format_table(
+            [
+                "Epoch", "Mix (%)", "Layout", "TOC (cents)", "PSR (%)",
+                "Drift", "Re-tier", "Moved (GB)", "Mig. cost (c)", "Cum. cost (c)",
+            ],
+            rows,
+        )
+
+
+@dataclass
+class FrozenEpochRecord:
+    """One epoch of the frozen-layout baseline replay."""
+
+    epoch: int
+    workload_name: str
+    toc_cents: float
+    psr: float
+    cumulative_cost_cents: float
+
+
+@dataclass
+class FrozenRunResult:
+    """The frozen-layout baseline: the same epochs on one fixed layout."""
+
+    layout: Layout
+    records: List[FrozenEpochRecord]
+
+    @property
+    def cumulative_cost_cents(self) -> float:
+        """Total TOC of the fixed layout over the whole run."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].cumulative_cost_cents
+
+    @property
+    def min_psr(self) -> float:
+        """The worst per-epoch PSR of the replay."""
+        return min((record.psr for record in self.records), default=1.0)
+
+
+class OnlineAdvisor:
+    """Epoch-driven re-provisioning on top of the DOT pipeline.
+
+    Parameters
+    ----------
+    objects / system / estimator:
+        As for :class:`~repro.core.advisor.ProvisioningAdvisor`.
+    sla:
+        A :class:`~repro.sla.constraints.RelativeSLA` re-resolved against
+        the best-performing reference layout *per epoch* (the caps track
+        the drifting workload), or an absolute constraint applied as-is,
+        or ``None``.
+    thresholds:
+        Drift sensitivities for the telemetry monitor.
+    policy:
+        The migration amortization policy.
+    migration_model:
+        Migration cost model (defaults to one over ``system``).
+    evaluation_mode:
+        ``"estimate"`` (default, deterministic) or ``"run"`` (simulated
+        test runs with buffer pool and noise) for the per-epoch accounting.
+        In run mode the estimator's noise RNG advances with every
+        evaluation, so an online run followed by a frozen replay on the
+        *same* estimator draws different noise positions per epoch; for a
+        controlled online-vs-frozen comparison use estimate mode (as the
+        drift experiment does) or a fresh estimator per arm.
+    initial_layout:
+        The layout deployed before epoch 0 (defaults to the paper's
+        all-most-expensive reference).  Epoch 0 always provisions from it
+        cold, free of migration charges -- both the online run and the
+        frozen baseline start from the same initial provisioning.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[DatabaseObject],
+        system: StorageSystem,
+        estimator,
+        sla: Optional[Union[RelativeSLA, PerformanceConstraint]] = None,
+        thresholds: Optional[DriftThresholds] = None,
+        policy: Optional[ReProvisioningPolicy] = None,
+        migration_model: Optional[MigrationCostModel] = None,
+        evaluation_mode: str = "estimate",
+        initial_layout: Optional[Layout] = None,
+        capacity_relaxed_walk: bool = True,
+    ):
+        if evaluation_mode not in ("estimate", "run"):
+            raise ValueError(f"unknown evaluation mode {evaluation_mode!r}")
+        self.objects = list(objects)
+        self.system = system
+        self.estimator = estimator
+        self.sla = sla
+        self.thresholds = thresholds or DriftThresholds()
+        self.policy = policy or ReProvisioningPolicy()
+        self.migration_model = migration_model or MigrationCostModel(system)
+        self.evaluation_mode = evaluation_mode
+        self.initial_layout = initial_layout
+        self.capacity_relaxed_walk = capacity_relaxed_walk
+        self.toc_model = TOCModel(estimator)
+
+    # ------------------------------------------------------------------
+    def reference_layout(self) -> Layout:
+        """The best-performing reference: everything on the priciest class."""
+        return Layout.uniform(self.objects, self.system, self.system.most_expensive().name)
+
+    def _epoch_evaluator(self, workload, cache: Optional[QueryEstimateCache]):
+        """A cache-backed estimate evaluator for one epoch's workload.
+
+        Every estimate-mode evaluation of the loop (drift observation, SLA
+        re-resolution against the reference layout, reference rebasing,
+        per-epoch accounting) goes through it, so an unchanged query on an
+        unchanged placement is never re-estimated -- across layouts *and*
+        across epochs.  ``None`` (exotic workload kinds) falls back to the
+        full scalar estimator.
+        """
+        try:
+            return IncrementalWorkloadEvaluator(
+                self.estimator, workload, self.toc_model, cache=cache, collect_io=True
+            )
+        except UnsupportedBatchEvaluation:
+            return None
+
+    def _estimate(self, layout: Layout, workload, evaluator) -> TOCReport:
+        """Estimate-mode TOC report, through the shared cache when possible."""
+        if evaluator is not None:
+            return evaluator.evaluate(layout)
+        return self.toc_model.evaluate(layout, workload, mode="estimate")
+
+    def _epoch_constraint(self, workload, evaluator=None) -> Optional[PerformanceConstraint]:
+        """Resolve the SLA for one epoch's workload (estimate-derived caps)."""
+        if self.sla is None or isinstance(self.sla, PerformanceConstraint):
+            return self.sla
+        reference = self._estimate(self.reference_layout(), workload, evaluator)
+        return self.sla.resolve(reference.run_result)
+
+    @staticmethod
+    def _as_epoch(item: Union[EpochWorkload, Workload], position: int) -> EpochWorkload:
+        if isinstance(item, EpochWorkload):
+            return item
+        return EpochWorkload(epoch=position, weights=(1.0,), workload=item)
+
+    # ------------------------------------------------------------------
+    def run(self, epoch_workloads: Iterable[Union[EpochWorkload, Workload]]) -> OnlineRunResult:
+        """Drive the re-provisioning loop over a sequence of epoch workloads."""
+        records: List[EpochRecord] = []
+        cache: Optional[QueryEstimateCache] = None
+        profiler: Optional[WorkloadProfiler] = None
+        monitor: Optional[TelemetryMonitor] = None
+        current: Optional[Layout] = None
+        cumulative = 0.0
+
+        for position, item in enumerate(epoch_workloads):
+            epoch_item = self._as_epoch(item, position)
+            epoch = epoch_item.epoch
+            workload = epoch_item.workload
+            concurrency = getattr(workload, "concurrency", 1)
+            if cache is None:
+                cache = QueryEstimateCache(self.estimator, concurrency)
+                profiler = WorkloadProfiler(
+                    self.objects, self.system, self.estimator, estimate_cache=cache
+                )
+                monitor = TelemetryMonitor(
+                    self.system, thresholds=self.thresholds, concurrency=concurrency
+                )
+            if current is None:
+                current = (
+                    self.initial_layout
+                    if self.initial_layout is not None
+                    else self.reference_layout()
+                )
+
+            evaluator = self._epoch_evaluator(workload, cache)
+            constraint = self._epoch_constraint(workload, evaluator)
+
+            # 1 + 2: observe the epoch on the deployed layout, score drift.
+            observed = self._estimate(current, workload, evaluator)
+            monitor.observe(epoch, observed.run_result)
+            decision = monitor.check_drift()
+
+            # 3 + 4: on drift (or at initial provisioning), re-optimize and
+            # gate the transition on the migration-aware TOC comparison.
+            initial_epoch = not records
+            reoptimized = False
+            migrated = False
+            migration: Optional[MigrationCost] = None
+            migration_reason = "no drift"
+            dot_result: Optional[DOTResult] = None
+            retiered_report: Optional[TOCReport] = None
+            if initial_epoch or decision.drifted:
+                reoptimized = True
+                dot_result, candidate = self._reoptimize(
+                    workload, profiler, cache, constraint,
+                    warm_from=None if initial_epoch else current,
+                )
+                if candidate is None or candidate == current:
+                    migration_reason = (
+                        "no feasible layout" if candidate is None else "layout unchanged"
+                    )
+                    # The deployed layout was re-validated against the drifted
+                    # telemetry; rebase the reference (and arm the cooldown) so
+                    # the same drift does not trigger a futile re-optimization
+                    # every remaining epoch.
+                    monitor.mark_reprovisioned(epoch, observed.run_result)
+                elif initial_epoch:
+                    current = candidate.renamed(f"DOT@epoch{epoch}")
+                    retiered_report = self._rebase_monitor(
+                        monitor, epoch, current, workload, evaluator
+                    )
+                    migrated = True
+                    migration_reason = "initial provisioning (not charged)"
+                else:
+                    plan = MigrationPlan.between(current, candidate)
+                    migration = self.migration_model.assess(
+                        plan, layout_cost_cents_per_hour=candidate.storage_cost_cents_per_hour()
+                    )
+                    if self.policy.should_migrate(
+                        observed.toc_cents, dot_result.toc_cents, migration.cost_cents
+                    ):
+                        current = candidate.renamed(f"DOT@epoch{epoch}")
+                        retiered_report = self._rebase_monitor(
+                            monitor, epoch, current, workload, evaluator
+                        )
+                        migrated = True
+                        migration_reason = (
+                            f"projected net saving "
+                            f"{self.policy.projected_net_saving_cents(observed.toc_cents, dot_result.toc_cents, migration.cost_cents):.4g} c"
+                        )
+                    else:
+                        migration = None
+                        migration_reason = "migration cost exceeds projected saving"
+
+            # 5: account the epoch on the (possibly re-tiered) layout.  In
+            # estimate mode the deployed layout's report already exists --
+            # `observed` when it did not change, the rebase refresh when it
+            # did -- so nothing is recomputed.
+            if self.evaluation_mode == "estimate":
+                report = retiered_report if retiered_report is not None else observed
+            else:
+                # Simulated test runs are stateful (noise RNG) and must
+                # never be served from the estimate tables.
+                report = self.toc_model.evaluate(current, workload, mode="run")
+            psr = (
+                performance_satisfaction_ratio(constraint, report.run_result)
+                if constraint is not None
+                else 1.0
+            )
+            migration_charge = (
+                migration.cost_cents if migrated and migration is not None else 0.0
+            )
+            epoch_cost = report.toc_cents + migration_charge
+            cumulative += epoch_cost
+            records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    workload_name=getattr(workload, "name", "workload"),
+                    phase_weights=tuple(epoch_item.weights),
+                    layout=current,
+                    toc_cents=report.toc_cents,
+                    psr=psr,
+                    drift=decision,
+                    reoptimized=reoptimized,
+                    migrated=migrated,
+                    migration=migration,
+                    migration_reason=migration_reason,
+                    epoch_cost_cents=epoch_cost,
+                    cumulative_cost_cents=cumulative,
+                    dot_result=dot_result,
+                    report=report,
+                )
+            )
+        return OnlineRunResult(records=records)
+
+    # ------------------------------------------------------------------
+    def _rebase_monitor(self, monitor: TelemetryMonitor, epoch: int,
+                        layout: Layout, workload, evaluator) -> TOCReport:
+        """Point the drift reference at the new layout's own telemetry.
+
+        I/O counts depend on the layout (a re-tier can flip plans), so the
+        reference must be what the monitor will see for an *unchanged*
+        workload under the *new* layout -- otherwise every epoch after a
+        re-tier scores phantom drift and re-optimizes for nothing.  Returns
+        the new layout's report so the caller can account the epoch from it.
+        """
+        refreshed = self._estimate(layout, workload, evaluator)
+        monitor.mark_reprovisioned(epoch, refreshed.run_result)
+        return refreshed
+
+    # ------------------------------------------------------------------
+    def _reoptimize(
+        self,
+        workload,
+        profiler: WorkloadProfiler,
+        cache: QueryEstimateCache,
+        constraint: Optional[PerformanceConstraint],
+        warm_from: Optional[Layout],
+    ) -> Tuple[DOTResult, Optional[Layout]]:
+        """Re-profile and re-run DOT, warm then (if infeasible) cold.
+
+        The warm walk explores moves away from the deployed layout, which is
+        cheap when the drift is small but can never return a group to the
+        all-most-expensive placement; when it finds nothing feasible (e.g.
+        the drift *tightened* the effective SLA), the cold restart explores
+        from the fast end exactly as the paper's Procedure 1 does.
+        """
+        profiles = profiler.profile(workload, mode="estimate")
+        optimizer = DOTOptimizer(
+            self.objects,
+            self.system,
+            self.estimator,
+            constraint=constraint,
+            capacity_relaxed_walk=self.capacity_relaxed_walk,
+            estimate_cache=cache,
+        )
+        result = optimizer.optimize(workload, profiles, initial_layout=warm_from)
+        if not result.feasible and warm_from is not None:
+            result = optimizer.optimize(workload, profiles)
+        return result, result.layout if result.feasible else None
+
+    # ------------------------------------------------------------------
+    def evaluate_frozen(
+        self,
+        epoch_workloads: Iterable[Union[EpochWorkload, Workload]],
+        layout: Layout,
+    ) -> FrozenRunResult:
+        """Replay the same epochs on one fixed layout (no re-provisioning).
+
+        This is the provision-once baseline the online run is compared
+        against; it pays no migration charges but keeps serving a drifted
+        workload with a stale layout.
+        """
+        records: List[FrozenEpochRecord] = []
+        cache: Optional[QueryEstimateCache] = None
+        cumulative = 0.0
+        for position, item in enumerate(epoch_workloads):
+            epoch_item = self._as_epoch(item, position)
+            workload = epoch_item.workload
+            if cache is None:
+                cache = QueryEstimateCache(self.estimator, getattr(workload, "concurrency", 1))
+            evaluator = self._epoch_evaluator(workload, cache)
+            constraint = self._epoch_constraint(workload, evaluator)
+            if self.evaluation_mode == "estimate":
+                report = self._estimate(layout, workload, evaluator)
+            else:
+                report = self.toc_model.evaluate(layout, workload, mode="run")
+            psr = (
+                performance_satisfaction_ratio(constraint, report.run_result)
+                if constraint is not None
+                else 1.0
+            )
+            cumulative += report.toc_cents
+            records.append(
+                FrozenEpochRecord(
+                    epoch=epoch_item.epoch,
+                    workload_name=getattr(workload, "name", "workload"),
+                    toc_cents=report.toc_cents,
+                    psr=psr,
+                    cumulative_cost_cents=cumulative,
+                )
+            )
+        return FrozenRunResult(layout=layout, records=records)

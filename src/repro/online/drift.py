@@ -1,0 +1,273 @@
+"""Drifting workload generation: time-varying phase schedules.
+
+Real deployments do not run one fixed workload: traffic ramps, follows
+diurnal cycles, spikes under flash crowds, and drifts between transactional
+and analytical phases.  This module turns the repo's *static* workload
+generators (TPC-C, TPC-H, synthetic) into an epoch-indexed sequence of
+workloads by composing **phase workloads** under a **phase schedule** -- a
+per-epoch weight vector over the phases.
+
+Composition is kind-preserving:
+
+* **DSS** phases contribute a weight-proportional prefix of their query
+  stream per epoch; the contributions are interleaved by a seeded
+  permutation, so the same seed reproduces the same epoch streams bit for
+  bit.
+* **OLTP** phases are blended by scaling each phase's transaction-mix
+  weights (see :func:`repro.workloads.workload.blend_transaction_mixes`).
+
+The schedules are deterministic closed forms (no RNG); the only randomness
+is the per-epoch interleaving permutation, drawn from
+``default_rng([seed, epoch])`` so epochs are independently reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.workloads.workload import Workload, blend_transaction_mixes
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One named phase of a drifting workload (e.g. ``"oltp"`` / ``"olap"``)."""
+
+    name: str
+    workload: Workload
+
+
+class PhaseSchedule:
+    """A ``num_epochs x num_phases`` matrix of per-epoch phase weights.
+
+    Each row is normalised to sum to 1.  The factory methods build the
+    canonical drift shapes over two phases (A fading into B); arbitrary
+    matrices can be passed directly for richer scenarios.
+    """
+
+    def __init__(self, phase_names: Sequence[str], weights: Sequence[Sequence[float]]):
+        if not phase_names:
+            raise WorkloadError("a phase schedule needs at least one phase")
+        if not weights:
+            raise WorkloadError("a phase schedule needs at least one epoch")
+        self.phase_names: Tuple[str, ...] = tuple(phase_names)
+        rows: List[Tuple[float, ...]] = []
+        for epoch, row in enumerate(weights):
+            if len(row) != len(self.phase_names):
+                raise WorkloadError(
+                    f"epoch {epoch} has {len(row)} weights for {len(self.phase_names)} phases"
+                )
+            if any(value < 0 for value in row):
+                raise WorkloadError(f"epoch {epoch} has a negative phase weight")
+            total = sum(row)
+            if total <= 0:
+                raise WorkloadError(f"epoch {epoch} has no positive phase weight")
+            rows.append(tuple(value / total for value in row))
+        self._weights: Tuple[Tuple[float, ...], ...] = tuple(rows)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_epochs(self) -> int:
+        """Number of epochs in the schedule."""
+        return len(self._weights)
+
+    def weights_at(self, epoch: int) -> Tuple[float, ...]:
+        """The normalised phase weights of one epoch."""
+        return self._weights[epoch]
+
+    # ------------------------------------------------------------------
+    # Canonical two-phase shapes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _progress(epoch: int, num_epochs: int) -> float:
+        """Position of an epoch in [0, 1] (0 for a single-epoch schedule)."""
+        if num_epochs <= 1:
+            return 0.0
+        return epoch / (num_epochs - 1)
+
+    @classmethod
+    def crossfade(cls, num_epochs: int, phase_names: Sequence[str] = ("a", "b"),
+                  shape: str = "smoothstep") -> "PhaseSchedule":
+        """Phase A fades into phase B over the whole horizon.
+
+        ``shape`` is ``"linear"`` or ``"smoothstep"`` (3t^2 - 2t^3, which
+        holds the endpoints longer -- the OLTP-to-OLAP crossfade of the
+        drift experiment).
+        """
+        if shape not in ("linear", "smoothstep"):
+            raise WorkloadError(f"unknown crossfade shape {shape!r}")
+        rows = []
+        for epoch in range(num_epochs):
+            t = cls._progress(epoch, num_epochs)
+            if shape == "smoothstep":
+                t = t * t * (3.0 - 2.0 * t)
+            rows.append((1.0 - t, t))
+        return cls(phase_names, rows)
+
+    @classmethod
+    def ramp(cls, num_epochs: int, start_epoch: int, end_epoch: int,
+             phase_names: Sequence[str] = ("a", "b")) -> "PhaseSchedule":
+        """Pure A until ``start_epoch``, linear ramp to pure B at ``end_epoch``."""
+        if not 0 <= start_epoch < end_epoch < num_epochs:
+            raise WorkloadError("ramp needs 0 <= start_epoch < end_epoch < num_epochs")
+        rows = []
+        for epoch in range(num_epochs):
+            if epoch <= start_epoch:
+                t = 0.0
+            elif epoch >= end_epoch:
+                t = 1.0
+            else:
+                t = (epoch - start_epoch) / (end_epoch - start_epoch)
+            rows.append((1.0 - t, t))
+        return cls(phase_names, rows)
+
+    @classmethod
+    def diurnal(cls, num_epochs: int, period: int,
+                phase_names: Sequence[str] = ("day", "night")) -> "PhaseSchedule":
+        """Sinusoidal day/night alternation with the given period (in epochs)."""
+        if period < 2:
+            raise WorkloadError("diurnal period must span at least two epochs")
+        rows = []
+        for epoch in range(num_epochs):
+            night = 0.5 * (1.0 - math.cos(2.0 * math.pi * epoch / period))
+            rows.append((1.0 - night, night))
+        return cls(phase_names, rows)
+
+    @classmethod
+    def flash_crowd(cls, num_epochs: int, spike_epoch: int, width: int = 1,
+                    phase_names: Sequence[str] = ("steady", "crowd")) -> "PhaseSchedule":
+        """Steady phase A with a triangular phase-B spike around ``spike_epoch``."""
+        if not 0 <= spike_epoch < num_epochs:
+            raise WorkloadError("spike_epoch must lie inside the schedule")
+        if width < 1:
+            raise WorkloadError("flash crowd width must be >= 1")
+        rows = []
+        for epoch in range(num_epochs):
+            distance = abs(epoch - spike_epoch)
+            crowd = max(0.0, 1.0 - distance / width) if distance <= width else 0.0
+            rows.append((1.0 - crowd, crowd))
+        return cls(phase_names, rows)
+
+
+@dataclass(frozen=True)
+class EpochWorkload:
+    """One epoch of a drifting workload."""
+
+    epoch: int
+    weights: Tuple[float, ...]
+    workload: Workload
+
+    @property
+    def dominant_phase_index(self) -> int:
+        """Index of the phase with the largest weight this epoch."""
+        return max(range(len(self.weights)), key=lambda k: self.weights[k])
+
+
+class DriftingWorkloadGenerator:
+    """Materialises per-epoch workloads from phases and a schedule.
+
+    Parameters
+    ----------
+    phases:
+        The component workloads; all must share one kind and concurrency
+        (the per-epoch result must be a single well-formed workload).
+    schedule:
+        Per-epoch phase weights; ``schedule.phase_names`` must match the
+        phase names in order.
+    seed:
+        Seed of the per-epoch interleaving permutation (DSS only).  Two
+        generators built with equal phases, schedule and seed produce
+        bitwise-identical epoch workloads.
+    name:
+        Prefix of the generated per-epoch workload names.
+    """
+
+    def __init__(self, phases: Sequence[WorkloadPhase], schedule: PhaseSchedule,
+                 seed: int = 2011, name: str = "drift"):
+        if not phases:
+            raise WorkloadError("a drifting workload needs at least one phase")
+        if tuple(phase.name for phase in phases) != schedule.phase_names:
+            raise WorkloadError(
+                "schedule phase names must match the workload phases in order"
+            )
+        kinds = {phase.workload.kind for phase in phases}
+        if len(kinds) != 1:
+            raise WorkloadError("all phases of a drifting workload must share one kind")
+        concurrencies = {phase.workload.concurrency for phase in phases}
+        if len(concurrencies) != 1:
+            raise WorkloadError("all phases of a drifting workload must share one concurrency")
+        durations = {phase.workload.duration_s for phase in phases}
+        if next(iter(kinds)) == "oltp" and len(durations) != 1:
+            # blend_transaction_mixes would reject this anyway, but only at
+            # the first epoch whose weights actually mix the phases.
+            raise WorkloadError(
+                "all OLTP phases of a drifting workload must share one measurement window"
+            )
+        self.phases = list(phases)
+        self.schedule = schedule
+        self.seed = seed
+        self.name = name
+        self.kind = kinds.pop()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_epochs(self) -> int:
+        """Number of epochs the generator produces."""
+        return self.schedule.num_epochs
+
+    def epoch_workload(self, epoch: int) -> EpochWorkload:
+        """Materialise the workload of one epoch."""
+        weights = self.schedule.weights_at(epoch)
+        epoch_name = f"{self.name}-epoch{epoch:03d}"
+        if self.kind == "oltp":
+            workload = blend_transaction_mixes(
+                [phase.workload for phase in self.phases],
+                weights,
+                name=epoch_name,
+                description=self._describe(epoch, weights),
+            )
+        else:
+            workload = self._compose_stream(epoch, weights, epoch_name)
+        return EpochWorkload(epoch=epoch, weights=weights, workload=workload)
+
+    def epochs(self) -> Iterator[EpochWorkload]:
+        """Iterate over every epoch workload of the schedule."""
+        for epoch in range(self.num_epochs):
+            yield self.epoch_workload(epoch)
+
+    # ------------------------------------------------------------------
+    def _compose_stream(self, epoch: int, weights: Tuple[float, ...],
+                        epoch_name: str) -> Workload:
+        """Weight-proportional interleave of the phase query streams.
+
+        Each phase contributes ``round(weight * len(stream))`` queries (its
+        stream prefix -- streams are repetition-structured, so a prefix is
+        representative); at least one query survives from the dominant
+        phase so every epoch workload is non-empty.  The contributions are
+        shuffled by a per-epoch seeded permutation.
+        """
+        contributions: List = []
+        for phase, weight in zip(self.phases, weights):
+            stream = phase.workload.queries
+            take = int(round(weight * len(stream)))
+            contributions.extend(stream[:take])
+        if not contributions:
+            dominant = max(range(len(weights)), key=lambda k: weights[k])
+            contributions.append(self.phases[dominant].workload.queries[0])
+        rng = np.random.default_rng([self.seed, epoch])
+        order = rng.permutation(len(contributions))
+        queries = tuple(contributions[position] for position in order)
+        return self.phases[0].workload.with_stream(
+            queries, name=epoch_name, description=self._describe(epoch, weights)
+        )
+
+    def _describe(self, epoch: int, weights: Tuple[float, ...]) -> str:
+        blend = ", ".join(
+            f"{phase.name} {weight * 100:.0f}%"
+            for phase, weight in zip(self.phases, weights)
+        )
+        return f"epoch {epoch} of {self.name} ({blend})"

@@ -1,0 +1,216 @@
+"""Telemetry aggregation and workload-drift detection.
+
+The online advisor cannot see workload *definitions* change -- in a real
+deployment it only sees the I/O stream.  This module watches exactly that:
+per-epoch, per-object I/O counts taken from the executor/simulator's
+:class:`~repro.dbms.executor.WorkloadRunResult`, folded into fresh
+:class:`~repro.core.profiles.WorkloadProfileSet`s, and compared against the
+telemetry observed when the current layout was last provisioned.
+
+Drift is scored on two axes:
+
+* **share drift** -- the total-variation distance between the normalised
+  per-object I/O distributions (where the I/O goes moved);
+* **volume drift** -- the relative change in total I/O count (how much I/O
+  arrives changed).
+
+Either exceeding its threshold marks the epoch as drifted, which is the
+controller's trigger to re-profile and re-optimize.  A workload that does
+not change (and is observed noise-free, i.e. in estimate mode) scores 0.0
+on both axes and therefore never triggers a re-tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.profiles import BaselinePlacement, WorkloadProfileSet
+from repro.storage.storage_class import StorageSystem
+
+
+@dataclass(frozen=True)
+class EpochTelemetry:
+    """Aggregated per-object I/O counts of one epoch."""
+
+    epoch: int
+    workload_name: str
+    io_by_object: Dict[str, Dict[object, float]]
+    total_ios: float
+
+    def object_totals(self) -> Dict[str, float]:
+        """Total I/O count per object (all I/O types pooled)."""
+        return {
+            object_name: sum(by_type.values())
+            for object_name, by_type in self.io_by_object.items()
+        }
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """Outcome of one drift check."""
+
+    drifted: bool
+    share_distance: float
+    volume_change: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """Configurable sensitivities of the drift detector.
+
+    ``share_threshold`` bounds the total-variation distance between
+    normalised per-object I/O distributions (0..1); ``volume_threshold``
+    bounds the relative change in total I/O volume.  ``min_epochs_between``
+    is a cooldown: after a re-provision, at least that many epochs must
+    elapse before the next one (thrash protection).
+    """
+
+    share_threshold: float = 0.10
+    volume_threshold: float = 0.50
+    min_epochs_between: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.share_threshold <= 1.0:
+            raise ValueError("share threshold must be in (0, 1]")
+        if self.volume_threshold <= 0:
+            raise ValueError("volume threshold must be positive")
+        if self.min_epochs_between < 0:
+            raise ValueError("cooldown cannot be negative")
+
+
+class TelemetryMonitor:
+    """Aggregates epoch telemetry and flags workload drift.
+
+    Parameters
+    ----------
+    system:
+        The storage system (profile sets carry it for service-time lookups).
+    thresholds:
+        Drift sensitivities (:class:`DriftThresholds`).
+    concurrency:
+        Concurrency calibration point recorded in emitted profile sets.
+    """
+
+    def __init__(self, system: StorageSystem,
+                 thresholds: Optional[DriftThresholds] = None,
+                 concurrency: int = 1):
+        self.system = system
+        self.thresholds = thresholds or DriftThresholds()
+        self.concurrency = concurrency
+        self.history: List[EpochTelemetry] = []
+        self._reference: Optional[EpochTelemetry] = None
+        self._last_reprovision_epoch: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _telemetry_from(epoch: int, run_result) -> EpochTelemetry:
+        io_by_object = {
+            object_name: dict(by_type)
+            for object_name, by_type in run_result.io_by_object.items()
+        }
+        return EpochTelemetry(
+            epoch=epoch,
+            workload_name=run_result.workload_name,
+            io_by_object=io_by_object,
+            total_ios=sum(sum(by_type.values()) for by_type in io_by_object.values()),
+        )
+
+    def observe(self, epoch: int, run_result) -> EpochTelemetry:
+        """Fold one epoch's run result into the telemetry history."""
+        telemetry = self._telemetry_from(epoch, run_result)
+        self.history.append(telemetry)
+        if self._reference is None:
+            self._reference = telemetry
+        return telemetry
+
+    def profile_set(self, pattern: Optional[BaselinePlacement] = None) -> WorkloadProfileSet:
+        """A fresh single-pattern profile set from the latest telemetry.
+
+        The paper's TPC-C profiling shows a single observed baseline is
+        enough when plans are placement-stable; the pattern defaults to the
+        all-most-expensive placement so
+        :meth:`WorkloadProfileSet._lookup`'s single-profile fallback serves
+        every requested placement.
+        """
+        if not self.history:
+            raise ValueError("no telemetry observed yet")
+        latest = self.history[-1]
+        chosen = tuple(pattern) if pattern is not None else (
+            self.system.most_expensive().name,
+        )
+        profile = WorkloadProfileSet(system=self.system, concurrency=self.concurrency)
+        profile.add(chosen, latest.io_by_object)
+        return profile
+
+    # ------------------------------------------------------------------
+    def check_drift(self) -> DriftDecision:
+        """Score the latest epoch against the last-provisioned reference."""
+        if not self.history:
+            return DriftDecision(False, 0.0, 0.0, "no telemetry yet")
+        latest = self.history[-1]
+        reference = self._reference
+        if reference is None or reference is latest:
+            return DriftDecision(False, 0.0, 0.0, "reference epoch")
+
+        share = self._share_distance(reference, latest)
+        volume = self._volume_change(reference, latest)
+
+        if self._last_reprovision_epoch is not None:
+            elapsed = latest.epoch - self._last_reprovision_epoch
+            if elapsed < self.thresholds.min_epochs_between:
+                return DriftDecision(
+                    False, share, volume,
+                    f"cooldown ({elapsed}/{self.thresholds.min_epochs_between} epochs)",
+                )
+
+        if share > self.thresholds.share_threshold:
+            return DriftDecision(
+                True, share, volume,
+                f"I/O share moved {share:.1%} > {self.thresholds.share_threshold:.1%}",
+            )
+        if volume > self.thresholds.volume_threshold:
+            return DriftDecision(
+                True, share, volume,
+                f"I/O volume changed {volume:.1%} > {self.thresholds.volume_threshold:.1%}",
+            )
+        return DriftDecision(False, share, volume, "within thresholds")
+
+    def mark_reprovisioned(self, epoch: int, run_result=None) -> None:
+        """Reset the drift reference after a re-provision at ``epoch``.
+
+        Telemetry is layout-dependent (a re-tier can flip plans and shift
+        I/O between objects), so callers should pass the ``run_result``
+        observed *under the newly deployed layout* -- otherwise the next
+        epoch's unchanged workload would score spurious drift against
+        counts measured on the old layout.
+        """
+        if run_result is not None:
+            self._reference = self._telemetry_from(epoch, run_result)
+        elif self.history:
+            self._reference = self.history[-1]
+        self._last_reprovision_epoch = epoch
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _share_distance(a: EpochTelemetry, b: EpochTelemetry) -> float:
+        """Total-variation distance between normalised per-object I/O shares."""
+        totals_a = a.object_totals()
+        totals_b = b.object_totals()
+        sum_a = sum(totals_a.values())
+        sum_b = sum(totals_b.values())
+        if sum_a <= 0 or sum_b <= 0:
+            return 0.0 if sum_a == sum_b else 1.0
+        names = set(totals_a) | set(totals_b)
+        distance = 0.0
+        for name in names:
+            distance += abs(totals_a.get(name, 0.0) / sum_a - totals_b.get(name, 0.0) / sum_b)
+        return 0.5 * distance
+
+    @staticmethod
+    def _volume_change(a: EpochTelemetry, b: EpochTelemetry) -> float:
+        """Relative change in total I/O volume."""
+        if a.total_ios <= 0:
+            return 0.0 if b.total_ios <= 0 else float("inf")
+        return abs(b.total_ios - a.total_ios) / a.total_ios

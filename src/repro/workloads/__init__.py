@@ -1,6 +1,6 @@
 """Workload definitions: the generic container plus TPC-H / TPC-C style generators."""
 
-from repro.workloads.workload import Workload
+from repro.workloads.workload import Workload, blend_transaction_mixes
 from repro.workloads import synthetic, tpcc, tpch
 
-__all__ = ["Workload", "synthetic", "tpcc", "tpch"]
+__all__ = ["Workload", "blend_transaction_mixes", "synthetic", "tpcc", "tpch"]

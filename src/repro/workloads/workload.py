@@ -136,3 +136,80 @@ class Workload:
             concurrency=self.concurrency,
             description=self.description,
         )
+
+    # ------------------------------------------------------------------
+    # Phase composition hooks (used by repro.online.drift)
+    # ------------------------------------------------------------------
+    def with_stream(self, queries: Sequence[Query], name: Optional[str] = None,
+                    description: Optional[str] = None) -> "Workload":
+        """Return a DSS workload with a replaced query stream.
+
+        Execution parameters (concurrency) are preserved; the drifting
+        workload generator uses this to materialise per-epoch streams
+        composed from several phase workloads.
+        """
+        if not self.is_dss:
+            raise WorkloadError("with_stream only applies to DSS workloads")
+        if not queries:
+            raise WorkloadError("with_stream needs at least one query")
+        return Workload(
+            name=name or self.name,
+            kind="dss",
+            queries=tuple(queries),
+            concurrency=self.concurrency,
+            description=description if description is not None else self.description,
+        )
+
+
+def blend_transaction_mixes(
+    workloads: Sequence[Workload],
+    weights: Sequence[float],
+    name: str,
+    description: str = "",
+) -> Workload:
+    """Compose OLTP workloads into one blended transaction mix.
+
+    Each component's mix weights are scaled by its blend weight and merged
+    by query name (first-occurrence order across components), so a 70/30
+    blend of two mixes issues 70 % of its transactions from the first.
+    The measured-transaction fraction blends the same way; every component
+    must run at one common concurrency for the closed-loop model to apply.
+    """
+    if len(workloads) != len(weights):
+        raise WorkloadError("blend needs one weight per workload")
+    active = [(workload, weight) for workload, weight in zip(workloads, weights) if weight > 0]
+    if not active:
+        raise WorkloadError("blend needs at least one positive weight")
+    total = sum(weight for _, weight in active)
+    concurrency = active[0][0].concurrency
+    duration_s = active[0][0].duration_s
+    merged: Dict[str, Tuple[Query, float]] = {}
+    measured_fraction = 0.0
+    for workload, weight in active:
+        if not workload.is_oltp:
+            raise WorkloadError("blend_transaction_mixes only applies to OLTP workloads")
+        if workload.concurrency != concurrency:
+            raise WorkloadError("blended OLTP workloads must share one concurrency")
+        if workload.duration_s != duration_s:
+            # duration_s feeds total_time_s (and through it reports); letting
+            # it flip to whichever component happens to be first would make
+            # epoch costs jump discontinuously as weights cross zero.
+            raise WorkloadError("blended OLTP workloads must share one measurement window")
+        share = weight / total
+        mix_total = sum(mix_weight for _, mix_weight in workload.transaction_mix)
+        for query, mix_weight in workload.transaction_mix:
+            scaled = share * (mix_weight / mix_total)
+            if query.name in merged:
+                merged[query.name] = (merged[query.name][0], merged[query.name][1] + scaled)
+            else:
+                merged[query.name] = (query, scaled)
+        measured_fraction += share * workload.measured_transaction_fraction
+    return Workload(
+        name=name,
+        kind="oltp",
+        transaction_mix=tuple(merged.values()),
+        concurrency=concurrency,
+        measured_transaction_fraction=measured_fraction,
+        duration_s=duration_s,
+        description=description,
+    )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -12,6 +13,29 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 import pytest
+
+
+# ---------------------------------------------------------------------------
+# The `slow` marker: stress tests run in CI (or with --runslow), not in the
+# edit-test loop
+# ---------------------------------------------------------------------------
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (always run when the CI env var is set)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow") or os.environ.get("CI"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: needs --runslow (or CI)")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 from repro.dbms.buffer_pool import BufferPool
 from repro.dbms.catalog import DatabaseCatalog

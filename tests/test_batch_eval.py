@@ -426,3 +426,119 @@ class TestFigure9Configuration:
         assert batch.layout == scalar.layout
         assert batch.toc_cents == scalar.toc_cents
         assert batch.evaluated_layouts == scalar.evaluated_layouts
+
+
+# ---------------------------------------------------------------------------
+# Shared estimate tables: profiler fast path, ES+DOT cache sharing
+# ---------------------------------------------------------------------------
+
+class TestProfilerFastPath:
+    def test_dss_profiles_bitwise_equal_scalar(self, small_objects, box1_system,
+                                               small_catalog, small_workload):
+        """Estimate-mode profiling through the estimate tables must produce
+        the identical M^K profile set, profile for profile, bit for bit."""
+        scalar = WorkloadProfiler(
+            small_objects, box1_system, fresh_estimator(small_catalog)
+        ).profile(small_workload, mode="estimate", fast=False)
+        fast = WorkloadProfiler(
+            small_objects, box1_system, fresh_estimator(small_catalog)
+        ).profile(small_workload, mode="estimate", fast=True)
+        assert fast.patterns == scalar.patterns
+        assert fast.profiles == scalar.profiles
+
+    def test_oltp_profiles_bitwise_equal_scalar(self, small_objects, box1_system,
+                                                small_catalog, oltp_workload):
+        scalar = WorkloadProfiler(
+            small_objects, box1_system, fresh_estimator(small_catalog)
+        ).profile(oltp_workload, mode="estimate", fast=False)
+        fast = WorkloadProfiler(
+            small_objects, box1_system, fresh_estimator(small_catalog)
+        ).profile(oltp_workload, mode="estimate", fast=True)
+        assert fast.profiles == scalar.profiles
+
+    def test_fast_path_deduplicates_estimates(self, small_objects, box1_system,
+                                              small_catalog, small_workload):
+        """Across M^K baseline patterns, a query is estimated only once per
+        distinct touched-placement signature."""
+        from repro.core.batch_eval import QueryEstimateCache
+
+        estimator = fresh_estimator(small_catalog)
+        cache = QueryEstimateCache(estimator, small_workload.concurrency)
+        profiler = WorkloadProfiler(small_objects, box1_system, estimator,
+                                    estimate_cache=cache)
+        profiler.profile(small_workload, mode="estimate")
+        patterns = len(profiler.baseline_patterns())
+        stream_evals = patterns * len(small_workload.queries)
+        assert cache.misses + cache.hits == stream_evals
+        assert cache.misses < stream_evals
+
+    def test_testrun_mode_ignores_fast_flag(self, small_objects, box1_system,
+                                            small_catalog, small_workload):
+        """Test runs are stateful (noise RNG, buffer pool) and must never be
+        served from the estimate tables."""
+        estimator_a = WorkloadEstimator(small_catalog, noise=0.05, buffer_pool=None, seed=7)
+        estimator_b = WorkloadEstimator(small_catalog, noise=0.05, buffer_pool=None, seed=7)
+        run_a = WorkloadProfiler(small_objects, box1_system, estimator_a).profile(
+            small_workload, mode="testrun", fast=True
+        )
+        run_b = WorkloadProfiler(small_objects, box1_system, estimator_b).profile(
+            small_workload, mode="testrun", fast=False
+        )
+        assert run_a.profiles == run_b.profiles
+
+
+class TestSharedEstimateCache:
+    def test_es_and_dot_share_one_table(self, small_objects, box1_system, small_catalog,
+                                        small_workload, loose_constraint):
+        """DOT then ES over one shared cache must match the unshared runs
+        bitwise while actually reusing estimates across the two searches."""
+        from repro.core.batch_eval import QueryEstimateCache
+
+        # Independent reference runs (fresh estimator each, as before).
+        dot_reference = DOTOptimizer(
+            small_objects, box1_system, fresh_estimator(small_catalog),
+            constraint=loose_constraint,
+        )
+        profiles = WorkloadProfiler(
+            small_objects, box1_system, dot_reference.estimator
+        ).profile(small_workload, mode="estimate")
+        dot_expected = dot_reference.optimize(small_workload, profiles)
+        es_expected = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog),
+            constraint=loose_constraint,
+        ).search(small_workload)
+
+        # Shared-cache runs over one estimator.
+        estimator = fresh_estimator(small_catalog)
+        cache = QueryEstimateCache(estimator, small_workload.concurrency)
+        shared_profiles = WorkloadProfiler(
+            small_objects, box1_system, estimator, estimate_cache=cache
+        ).profile(small_workload, mode="estimate")
+        dot_shared = DOTOptimizer(
+            small_objects, box1_system, estimator, constraint=loose_constraint,
+            estimate_cache=cache,
+        ).optimize(small_workload, shared_profiles)
+        misses_after_dot = cache.misses
+        es_shared = ExhaustiveSearch(
+            small_objects, box1_system, estimator, constraint=loose_constraint,
+            estimate_cache=cache,
+        ).search(small_workload)
+
+        assert dot_shared.layout == dot_expected.layout
+        assert dot_shared.toc_cents == dot_expected.toc_cents
+        assert es_shared.layout == es_expected.layout
+        assert es_shared.toc_cents == es_expected.toc_cents
+        # The search must have hit estimates that profiling/DOT already paid for.
+        assert cache.hits > 0
+        assert misses_after_dot > 0
+
+    def test_concurrency_mismatch_is_rejected(self, small_catalog, small_workload,
+                                              small_objects, box1_system):
+        from repro.core.batch_eval import QueryEstimateCache, _adopt_cache
+
+        estimator = fresh_estimator(small_catalog)
+        cache = QueryEstimateCache(estimator, concurrency=300)
+        with pytest.raises(UnsupportedBatchEvaluation):
+            _adopt_cache(cache, estimator, concurrency=1)
+        with pytest.raises(UnsupportedBatchEvaluation):
+            _adopt_cache(cache, fresh_estimator(small_catalog), concurrency=300)

@@ -1,0 +1,463 @@
+"""The online re-provisioning subsystem.
+
+Covers the ISSUE 2 acceptance properties: seeded drift schedules are
+deterministic, migration cost is conserved (bytes moved times class-pair
+prices), a no-drift workload never triggers a re-tier, and the epoch loop's
+end-to-end crossfade beats the frozen layout net of migration charges.
+"""
+
+import pytest
+
+from repro.core.dot import DOTOptimizer
+from repro.core.layout import Layout
+from repro.core.profiler import WorkloadProfiler
+from repro.dbms.executor import WorkloadEstimator
+from repro.exceptions import WorkloadError
+from repro.online.controller import OnlineAdvisor
+from repro.online.drift import (
+    DriftingWorkloadGenerator,
+    PhaseSchedule,
+    WorkloadPhase,
+)
+from repro.online.migration import (
+    MigrationCostModel,
+    MigrationPlan,
+    ReProvisioningPolicy,
+)
+from repro.online.monitor import DriftThresholds, TelemetryMonitor
+from repro.sla.constraints import RelativeSLA
+from repro.storage.simulator import MultiClassSimulator
+from repro.workloads.workload import Workload, blend_transaction_mixes
+
+
+def fresh_estimator(catalog):
+    return WorkloadEstimator(catalog, noise=0.0, buffer_pool=None, seed=7)
+
+
+@pytest.fixture
+def olap_phase(small_workload):
+    return WorkloadPhase("olap", small_workload)
+
+
+@pytest.fixture
+def oltp_style_phase(lookup_query, write_query, small_workload):
+    stream = (lookup_query, write_query) * 3
+    return WorkloadPhase("oltp", small_workload.with_stream(stream, name="oltp-style"))
+
+
+@pytest.fixture
+def two_phase_generator(oltp_style_phase, olap_phase):
+    # Ramp early, then hold the drifted mix: the tail must be longer than the
+    # policy's amortization horizon, or a late re-tier's payback is truncated
+    # by the end of the run and the online-vs-frozen margin becomes noise.
+    schedule = PhaseSchedule.ramp(12, start_epoch=1, end_epoch=5,
+                                  phase_names=("oltp", "olap"))
+    return DriftingWorkloadGenerator(
+        [oltp_style_phase, olap_phase], schedule, seed=11, name="test-drift"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase schedules
+# ---------------------------------------------------------------------------
+
+class TestPhaseSchedule:
+    def test_rows_are_normalised(self):
+        schedule = PhaseSchedule(("a", "b"), [(2.0, 2.0), (1.0, 3.0)])
+        assert schedule.weights_at(0) == (0.5, 0.5)
+        assert schedule.weights_at(1) == (0.25, 0.75)
+
+    def test_crossfade_endpoints(self):
+        for shape in ("linear", "smoothstep"):
+            schedule = PhaseSchedule.crossfade(10, shape=shape)
+            assert schedule.weights_at(0) == (1.0, 0.0)
+            assert schedule.weights_at(9) == (0.0, 1.0)
+            # Weights move monotonically toward phase B.
+            b_weights = [schedule.weights_at(epoch)[1] for epoch in range(10)]
+            assert b_weights == sorted(b_weights)
+
+    def test_ramp_holds_endpoints(self):
+        schedule = PhaseSchedule.ramp(10, start_epoch=2, end_epoch=6)
+        assert schedule.weights_at(2) == (1.0, 0.0)
+        assert schedule.weights_at(4) == (0.5, 0.5)
+        assert schedule.weights_at(8) == (0.0, 1.0)
+
+    def test_diurnal_period(self):
+        schedule = PhaseSchedule.diurnal(9, period=8)
+        assert schedule.weights_at(0)[1] == pytest.approx(0.0)
+        assert schedule.weights_at(4)[1] == pytest.approx(1.0)
+        assert schedule.weights_at(8)[1] == pytest.approx(0.0)
+
+    def test_flash_crowd_spike(self):
+        schedule = PhaseSchedule.flash_crowd(7, spike_epoch=3, width=2)
+        crowd = [schedule.weights_at(epoch)[1] for epoch in range(7)]
+        assert crowd[3] == 1.0
+        assert crowd[0] == 0.0 and crowd[6] == 0.0
+        assert crowd[2] == 0.5 and crowd[4] == 0.5
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(WorkloadError):
+            PhaseSchedule(("a", "b"), [(1.0,)])
+        with pytest.raises(WorkloadError):
+            PhaseSchedule(("a", "b"), [(-1.0, 2.0)])
+        with pytest.raises(WorkloadError):
+            PhaseSchedule(("a", "b"), [(0.0, 0.0)])
+
+
+# ---------------------------------------------------------------------------
+# Drifting workload generation
+# ---------------------------------------------------------------------------
+
+class TestDriftingWorkloadGenerator:
+    def test_seeded_epochs_are_deterministic(self, oltp_style_phase, olap_phase):
+        schedule = PhaseSchedule.crossfade(6, ("oltp", "olap"))
+
+        def stream_names(seed):
+            generator = DriftingWorkloadGenerator(
+                [oltp_style_phase, olap_phase], schedule, seed=seed
+            )
+            return [
+                tuple(query.name for query in epoch.workload.queries)
+                for epoch in generator.epochs()
+            ]
+
+        assert stream_names(97) == stream_names(97)
+        assert stream_names(97) != stream_names(98)
+
+    def test_epoch_composition_tracks_weights(self, two_phase_generator,
+                                              oltp_style_phase, olap_phase):
+        first = two_phase_generator.epoch_workload(0)
+        last = two_phase_generator.epoch_workload(two_phase_generator.num_epochs - 1)
+        oltp_names = {query.name for query in oltp_style_phase.workload.queries}
+        assert all(query.name in oltp_names for query in first.workload.queries)
+        olap_names = {query.name for query in olap_phase.workload.queries}
+        assert all(query.name in olap_names for query in last.workload.queries)
+
+    def test_every_epoch_is_a_valid_workload(self, two_phase_generator):
+        for epoch in two_phase_generator.epochs():
+            assert epoch.workload.queries
+            assert epoch.workload.kind == "dss"
+            assert sum(epoch.weights) == pytest.approx(1.0)
+
+    def test_phase_validation(self, olap_phase, scan_query):
+        oltp = Workload(
+            name="mix", kind="oltp", transaction_mix=((scan_query, 1.0),), concurrency=5
+        )
+        with pytest.raises(WorkloadError):
+            DriftingWorkloadGenerator(
+                [olap_phase, WorkloadPhase("oltp", oltp)],
+                PhaseSchedule.crossfade(4, ("olap", "oltp")),
+            )
+
+    def test_oltp_blend(self, scan_query, lookup_query, write_query):
+        mix_a = Workload(
+            name="a", kind="oltp",
+            transaction_mix=((lookup_query, 3.0), (write_query, 1.0)),
+            concurrency=10, measured_transaction_fraction=0.5,
+        )
+        mix_b = Workload(
+            name="b", kind="oltp", transaction_mix=((scan_query, 1.0),),
+            concurrency=10, measured_transaction_fraction=1.0,
+        )
+        blended = blend_transaction_mixes([mix_a, mix_b], (0.75, 0.25), name="ab")
+        weights = {query.name: weight for query, weight in blended.transaction_mix}
+        assert weights[lookup_query.name] == pytest.approx(0.75 * 0.75)
+        assert weights[write_query.name] == pytest.approx(0.75 * 0.25)
+        assert weights[scan_query.name] == pytest.approx(0.25)
+        assert blended.measured_transaction_fraction == pytest.approx(
+            0.75 * 0.5 + 0.25 * 1.0
+        )
+
+    def test_oltp_blend_rejects_mismatched_windows(self, scan_query, lookup_query):
+        mix_a = Workload(name="a", kind="oltp", transaction_mix=((lookup_query, 1.0),),
+                         concurrency=10, duration_s=3600.0)
+        mix_b = Workload(name="b", kind="oltp", transaction_mix=((scan_query, 1.0),),
+                         concurrency=10, duration_s=7200.0)
+        with pytest.raises(WorkloadError):
+            blend_transaction_mixes([mix_a, mix_b], (0.5, 0.5), name="ab")
+
+
+# ---------------------------------------------------------------------------
+# Migration plans and cost conservation
+# ---------------------------------------------------------------------------
+
+class TestMigration:
+    @pytest.fixture
+    def layouts(self, small_objects, box1_system):
+        everything_fast = Layout.uniform(small_objects, box1_system, "H-SSD")
+        split = everything_fast.with_assignment("fact", "HDD RAID 0").with_assignment(
+            "dim", "L-SSD"
+        )
+        return everything_fast, split
+
+    def test_plan_lists_changed_objects_only(self, layouts):
+        source, target = layouts
+        plan = MigrationPlan.between(source, target)
+        moved = {move.object_name: (move.source, move.target) for move in plan.moves}
+        assert moved["fact"] == ("H-SSD", "HDD RAID 0")
+        assert moved["dim"] == ("H-SSD", "L-SSD")
+        assert all(name in ("fact", "dim") for name in moved)
+        assert MigrationPlan.between(source, source).is_empty
+
+    def test_cost_is_conserved_over_class_pairs(self, layouts, box1_system):
+        """Total cost must equal bytes moved per class pair times that pair's
+        per-GB price -- no bytes may be dropped or double-charged."""
+        source, target = layouts
+        plan = MigrationPlan.between(source, target)
+        model = MigrationCostModel(box1_system)
+        cost = model.assess(plan)
+
+        assert cost.bytes_moved_gb == pytest.approx(
+            sum(move.size_gb for move in plan.moves)
+        )
+        by_pair_total = sum(cost.bytes_by_class_pair.values())
+        assert by_pair_total == pytest.approx(cost.bytes_moved_gb)
+        expected_cents = sum(
+            gigabytes * model.cents_per_gb(source_class, target_class)
+            for (source_class, target_class), gigabytes in cost.bytes_by_class_pair.items()
+        )
+        assert cost.transfer_cents == pytest.approx(expected_cents)
+        expected_seconds = sum(
+            gigabytes * model.seconds_per_gb(source_class, target_class)
+            for (source_class, target_class), gigabytes in cost.bytes_by_class_pair.items()
+        )
+        assert cost.io_time_s == pytest.approx(expected_seconds)
+
+    def test_empty_plan_costs_nothing(self, layouts, box1_system):
+        source, _ = layouts
+        cost = MigrationCostModel(box1_system).assess(MigrationPlan.between(source, source))
+        assert cost.cost_cents == 0.0
+        assert cost.io_time_s == 0.0
+        assert cost.bytes_moved_gb == 0.0
+
+    def test_disruption_prices_io_time_at_layout_rate(self, layouts, box1_system):
+        source, target = layouts
+        plan = MigrationPlan.between(source, target)
+        model = MigrationCostModel(box1_system)
+        rate = 7.5  # cents/hour
+        cost = model.assess(plan, layout_cost_cents_per_hour=rate)
+        assert cost.disruption_cents == pytest.approx(rate * cost.io_time_s / 3600.0)
+
+    def test_simulated_migration_matches_analytic_time(self, layouts, box1_system):
+        """Replaying the plan's I/O batches on the deterministic device
+        simulator must accumulate exactly the analytic migration time."""
+        source, target = layouts
+        plan = MigrationPlan.between(source, target)
+        model = MigrationCostModel(box1_system)
+        simulator = MultiClassSimulator(box1_system, jitter=0.0, seed=3)
+        busy_ms = simulator.run_batches(model.io_requests(plan))
+        assert busy_ms / 1000.0 == pytest.approx(model.io_time_s(plan))
+        assert simulator.elapsed_ms() <= busy_ms
+
+    def test_policy_amortization(self):
+        policy = ReProvisioningPolicy(horizon_epochs=4)
+        # Saves 1 cent/epoch over 4 epochs; migration costs 3: migrate.
+        assert policy.should_migrate(10.0, 9.0, 3.0)
+        # Migration costs 5 > projected saving 4: stay.
+        assert not policy.should_migrate(10.0, 9.0, 5.0)
+        # A regression never migrates, whatever the cost.
+        assert not policy.should_migrate(9.0, 10.0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry monitoring
+# ---------------------------------------------------------------------------
+
+class TestTelemetryMonitor:
+    class _FakeResult:
+        def __init__(self, name, io_by_object):
+            self.workload_name = name
+            self.io_by_object = io_by_object
+
+    def test_identical_epochs_never_drift(self, box1_system):
+        monitor = TelemetryMonitor(box1_system)
+        counts = {"fact": {"SR": 100.0}, "dim": {"RR": 50.0}}
+        for epoch in range(5):
+            monitor.observe(epoch, self._FakeResult("w", counts))
+            decision = monitor.check_drift()
+            assert not decision.drifted
+            assert decision.share_distance == 0.0
+
+    def test_share_shift_triggers(self, box1_system):
+        monitor = TelemetryMonitor(
+            box1_system, thresholds=DriftThresholds(share_threshold=0.2)
+        )
+        monitor.observe(0, self._FakeResult("w", {"fact": {"RR": 90.0}, "dim": {"RR": 10.0}}))
+        assert not monitor.check_drift().drifted
+        monitor.observe(1, self._FakeResult("w", {"fact": {"RR": 10.0}, "dim": {"RR": 90.0}}))
+        decision = monitor.check_drift()
+        assert decision.drifted
+        assert decision.share_distance == pytest.approx(0.8)
+
+    def test_volume_change_triggers(self, box1_system):
+        monitor = TelemetryMonitor(
+            box1_system, thresholds=DriftThresholds(volume_threshold=0.5)
+        )
+        monitor.observe(0, self._FakeResult("w", {"fact": {"RR": 100.0}}))
+        monitor.observe(1, self._FakeResult("w", {"fact": {"RR": 300.0}}))
+        decision = monitor.check_drift()
+        assert decision.drifted
+        assert decision.volume_change == pytest.approx(2.0)
+
+    def test_cooldown_suppresses_retier(self, box1_system):
+        monitor = TelemetryMonitor(
+            box1_system,
+            thresholds=DriftThresholds(share_threshold=0.1, min_epochs_between=3),
+        )
+        monitor.observe(0, self._FakeResult("w", {"fact": {"RR": 90.0}, "dim": {"RR": 10.0}}))
+        monitor.mark_reprovisioned(0)
+        monitor.observe(1, self._FakeResult("w", {"fact": {"RR": 10.0}, "dim": {"RR": 90.0}}))
+        assert not monitor.check_drift().drifted  # still cooling down
+        monitor.observe(3, self._FakeResult("w", {"fact": {"RR": 10.0}, "dim": {"RR": 90.0}}))
+        assert monitor.check_drift().drifted
+
+    def test_reprovision_rebases_reference_on_new_layout(self, box1_system):
+        """Telemetry is layout-dependent: after a re-tier the reference must
+        be the counts seen under the *new* layout, so an unchanged workload
+        scores zero drift instead of phantom plan-flip drift."""
+        monitor = TelemetryMonitor(
+            box1_system, thresholds=DriftThresholds(share_threshold=0.1)
+        )
+        old_layout_counts = {"fact": {"RR": 90.0}, "dim": {"RR": 10.0}}
+        new_layout_counts = {"fact": {"SR": 40.0}, "dim": {"SR": 60.0}}
+        monitor.observe(0, self._FakeResult("w", old_layout_counts))
+        monitor.mark_reprovisioned(0, self._FakeResult("w", new_layout_counts))
+        monitor.observe(1, self._FakeResult("w", new_layout_counts))
+        decision = monitor.check_drift()
+        assert not decision.drifted
+        assert decision.share_distance == 0.0
+
+    def test_profile_set_wraps_latest_epoch(self, box1_system):
+        monitor = TelemetryMonitor(box1_system, concurrency=4)
+        counts = {"fact": {"SR": 10.0}}
+        monitor.observe(0, self._FakeResult("w", counts))
+        profile = monitor.profile_set()
+        assert profile.concurrency == 4
+        assert profile.profiles[(box1_system.most_expensive().name,)] == counts
+
+
+# ---------------------------------------------------------------------------
+# DOT warm start
+# ---------------------------------------------------------------------------
+
+class TestWarmStart:
+    def test_warm_start_from_l0_equals_cold(self, small_objects, box1_system,
+                                            small_catalog, small_workload):
+        estimator = fresh_estimator(small_catalog)
+        profiles = WorkloadProfiler(small_objects, box1_system, estimator).profile(
+            small_workload, mode="estimate"
+        )
+        optimizer = DOTOptimizer(small_objects, box1_system, estimator)
+        cold = optimizer.optimize(small_workload, profiles)
+        warm = optimizer.optimize(
+            small_workload, profiles, initial_layout=optimizer.initial_layout()
+        )
+        assert warm.layout == cold.layout
+        assert warm.toc_cents == cold.toc_cents
+
+    def test_warm_start_from_optimum_keeps_it(self, small_objects, box1_system,
+                                              small_catalog, small_workload):
+        estimator = fresh_estimator(small_catalog)
+        profiles = WorkloadProfiler(small_objects, box1_system, estimator).profile(
+            small_workload, mode="estimate"
+        )
+        optimizer = DOTOptimizer(small_objects, box1_system, estimator)
+        cold = optimizer.optimize(small_workload, profiles)
+        warm = optimizer.optimize(small_workload, profiles, initial_layout=cold.layout)
+        assert warm.feasible
+        assert warm.toc_cents <= cold.toc_cents
+
+
+# ---------------------------------------------------------------------------
+# The epoch loop
+# ---------------------------------------------------------------------------
+
+class TestOnlineAdvisor:
+    def test_no_drift_never_retiers(self, small_objects, box1_system, small_catalog,
+                                    small_workload):
+        """A workload that never changes must provision once and only once."""
+        advisor = OnlineAdvisor(
+            small_objects, box1_system, fresh_estimator(small_catalog),
+            sla=RelativeSLA(0.5),
+        )
+        result = advisor.run([small_workload] * 6)
+        assert result.num_epochs == 6
+        assert result.retier_epochs == ()
+        assert result.total_migration_cents == 0.0
+        first_layout = result.records[0].layout
+        assert all(record.layout == first_layout for record in result.records)
+        assert all(not record.reoptimized for record in result.records[1:])
+
+    def test_crossfade_beats_frozen_net_of_migration(self, small_objects, box1_system,
+                                                     small_catalog, two_phase_generator):
+        advisor = OnlineAdvisor(
+            small_objects, box1_system, fresh_estimator(small_catalog),
+            sla=RelativeSLA(0.5),
+            thresholds=DriftThresholds(share_threshold=0.05),
+        )
+        online = advisor.run(two_phase_generator.epochs())
+        frozen = advisor.evaluate_frozen(
+            two_phase_generator.epochs(), online.records[0].layout
+        )
+        assert online.num_epochs == two_phase_generator.num_epochs
+        assert online.min_psr >= 0.5
+        assert online.cumulative_cost_cents <= frozen.cumulative_cost_cents
+        # Cumulative cost is monotone in epochs.
+        running = [record.cumulative_cost_cents for record in online.records]
+        assert running == sorted(running)
+
+    def test_run_is_deterministic(self, small_objects, box1_system, small_catalog,
+                                  two_phase_generator):
+        def run_once():
+            advisor = OnlineAdvisor(
+                small_objects, box1_system, fresh_estimator(small_catalog),
+                sla=RelativeSLA(0.5),
+            )
+            return advisor.run(two_phase_generator.epochs())
+
+        first, second = run_once(), run_once()
+        assert first.describe() == second.describe()
+        assert first.cumulative_cost_cents == second.cumulative_cost_cents
+
+    def test_migration_charges_enter_cumulative_cost(self, small_objects, box1_system,
+                                                     small_catalog, two_phase_generator):
+        advisor = OnlineAdvisor(
+            small_objects, box1_system, fresh_estimator(small_catalog),
+            sla=RelativeSLA(0.5),
+            thresholds=DriftThresholds(share_threshold=0.05),
+        )
+        online = advisor.run(two_phase_generator.epochs())
+        toc_only = sum(record.toc_cents for record in online.records)
+        assert online.cumulative_cost_cents == pytest.approx(
+            toc_only + online.total_migration_cents
+        )
+
+
+# ---------------------------------------------------------------------------
+# Epoch-loop stress (CI only)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_long_diurnal_epoch_loop_stress(small_objects, box1_system, small_catalog,
+                                        small_workload, lookup_query, write_query):
+    """A 48-epoch diurnal loop: the controller must stay feasible, keep the
+    SLA, keep cumulative cost monotone and re-tier a bounded number of times
+    (no thrashing: the cooldown caps re-tiers at one per two epochs)."""
+    oltp_style = small_workload.with_stream((lookup_query, write_query) * 4,
+                                            name="night-oltp")
+    generator = DriftingWorkloadGenerator(
+        [WorkloadPhase("day", small_workload), WorkloadPhase("night", oltp_style)],
+        PhaseSchedule.diurnal(48, period=12, phase_names=("day", "night")),
+        seed=5,
+    )
+    advisor = OnlineAdvisor(
+        small_objects, box1_system, fresh_estimator(small_catalog),
+        sla=RelativeSLA(0.5),
+        thresholds=DriftThresholds(share_threshold=0.05, min_epochs_between=2),
+    )
+    result = advisor.run(generator.epochs())
+    assert result.num_epochs == 48
+    assert result.min_psr >= 0.5
+    running = [record.cumulative_cost_cents for record in result.records]
+    assert running == sorted(running)
+    assert 1 <= len(result.retier_epochs) <= 24
