@@ -5,7 +5,25 @@ import pytest
 
 from repro.experiments import figures
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
+
+
+def _payload(results):
+    """Headline search metrics per box for the BENCH json."""
+    return {
+        "elapsed_s": run_once.last_elapsed_s,
+        "boxes": {
+            box_name: {
+                "dot_toc_cents": result["dot"].toc_cents,
+                "es_toc_cents": result["es"].toc_cents,
+                "dot_evaluated": result["dot_evaluated"],
+                "es_evaluated": result["es_evaluated"],
+                "dot_elapsed_s": result["dot_elapsed_s"],
+                "es_elapsed_s": result["es_elapsed_s"],
+            }
+            for box_name, result in results.items()
+        },
+    }
 
 
 def test_es_vs_dot_tpch_no_capacity_limits(benchmark):
@@ -17,6 +35,7 @@ def test_es_vs_dot_tpch_no_capacity_limits(benchmark):
         {"Box 1": {}, "Box 2": {}},
         3,
     )
+    write_bench_json("es_vs_dot_tpch", _payload(results))
     for box_name, result in results.items():
         print(f"\n=== {box_name} ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]
@@ -40,6 +59,7 @@ def test_es_vs_dot_tpch_with_capacity_limits(benchmark):
         {"Box 1": {"HDD RAID 0": 24.0}, "Box 2": {"HDD": 8.0}},
         3,
     )
+    write_bench_json("es_vs_dot_tpch_capacity_limited", _payload(results))
     for box_name, result in results.items():
         print(f"\n=== {box_name} (capacity limited) ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]

@@ -10,7 +10,7 @@ import pytest
 
 from repro.experiments import figures
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 
 def test_generalized_provisioning_picks_a_box(benchmark):
@@ -18,6 +18,17 @@ def test_generalized_provisioning_picks_a_box(benchmark):
     print("\n" + result["text"])
     benchmark.extra_info["decision"] = result["text"]
     decision = result["decision"]
+    write_bench_json(
+        "ext_generalized_provisioning",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "feasible": decision.feasible,
+            "per_option_toc_cents": {
+                name: (rec.toc_cents if rec is not None else None)
+                for name, rec in decision.per_option.items()
+            },
+        },
+    )
     assert decision.feasible
     # The chosen configuration is the cheapest feasible one.
     tocs = [rec.toc_cents for rec in decision.per_option.values() if rec is not None]
@@ -29,6 +40,15 @@ def test_discrete_cost_model_consolidates_classes(benchmark):
     print("\n" + result["text"])
     benchmark.extra_info["alpha_sweep"] = result["text"]
     outcomes = result["results"]
+    write_bench_json(
+        "ext_discrete_cost",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "toc_cents_by_alpha": {
+                str(alpha): outcome.toc_cents for alpha, outcome in outcomes.items()
+            },
+        },
+    )
     assert all(outcome.feasible for outcome in outcomes.values())
     used = {
         alpha: sum(1 for _, gb in outcome.layout.space_used_gb().items() if gb > 0)
@@ -44,6 +64,16 @@ def test_ablation_object_grouping(benchmark):
     print("\n" + result["text"])
     benchmark.extra_info["grouping"] = result["text"]
     outcomes = result["results"]
+    write_bench_json(
+        "ext_ablation_grouping",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "toc_cents": {
+                label: (outcome.toc_cents if outcome.feasible else None)
+                for label, outcome in outcomes.items()
+            },
+        },
+    )
     grouped = outcomes["grouped (DOT)"]
     independent = outcomes["independent objects"]
     assert grouped.feasible
@@ -58,5 +88,14 @@ def test_ablation_milp_reference(benchmark):
     print("\n" + result["text"])
     benchmark.extra_info["milp"] = result["text"]
     outcomes = result["results"]
+    write_bench_json(
+        "ext_ablation_milp",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "dot_toc_cents": outcomes["dot"].toc_cents,
+            "dot_elapsed_s": outcomes["dot"].elapsed_s,
+            "milp_elapsed_s": outcomes["milp"].elapsed_s,
+        },
+    )
     assert outcomes["dot"].feasible
     assert outcomes["milp"].feasible

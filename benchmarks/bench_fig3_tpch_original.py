@@ -5,11 +5,29 @@ import pytest
 from repro.experiments import figures
 from repro.experiments.reporting import format_layout_assignment
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
+
+
+def _evaluation_payload(results):
+    """Per-box TOC/PSR of every evaluated layout for the BENCH json."""
+    return {
+        "elapsed_s": run_once.last_elapsed_s,
+        "boxes": {
+            box_name: {
+                evaluation.layout_name: {
+                    "toc_cents": evaluation.toc_cents,
+                    "psr": evaluation.psr,
+                }
+                for evaluation in result["evaluations"]
+            }
+            for box_name, result in results.items()
+        },
+    }
 
 
 def test_fig3_original_tpch_sla05(benchmark):
     results = run_once(benchmark, figures.figure3, 20.0, 3)
+    write_bench_json("fig3_tpch_original", _evaluation_payload(results))
     for box_name, result in results.items():
         print(f"\n=== {box_name} ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]
@@ -27,6 +45,16 @@ def test_fig3_original_tpch_sla05(benchmark):
 
 def test_fig4_dot_layouts_for_original_tpch(benchmark):
     layouts = run_once(benchmark, figures.figure4, 20.0, 3)
+    write_bench_json(
+        "fig4_dot_layouts_original",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "assignments": {
+                box_name: entry["layout"].assignment()
+                for box_name, entry in layouts.items()
+            },
+        },
+    )
     for box_name, entry in layouts.items():
         print(f"\n=== {box_name} ===\n{entry['text']}")
         benchmark.extra_info[box_name] = entry["text"]

@@ -4,11 +4,28 @@ import pytest
 
 from repro.experiments import figures
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
+
+
+def _evaluation_payload(results):
+    return {
+        "elapsed_s": run_once.last_elapsed_s,
+        "boxes": {
+            box_name: {
+                evaluation.layout_name: {
+                    "toc_cents": evaluation.toc_cents,
+                    "psr": evaluation.psr,
+                }
+                for evaluation in result["evaluations"]
+            }
+            for box_name, result in results.items()
+        },
+    }
 
 
 def test_fig5_modified_tpch_sla05(benchmark):
     results = run_once(benchmark, figures.figure5, 20.0, 20)
+    write_bench_json("fig5_tpch_modified", _evaluation_payload(results))
     for box_name, result in results.items():
         print(f"\n=== {box_name} ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]
@@ -27,6 +44,16 @@ def test_fig5_modified_tpch_sla05(benchmark):
 
 def test_fig6_dot_layouts_for_modified_tpch(benchmark):
     layouts = run_once(benchmark, figures.figure6, 20.0, 20)
+    write_bench_json(
+        "fig6_dot_layouts_modified",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "assignments": {
+                box_name: entry["layout"].assignment()
+                for box_name, entry in layouts.items()
+            },
+        },
+    )
     for box_name, entry in layouts.items():
         print(f"\n=== {box_name} ===\n{entry['text']}")
         benchmark.extra_info[box_name] = entry["text"]

@@ -4,12 +4,28 @@ import pytest
 
 from repro.experiments import figures
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 
 def test_fig7_modified_tpch_sla025(benchmark):
     results = run_once(benchmark, figures.figure7, 20.0, 20)
     sla05 = figures.figure5(20.0, 20)
+    write_bench_json(
+        "fig7_tpch_modified_sla025",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "boxes": {
+                box_name: {
+                    evaluation.layout_name: {
+                        "toc_cents": evaluation.toc_cents,
+                        "psr": evaluation.psr,
+                    }
+                    for evaluation in result["evaluations"]
+                }
+                for box_name, result in results.items()
+            },
+        },
+    )
     for box_name, result in results.items():
         print(f"\n=== {box_name} ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]

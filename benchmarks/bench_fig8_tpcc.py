@@ -4,11 +4,27 @@ import pytest
 
 from repro.experiments import figures
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 
 def test_fig8_tpcc_throughput_vs_toc(benchmark):
     results = run_once(benchmark, figures.figure8, 300, (0.5, 0.25, 0.125), 300)
+    write_bench_json(
+        "fig8_tpcc",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "boxes": {
+                box_name: {
+                    evaluation.layout_name: {
+                        "toc_cents": evaluation.toc_cents,
+                        "tpmc": evaluation.transactions_per_minute,
+                    }
+                    for evaluation in result["evaluations"]
+                }
+                for box_name, result in results.items()
+            },
+        },
+    )
     for box_name, result in results.items():
         print(f"\n=== {box_name} ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]
@@ -33,6 +49,16 @@ def test_fig8_tpcc_throughput_vs_toc(benchmark):
 
 def test_table3_tpcc_dot_layouts_per_sla(benchmark):
     result = run_once(benchmark, figures.table3, 300, (0.5, 0.25, 0.125), 300)
+    write_bench_json(
+        "table3_tpcc_dot_layouts",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "assignments": {
+                str(ratio): layout.assignment()
+                for ratio, layout in result["layouts"].items()
+            },
+        },
+    )
     print("\n" + result["text"])
     benchmark.extra_info["table3"] = result["text"]
     layouts = result["layouts"]

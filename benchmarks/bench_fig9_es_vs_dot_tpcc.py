@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments import figures
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 
 def test_fig9_es_vs_dot_tpcc(benchmark):
@@ -16,6 +16,22 @@ def test_fig9_es_vs_dot_tpcc(benchmark):
         (None, 21.0),
         300,
         ("stock", "order_line", "customer"),
+    )
+    write_bench_json(
+        "fig9_es_vs_dot_tpcc",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "configurations": {
+                label: {
+                    "dot_toc_cents": result["dot"].toc_cents,
+                    "es_toc_cents": result["es"].toc_cents,
+                    "dot_elapsed_s": result["dot"].elapsed_s,
+                    "es_elapsed_s": result["es"].elapsed_s,
+                    "es_evaluated": result["es"].evaluated_layouts,
+                }
+                for label, result in results.items()
+            },
+        },
     )
     for label, result in results.items():
         print(f"\n=== {label} ===\n{result['text']}")

@@ -10,7 +10,7 @@ SLA satisfied at every epoch, and actually perform at least one re-tier
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 from repro.experiments.drift import online_drift_experiment
 
@@ -32,6 +32,16 @@ def test_online_drift_crossfade(benchmark):
     benchmark.extra_info["summary"] = {
         key: value for key, value in summary.items() if key != "retier_epochs"
     }
+    write_bench_json(
+        "online_drift",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "summary": {
+                key: value for key, value in summary.items() if key != "retier_epochs"
+            },
+            "retier_count": len(summary["retier_epochs"]),
+        },
+    )
 
     assert summary["num_epochs"] == 16
     assert summary["online_cumulative_cents"] < summary["frozen_cumulative_cents"]

@@ -25,7 +25,7 @@ from repro.dbms.query import JoinSpec, Query, TableAccess
 from repro.storage import catalog as storage_catalog
 from repro.workloads.workload import Workload
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 
 def build_scenario(num_tables):
@@ -145,6 +145,16 @@ def test_scaling_batch_eval(benchmark):
     benchmark.extra_info["rows"] = rows
 
     largest = rows[-1]
+    write_bench_json(
+        "scaling_batch_eval",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "rows": rows,
+            "candidates_at_largest": largest["candidates"],
+            "es_speedup_at_largest": largest["es_speedup"],
+            "dot_speedup_at_largest": largest["dot_speedup"],
+        },
+    )
     assert largest["objects"] == 10 and largest["classes"] == 3
     # The acceptance bar: >= 5x ES speedup at 10 objects x 3 classes (the
     # measured margin is >100x, so this holds even on noisy shared runners).

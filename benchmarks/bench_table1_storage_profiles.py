@@ -5,11 +5,19 @@ import pytest
 from repro.storage import catalog
 from repro.experiments import figures
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 
 def test_table1_storage_profiles(benchmark):
     result = run_once(benchmark, figures.table1, (1, 300))
+    write_bench_json(
+        "table1_storage_profiles",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "prices_cents_per_gb_hour": result["prices_cents_per_gb_hour"],
+            "published_prices": result["published_prices"],
+        },
+    )
     benchmark.extra_info["table"] = result["text"]
     print("\n" + result["text"])
 
@@ -29,6 +37,20 @@ def test_table1_storage_profiles(benchmark):
 
 def test_table2_device_specifications(benchmark):
     result = run_once(benchmark, figures.table2)
+    write_bench_json(
+        "table2_devices",
+        {
+            "elapsed_s": run_once.last_elapsed_s,
+            "devices": {
+                name: {
+                    "capacity_gb": spec.capacity_gb,
+                    "purchase_cost_usd": spec.purchase_cost_usd,
+                    "power_watts": spec.power_watts,
+                }
+                for name, spec in result["devices"].items()
+            },
+        },
+    )
     benchmark.extra_info["table"] = result["text"]
     print("\n" + result["text"])
     assert set(result["devices"]) == {"HDD", "L-SSD", "H-SSD"}

@@ -4,11 +4,21 @@ Every benchmark regenerates one table or figure of the paper at (or near)
 paper scale, asserts the qualitative shape of the result, and attaches the
 rendered text table to the benchmark's ``extra_info`` so the numbers can be
 compared against the paper after a run (see EXPERIMENTS.md).
+
+Besides the human-readable tables, each benchmark emits a machine-readable
+``BENCH_<name>.json`` next to this file (or into ``$BENCH_JSON_DIR``) via
+:func:`write_bench_json`, so successive runs accumulate a perf trajectory
+(elapsed seconds, evaluated layouts, speedups, TOCs) that scripts and CI
+artifact consumers can diff without scraping stdout.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
 import sys
+import time
 from pathlib import Path
 
 _SRC = Path(__file__).resolve().parent.parent / "src"
@@ -17,5 +27,53 @@ if str(_SRC) not in sys.path:
 
 
 def run_once(benchmark, function, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The wall time of the (single) run is recorded both on the benchmark's
+    ``extra_info`` and as ``run_once.last_elapsed_s`` so benchmarks can put
+    it into their ``BENCH_*.json`` payload without re-measuring.
+    """
+
+    def timed(*inner_args, **inner_kwargs):
+        started = time.perf_counter()
+        result = function(*inner_args, **inner_kwargs)
+        run_once.last_elapsed_s = time.perf_counter() - started
+        return result
+
+    result = benchmark.pedantic(timed, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    benchmark.extra_info["elapsed_s"] = run_once.last_elapsed_s
+    return result
+
+
+run_once.last_elapsed_s = None
+
+
+def _jsonable(value):
+    """Best-effort coercion for numpy scalars, dataclasses and exotica."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    for caster in (float, str):
+        try:
+            return caster(value)
+        except (TypeError, ValueError):
+            continue
+    return repr(value)
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` with the benchmark's headline numbers.
+
+    ``payload`` holds the benchmark-specific metrics (elapsed seconds,
+    evaluated layouts, speedups, TOCs, ...); the helper adds the benchmark
+    name and a timestamp and keeps the file deterministic-ish (sorted keys)
+    so diffs between runs stay readable.  The target directory defaults to
+    the benchmarks directory and can be redirected with ``$BENCH_JSON_DIR``
+    (created on demand), which is how CI collects the artifacts.
+    """
+    directory = Path(os.environ.get("BENCH_JSON_DIR", Path(__file__).resolve().parent))
+    directory.mkdir(parents=True, exist_ok=True)
+    record = {"bench": name, "generated_unix_s": time.time()}
+    record.update(payload)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True, default=_jsonable) + "\n")
+    return path

@@ -10,7 +10,8 @@ This package implements everything in Sections 2, 3 and 5 of the paper:
   greedy optimization walk (:mod:`repro.core.moves`, :mod:`repro.core.dot`),
 * the evaluated baselines: simple layouts, the Object Advisor, and exhaustive
   search (:mod:`repro.core.simple_layouts`, :mod:`repro.core.object_advisor`,
-  :mod:`repro.core.exhaustive`),
+  :mod:`repro.core.exhaustive`, with the sharded/pruned parallel enumeration
+  engine in :mod:`repro.core.parallel_search`),
 * the extensions of Section 5: the generalized provisioning problem and the
   discrete-sized storage cost model, plus a MILP reference formulation.
 """
@@ -32,6 +33,11 @@ from repro.core.moves import Move, enumerate_moves
 from repro.core.feasibility import FeasibilityChecker, FeasibilityResult
 from repro.core.dot import DOTOptimizer, DOTResult
 from repro.core.exhaustive import ExhaustiveSearch, ExhaustiveSearchResult
+from repro.core.parallel_search import (
+    EnumerationSpec,
+    ParallelEnumerationEngine,
+    SearchProgress,
+)
 from repro.core.object_advisor import ObjectAdvisor
 from repro.core.simple_layouts import all_on, index_data_split, simple_layouts
 from repro.core.ilp import MILPPlacement, MILPResult
@@ -64,6 +70,9 @@ __all__ = [
     "DOTResult",
     "ExhaustiveSearch",
     "ExhaustiveSearchResult",
+    "EnumerationSpec",
+    "ParallelEnumerationEngine",
+    "SearchProgress",
     "ObjectAdvisor",
     "all_on",
     "index_data_split",

@@ -64,14 +64,20 @@ class UnsupportedBatchEvaluation(Exception):
 # ---------------------------------------------------------------------------
 
 def iter_assignment_chunks(
-    num_objects: int, num_classes: int, chunk_size: int = 4096
+    num_objects: int,
+    num_classes: int,
+    chunk_size: int = 4096,
+    start: int = 0,
+    stop: Optional[int] = None,
 ) -> Iterator[Tuple[int, np.ndarray]]:
-    """Enumerate all ``M^N`` assignments as ``(start_index, matrix)`` chunks.
+    """Enumerate assignments ``[start, stop)`` as ``(start_index, matrix)`` chunks.
 
     Rows follow ``itertools.product(range(M), repeat=N)`` order exactly (the
     last column varies fastest), which is the enumeration order of the scalar
     exhaustive search; each matrix holds class indices with one column per
-    object.
+    object.  ``start``/``stop`` select a sub-range of the full ``[0, M^N)``
+    mixed-radix index space, which is how the parallel engine's shards stream
+    their own slices of the enumeration.
     """
     if num_objects < 1:
         raise ValueError("need at least one object column to enumerate")
@@ -80,14 +86,43 @@ def iter_assignment_chunks(
     if chunk_size < 1:
         raise ValueError("chunk_size must be positive")
     total = num_classes**num_objects
-    for start in range(0, total, chunk_size):
-        stop = min(start + chunk_size, total)
-        indices = np.arange(start, stop, dtype=np.int64)
-        matrix = np.empty((stop - start, num_objects), dtype=np.int64)
+    if stop is None:
+        stop = total
+    if not 0 <= start <= stop <= total:
+        raise ValueError(f"invalid enumeration range [{start}, {stop}) for {total} assignments")
+    for chunk_start in range(start, stop, chunk_size):
+        chunk_stop = min(chunk_start + chunk_size, stop)
+        indices = np.arange(chunk_start, chunk_stop, dtype=np.int64)
+        matrix = np.empty((chunk_stop - chunk_start, num_objects), dtype=np.int64)
         for column in range(num_objects - 1, -1, -1):
             matrix[:, column] = indices % num_classes
             indices //= num_classes
-        yield start, matrix
+        yield chunk_start, matrix
+
+
+def accumulate_space_used(
+    var_assign: np.ndarray,
+    num_classes: int,
+    sizes: Sequence[float],
+    pinned: Sequence[Tuple[int, float]] = (),
+) -> np.ndarray:
+    """Per-candidate per-class space usage, in the scalar path's add order.
+
+    Pinned ``(class_index, size_gb)`` pairs are accumulated first, then the
+    variable columns left to right -- the exact floating-point order of the
+    scalar layout's space computation.  Both the batch evaluator and the
+    parallel engine's prefix bounds go through this one helper: the pruning
+    soundness argument (a prefix's usage is an exact intermediate of the full
+    accumulation) relies on the two never diverging.
+    """
+    batch = var_assign.shape[0]
+    used = np.zeros((batch, num_classes))
+    for class_index, size_gb in pinned:
+        used[:, class_index] += size_gb
+    rows = np.arange(batch)
+    for column, size_gb in enumerate(sizes):
+        used[rows, var_assign[:, column]] += size_gb
+    return used
 
 
 def _mixed_radix_weights(positions: int, base: int) -> np.ndarray:
@@ -351,7 +386,17 @@ class IncrementalWorkloadEvaluator:
 
 @dataclass
 class BatchEvalStats:
-    """Work accounting of a batch evaluation run."""
+    """Work accounting of a batch evaluation run.
+
+    ``build_s`` is the evaluator construction plus estimate-table warm-up
+    time, reported separately from the search's ``elapsed_s`` so that a cold
+    shared cache does not skew ES-vs-DOT search-time comparisons.  The
+    ``pruned_*`` counters are written by the parallel engine
+    (:mod:`repro.core.parallel_search`): subtrees are skipped by the
+    per-prefix capacity bound, chunks by the incumbent-TOC bound; the
+    ``*_layouts`` twins count the candidate layouts those skips avoided
+    evaluating.
+    """
 
     candidates: int = 0
     capacity_feasible: int = 0
@@ -359,6 +404,36 @@ class BatchEvalStats:
     estimator_calls: int = 0
     oltp_aggregations: int = 0
     chunks: int = 0
+    build_s: float = 0.0
+    workers: int = 0
+    shards: int = 0
+    pruned_subtrees: int = 0
+    pruned_subtree_layouts: int = 0
+    pruned_chunks: int = 0
+    pruned_chunk_layouts: int = 0
+
+    def merge(self, other: "BatchEvalStats") -> None:
+        """Fold another stats delta (e.g. one worker's shard) into this one.
+
+        Counting fields add up; ``build_s`` and ``workers`` describe the run
+        as a whole and are left to the coordinating caller.
+        """
+        self.candidates += other.candidates
+        self.capacity_feasible += other.capacity_feasible
+        self.feasible += other.feasible
+        self.estimator_calls += other.estimator_calls
+        self.oltp_aggregations += other.oltp_aggregations
+        self.chunks += other.chunks
+        self.shards += other.shards
+        self.pruned_subtrees += other.pruned_subtrees
+        self.pruned_subtree_layouts += other.pruned_subtree_layouts
+        self.pruned_chunks += other.pruned_chunks
+        self.pruned_chunk_layouts += other.pruned_chunk_layouts
+
+    @property
+    def pruned_layouts(self) -> int:
+        """Candidate layouts never evaluated thanks to either bound."""
+        return self.pruned_subtree_layouts + self.pruned_chunk_layouts
 
 
 @dataclass
@@ -492,6 +567,7 @@ class BatchLayoutEvaluator:
         self._service_times = _ServiceTimeTable(self.concurrency)
         self._oltp_aggregates: Dict[tuple, Tuple[float, float]] = {}
 
+        self._fully_warmed = False
         self._tables: Dict[str, _QueryTable] = {}
         self._template_order: List[_QueryTable] = []
         for query in self._instances:
@@ -505,6 +581,85 @@ class BatchLayoutEvaluator:
             table = _QueryTable(query, var_columns, self.num_classes)
             self._tables[query.name] = table
             self._template_order.append(table)
+
+    # ------------------------------------------------------------------
+    # Estimate-table warm-up and TOC lower bounds (parallel engine support)
+    # ------------------------------------------------------------------
+    def warm_signatures(self, max_signatures_per_query: int = 262_144) -> bool:
+        """Pre-populate every query's estimate table over its full signature
+        subspace.
+
+        A query's estimate depends only on the classes of its signature
+        objects, so its table has at most ``M^k`` slots (``k`` = signature
+        objects that are variable columns).  Warming them all makes the
+        (possibly shared) estimate cache a complete, read-only lookup
+        structure: parallel workers reconstructing an evaluator from it never
+        call the optimizer again, and :meth:`toc_floor_factor` can derive a
+        sound workload-time lower bound from the now-exhaustive per-query
+        response tables.
+
+        Queries whose subspace exceeds ``max_signatures_per_query`` are left
+        to lazy on-demand estimation (correct, just not pre-warmed).  Returns
+        True when every table was fully warmed.
+        """
+        fully = True
+        for table in self._template_order:
+            positions = len(table.var_columns)
+            subspace = self.num_classes**positions
+            if subspace > max_signatures_per_query:
+                fully = False
+                continue
+            rows = np.zeros((subspace, len(self.var_names)), dtype=np.int64)
+            if positions:
+                _, combos = next(
+                    iter_assignment_chunks(positions, self.num_classes, chunk_size=subspace)
+                )
+                rows[:, table.var_columns] = combos
+            self._slots_for(table, rows)
+        self._fully_warmed = fully
+        return fully
+
+    def toc_floor_factor(self) -> float:
+        """A factor ``f`` with ``TOC(row) >= layout_cost(row) * f`` for every
+        candidate row, or ``0.0`` when no sound bound is available.
+
+        For DSS workloads the workload-time factor of the TOC is bounded from
+        below by the sum of each query instance's minimum response time over
+        its (fully warmed) signature subspace; for OLTP the throughput is
+        bounded from above through the closed-loop population bound at the
+        minimum achievable mix response time.  A small multiplicative margin
+        absorbs floating-point rounding so the bound errs on the sound side;
+        the incumbent pruning that consumes it compares strictly, so the
+        margin never prunes a true optimum.
+        """
+        if not self._fully_warmed:
+            return 0.0
+        margin = 1.0 - 1e-9
+        if self.kind == "dss":
+            total_ms = 0.0
+            for query in self._instances:
+                table = self._tables[query.name]
+                if not table.response_ms:
+                    return 0.0
+                total_ms += min(table.response_ms)
+            return ((total_ms / MS_PER_SECOND) / SECONDS_PER_HOUR) * margin
+        response_lb_ms = 0.0
+        for query, weight in self._oltp.mix:
+            table = self._tables[query.name]
+            if not table.response_ms:
+                return 0.0
+            response_lb_ms += (weight / self._oltp.total_weight) * min(table.response_ms)
+        response_lb_ms = max(response_lb_ms * margin, 1e-9)
+        model = self._oltp.model
+        tasks_per_hour_ub = (
+            model.efficiency
+            * (model.concurrency / (response_lb_ms / MS_PER_SECOND))
+            * SECONDS_PER_HOUR
+            * self._oltp.measured_fraction
+        )
+        if not (tasks_per_hour_ub > 0.0 and np.isfinite(tasks_per_hour_ub)):
+            return 0.0
+        return (1.0 / tasks_per_hour_ub) * margin
 
     # ------------------------------------------------------------------
     # Candidate materialization helpers
@@ -531,14 +686,12 @@ class BatchLayoutEvaluator:
     def _space_used(self, var_assign: np.ndarray) -> np.ndarray:
         """Per-candidate space per class, accumulated in scalar-path order
         (pinned objects first, then variable objects column by column)."""
-        batch = var_assign.shape[0]
-        used = np.zeros((batch, self.num_classes))
-        for _, class_index, size_gb in self.pinned:
-            used[:, class_index] += size_gb
-        rows = np.arange(batch)
-        for column, size_gb in enumerate(self.var_sizes):
-            used[rows, var_assign[:, column]] += size_gb
-        return used
+        return accumulate_space_used(
+            var_assign,
+            self.num_classes,
+            self.var_sizes,
+            [(class_index, size_gb) for _, class_index, size_gb in self.pinned],
+        )
 
     def _layout_cost(self, used: np.ndarray) -> np.ndarray:
         """``C(L) = sum_j p_j * S_j`` with the scalar per-class add order."""

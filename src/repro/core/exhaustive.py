@@ -15,6 +15,8 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.batch_eval import (
     BatchLayoutEvaluator,
     UnsupportedBatchEvaluation,
@@ -64,8 +66,12 @@ class ExhaustiveSearch:
     constraint:
         SLA constraint applied to each candidate.
     max_layouts:
-        Hard limit on the number of enumerated layouts; exceeding it raises
-        :class:`ConfigurationError` instead of silently running forever.
+        Guard on the number of enumerated layouts.  The serial paths treat it
+        as a hard limit (exceeding it raises :class:`ConfigurationError`
+        instead of silently running forever); with ``workers > 1`` it becomes
+        a soft guard the parallel engine may exceed, because sharding plus
+        pruning make full-paper spaces (e.g. the TPC-C study's ``3^19``)
+        practical.
     per_group:
         Enumerate placements per object group rather than per object.
     pinned_objects:
@@ -86,6 +92,17 @@ class ExhaustiveSearch:
         lets the search reuse (and contribute to) the per-(query,
         signature) estimate table of a DOT run over the same estimator and
         workload.  Results are unchanged; the scalar path ignores it.
+    workers:
+        With ``workers > 1`` the search delegates to the sharded, pruned
+        :class:`~repro.core.parallel_search.ParallelEnumerationEngine`
+        (multiprocessing over the mixed-radix index range, branch-and-bound
+        capacity/incumbent pruning).  Results stay bitwise identical to the
+        serial batch path; configurations the batch evaluator cannot
+        vectorize fall back to the serial paths as usual.
+    prefix_depth, shards_per_worker:
+        Tuning knobs forwarded to the parallel engine (subtree granularity
+        of the pruning bounds and shard oversubscription); the defaults
+        adapt to the space and worker count.
     """
 
     def __init__(
@@ -102,6 +119,9 @@ class ExhaustiveSearch:
         batch: bool = True,
         batch_chunk_size: int = 4096,
         estimate_cache=None,
+        workers: int = 1,
+        prefix_depth: Optional[int] = None,
+        shards_per_worker: int = 4,
     ):
         self.objects = list(objects)
         self.system = system
@@ -114,6 +134,9 @@ class ExhaustiveSearch:
         self.batch = batch
         self.batch_chunk_size = batch_chunk_size
         self.estimate_cache = estimate_cache
+        self.workers = max(1, int(workers))
+        self.prefix_depth = prefix_depth
+        self.shards_per_worker = shards_per_worker
         self.toc_model = TOCModel(estimator, cost_override=cost_override)
         self.checker = FeasibilityChecker(constraint)
         #: Batch-evaluation statistics of the last batch-path search (None
@@ -170,14 +193,21 @@ class ExhaustiveSearch:
     def search(self, workload, constraint: Optional[PerformanceConstraint] = None) -> ExhaustiveSearchResult:
         """Enumerate all layouts and return the cheapest feasible one."""
         space = self.search_space_size()
-        if space > self.max_layouts:
-            raise ConfigurationError(
-                f"exhaustive search space has {space} layouts, exceeding the limit of "
-                f"{self.max_layouts}; reduce the object set or raise max_layouts"
-            )
         active_constraint = constraint if constraint is not None else self.constraint
         checker = self.checker if constraint is None else FeasibilityChecker(constraint)
         self.last_batch_stats = None
+        if self.batch and self.toc_model.vectorizable_layout_cost and self.workers > 1:
+            # The parallel engine treats max_layouts as a soft guard: sharding
+            # plus pruning lift the enumeration ceiling to full-paper spaces.
+            result = self._search_parallel(workload, active_constraint)
+            if result is not None:
+                return result
+        if space > self.max_layouts:
+            raise ConfigurationError(
+                f"exhaustive search space has {space} layouts, exceeding the limit of "
+                f"{self.max_layouts}; reduce the object set, raise max_layouts, or "
+                f"use workers > 1"
+            )
         if self.batch and self.toc_model.vectorizable_layout_cost:
             result = self._search_batch(workload, active_constraint)
             if result is not None:
@@ -185,15 +215,18 @@ class ExhaustiveSearch:
         return self._search_scalar(workload, checker)
 
     # ------------------------------------------------------------------
-    def _search_batch(
-        self, workload, constraint: Optional[PerformanceConstraint]
-    ) -> Optional[ExhaustiveSearchResult]:
-        """Vectorized enumeration; returns None when unsupported."""
-        started = time.perf_counter()
-        variable_objects = self._variable_objects()
+    def _build_evaluator(self, workload, constraint: Optional[PerformanceConstraint]):
+        """Timed construction of the batch evaluator (None when unsupported).
+
+        Construction (and any estimate-table warm-up the parallel path adds on
+        top) is timed separately from the enumeration: the build cost depends
+        on how warm a shared estimate cache already is, which would otherwise
+        skew ES-vs-DOT search-time comparisons.
+        """
+        build_started = time.perf_counter()
         try:
             evaluator = BatchLayoutEvaluator(
-                variable_objects,
+                self._variable_objects(),
                 self.system,
                 self.estimator,
                 workload,
@@ -203,6 +236,18 @@ class ExhaustiveSearch:
             )
         except UnsupportedBatchEvaluation:
             return None
+        evaluator.stats.build_s = time.perf_counter() - build_started
+        return evaluator
+
+    def _search_batch(
+        self, workload, constraint: Optional[PerformanceConstraint]
+    ) -> Optional[ExhaustiveSearchResult]:
+        """Vectorized enumeration; returns None when unsupported."""
+        evaluator = self._build_evaluator(workload, constraint)
+        if evaluator is None:
+            return None
+        started = time.perf_counter()
+        variable_objects = evaluator.variable_objects
 
         best_toc = float("inf")
         best_row = None
@@ -232,6 +277,69 @@ class ExhaustiveSearch:
             toc_report=best_report,
             feasible=best_layout is not None,
             evaluated_layouts=evaluated,
+            elapsed_s=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _search_parallel(
+        self, workload, constraint: Optional[PerformanceConstraint]
+    ) -> Optional[ExhaustiveSearchResult]:
+        """Sharded, pruned multiprocessing enumeration; None when unsupported.
+
+        The parent builds and fully warms one evaluator (timed as build cost),
+        ships its spec -- estimator, workload, read-only estimate cache -- to
+        the worker pool, and reduces the shards' ``(TOC, enumeration index)``
+        bests, which reproduces the serial batch result bit for bit.
+        """
+        from repro.core.parallel_search import EnumerationSpec, ParallelEnumerationEngine
+
+        evaluator = self._build_evaluator(workload, constraint)
+        if evaluator is None:
+            return None
+        build_started = time.perf_counter()
+        spec = EnumerationSpec(
+            variable_objects=evaluator.variable_objects,
+            system=self.system,
+            estimator=self.estimator,
+            workload=workload,
+            pinned=[(obj, self.pinned_class) for obj in self.pinned_objects],
+            constraint=constraint,
+            cache=evaluator.cache,
+            chunk_size=self.batch_chunk_size,
+        )
+        engine = ParallelEnumerationEngine.from_evaluator(
+            evaluator,
+            spec,
+            workers=self.workers,
+            prefix_depth=self.prefix_depth,
+            shards_per_worker=self.shards_per_worker,
+        )
+        # Warm-up (the engine pre-estimates every signature) counts as build
+        # time; the stats object is snapshotted before shard deltas replace it.
+        stats = evaluator.stats
+        stats.build_s += time.perf_counter() - build_started
+        stats.workers = self.workers
+
+        started = time.perf_counter()
+        progress = engine.run()
+        stats.merge(progress.stats)
+        self.last_batch_stats = stats
+
+        best_layout: Optional[Layout] = None
+        best_report: Optional[TOCReport] = None
+        if progress.best_row is not None:
+            all_objects = self.objects + self.pinned_objects
+            row = np.array(progress.best_row, dtype=np.int64)
+            best_layout = Layout(
+                all_objects, self.system, evaluator.assignment_for_row(row), name="ES"
+            )
+            best_report = self.toc_model.evaluate(best_layout, workload, mode="estimate")
+        elapsed = time.perf_counter() - started
+        return ExhaustiveSearchResult(
+            layout=best_layout,
+            toc_report=best_report,
+            feasible=best_layout is not None,
+            evaluated_layouts=progress.evaluated,
             elapsed_s=elapsed,
         )
 

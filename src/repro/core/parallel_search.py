@@ -1,0 +1,526 @@
+"""Sharded, pruned, resumable parallel enumeration over layout spaces.
+
+The paper's exhaustive search (Sections 4.4.3 and 4.5.3) is the quality
+yardstick for DOT, but a literal ``M^N`` enumeration caps the object count:
+the TPC-C study restricts ES to three hot tables because the full 19-object
+x 3-class space has ``3^19 ~ 1.16e9`` layouts.  The batch engine
+(:mod:`repro.core.batch_eval`) made one core fast; this module removes the
+single-core ceiling:
+
+* **Sharding** -- the mixed-radix assignment index range ``[0, M^N)`` is cut
+  into contiguous shards of whole enumeration subtrees and distributed over a
+  ``multiprocessing`` pool.  Each worker reconstructs its evaluator from a
+  pickled :class:`EnumerationSpec` whose :class:`~repro.core.batch_eval.
+  QueryEstimateCache` was pre-warmed (read-only) by the parent, then streams
+  :func:`~repro.core.batch_eval.iter_assignment_chunks` over its own index
+  sub-ranges -- workers never call the optimizer.
+* **Branch-and-bound pruning** -- a per-prefix *capacity* bound skips whole
+  subtrees whose cheapest completion already violates capacity (the prefix
+  space usage is an exact intermediate of the evaluator's accumulation, and
+  object sizes only ever add, so the bound is sound bit for bit), and an
+  *incumbent-TOC* bound discards chunks whose storage-cost lower bound times
+  the workload-time floor already exceeds the best TOC seen by any worker
+  (shared through a ``multiprocessing.Value``).
+* **Resumability** -- progress is tracked per shard in a picklable
+  :class:`SearchProgress`; feeding a partial progress object back into
+  :meth:`ParallelEnumerationEngine.run` skips completed shards and continues
+  from the recorded incumbent.
+
+Exactness contract
+------------------
+The scalar/batch exhaustive search returns the *first* candidate (in
+enumeration order) achieving the minimum TOC.  Every shard therefore reports
+``(toc, global_index)`` of its best candidate and the reduction is
+lexicographic, which reproduces "minimum TOC, smallest index" regardless of
+shard completion order.  Pruning is strict: a subtree is only skipped when
+*every* completion is capacity-infeasible (TOC ``inf`` on the serial path),
+and a chunk only when its TOC lower bound is *strictly* above the incumbent
+-- equal-TOC candidates are never discarded, so tie-breaking matches the
+serial path exactly and the returned layout and TOC are bitwise identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.batch_eval import (
+    BatchEvalStats,
+    BatchLayoutEvaluator,
+    QueryEstimateCache,
+    UnsupportedBatchEvaluation,
+    accumulate_space_used,
+    iter_assignment_chunks,
+)
+from repro.exceptions import ConfigurationError
+from repro.objects import DatabaseObject
+from repro.sla.constraints import PerformanceConstraint
+from repro.storage.storage_class import StorageSystem
+
+
+# ---------------------------------------------------------------------------
+# Specs and results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EnumerationSpec:
+    """Picklable recipe from which a worker rebuilds its batch evaluator.
+
+    The ``cache`` travels in the same pickle payload as the ``estimator`` it
+    was built from, so the object-graph identity check in ``_adopt_cache``
+    still holds after the round trip; a fully pre-warmed cache turns each
+    worker's evaluator into a pure lookup structure.
+    """
+
+    variable_objects: Sequence[DatabaseObject]
+    system: StorageSystem
+    estimator: object
+    workload: object
+    pinned: Sequence[Tuple[DatabaseObject, str]]
+    constraint: Optional[PerformanceConstraint]
+    cache: Optional[QueryEstimateCache]
+    chunk_size: int = 4096
+
+    def build_evaluator(self) -> BatchLayoutEvaluator:
+        return BatchLayoutEvaluator(
+            self.variable_objects,
+            self.system,
+            self.estimator,
+            self.workload,
+            pinned=self.pinned,
+            constraint=self.constraint,
+            cache=self.cache,
+        )
+
+
+@dataclass
+class SearchProgress:
+    """Resumable checkpoint of a (possibly interrupted) engine run.
+
+    The object is picklable; persisting it between runs and passing it back
+    to :meth:`ParallelEnumerationEngine.run` continues the enumeration from
+    the completed-shard set and the recorded incumbent instead of starting
+    over.  The final result is independent of how the run was split.
+    """
+
+    total_shards: int
+    completed: Set[int] = field(default_factory=set)
+    best_toc: float = float("inf")
+    best_index: int = -1
+    best_row: Optional[Tuple[int, ...]] = None
+    evaluated: int = 0
+    stats: BatchEvalStats = field(default_factory=BatchEvalStats)
+    #: Enumeration geometry stamp (space size and prefix depth).  Shard ids
+    #: only identify subtree ranges under one geometry, so resuming is
+    #: refused when the stamp disagrees with the engine's.
+    space: Optional[int] = None
+    prefix_depth: Optional[int] = None
+
+    @property
+    def finished(self) -> bool:
+        return len(self.completed) >= self.total_shards
+
+    def record(self, outcome: "_ShardOutcome") -> None:
+        """Fold one shard outcome into the checkpoint (lexicographic best)."""
+        if outcome.shard_id in self.completed:
+            return
+        self.completed.add(outcome.shard_id)
+        self.evaluated += outcome.evaluated
+        self.stats.merge(outcome.stats)
+        if outcome.best_row is not None and (
+            outcome.best_toc < self.best_toc
+            or (outcome.best_toc == self.best_toc and outcome.best_index < self.best_index)
+        ):
+            self.best_toc = outcome.best_toc
+            self.best_index = outcome.best_index
+            self.best_row = outcome.best_row
+
+
+@dataclass
+class _ShardOutcome:
+    """What one shard reports back to the coordinator."""
+
+    shard_id: int
+    best_toc: float
+    best_index: int
+    best_row: Optional[Tuple[int, ...]]
+    evaluated: int
+    stats: BatchEvalStats
+
+
+# ---------------------------------------------------------------------------
+# Pruning bounds
+# ---------------------------------------------------------------------------
+
+class _PruningBounds:
+    """Vectorized prefix-level bounds for one enumeration geometry.
+
+    ``prefix_depth`` columns are fixed per subtree; the remaining columns are
+    free.  Sound rules (see module docstring):
+
+    * capacity: the prefix's per-class space usage is an exact intermediate of
+      the evaluator's accumulation order (pinned objects first, then columns
+      left to right), and completions only add non-negative sizes, so a class
+      already over capacity stays over capacity in every completion;
+    * residual fit: if the total size of the free objects exceeds the summed
+      remaining slack of all classes (plus a conservative epsilon), no
+      completion can fit;
+    * cost: the cheapest completion places every free object on the cheapest
+      class, giving a storage-cost lower bound for the incumbent-TOC test.
+    """
+
+    def __init__(self, evaluator: BatchLayoutEvaluator, prefix_depth: int):
+        self.prefix_depth = prefix_depth
+        self.num_classes = evaluator.num_classes
+        self.capacities = evaluator.capacities.astype(float)
+        self.prices = np.array(evaluator.prices, dtype=float)
+        self.pinned = [(class_index, size_gb) for _, class_index, size_gb in evaluator.pinned]
+        self.prefix_sizes = evaluator.var_sizes[:prefix_depth]
+        residual_sizes = np.array(evaluator.var_sizes[prefix_depth:], dtype=float)
+        self.residual_total_gb = float(residual_sizes.sum())
+        min_price = float(self.prices.min()) if self.prices.size else 0.0
+        self.residual_min_cost = float(residual_sizes.sum() * min_price)
+        self.slack_epsilon = 1e-9 * (1.0 + self.residual_total_gb + float(self.capacities.sum()))
+
+    def prefix_space(self, prefix_matrix: np.ndarray) -> np.ndarray:
+        """Per-subtree per-class space usage of the fixed prefix columns.
+
+        Shares :func:`~repro.core.batch_eval.accumulate_space_used` with the
+        evaluator, so the prefix usage is by construction an exact
+        intermediate of the full candidate accumulation.
+        """
+        return accumulate_space_used(
+            prefix_matrix, self.num_classes, self.prefix_sizes, self.pinned
+        )
+
+    def admissible(self, prefix_matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(keep_mask, cost_lower_bound)`` for a batch of subtree prefixes."""
+        used = self.prefix_space(prefix_matrix)
+        overflow = (used > self.capacities[None, :]).any(axis=1)
+        slack = np.clip(self.capacities[None, :] - used, 0.0, None).sum(axis=1)
+        cannot_fit = self.residual_total_gb > slack + self.slack_epsilon
+        keep = ~(overflow | cannot_fit)
+        cost_lb = (used @ self.prices + self.residual_min_cost) * (1.0 - 1e-9)
+        return keep, cost_lb
+
+
+# ---------------------------------------------------------------------------
+# Shard processing (runs in workers and in the in-process fallback)
+# ---------------------------------------------------------------------------
+
+class _Incumbent:
+    """Best-so-far TOC holder; process-local fallback for serial runs."""
+
+    def __init__(self, initial: float = float("inf")):
+        self.value = initial
+
+    def get(self) -> float:
+        return self.value
+
+    def offer(self, toc: float) -> None:
+        if toc < self.value:
+            self.value = toc
+
+
+class _SharedIncumbent:
+    """Best-so-far TOC shared across workers via ``multiprocessing.Value``."""
+
+    def __init__(self, shared_value):
+        self.shared = shared_value
+
+    def get(self) -> float:
+        with self.shared.get_lock():
+            return self.shared.value
+
+    def offer(self, toc: float) -> None:
+        with self.shared.get_lock():
+            if toc < self.shared.value:
+                self.shared.value = toc
+
+
+def _process_shard(
+    evaluator: BatchLayoutEvaluator,
+    bounds: _PruningBounds,
+    incumbent,
+    shard_id: int,
+    subtree_lo: int,
+    subtree_hi: int,
+    chunk_size: int,
+    toc_floor_factor: float,
+    prune: bool,
+) -> _ShardOutcome:
+    """Enumerate and score the subtrees ``[subtree_lo, subtree_hi)``."""
+    num_objects = len(evaluator.var_names)
+    num_classes = evaluator.num_classes
+    prefix_depth = bounds.prefix_depth
+    subtree_size = num_classes ** (num_objects - prefix_depth)
+
+    stats = BatchEvalStats(shards=1)
+    evaluator.stats = stats  # chunk evaluations accumulate into the shard delta
+    best_toc = float("inf")
+    best_index = -1
+    best_row: Optional[np.ndarray] = None
+    evaluated = 0
+
+    prefix_batch = max(1, chunk_size // 8)
+    for prefix_start, prefix_matrix in iter_assignment_chunks(
+        prefix_depth, num_classes, prefix_batch, start=subtree_lo, stop=subtree_hi
+    ):
+        if prune:
+            keep, cost_lb = bounds.admissible(prefix_matrix)
+        else:
+            keep = np.ones(prefix_matrix.shape[0], dtype=bool)
+            cost_lb = np.zeros(prefix_matrix.shape[0])
+        pruned = int((~keep).sum())
+        stats.pruned_subtrees += pruned
+        stats.pruned_subtree_layouts += pruned * subtree_size
+        for offset in np.flatnonzero(keep):
+            subtree = prefix_start + int(offset)
+            toc_lower_bound = float(cost_lb[offset]) * toc_floor_factor
+            subtree_stop = (subtree + 1) * subtree_size
+            chunk_start = subtree * subtree_size
+            while chunk_start < subtree_stop:
+                chunk_stop = min(chunk_start + chunk_size, subtree_stop)
+                if prune and toc_lower_bound > incumbent.get():
+                    # The incumbent only ever decreases and the bound is
+                    # constant per subtree, so no remaining chunk of this
+                    # subtree can win: count the rest pruned without decoding
+                    # a single row.
+                    remaining = subtree_stop - chunk_start
+                    stats.pruned_chunks += -(-remaining // chunk_size)
+                    stats.pruned_chunk_layouts += remaining
+                    break
+                _, chunk = next(iter_assignment_chunks(
+                    num_objects, num_classes, chunk_stop - chunk_start,
+                    start=chunk_start, stop=chunk_stop,
+                ))
+                evaluation = evaluator.evaluate_chunk(chunk)
+                evaluated += chunk.shape[0]
+                index = evaluation.best_index
+                if index is not None:
+                    toc = float(evaluation.toc_cents[index])
+                    global_index = chunk_start + index
+                    # Strict-improvement semantics of the serial loop: an
+                    # infinite TOC is never adopted, and ties keep the
+                    # earlier enumeration index.
+                    if toc < best_toc or (toc == best_toc and global_index < best_index):
+                        best_toc = toc
+                        best_index = global_index
+                        best_row = chunk[index].copy()
+                        incumbent.offer(toc)
+                chunk_start = chunk_stop
+    return _ShardOutcome(
+        shard_id=shard_id,
+        best_toc=best_toc,
+        best_index=best_index,
+        best_row=tuple(int(v) for v in best_row) if best_row is not None else None,
+        evaluated=evaluated,
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker bootstrap (module-level so the pool can pickle the entry points)
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: Optional[Dict[str, object]] = None
+
+
+def _worker_init(payload: bytes, shared_value, prefix_depth: int, toc_floor_factor: float,
+                 prune: bool) -> None:
+    """Pool initializer: rebuild the evaluator from the pickled spec once."""
+    global _WORKER_STATE
+    spec: EnumerationSpec = pickle.loads(payload)
+    evaluator = spec.build_evaluator()
+    _WORKER_STATE = {
+        "evaluator": evaluator,
+        "bounds": _PruningBounds(evaluator, prefix_depth),
+        "incumbent": _SharedIncumbent(shared_value),
+        "chunk_size": spec.chunk_size,
+        "toc_floor_factor": toc_floor_factor,
+        "prune": prune,
+    }
+
+
+def _worker_run_shard(task: Tuple[int, int, int]) -> _ShardOutcome:
+    shard_id, subtree_lo, subtree_hi = task
+    state = _WORKER_STATE
+    return _process_shard(
+        state["evaluator"],
+        state["bounds"],
+        state["incumbent"],
+        shard_id,
+        subtree_lo,
+        subtree_hi,
+        state["chunk_size"],
+        state["toc_floor_factor"],
+        state["prune"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+class ParallelEnumerationEngine:
+    """Coordinates the sharded, pruned enumeration of one layout space.
+
+    Parameters
+    ----------
+    spec:
+        The picklable evaluator recipe.  Its estimate cache should be fully
+        pre-warmed (``evaluator.warm_signatures()``) before the engine runs so
+        workers stay read-only; the engine warms it automatically when given
+        a parent evaluator via :meth:`from_evaluator`.
+    workers:
+        Process count.  ``workers <= 1`` runs the identical sharded/pruned
+        algorithm in-process (no pool, no pickling) -- useful for tests and
+        for machines without spare cores.
+    prefix_depth:
+        Number of leading mixed-radix columns that define a prunable subtree.
+        Defaults to a depth that yields at least ``8 * workers *
+        shards_per_worker`` subtrees (clamped to ``[1, N-1]``) so shards stay
+        balanced and the capacity bound gets traction.
+    shards_per_worker:
+        Oversubscription factor: more shards than workers lets the pool
+        balance uneven pruning across processes.
+    prune:
+        Disable to enumerate every candidate (the bounds are then skipped
+        entirely); results are identical either way.
+    start_method:
+        Optional ``multiprocessing`` start method (``"fork"``/``"spawn"``);
+        defaults to the platform default.
+    """
+
+    def __init__(
+        self,
+        spec: EnumerationSpec,
+        workers: int = 1,
+        prefix_depth: Optional[int] = None,
+        shards_per_worker: int = 4,
+        prune: bool = True,
+        start_method: Optional[str] = None,
+        parent_evaluator: Optional[BatchLayoutEvaluator] = None,
+    ):
+        self.spec = spec
+        self.workers = max(1, int(workers))
+        self.shards_per_worker = max(1, int(shards_per_worker))
+        self.prune = prune
+        self.start_method = start_method
+
+        self.evaluator = parent_evaluator if parent_evaluator is not None else spec.build_evaluator()
+        self.num_objects = len(self.evaluator.var_names)
+        self.num_classes = self.evaluator.num_classes
+        self.space = self.num_classes**self.num_objects
+
+        if prefix_depth is None:
+            prefix_depth = self._default_prefix_depth()
+        if not 1 <= prefix_depth <= max(1, self.num_objects - 1):
+            raise ConfigurationError(
+                f"prefix_depth {prefix_depth} outside [1, {self.num_objects - 1}] "
+                f"for {self.num_objects} objects"
+            )
+        self.prefix_depth = prefix_depth
+        self.num_subtrees = self.num_classes**self.prefix_depth
+        self.toc_floor_factor = 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_evaluator(
+        cls,
+        evaluator: BatchLayoutEvaluator,
+        spec: EnumerationSpec,
+        **kwargs,
+    ) -> "ParallelEnumerationEngine":
+        """Build an engine around an existing (parent) evaluator and warm it."""
+        engine = cls(spec, parent_evaluator=evaluator, **kwargs)
+        evaluator.warm_signatures()
+        engine.toc_floor_factor = evaluator.toc_floor_factor() if engine.prune else 0.0
+        return engine
+
+    def _default_prefix_depth(self) -> int:
+        if self.num_objects <= 1:
+            return 1
+        target = 8 * self.workers * self.shards_per_worker
+        depth = 1
+        while self.num_classes**depth < target and depth < self.num_objects - 1:
+            depth += 1
+        return depth
+
+    def shard_ranges(self) -> List[Tuple[int, int, int]]:
+        """``(shard_id, subtree_lo, subtree_hi)`` for every shard."""
+        shard_count = min(self.num_subtrees, self.workers * self.shards_per_worker)
+        boundaries = np.linspace(0, self.num_subtrees, shard_count + 1).astype(np.int64)
+        return [
+            (shard_id, int(boundaries[shard_id]), int(boundaries[shard_id + 1]))
+            for shard_id in range(shard_count)
+            if boundaries[shard_id] < boundaries[shard_id + 1]
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self, progress: Optional[SearchProgress] = None) -> SearchProgress:
+        """Enumerate every shard not already completed in ``progress``."""
+        shards = self.shard_ranges()
+        if progress is None:
+            progress = SearchProgress(total_shards=len(shards), space=self.space,
+                                      prefix_depth=self.prefix_depth)
+        else:
+            mismatches = [
+                f"{label} {recorded} != {current}"
+                for label, recorded, current in (
+                    ("shards", progress.total_shards, len(shards)),
+                    ("space", progress.space, self.space),
+                    ("prefix_depth", progress.prefix_depth, self.prefix_depth),
+                )
+                if recorded is not None and recorded != current
+            ]
+            if mismatches:
+                raise ConfigurationError(
+                    "progress was recorded under a different enumeration geometry "
+                    f"({'; '.join(mismatches)}); resume with the engine configuration "
+                    "it was created with"
+                )
+            progress.space = self.space
+            progress.prefix_depth = self.prefix_depth
+        pending = [task for task in shards if task[0] not in progress.completed]
+        if not pending:
+            return progress
+        if self.workers <= 1:
+            self._run_serial(pending, progress)
+        else:
+            self._run_pool(pending, progress)
+        return progress
+
+    def _run_serial(self, pending, progress: SearchProgress) -> None:
+        bounds = _PruningBounds(self.evaluator, self.prefix_depth)
+        incumbent = _Incumbent(progress.best_toc)
+        for shard_id, lo, hi in pending:
+            outcome = _process_shard(
+                self.evaluator,
+                bounds,
+                incumbent,
+                shard_id,
+                lo,
+                hi,
+                self.spec.chunk_size,
+                self.toc_floor_factor,
+                self.prune,
+            )
+            progress.record(outcome)
+
+    def _run_pool(self, pending, progress: SearchProgress) -> None:
+        payload = pickle.dumps(self.spec)
+        context = multiprocessing.get_context(self.start_method)
+        shared_value = context.Value("d", progress.best_toc)
+        with context.Pool(
+            processes=self.workers,
+            initializer=_worker_init,
+            initargs=(payload, shared_value, self.prefix_depth, self.toc_floor_factor,
+                      self.prune),
+        ) as pool:
+            for outcome in pool.imap_unordered(_worker_run_shard, pending):
+                progress.record(outcome)

@@ -216,18 +216,31 @@ def es_vs_dot_tpch(
     sla_ratio: float = 0.5,
     capacity_limits_gb: Optional[Mapping[str, Mapping[str, float]]] = None,
     repetitions: int = 3,
+    es_workers: int = 1,
+    full_object_set: bool = False,
+    es_max_layouts: int = 500_000,
 ) -> Dict[str, object]:
     """Section 4.4.3: DOT vs exhaustive search on the reduced TPC-H workload.
 
     ``capacity_limits_gb`` maps box name to per-class capacity limits, e.g.
     ``{"Box 1": {"HDD RAID 0": 24.0}, "Box 2": {"HDD": 8.0}}``.
+
+    The paper restricts the enumeration to eight objects because ``M^N`` is
+    exponential; ``full_object_set=True`` enumerates *all* TPC-H objects (the
+    full ``3^19``-layout space per box) instead, which is practical through
+    the sharded, pruned parallel engine -- pass ``es_workers > 1`` (the
+    layout-count guard then becomes soft).  Results per configuration are
+    bitwise identical to the serial search.
     """
     catalog, workload, estimator = _tpch_setup(scale_factor, "es-subset", repetitions)
-    objects = [
-        obj
-        for obj in catalog.database_objects()
-        if obj.name in set(tpch_es_objects())
-    ]
+    if full_object_set:
+        objects = catalog.database_objects()
+    else:
+        objects = [
+            obj
+            for obj in catalog.database_objects()
+            if obj.name in set(tpch_es_objects())
+        ]
     limits = capacity_limits_gb or {"Box 1": {}, "Box 2": {}}
     results: Dict[str, Dict[str, object]] = {}
 
@@ -256,7 +269,8 @@ def es_vs_dot_tpch(
         dot_result = dot.optimize(workload, profiles)
 
         search = ExhaustiveSearch(objects, system, estimator, constraint=search_constraint,
-                                  estimate_cache=shared_estimates)
+                                  estimate_cache=shared_estimates, workers=es_workers,
+                                  max_layouts=es_max_layouts)
         es_result = search.search(workload)
 
         comparison: Dict[str, object] = {
@@ -267,6 +281,7 @@ def es_vs_dot_tpch(
             "es_elapsed_s": es_result.elapsed_s,
             "dot_evaluated": dot_result.evaluated_layouts,
             "es_evaluated": es_result.evaluated_layouts,
+            "es_stats": search.last_batch_stats,
         }
         rows = []
         for label, outcome in (("DOT", dot_result), ("ES", es_result)):
@@ -375,21 +390,32 @@ def figure9(
     sla_ratio: float = 0.25,
     hssd_capacity_limits_gb: Sequence[Optional[float]] = (None, 21.0),
     concurrency: int = 300,
-    hot_groups: Sequence[str] = ("stock", "order_line", "customer"),
+    hot_groups: Optional[Sequence[str]] = ("stock", "order_line", "customer"),
+    es_workers: int = 1,
+    es_max_layouts: int = 500_000,
 ) -> Dict[str, object]:
     """Figure 9 / Section 4.5.3: ES vs DOT for TPC-C under H-SSD capacity limits.
 
     The paper's exhaustive search over all TPC-C objects is intractable to
-    enumerate literally (3^19 layouts); the enumeration is therefore
+    enumerate on one core (3^19 layouts); by default the enumeration is
     restricted to the objects that dominate the I/O -- the ``hot_groups``
     tables and their indexes -- with the remaining (small or rarely touched)
     objects pinned to the cheapest class.  DOT runs over the same restricted
     object set so that the DOT-vs-ES comparison stays apples to apples.
+
+    ``hot_groups=None`` enumerates *every* TPC-C object (the paper's full
+    ``3^19`` space); combine it with ``es_workers > 1`` so the sharded,
+    pruned parallel engine carries the enumeration (the layout-count guard
+    then becomes soft).
     """
     catalog, workload, estimator = _tpcc_setup(warehouses, concurrency)
     all_objects = catalog.database_objects()
-    hot = [obj for obj in all_objects if (obj.table or obj.name) in set(hot_groups)]
-    cold = [obj for obj in all_objects if obj not in hot]
+    if hot_groups is None:
+        hot = list(all_objects)
+        cold = []
+    else:
+        hot = [obj for obj in all_objects if (obj.table or obj.name) in set(hot_groups)]
+        cold = [obj for obj in all_objects if obj not in hot]
 
     results: Dict[str, Dict[str, object]] = {}
     for limit in hssd_capacity_limits_gb:
@@ -429,6 +455,8 @@ def figure9(
             pinned_objects=cold,
             pinned_class=pinned_class,
             estimate_cache=shared_estimates,
+            workers=es_workers,
+            max_layouts=es_max_layouts,
         )
         es_outcome = search.search(workload)
 
@@ -438,6 +466,7 @@ def figure9(
             "constraint": constraint,
             "dot": dot_outcome,
             "es": es_outcome,
+            "es_stats": search.last_batch_stats,
         }
         for method, outcome in (("DOT", dot_outcome), ("ES", es_outcome)):
             if not outcome.feasible:

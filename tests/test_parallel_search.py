@@ -1,0 +1,550 @@
+"""The sharded, pruned parallel enumeration engine.
+
+The contract under test mirrors the batch engine's: serial scalar, serial
+batch and parallel pruned enumeration must return *bitwise identical* best
+layouts and TOCs on every supported configuration (flat and per-group
+enumeration, pinned objects, SLAs, OLTP mixes, the Figure 9 TPC-C study),
+and the branch-and-bound pruning must be sound -- the pruned engine finds
+the same optimum as the unpruned enumeration on randomized spaces.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.batch_eval import BatchLayoutEvaluator, iter_assignment_chunks
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.layout import Layout
+from repro.core.parallel_search import (
+    EnumerationSpec,
+    ParallelEnumerationEngine,
+    SearchProgress,
+    _process_shard,
+    _Incumbent,
+    _PruningBounds,
+)
+from repro.core.toc import TOCModel
+from repro.dbms.datagen import SyntheticTableSpec, build_synthetic_catalog
+from repro.dbms.executor import WorkloadEstimator
+from repro.dbms.query import Query, TableAccess
+from repro.sla.constraints import RelativeSLA
+from repro.storage import catalog as storage_catalog
+from repro.workloads.workload import Workload
+
+WORKERS = 2
+
+
+def fresh_estimator(catalog):
+    return WorkloadEstimator(catalog, noise=0.0, buffer_pool=None, seed=7)
+
+
+@pytest.fixture
+def loose_constraint(small_objects, box1_system, small_catalog, small_workload):
+    toc = TOCModel(fresh_estimator(small_catalog))
+    reference = toc.evaluate(
+        Layout.uniform(small_objects, box1_system, "H-SSD"), small_workload, mode="estimate"
+    )
+    return RelativeSLA(0.25).resolve(reference.run_result)
+
+
+@pytest.fixture
+def oltp_workload(scan_query, lookup_query, write_query):
+    return Workload(
+        name="tiny-oltp",
+        kind="oltp",
+        transaction_mix=((scan_query, 1.0), (lookup_query, 8.0), (write_query, 3.0)),
+        concurrency=50,
+        measured_transaction_fraction=0.4,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sub-range enumeration
+# ---------------------------------------------------------------------------
+
+class TestRangeEnumeration:
+    def test_subrange_matches_full_enumeration(self):
+        full = np.concatenate([chunk for _, chunk in iter_assignment_chunks(4, 3, 16)])
+        rows = np.concatenate(
+            [chunk for _, chunk in iter_assignment_chunks(4, 3, 7, start=13, stop=61)]
+        )
+        assert (rows == full[13:61]).all()
+
+    def test_subrange_start_indices(self):
+        starts = [start for start, _ in iter_assignment_chunks(4, 3, 10, start=5, stop=40)]
+        assert starts == [5, 15, 25, 35]
+
+    def test_empty_and_invalid_ranges(self):
+        assert list(iter_assignment_chunks(3, 3, 4, start=7, stop=7)) == []
+        with pytest.raises(ValueError):
+            list(iter_assignment_chunks(3, 3, 4, start=-1))
+        with pytest.raises(ValueError):
+            list(iter_assignment_chunks(3, 3, 4, start=5, stop=3))
+        with pytest.raises(ValueError):
+            list(iter_assignment_chunks(3, 3, 4, stop=3**3 + 1))
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel identity
+# ---------------------------------------------------------------------------
+
+def run_three_paths(objects, system, catalog, workload, **kwargs):
+    scalar = ExhaustiveSearch(
+        objects, system, fresh_estimator(catalog), batch=False, **kwargs
+    ).search(workload)
+    batch = ExhaustiveSearch(
+        objects, system, fresh_estimator(catalog), batch=True, **kwargs
+    ).search(workload)
+    parallel = ExhaustiveSearch(
+        objects, system, fresh_estimator(catalog), batch=True, workers=WORKERS, **kwargs
+    ).search(workload)
+    return scalar, batch, parallel
+
+
+def assert_identical(reference, candidate):
+    assert candidate.feasible == reference.feasible
+    assert candidate.toc_cents == reference.toc_cents
+    assert candidate.layout == reference.layout
+
+
+class TestParallelIdentity:
+    @pytest.mark.parametrize("per_group", [False, True])
+    def test_unconstrained(self, small_objects, box1_system, small_catalog, small_workload,
+                           per_group):
+        scalar, batch, parallel = run_three_paths(
+            small_objects, box1_system, small_catalog, small_workload, per_group=per_group
+        )
+        assert_identical(scalar, batch)
+        assert_identical(scalar, parallel)
+
+    def test_with_response_time_sla(self, small_objects, box1_system, small_catalog,
+                                    small_workload, loose_constraint):
+        scalar, batch, parallel = run_three_paths(
+            small_objects, box1_system, small_catalog, small_workload,
+            constraint=loose_constraint,
+        )
+        assert_identical(scalar, batch)
+        assert_identical(scalar, parallel)
+
+    def test_with_pinned_objects(self, small_objects, box1_system, small_catalog,
+                                 small_workload):
+        movable = [obj for obj in small_objects if obj.table == "fact"]
+        pinned = [obj for obj in small_objects if obj.table != "fact"]
+        scalar, batch, parallel = run_three_paths(
+            movable, box1_system, small_catalog, small_workload,
+            pinned_objects=pinned, pinned_class="HDD RAID 0",
+        )
+        assert_identical(scalar, batch)
+        assert_identical(scalar, parallel)
+        for obj in pinned:
+            assert parallel.layout.class_name_of(obj.name) == "HDD RAID 0"
+
+    def test_oltp_identity(self, small_objects, box1_system, small_catalog, oltp_workload):
+        scalar, batch, parallel = run_three_paths(
+            small_objects, box1_system, small_catalog, oltp_workload
+        )
+        assert_identical(scalar, batch)
+        assert_identical(scalar, parallel)
+
+    def test_capacity_limited_space(self, small_objects, box1_system, small_catalog,
+                                    small_workload):
+        """A binding capacity limit exercises the subtree pruning bound."""
+        total = sum(obj.size_gb for obj in small_objects)
+        limited = box1_system.with_capacity_limits({"H-SSD": total * 0.4})
+        scalar, batch, parallel = run_three_paths(
+            small_objects, limited, small_catalog, small_workload
+        )
+        assert_identical(scalar, batch)
+        assert_identical(scalar, parallel)
+
+    def test_fully_infeasible_space(self, small_objects, box1_system, small_catalog,
+                                    small_workload):
+        tiny = box1_system.with_capacity_limits(
+            {name: 1e-6 for name in box1_system.class_names}
+        )
+        scalar, batch, parallel = run_three_paths(
+            small_objects, tiny, small_catalog, small_workload
+        )
+        assert not scalar.feasible and not batch.feasible and not parallel.feasible
+        assert parallel.toc_cents == float("inf")
+        assert parallel.layout is None
+
+    def test_soft_max_layouts_guard(self, small_objects, box1_system, small_catalog,
+                                    small_workload):
+        """The parallel path may exceed max_layouts; the serial path may not."""
+        from repro.exceptions import ConfigurationError
+
+        space = len(box1_system) ** len(small_objects)
+        with pytest.raises(ConfigurationError):
+            ExhaustiveSearch(
+                small_objects, box1_system, fresh_estimator(small_catalog),
+                max_layouts=space - 1,
+            ).search(small_workload)
+        parallel = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog),
+            max_layouts=space - 1, workers=WORKERS,
+        ).search(small_workload)
+        serial = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog)
+        ).search(small_workload)
+        assert_identical(serial, parallel)
+
+    def test_parallel_records_stats(self, small_objects, box1_system, small_catalog,
+                                    small_workload):
+        search = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog), workers=WORKERS
+        )
+        result = search.search(small_workload)
+        stats = search.last_batch_stats
+        assert stats is not None
+        assert stats.workers == WORKERS
+        assert stats.shards > 0
+        assert stats.build_s > 0.0
+        space = search.search_space_size()
+        assert result.evaluated_layouts + stats.pruned_layouts == space
+        assert stats.candidates == result.evaluated_layouts
+
+
+# ---------------------------------------------------------------------------
+# Build-time accounting (ES-vs-DOT timing fairness)
+# ---------------------------------------------------------------------------
+
+class TestBuildTiming:
+    def test_serial_batch_reports_build_separately(self, small_objects, box1_system,
+                                                   small_catalog, small_workload):
+        search = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog), batch=True
+        )
+        result = search.search(small_workload)
+        assert search.last_batch_stats.build_s > 0.0
+        assert result.elapsed_s > 0.0
+
+    def test_warm_cache_shrinks_build_time_not_elapsed_meaning(
+            self, small_objects, box1_system, small_catalog, small_workload):
+        """With one shared cache, the second search's estimator work happens
+        at build/warm-up time; the enumeration time stays comparable."""
+        from repro.core.batch_eval import QueryEstimateCache
+
+        estimator = fresh_estimator(small_catalog)
+        cache = QueryEstimateCache(estimator, small_workload.concurrency)
+        first = ExhaustiveSearch(
+            small_objects, box1_system, estimator, estimate_cache=cache
+        )
+        first.search(small_workload)
+        misses_before = cache.misses
+        second = ExhaustiveSearch(
+            small_objects, box1_system, estimator, estimate_cache=cache
+        )
+        second.search(small_workload)
+        assert cache.misses == misses_before  # fully warm: no new estimates
+        assert second.last_batch_stats.build_s > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Pruning soundness on randomized spaces
+# ---------------------------------------------------------------------------
+
+def random_scenario(seed):
+    """A seeded random catalog/workload/system with binding capacity limits."""
+    rng = np.random.default_rng(seed)
+    num_tables = int(rng.integers(2, 4))
+    specs = [
+        SyntheticTableSpec(
+            f"t{i}",
+            row_count=int(rng.integers(50_000, 2_000_000)),
+            row_width_bytes=int(rng.integers(60, 300)),
+        )
+        for i in range(num_tables)
+    ]
+    catalog = build_synthetic_catalog(specs, name=f"rand-{seed}")
+    queries = []
+    for i in range(num_tables):
+        queries.append(Query(
+            name=f"scan_t{i}",
+            accesses=(TableAccess(f"t{i}", selectivity=float(rng.uniform(0.3, 0.9))),),
+            aggregate_rows=10_000,
+        ))
+        queries.append(Query(
+            name=f"lookup_t{i}",
+            accesses=(TableAccess(f"t{i}", selectivity=0.0001, index=f"t{i}_pkey",
+                                  key_lookup=True),),
+        ))
+    workload = Workload(name=f"rand-{seed}", kind="dss", queries=tuple(queries),
+                        concurrency=1)
+    objects = catalog.database_objects()
+    total_gb = sum(obj.size_gb for obj in objects)
+    system = storage_catalog.box1().with_capacity_limits(
+        {
+            "H-SSD": total_gb * float(rng.uniform(0.2, 0.7)),
+            "L-SSD": total_gb * float(rng.uniform(0.4, 1.2)),
+        }
+    )
+    return catalog, workload, objects, system
+
+
+def engine_run(objects, system, catalog, workload, prune, workers=1):
+    """Run the enumeration engine directly (in-process unless workers > 1)."""
+    estimator = fresh_estimator(catalog)
+    evaluator = BatchLayoutEvaluator(objects, system, estimator, workload)
+    spec = EnumerationSpec(
+        variable_objects=objects, system=system, estimator=estimator,
+        workload=workload, pinned=[], constraint=None, cache=evaluator.cache,
+        chunk_size=64,
+    )
+    engine = ParallelEnumerationEngine.from_evaluator(
+        evaluator, spec, workers=workers, prune=prune
+    )
+    progress = engine.run()
+    layout = None
+    if progress.best_row is not None:
+        row = np.array(progress.best_row, dtype=np.int64)
+        layout = Layout(list(objects), system, evaluator.assignment_for_row(row), name="ES")
+    return progress, layout, engine
+
+
+class TestPruningSoundness:
+    @pytest.mark.parametrize("seed", [11, 23, 47, 101])
+    def test_pruned_engine_matches_unpruned_optimum(self, seed):
+        catalog, workload, objects, system = random_scenario(seed)
+        space = len(system) ** len(objects)
+
+        unpruned, unpruned_layout, _ = engine_run(objects, system, catalog, workload,
+                                                  prune=False)
+        pruned, pruned_layout, _ = engine_run(objects, system, catalog, workload,
+                                              prune=True)
+        assert unpruned.evaluated == space
+        assert pruned.best_toc == unpruned.best_toc
+        assert pruned.best_index == unpruned.best_index
+        assert pruned_layout == unpruned_layout
+        assert pruned.evaluated <= unpruned.evaluated
+        assert pruned.evaluated + pruned.stats.pruned_layouts == space
+
+        # And the reference: the serial batch exhaustive search.
+        serial = ExhaustiveSearch(
+            objects, system, fresh_estimator(catalog), max_layouts=space
+        ).search(workload)
+        if serial.feasible:
+            assert pruned.best_toc == serial.toc_cents
+            assert pruned_layout == serial.layout
+        else:
+            assert pruned_layout is None
+
+    @pytest.mark.parametrize("seed", [7, 91])
+    def test_pruned_pool_matches_unpruned_optimum(self, seed):
+        catalog, workload, objects, system = random_scenario(seed)
+        unpruned, unpruned_layout, _ = engine_run(objects, system, catalog, workload,
+                                                  prune=False)
+        pruned, pruned_layout, _ = engine_run(objects, system, catalog, workload,
+                                              prune=True, workers=WORKERS)
+        assert pruned.best_toc == unpruned.best_toc
+        assert pruned.best_index == unpruned.best_index
+        assert pruned_layout == unpruned_layout
+
+
+# ---------------------------------------------------------------------------
+# Pruning bounds never cut a capacity-feasible completion
+# ---------------------------------------------------------------------------
+
+class TestPruningBounds:
+    def test_admissibility_is_conservative(self, small_objects, box1_system,
+                                           small_catalog, small_workload):
+        total = sum(obj.size_gb for obj in small_objects)
+        limited = box1_system.with_capacity_limits({"H-SSD": total * 0.3})
+        evaluator = BatchLayoutEvaluator(
+            small_objects, limited, fresh_estimator(small_catalog), small_workload
+        )
+        prefix_depth = max(1, len(small_objects) - 2)
+        bounds = _PruningBounds(evaluator, prefix_depth)
+        num_classes = evaluator.num_classes
+        subtree_size = num_classes ** (len(small_objects) - prefix_depth)
+        _, prefixes = next(iter_assignment_chunks(
+            prefix_depth, num_classes, chunk_size=num_classes**prefix_depth
+        ))
+        keep, cost_lb = bounds.admissible(prefixes)
+        for position in range(prefixes.shape[0]):
+            lo, hi = position * subtree_size, (position + 1) * subtree_size
+            chunk = np.concatenate([
+                c for _, c in iter_assignment_chunks(
+                    len(small_objects), num_classes, subtree_size, start=lo, stop=hi
+                )
+            ])
+            evaluation = evaluator.evaluate_chunk(chunk)
+            if not keep[position]:
+                # A pruned subtree must contain no capacity-feasible candidate.
+                assert not evaluation.capacity_ok.any()
+            # The cost bound must under-estimate every candidate's TOC/cost.
+            finite = np.isfinite(evaluation.toc_cents)
+            if finite.any() and evaluator.toc_floor_factor() > 0:
+                floor = cost_lb[position] * evaluator.toc_floor_factor()
+                assert (evaluation.toc_cents[finite] >= floor).all()
+
+
+# ---------------------------------------------------------------------------
+# Resumability and worker reconstruction
+# ---------------------------------------------------------------------------
+
+class TestResume:
+    def test_partial_progress_resumes_to_identical_result(
+            self, small_objects, box1_system, small_catalog, small_workload):
+        estimator = fresh_estimator(small_catalog)
+        evaluator = BatchLayoutEvaluator(
+            small_objects, box1_system, estimator, small_workload
+        )
+        spec = EnumerationSpec(
+            variable_objects=small_objects, system=box1_system, estimator=estimator,
+            workload=small_workload, pinned=[], constraint=None,
+            cache=evaluator.cache, chunk_size=64,
+        )
+        engine = ParallelEnumerationEngine.from_evaluator(evaluator, spec, workers=1)
+        shards = engine.shard_ranges()
+        assert len(shards) >= 2
+
+        # Process the first half of the shards "before the interruption".
+        partial = SearchProgress(total_shards=len(shards))
+        bounds = _PruningBounds(engine.evaluator, engine.prefix_depth)
+        incumbent = _Incumbent()
+        for shard_id, lo, hi in shards[: len(shards) // 2]:
+            partial.record(_process_shard(
+                engine.evaluator, bounds, incumbent, shard_id, lo, hi,
+                spec.chunk_size, engine.toc_floor_factor, True,
+            ))
+        assert not partial.finished
+
+        # The checkpoint survives pickling (what an on-disk resume would do).
+        partial = pickle.loads(pickle.dumps(partial))
+        resumed = engine.run(partial)
+        assert resumed.finished
+
+        reference = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog)
+        ).search(small_workload)
+        row = np.array(resumed.best_row, dtype=np.int64)
+        layout = Layout(list(small_objects), box1_system,
+                        engine.evaluator.assignment_for_row(row), name="ES")
+        assert resumed.best_toc == reference.toc_cents
+        assert layout == reference.layout
+
+    def test_resume_under_different_geometry_is_refused(
+            self, small_objects, box1_system, small_catalog, small_workload):
+        """Shard ids only mean something under one geometry: a checkpoint
+        recorded at one prefix depth must not resume at another, even when
+        the shard counts coincide."""
+        from repro.exceptions import ConfigurationError
+
+        estimator = fresh_estimator(small_catalog)
+        evaluator = BatchLayoutEvaluator(
+            small_objects, box1_system, estimator, small_workload
+        )
+        spec = EnumerationSpec(
+            variable_objects=small_objects, system=box1_system, estimator=estimator,
+            workload=small_workload, pinned=[], constraint=None,
+            cache=evaluator.cache,
+        )
+        engine_a = ParallelEnumerationEngine.from_evaluator(
+            evaluator, spec, workers=1, prefix_depth=2
+        )
+        engine_b = ParallelEnumerationEngine.from_evaluator(
+            evaluator, spec, workers=1, prefix_depth=3
+        )
+        assert len(engine_a.shard_ranges()) == len(engine_b.shard_ranges())
+        progress = engine_a.run()
+        with pytest.raises(ConfigurationError):
+            engine_b.run(progress)
+
+    def test_finished_progress_is_not_rerun(self, small_objects, box1_system,
+                                            small_catalog, small_workload):
+        estimator = fresh_estimator(small_catalog)
+        evaluator = BatchLayoutEvaluator(
+            small_objects, box1_system, estimator, small_workload
+        )
+        spec = EnumerationSpec(
+            variable_objects=small_objects, system=box1_system, estimator=estimator,
+            workload=small_workload, pinned=[], constraint=None,
+            cache=evaluator.cache,
+        )
+        engine = ParallelEnumerationEngine.from_evaluator(evaluator, spec, workers=1)
+        progress = engine.run()
+        evaluated = progress.evaluated
+        again = engine.run(progress)
+        assert again is progress
+        assert again.evaluated == evaluated
+
+
+class TestWorkerReconstruction:
+    def test_pickled_spec_rebuilds_a_read_only_evaluator(
+            self, small_objects, box1_system, small_catalog, small_workload):
+        """After the parent warms every signature, a worker reconstructed
+        from the pickled spec never calls the optimizer again."""
+        estimator = fresh_estimator(small_catalog)
+        evaluator = BatchLayoutEvaluator(
+            small_objects, box1_system, estimator, small_workload
+        )
+        assert evaluator.warm_signatures()
+        spec = EnumerationSpec(
+            variable_objects=small_objects, system=box1_system, estimator=estimator,
+            workload=small_workload, pinned=[], constraint=None,
+            cache=evaluator.cache,
+        )
+        clone_spec = pickle.loads(pickle.dumps(spec))
+        clone = clone_spec.build_evaluator()
+        misses_before = clone.cache.misses
+        for _, chunk in iter_assignment_chunks(
+            len(small_objects), len(box1_system), 128
+        ):
+            clone.evaluate_chunk(chunk)
+        assert clone.cache.misses == misses_before
+        assert clone.stats.estimator_calls == 0
+
+    def test_warmed_floor_factor_is_positive_for_dss(
+            self, small_objects, box1_system, small_catalog, small_workload):
+        evaluator = BatchLayoutEvaluator(
+            small_objects, box1_system, fresh_estimator(small_catalog), small_workload
+        )
+        assert evaluator.toc_floor_factor() == 0.0  # not warmed yet
+        assert evaluator.warm_signatures()
+        assert evaluator.toc_floor_factor() > 0.0
+
+
+# ---------------------------------------------------------------------------
+# The Figure 9 TPC-C configuration, parallel vs serial, bit for bit
+# ---------------------------------------------------------------------------
+
+class TestFigure9Parallel:
+    def test_parallel_matches_batch_on_fig9_config(self):
+        from repro.dbms.buffer_pool import BufferPool
+        from repro.experiments import boxes
+        from repro.experiments.runner import ExperimentRunner
+        from repro.workloads import tpcc
+
+        warehouses, concurrency = 300, 300
+        catalog = tpcc.build_catalog(warehouses)
+        workload = tpcc.oltp_workload(warehouses, concurrency=concurrency)
+        all_objects = catalog.database_objects()
+        hot_groups = {"stock", "order_line", "customer"}
+        hot = [obj for obj in all_objects if (obj.table or obj.name) in hot_groups]
+        cold = [obj for obj in all_objects if obj not in hot]
+        system = boxes.box2(capacity_limits_gb={"H-SSD": 21.0})
+
+        def build_search(**kwargs):
+            estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
+            runner = ExperimentRunner(all_objects, system, estimator)
+            constraint = runner.resolve_constraint(
+                workload, RelativeSLA(0.25, metric="throughput"), mode="estimate"
+            )
+            return ExhaustiveSearch(
+                hot, system, estimator, constraint=constraint, per_group=True,
+                pinned_objects=cold, pinned_class=system.most_expensive().name,
+                **kwargs,
+            )
+
+        batch = build_search(batch=True).search(workload)
+        parallel_search = build_search(batch=True, workers=WORKERS)
+        parallel = parallel_search.search(workload)
+        assert batch.feasible and parallel.feasible
+        assert parallel.layout == batch.layout
+        assert parallel.toc_cents == batch.toc_cents
+        stats = parallel_search.last_batch_stats
+        assert stats.workers == WORKERS
+        assert parallel.evaluated_layouts + stats.pruned_layouts == \
+            parallel_search.search_space_size()
