@@ -25,11 +25,9 @@ from __future__ import annotations
 
 import os
 
-from repro.core.exhaustive import ExhaustiveSearch
-from repro.dbms.executor import WorkloadEstimator
-from repro.storage import catalog as storage_catalog
+from repro import scenarios
+from repro.core.solver import ExhaustiveSolver
 
-from bench_scaling_batch_eval import build_scenario
 from conftest import run_once, write_bench_json
 
 
@@ -54,28 +52,26 @@ def build_limited_scenario(num_tables: int, capacity_fraction: float = 0.45):
     exactly what the per-prefix capacity bound prunes -- the benchmark then
     reports a meaningful pruning rate instead of a trivially zero one.
     """
-    catalog, workload = build_scenario(num_tables)
-    objects = catalog.database_objects()
-    total_gb = sum(obj.size_gb for obj in objects)
-    system = storage_catalog.box1().with_capacity_limits(
-        {"H-SSD": total_gb * capacity_fraction}
+    return scenarios.build(
+        "synthetic_scaling_limited",
+        num_tables=num_tables,
+        capacity_fraction=capacity_fraction,
     )
-    return catalog, workload, objects, system
 
 
 def parallel_es_run(num_tables, worker_counts):
-    catalog, workload, objects, system = build_limited_scenario(num_tables)
+    bundle = build_limited_scenario(num_tables)
+    objects, system = bundle.objects, bundle.system
     space = len(system) ** len(objects)
 
-    def build_search(**kwargs):
-        estimator = WorkloadEstimator(catalog, noise=0.0, buffer_pool=None, seed=7)
-        return ExhaustiveSearch(
-            objects, system, estimator, max_layouts=space, **kwargs
-        )
+    def run_search(**kwargs):
+        # A fresh estimator per arm keeps the serial-vs-parallel comparison
+        # free of shared plan-cache warm-up effects.
+        context = bundle.context(estimator=bundle.fresh_estimator())
+        return ExhaustiveSolver(max_layouts=space, **kwargs).solve(context)
 
-    serial_search = build_search()
-    serial = serial_search.search(workload)
-    serial_stats = serial_search.last_batch_stats
+    serial = run_search()
+    serial_stats = serial.stats.batch
     rows = [
         {
             "workers": 1,
@@ -89,11 +85,10 @@ def parallel_es_run(num_tables, worker_counts):
         }
     ]
     for workers in worker_counts:
-        search = build_search(workers=workers)
-        result = search.search(workload)
+        result = run_search(workers=workers)
         assert result.layout == serial.layout, f"layout mismatch at {workers} workers"
         assert result.toc_cents == serial.toc_cents, f"TOC mismatch at {workers} workers"
-        stats = search.last_batch_stats
+        stats = result.stats.batch
         rows.append(
             {
                 "workers": workers,

@@ -16,99 +16,49 @@ import time
 
 import pytest
 
-from repro.core.dot import DOTOptimizer
-from repro.core.exhaustive import ExhaustiveSearch
-from repro.core.profiler import WorkloadProfiler
-from repro.dbms.datagen import SyntheticTableSpec, build_synthetic_catalog
-from repro.dbms.executor import WorkloadEstimator
-from repro.dbms.query import JoinSpec, Query, TableAccess
-from repro.storage import catalog as storage_catalog
-from repro.workloads.workload import Workload
+from repro import scenarios
+from repro.core.solver import DOTSolver, ExhaustiveSolver
 
 from conftest import run_once, write_bench_json
 
 
 def build_scenario(num_tables):
-    """A synthetic catalog of ``num_tables`` tables (+ one pkey each, so
-    ``2 * num_tables`` placeable objects) and a mixed scan/lookup/join
-    workload touching all of them."""
-    specs = [
-        SyntheticTableSpec(
-            f"t{i}", row_count=200_000 + 137_000 * i, row_width_bytes=120 + 10 * i
-        )
-        for i in range(num_tables)
-    ]
-    catalog = build_synthetic_catalog(specs, name=f"scaling-{num_tables}")
-    queries = []
-    for i in range(num_tables):
-        queries.append(
-            Query(
-                name=f"scan_t{i}",
-                accesses=(TableAccess(f"t{i}", selectivity=0.8),),
-                aggregate_rows=100_000,
-            )
-        )
-        queries.append(
-            Query(
-                name=f"lookup_t{i}",
-                accesses=(
-                    TableAccess(f"t{i}", selectivity=0.0001, index=f"t{i}_pkey",
-                                key_lookup=True),
-                ),
-            )
-        )
-    for i in range(num_tables - 1):
-        queries.append(
-            Query(
-                name=f"join_t{i}_t{i + 1}",
-                accesses=(
-                    TableAccess(f"t{i}", selectivity=0.01),
-                    TableAccess(f"t{i + 1}", selectivity=1.0, index=f"t{i + 1}_pkey"),
-                ),
-                joins=(
-                    JoinSpec(inner_position=1, rows_per_outer=3.0,
-                             inner_index=f"t{i + 1}_pkey"),
-                ),
-                aggregate_rows=1_000,
-            )
-        )
-    workload = Workload(name=f"scaling-{num_tables}", kind="dss",
-                        queries=tuple(queries), concurrency=1)
-    return catalog, workload
+    """The synthetic scaling scenario (from the registry): ``num_tables``
+    tables (+ one pkey each, so ``2 * num_tables`` placeable objects) and a
+    mixed scan/lookup/join workload touching all of them."""
+    return scenarios.build("synthetic_scaling", num_tables=num_tables)
 
 
-def timed_es(catalog, workload, batch):
-    estimator = WorkloadEstimator(catalog, noise=0.0, buffer_pool=None, seed=7)
-    search = ExhaustiveSearch(
-        catalog.database_objects(), storage_catalog.box1(), estimator,
-        max_layouts=1_000_000, batch=batch,
-    )
+def timed_solve(bundle, solver, needs_profiles=False):
+    """One isolated arm: fresh estimator, optional pre-profiled context.
+
+    The DOT arms pre-compute the workload profiles outside the timer (move
+    enumeration input, not evaluation work, and identical across arms) so
+    the measured time is the walk itself -- as the pre-registry benchmark
+    measured it.
+    """
+    context = bundle.context(box="Box 1", estimator=bundle.fresh_estimator())
+    if needs_profiles:
+        context.get_profiles()
     started = time.perf_counter()
-    result = search.search(workload)
-    return result, time.perf_counter() - started
-
-
-def timed_dot(catalog, workload, incremental):
-    estimator = WorkloadEstimator(catalog, noise=0.0, buffer_pool=None, seed=7)
-    objects = catalog.database_objects()
-    system = storage_catalog.box1()
-    profiles = WorkloadProfiler(objects, system, estimator).profile(workload, mode="estimate")
-    dot = DOTOptimizer(objects, system, estimator, incremental=incremental)
-    started = time.perf_counter()
-    result = dot.optimize(workload, profiles)
+    result = solver.solve(context)
     return result, time.perf_counter() - started
 
 
 def scaling_run(table_counts):
     rows = []
     for num_tables in table_counts:
-        catalog, workload = build_scenario(num_tables)
-        es_scalar, es_scalar_s = timed_es(catalog, workload, batch=False)
-        es_batch, es_batch_s = timed_es(catalog, workload, batch=True)
+        bundle = build_scenario(num_tables)
+        es_scalar, es_scalar_s = timed_solve(
+            bundle, ExhaustiveSolver(max_layouts=1_000_000, batch=False))
+        es_batch, es_batch_s = timed_solve(
+            bundle, ExhaustiveSolver(max_layouts=1_000_000, batch=True))
         assert es_batch.layout == es_scalar.layout
         assert es_batch.toc_cents == es_scalar.toc_cents
-        dot_scalar, dot_scalar_s = timed_dot(catalog, workload, incremental=False)
-        dot_fast, dot_fast_s = timed_dot(catalog, workload, incremental=True)
+        dot_scalar, dot_scalar_s = timed_solve(
+            bundle, DOTSolver(incremental=False), needs_profiles=True)
+        dot_fast, dot_fast_s = timed_solve(
+            bundle, DOTSolver(incremental=True), needs_profiles=True)
         assert dot_fast.layout == dot_scalar.layout
         assert dot_fast.toc_cents == dot_scalar.toc_cents
         rows.append(

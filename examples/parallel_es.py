@@ -4,6 +4,7 @@ Run with::
 
     python examples/parallel_es.py            # 12-object space, a few seconds
     python examples/parallel_es.py --objects 14 --workers 8
+    python examples/parallel_es.py --checkpoint /tmp/es.json   # resumable
 
 The paper uses exhaustive search (ES) as the quality yardstick for DOT but
 only on reduced object sets, because ``M^N`` enumeration is exponential.
@@ -13,6 +14,12 @@ path and the sharded, pruned parallel engine
 identical, and prints the pruning statistics.  Scaling ``--objects`` to 19
 with enough ``--workers`` reproduces the full ``3^19`` TPC-H space of
 Section 4.4.3 (see EXPERIMENTS.md for wall-clock expectations).
+
+With ``--checkpoint PATH`` the parallel run goes through the engine's
+JSON-persisted :class:`~repro.core.parallel_search.SearchProgress`: an
+interrupted (or deliberately re-run) invocation picks up from the completed
+shards on disk instead of starting over -- the resumability story for
+multi-hour full-space runs.
 """
 
 from __future__ import annotations
@@ -23,9 +30,51 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core.exhaustive import ExhaustiveSearch
-from repro.dbms import BufferPool, WorkloadEstimator
-from repro.workloads import tpch
+import numpy as np
+
+from repro import scenarios
+from repro.core import ExhaustiveSolver, make_batch_evaluator
+from repro.core.parallel_search import (
+    EnumerationSpec,
+    ParallelEnumerationEngine,
+    SearchProgress,
+)
+
+
+def run_checkpointed(bundle, objects, pinned, system, workers: int, path: Path):
+    """Drive the parallel engine directly with a JSON checkpoint on disk."""
+    estimator = bundle.fresh_estimator()
+    pinned_class = system.cheapest().name
+    evaluator = make_batch_evaluator(
+        objects, system, estimator, bundle.workload,
+        pinned=[(obj, pinned_class) for obj in pinned],
+    )
+    spec = EnumerationSpec(
+        variable_objects=evaluator.variable_objects,
+        system=system,
+        estimator=estimator,
+        workload=bundle.workload,
+        pinned=[(obj, pinned_class) for obj in pinned],
+        constraint=None,
+        cache=evaluator.cache,
+    )
+    engine = ParallelEnumerationEngine.from_evaluator(evaluator, spec, workers=workers)
+    progress = None
+    if path.exists():
+        progress = SearchProgress.load(path)
+        print(f"Resuming from {path}: {len(progress.completed)}/{progress.total_shards} "
+              f"shards done, incumbent TOC {progress.best_toc:.6g} cents")
+    # checkpoint_path persists after every completed shard, so killing the
+    # run mid-way loses at most one shard of work.
+    progress = engine.run(progress, checkpoint_path=path)
+    print(f"Checkpoint saved to {path}: {len(progress.completed)}/{progress.total_shards} "
+          f"shards, {progress.evaluated:,} layouts evaluated")
+    if progress.best_row is not None:
+        assignment = evaluator.assignment_for_row(np.array(progress.best_row, dtype=np.int64))
+        print(f"Best TOC {progress.best_toc:.6g} cents; fast-class objects: "
+              + ", ".join(sorted(name for name, cls in assignment.items()
+                                 if cls == system.most_expensive().name)))
+    return progress
 
 
 def main() -> None:
@@ -37,44 +86,53 @@ def main() -> None:
     parser.add_argument("--scale-factor", type=float, default=4.0)
     parser.add_argument("--skip-serial", action="store_true",
                         help="skip the serial reference run (for huge spaces)")
+    parser.add_argument("--checkpoint", type=Path, default=None,
+                        help="JSON checkpoint path: save progress there and "
+                             "resume from it when it exists")
     args = parser.parse_args()
 
-    catalog = tpch.build_catalog(scale_factor=args.scale_factor)
-    workload = tpch.es_subset_workload(args.scale_factor, repetitions=1)
-    all_objects = catalog.database_objects()
+    bundle = scenarios.build("tpch_es_subset", scale_factor=args.scale_factor,
+                             repetitions=1)
     # Largest objects first, so growing --objects widens the enumerated set
     # the way the paper's reduced studies did; everything else stays pinned to
     # the cheapest class so every query keeps a full placement.
-    by_size = sorted(all_objects, key=lambda obj: -obj.size_gb)
+    by_size = sorted(bundle.objects, key=lambda obj: -obj.size_gb)
     objects = by_size[: args.objects]
     pinned = by_size[args.objects:]
-    from repro.storage import catalog as storage_catalog
 
-    system = storage_catalog.box1()
     # A binding fast-class limit gives the capacity bound real work.
     total_gb = sum(obj.size_gb for obj in objects)
-    system = system.with_capacity_limits({"H-SSD": total_gb * 0.4})
+    system = scenarios.box_system("Box 1", {"H-SSD": total_gb * 0.4})
     space = len(system) ** len(objects)
     print(f"Search space: {len(objects)} objects x {len(system)} classes = "
           f"{space:,} layouts ({len(pinned)} objects pinned to "
           f"{system.cheapest().name})")
 
-    def build_search(**kwargs):
-        estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
-        return ExhaustiveSearch(objects, system, estimator, max_layouts=space,
-                                pinned_objects=pinned, **kwargs)
+    if args.checkpoint is not None:
+        run_checkpointed(bundle, objects, pinned, system, args.workers, args.checkpoint)
+        return
+
+    def build_solver(**kwargs):
+        return ExhaustiveSolver(
+            objects=objects, pinned_objects=pinned,
+            pinned_class=system.cheapest().name, max_layouts=space, **kwargs,
+        )
+
+    def solve(solver):
+        # Fresh estimator per arm; sla=None -- the study is unconstrained.
+        context = bundle.context(system=system, sla=None,
+                                 estimator=bundle.fresh_estimator())
+        return solver.solve(context)
 
     serial = None
     if not args.skip_serial:
-        search = build_search()
-        serial = search.search(workload)
+        serial = solve(build_solver())
         print(f"\nSerial batch ES:   {serial.elapsed_s:8.2f} s, "
               f"{serial.evaluated_layouts:,} layouts evaluated, "
               f"TOC {serial.toc_cents:.6g} cents")
 
-    search = build_search(workers=args.workers)
-    parallel = search.search(workload)
-    stats = search.last_batch_stats
+    parallel = solve(build_solver(workers=args.workers))
+    stats = parallel.stats.batch
     print(f"Parallel ES (x{args.workers}): {parallel.elapsed_s:8.2f} s "
           f"(+ {stats.build_s:.2f} s build/warm-up), "
           f"{parallel.evaluated_layouts:,} layouts evaluated, "

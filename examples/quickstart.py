@@ -18,30 +18,27 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import scenarios
 from repro.core import ProvisioningAdvisor
 from repro.core.simple_layouts import simple_layouts
-from repro.dbms import BufferPool, WorkloadEstimator
 from repro.experiments.reporting import format_evaluations
 from repro.experiments.runner import ExperimentRunner
 from repro.sla import RelativeSLA
-from repro.storage import catalog as storage_catalog
-from repro.workloads import tpch
 
 
 def main() -> None:
-    # 1. The database: schema + statistics (no real rows are needed).
-    catalog = tpch.build_catalog(scale_factor=2)
-    objects = catalog.database_objects()
+    # 1 + 2. Database and workload: one scenario-registry lookup builds the
+    # TPC-H catalog (schema + statistics, no real rows needed), the 22
+    # original query templates and a ready-to-use workload estimator.
+    bundle = scenarios.build("tpch_original", scale_factor=2.0, repetitions=1)
+    catalog, workload, estimator = bundle.catalog, bundle.workload, bundle.estimator
+    objects = bundle.objects
     print(f"Database: {catalog.name}, {len(objects)} objects, "
           f"{catalog.total_size_gb():.1f} GB")
-
-    # 2. The workload: the 22 original TPC-H templates, one repetition.
-    workload = tpch.original_workload(scale_factor=2, repetitions=1)
     print(f"Workload: {workload.description}")
 
     # 3. The storage system: the paper's Box 1.
-    system = storage_catalog.box1()
-    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
+    system = scenarios.box_system("Box 1")
 
     # 4. Ask DOT for a layout under a relative SLA of 0.5.
     advisor = ProvisioningAdvisor(objects, system, estimator)

@@ -16,26 +16,24 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core import DOTOptimizer, WorkloadProfiler
+from repro import scenarios
+from repro.core import DOTSolver
 from repro.core.discrete_cost import DiscreteCostModel
 from repro.core.provisioning import GeneralizedProvisioner, ProvisioningOption
-from repro.dbms import BufferPool, WorkloadEstimator
 from repro.sla import RelativeSLA
-from repro.storage import catalog as storage_catalog
-from repro.workloads import tpch
 
 
 def main(scale_factor: float = 2.0) -> None:
-    catalog = tpch.build_catalog(scale_factor)
-    objects = catalog.database_objects()
-    workload = tpch.original_workload(scale_factor, repetitions=1)
-    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
+    bundle = scenarios.build("tpch_original", scale_factor=scale_factor, repetitions=1)
+    workload, estimator, objects = bundle.workload, bundle.estimator, bundle.objects
 
     # --- Section 5.1: which box should we buy? ---------------------------
     options = [
-        ProvisioningOption("Box 1", storage_catalog.box1(), "HDD RAID 0 + L-SSD + H-SSD"),
-        ProvisioningOption("Box 2", storage_catalog.box2(), "HDD + L-SSD RAID 0 + H-SSD"),
-        ProvisioningOption("All classes", storage_catalog.full_system(),
+        ProvisioningOption("Box 1", scenarios.box_system("Box 1"),
+                           "HDD RAID 0 + L-SSD + H-SSD"),
+        ProvisioningOption("Box 2", scenarios.box_system("Box 2"),
+                           "HDD + L-SSD RAID 0 + H-SSD"),
+        ProvisioningOption("All classes", scenarios.box_system("All classes"),
                            "hypothetical box exposing all five classes"),
     ]
     provisioner = GeneralizedProvisioner(objects, estimator)
@@ -48,13 +46,14 @@ def main(scale_factor: float = 2.0) -> None:
 
     # --- Section 5.2: discrete-sized storage cost model ------------------
     print("\nDiscrete-sized cost model (alpha sweep on Box 1):")
-    system = storage_catalog.box1()
-    profiler = WorkloadProfiler(objects, system, estimator)
-    profiles = profiler.profile(workload, mode="estimate")
+    system = scenarios.box_system("Box 1")
+    profiles = None
     for alpha in (0.0, 0.5, 1.0):
-        dot = DOTOptimizer(objects, system, estimator,
-                           cost_override=DiscreteCostModel(alpha=alpha))
-        outcome = dot.optimize(workload, profiles)
+        # sla=None: the alpha sweep runs unconstrained, as in Section 5.2.
+        context = bundle.context(system=system, sla=None, profiles=profiles,
+                                 cost_override=DiscreteCostModel(alpha=alpha))
+        outcome = DOTSolver().solve(context)
+        profiles = context.get_profiles()  # shared across the alpha sweep
         classes_used = sum(1 for _, gb in outcome.layout.space_used_gb().items() if gb > 0)
         print(f"  alpha={alpha:.1f}: TOC {outcome.toc_cents:.5f} cents, "
               f"{classes_used} storage classes in use")

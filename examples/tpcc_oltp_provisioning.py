@@ -15,40 +15,33 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core import DOTOptimizer, WorkloadProfiler
+from repro import scenarios
+from repro.core import DOTSolver
 from repro.core.simple_layouts import simple_layouts
-from repro.dbms import BufferPool, WorkloadEstimator
 from repro.experiments.reporting import format_evaluations, format_layout_assignment
 from repro.experiments.runner import ExperimentRunner
 from repro.sla import RelativeSLA
-from repro.storage import catalog as storage_catalog
-from repro.workloads import tpcc
 
 
 def main(warehouses: int = 30) -> None:
-    catalog = tpcc.build_catalog(warehouses)
-    objects = catalog.database_objects()
-    workload = tpcc.oltp_workload(warehouses, concurrency=100)
-    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
-    system = storage_catalog.box2()
+    bundle = scenarios.build("tpcc_fig8", warehouses=warehouses, concurrency=100)
+    workload, estimator, objects = bundle.workload, bundle.estimator, bundle.objects
+    system = scenarios.box_system("Box 2")
     runner = ExperimentRunner(objects, system, estimator)
 
     # TPC-C plans never change with the layout (all random I/O), so a single
     # test-run profile on the all-H-SSD baseline suffices -- exactly the
-    # pruning the paper applies in Section 4.5.1.
-    profiler = WorkloadProfiler(objects, system, estimator)
-    profiles = profiler.profile(
-        workload, mode="testrun", patterns=[profiler.single_baseline_pattern()]
-    )
-
+    # pruning the paper applies in Section 4.5.1.  That convention travels
+    # with the scenario, so the context profiles itself correctly on demand.
+    profiles = None
     layouts = dict(simple_layouts(objects, system))
     for ratio in (0.5, 0.25, 0.125):
         constraint = runner.resolve_constraint(
             workload, RelativeSLA(ratio, metric="throughput"), mode="estimate"
         )
-        outcome = DOTOptimizer(objects, system, estimator, constraint=constraint).optimize(
-            workload, profiles
-        )
+        context = bundle.context(system=system, sla=constraint, profiles=profiles)
+        outcome = DOTSolver().solve(context)
+        profiles = context.get_profiles()  # reused across SLA ratios
         if outcome.feasible:
             name = f"DOT (SLA {ratio:g})"
             layouts[name] = outcome.layout.renamed(name)

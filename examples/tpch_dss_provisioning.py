@@ -15,23 +15,25 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import scenarios
 from repro.core import ProvisioningAdvisor
-from repro.dbms import BufferPool, WorkloadEstimator
 from repro.experiments.reporting import format_layout_assignment
 from repro.sla import RelativeSLA
-from repro.storage import catalog as storage_catalog
-from repro.workloads import tpch
 
 
 def main(scale_factor: float = 2.0) -> None:
-    catalog = tpch.build_catalog(scale_factor)
-    objects = catalog.database_objects()
-    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
-    system = storage_catalog.box2()
+    # Both workload flavours come from the scenario registry (each build
+    # constructs its own catalog; queries reference objects by name, so the
+    # original bundle's estimator serves both workloads).
+    original = scenarios.build("tpch_original", scale_factor=scale_factor, repetitions=1)
+    modified = scenarios.build("tpch_modified", scale_factor=scale_factor, repetitions=4)
+    objects = original.objects
+    estimator = original.estimator
+    system = scenarios.box_system("Box 2")
 
     workloads = {
-        "original (SR-dominated)": tpch.original_workload(scale_factor, repetitions=1),
-        "modified (mixed random/sequential)": tpch.modified_workload(scale_factor, repetitions=4),
+        "original (SR-dominated)": original.workload,
+        "modified (mixed random/sequential)": modified.workload,
     }
     for workload_label, workload in workloads.items():
         for ratio in (0.5, 0.25):

@@ -22,7 +22,7 @@ Quickstart
 'DOT'
 """
 
-from repro import core, dbms, experiments, online, sla, storage, workloads
+from repro import core, dbms, experiments, online, scenarios, sla, storage, workloads
 from repro.exceptions import (
     CapacityError,
     ConfigurationError,
@@ -44,6 +44,7 @@ __all__ = [
     "dbms",
     "experiments",
     "online",
+    "scenarios",
     "sla",
     "storage",
     "workloads",

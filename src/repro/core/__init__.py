@@ -13,7 +13,12 @@ This package implements everything in Sections 2, 3 and 5 of the paper:
   :mod:`repro.core.exhaustive`, with the sharded/pruned parallel enumeration
   engine in :mod:`repro.core.parallel_search`),
 * the extensions of Section 5: the generalized provisioning problem and the
-  discrete-sized storage cost model, plus a MILP reference formulation.
+  discrete-sized storage cost model, plus a MILP reference formulation,
+* the uniform solver layer: :class:`~repro.core.context.EvaluationContext`
+  (shared problem state: system, workload, TOC model, constraint, estimate
+  cache) and the ``Solver.solve(context) -> SolveResult`` protocol that all
+  four solvers -- DOT, ES, MILP, Object Advisor -- implement
+  (:mod:`repro.core.context`, :mod:`repro.core.solver`).
 """
 
 from repro.objects import DatabaseObject, ObjectGroup, ObjectKind, group_objects
@@ -24,6 +29,11 @@ from repro.core.batch_eval import (
     QueryEstimateCache,
     UnsupportedBatchEvaluation,
     iter_assignment_chunks,
+)
+from repro.core.context import (
+    EvaluationContext,
+    make_batch_evaluator,
+    make_incremental_evaluator,
 )
 from repro.core.layout import Layout
 from repro.core.toc import TOCModel, TOCReport
@@ -41,6 +51,19 @@ from repro.core.parallel_search import (
 from repro.core.object_advisor import ObjectAdvisor
 from repro.core.simple_layouts import all_on, index_data_split, simple_layouts
 from repro.core.ilp import MILPPlacement, MILPResult
+from repro.core.solver import (
+    SOLVERS,
+    DOTSolver,
+    ExhaustiveSolver,
+    MILPSolver,
+    ObjectAdvisorSolver,
+    SolveResult,
+    SolveStats,
+    Solver,
+    get_solver,
+    register_solver,
+    solver_names,
+)
 from repro.core.discrete_cost import DiscreteCostModel
 from repro.core.provisioning import GeneralizedProvisioner, ProvisioningOption
 from repro.core.advisor import ProvisioningAdvisor, Recommendation
@@ -56,6 +79,20 @@ __all__ = [
     "QueryEstimateCache",
     "UnsupportedBatchEvaluation",
     "iter_assignment_chunks",
+    "EvaluationContext",
+    "make_batch_evaluator",
+    "make_incremental_evaluator",
+    "Solver",
+    "SolveResult",
+    "SolveStats",
+    "SOLVERS",
+    "DOTSolver",
+    "ExhaustiveSolver",
+    "MILPSolver",
+    "ObjectAdvisorSolver",
+    "get_solver",
+    "register_solver",
+    "solver_names",
     "Layout",
     "TOCModel",
     "TOCReport",

@@ -1,0 +1,285 @@
+"""The shared evaluation context of the placement solvers.
+
+Every solver of the paper's optimization problem -- DOT's greedy walk, the
+exhaustive search, the MILP relaxation and the Object Advisor baseline --
+evaluates candidate layouts against the *same* five ingredients: the
+placeable objects, a storage system, a workload, a workload estimator, and
+an (optional) SLA constraint.  Before this module each solver received those
+ingredients through its own constructor signature and re-implemented the
+same plumbing around them: building a :class:`~repro.core.toc.TOCModel`,
+resolving a relative SLA against the all-most-expensive reference layout,
+profiling the workload over baseline layouts, sharing a
+:class:`~repro.core.batch_eval.QueryEstimateCache`, and deciding whether the
+vectorized batch/incremental evaluators apply or the scalar reference path
+must run.
+
+:class:`EvaluationContext` owns all of that once.  The solver layer
+(:mod:`repro.core.solver`) consumes contexts through the uniform
+``Solver.solve(context)`` protocol, and the scenario registry
+(:mod:`repro.scenarios`) builds them from named experiment configurations.
+
+The scalar-vs-batch fallback decision lives in two module-level helpers --
+:func:`make_batch_evaluator` and :func:`make_incremental_evaluator` -- that
+the solvers share instead of re-implementing: both return ``None`` when the
+configuration cannot take the vectorized path, and callers fall back to the
+scalar reference implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.batch_eval import (
+    BatchLayoutEvaluator,
+    IncrementalWorkloadEvaluator,
+    QueryEstimateCache,
+    UnsupportedBatchEvaluation,
+)
+from repro.core.feasibility import FeasibilityChecker, constraint_signature
+from repro.core.layout import Layout
+from repro.core.profiler import WorkloadProfiler
+from repro.core.profiles import WorkloadProfileSet
+from repro.core.toc import TOCModel, TOCReport
+from repro.objects import DatabaseObject
+from repro.sla.constraints import PerformanceConstraint, RelativeSLA
+from repro.storage.storage_class import StorageSystem
+
+
+# ---------------------------------------------------------------------------
+# The scalar-vs-batch fallback decision (shared by every solver)
+# ---------------------------------------------------------------------------
+
+def make_batch_evaluator(
+    variable_objects: Sequence[DatabaseObject],
+    system: StorageSystem,
+    estimator,
+    workload,
+    *,
+    pinned: Sequence[Tuple[DatabaseObject, str]] = (),
+    constraint: Optional[PerformanceConstraint] = None,
+    cache: Optional[QueryEstimateCache] = None,
+    toc_model: Optional[TOCModel] = None,
+) -> Optional[BatchLayoutEvaluator]:
+    """A :class:`BatchLayoutEvaluator`, or ``None`` for the scalar fallback.
+
+    ``None`` signals a configuration the vectorized path cannot represent: a
+    layout-cost override (``toc_model.vectorizable_layout_cost`` is false), a
+    constraint type without a batch signature, or a workload kind the
+    evaluator rejects.  Callers run the scalar reference path instead --
+    results are identical either way.
+    """
+    if toc_model is not None and not toc_model.vectorizable_layout_cost:
+        return None
+    try:
+        return BatchLayoutEvaluator(
+            variable_objects,
+            system,
+            estimator,
+            workload,
+            pinned=pinned,
+            constraint=constraint,
+            cache=cache,
+        )
+    except UnsupportedBatchEvaluation:
+        return None
+
+
+def make_incremental_evaluator(
+    estimator,
+    workload,
+    toc_model: TOCModel,
+    *,
+    cache: Optional[QueryEstimateCache] = None,
+    collect_io: bool = False,
+    constraint: Optional[PerformanceConstraint] = None,
+    require_checkable_constraint: bool = False,
+) -> Optional[IncrementalWorkloadEvaluator]:
+    """An :class:`IncrementalWorkloadEvaluator`, or ``None`` for the fallback.
+
+    With ``require_checkable_constraint=True`` (DOT's move walk) the fast
+    path is additionally gated on :func:`constraint_signature` recognising
+    the constraint type: the walk's feasibility check consumes the candidate
+    run results, and an exotic constraint subclass could read I/O fields the
+    incremental evaluator does not populate.  Consumers that never feed the
+    results to a constraint (the online advisor's accounting) skip the gate.
+    """
+    if require_checkable_constraint and constraint_signature(constraint) is None:
+        return None
+    try:
+        return IncrementalWorkloadEvaluator(
+            estimator, workload, toc_model, cache=cache, collect_io=collect_io
+        )
+    except UnsupportedBatchEvaluation:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The context
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EvaluationContext:
+    """Everything a solver needs to score layouts for one experiment.
+
+    Instances are normally created through :meth:`build` (which resolves a
+    relative SLA into an absolute constraint) or through the scenario
+    registry's :meth:`~repro.scenarios.ScenarioBundle.context`.  The context
+    owns the single :class:`~repro.core.batch_eval.QueryEstimateCache` every
+    solver run against it shares, so a (query, touched-placement-signature)
+    pair is estimated at most once across profiling, DOT's walk and the
+    exhaustive enumeration -- exactly the sharing the figure drivers used to
+    wire by hand.
+
+    ``profiles`` is computed lazily on first use (DOT and the MILP need it,
+    ES and the Object Advisor do not) and may be supplied eagerly by callers
+    that profile through a different mode (the TPC-C test-run profiling).
+    """
+
+    objects: List[DatabaseObject]
+    system: StorageSystem
+    estimator: object
+    workload: object
+    constraint: Optional[PerformanceConstraint] = None
+    #: The relative SLA the constraint was resolved from (``None`` when the
+    #: constraint was given absolutely); solvers that need the ratio itself
+    #: (the MILP's I/O-time budget) read it here.
+    sla: Optional[RelativeSLA] = None
+    cost_override: Optional[Callable[[Layout], float]] = None
+    profile_mode: str = "estimate"
+    #: Profile on the single all-most-expensive baseline only (the paper's
+    #: pruned TPC-C profiling) instead of the full baseline enumeration.
+    single_baseline_profile: bool = False
+    profiles: Optional[WorkloadProfileSet] = None
+    estimate_cache: Optional[QueryEstimateCache] = None
+    toc_model: TOCModel = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.objects = list(self.objects)
+        if self.toc_model is None:
+            self.toc_model = TOCModel(self.estimator, cost_override=self.cost_override)
+        if self.estimate_cache is None:
+            self.estimate_cache = QueryEstimateCache(self.estimator, self.concurrency)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        objects: Sequence[DatabaseObject],
+        system: StorageSystem,
+        estimator,
+        workload,
+        *,
+        sla: Optional[Union[RelativeSLA, PerformanceConstraint]] = None,
+        constraint_mode: str = "estimate",
+        cost_override: Optional[Callable[[Layout], float]] = None,
+        profile_mode: str = "estimate",
+        single_baseline_profile: bool = False,
+        profiles: Optional[WorkloadProfileSet] = None,
+        estimate_cache: Optional[QueryEstimateCache] = None,
+    ) -> "EvaluationContext":
+        """Build a context, resolving a relative SLA into an absolute cap.
+
+        ``constraint_mode="estimate"`` (default) resolves the SLA against
+        optimizer estimates of the reference layout -- what a search should
+        consume so estimates are compared against estimate-derived caps.
+        ``"run"`` resolves against a simulated run (the reporting-side
+        convention); note run-mode evaluations advance the estimator's noise
+        RNG.
+        """
+        context = cls(
+            objects=list(objects),
+            system=system,
+            estimator=estimator,
+            workload=workload,
+            sla=sla if isinstance(sla, RelativeSLA) else None,
+            cost_override=cost_override,
+            profile_mode=profile_mode,
+            single_baseline_profile=single_baseline_profile,
+            profiles=profiles,
+            estimate_cache=estimate_cache,
+        )
+        context.constraint = context.resolve_constraint(sla, mode=constraint_mode)
+        return context
+
+    # ------------------------------------------------------------------
+    @property
+    def concurrency(self) -> int:
+        """The workload's concurrency (1 when it does not declare one)."""
+        return getattr(self.workload, "concurrency", 1)
+
+    def reference_layout(self) -> Layout:
+        """The best-performing reference: everything on the priciest class."""
+        return Layout.uniform(self.objects, self.system, self.system.most_expensive().name)
+
+    def resolve_constraint(
+        self,
+        sla: Optional[Union[RelativeSLA, PerformanceConstraint]],
+        mode: str = "estimate",
+    ) -> Optional[PerformanceConstraint]:
+        """Resolve a relative SLA against the reference layout (or pass through)."""
+        if sla is None or isinstance(sla, PerformanceConstraint):
+            return sla
+        reference = self.toc_model.evaluate(self.reference_layout(), self.workload, mode=mode)
+        return sla.resolve(reference.run_result)
+
+    def checker(self) -> FeasibilityChecker:
+        """A feasibility checker for the context's constraint."""
+        return FeasibilityChecker(self.constraint)
+
+    def evaluate(self, layout: Layout, mode: str = "estimate") -> TOCReport:
+        """TOC report of one layout for the context's workload."""
+        return self.toc_model.evaluate(layout, self.workload, mode=mode)
+
+    # ------------------------------------------------------------------
+    def profiler(self) -> WorkloadProfiler:
+        """A profiler over the context's objects sharing its estimate cache."""
+        return WorkloadProfiler(
+            self.objects, self.system, self.estimator, estimate_cache=self.estimate_cache
+        )
+
+    def get_profiles(self) -> WorkloadProfileSet:
+        """The workload profiles, computed on first use and then cached."""
+        if self.profiles is None:
+            profiler = self.profiler()
+            patterns = (
+                [profiler.single_baseline_pattern()]
+                if self.single_baseline_profile
+                else None
+            )
+            self.profiles = profiler.profile(
+                self.workload, mode=self.profile_mode, patterns=patterns
+            )
+        return self.profiles
+
+    # ------------------------------------------------------------------
+    def batch_evaluator(
+        self,
+        variable_objects: Optional[Sequence[DatabaseObject]] = None,
+        pinned: Sequence[Tuple[DatabaseObject, str]] = (),
+    ) -> Optional[BatchLayoutEvaluator]:
+        """A batch evaluator over the context (``None`` -> scalar fallback)."""
+        return make_batch_evaluator(
+            self.objects if variable_objects is None else variable_objects,
+            self.system,
+            self.estimator,
+            self.workload,
+            pinned=pinned,
+            constraint=self.constraint,
+            cache=self.estimate_cache,
+            toc_model=self.toc_model,
+        )
+
+    def incremental_evaluator(
+        self, collect_io: bool = False, require_checkable_constraint: bool = False
+    ) -> Optional[IncrementalWorkloadEvaluator]:
+        """An incremental evaluator over the context (``None`` -> fallback)."""
+        return make_incremental_evaluator(
+            self.estimator,
+            self.workload,
+            self.toc_model,
+            cache=self.estimate_cache,
+            collect_io=collect_io,
+            constraint=self.constraint,
+            require_checkable_constraint=require_checkable_constraint,
+        )

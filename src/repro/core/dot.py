@@ -15,8 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.batch_eval import IncrementalWorkloadEvaluator, UnsupportedBatchEvaluation
-from repro.core.feasibility import FeasibilityChecker, FeasibilityResult, constraint_signature
+from repro.core.context import make_incremental_evaluator
+from repro.core.feasibility import FeasibilityChecker, FeasibilityResult
 from repro.core.layout import Layout
 from repro.core.moves import Move, enumerate_moves
 from repro.core.profiles import WorkloadProfileSet
@@ -173,14 +173,16 @@ class DOTOptimizer:
         ``TOCModel.evaluate`` for workload kinds or constraint types the fast
         path cannot represent.
         """
-        if self.incremental and constraint_signature(constraint) is not None:
-            try:
-                fast = IncrementalWorkloadEvaluator(
-                    self.estimator, workload, self.toc_model, cache=self.estimate_cache
-                )
-            except UnsupportedBatchEvaluation:
-                pass
-            else:
+        if self.incremental:
+            fast = make_incremental_evaluator(
+                self.estimator,
+                workload,
+                self.toc_model,
+                cache=self.estimate_cache,
+                constraint=constraint,
+                require_checkable_constraint=True,
+            )
+            if fast is not None:
                 return fast.evaluate
         return lambda candidate: self.toc_model.evaluate(candidate, workload, mode="estimate")
 

@@ -17,11 +17,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.batch_eval import (
-    BatchLayoutEvaluator,
-    UnsupportedBatchEvaluation,
-    iter_assignment_chunks,
-)
+from repro.core.batch_eval import iter_assignment_chunks
+from repro.core.context import make_batch_evaluator
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.layout import Layout
 from repro.core.toc import TOCModel, TOCReport
@@ -196,7 +193,7 @@ class ExhaustiveSearch:
         active_constraint = constraint if constraint is not None else self.constraint
         checker = self.checker if constraint is None else FeasibilityChecker(constraint)
         self.last_batch_stats = None
-        if self.batch and self.toc_model.vectorizable_layout_cost and self.workers > 1:
+        if self.batch and self.workers > 1:
             # The parallel engine treats max_layouts as a soft guard: sharding
             # plus pruning lift the enumeration ceiling to full-paper spaces.
             result = self._search_parallel(workload, active_constraint)
@@ -208,7 +205,7 @@ class ExhaustiveSearch:
                 f"{self.max_layouts}; reduce the object set, raise max_layouts, or "
                 f"use workers > 1"
             )
-        if self.batch and self.toc_model.vectorizable_layout_cost:
+        if self.batch:
             result = self._search_batch(workload, active_constraint)
             if result is not None:
                 return result
@@ -224,17 +221,17 @@ class ExhaustiveSearch:
         skew ES-vs-DOT search-time comparisons.
         """
         build_started = time.perf_counter()
-        try:
-            evaluator = BatchLayoutEvaluator(
-                self._variable_objects(),
-                self.system,
-                self.estimator,
-                workload,
-                pinned=[(obj, self.pinned_class) for obj in self.pinned_objects],
-                constraint=constraint,
-                cache=self.estimate_cache,
-            )
-        except UnsupportedBatchEvaluation:
+        evaluator = make_batch_evaluator(
+            self._variable_objects(),
+            self.system,
+            self.estimator,
+            workload,
+            pinned=[(obj, self.pinned_class) for obj in self.pinned_objects],
+            constraint=constraint,
+            cache=self.estimate_cache,
+            toc_model=self.toc_model,
+        )
+        if evaluator is None:
             return None
         evaluator.stats.build_s = time.perf_counter() - build_started
         return evaluator

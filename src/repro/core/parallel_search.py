@@ -41,10 +41,14 @@ serial path exactly and the returned layout and TOC are bitwise identical.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import multiprocessing
+import os
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -105,6 +109,14 @@ class SearchProgress:
     to :meth:`ParallelEnumerationEngine.run` continues the enumeration from
     the completed-shard set and the recorded incumbent instead of starting
     over.  The final result is independent of how the run was split.
+
+    For multi-hour full-space runs (the paper's ``3^19`` studies) the
+    checkpoint also round-trips through JSON on disk -- :meth:`save` /
+    :meth:`load` -- so an interrupted run is resumable from another process
+    (or after a reboot) without relying on pickle compatibility.  Non-finite
+    floats (the ``inf`` incumbent of a run that has not found a feasible
+    layout yet) use the ``json`` module's ``Infinity`` extension, which the
+    loader parses back.
     """
 
     total_shards: int
@@ -120,10 +132,81 @@ class SearchProgress:
     space: Optional[int] = None
     prefix_depth: Optional[int] = None
 
+    #: Schema stamp of the JSON checkpoint layout.
+    FORMAT_VERSION = 1
+
     @property
     def finished(self) -> bool:
         return len(self.completed) >= self.total_shards
 
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        """The checkpoint as a JSON-serialisable dictionary."""
+        return {
+            "format": self.FORMAT_VERSION,
+            "total_shards": self.total_shards,
+            "completed": sorted(self.completed),
+            "best_toc": self.best_toc,
+            "best_index": self.best_index,
+            "best_row": list(self.best_row) if self.best_row is not None else None,
+            "evaluated": self.evaluated,
+            "stats": dataclasses.asdict(self.stats),
+            "space": self.space,
+            "prefix_depth": self.prefix_depth,
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the checkpoint to ``path`` as JSON; returns the path.
+
+        The write is atomic (temp file + ``os.replace`` in the same
+        directory), so a crash mid-save -- the very interruption scenario
+        checkpoints exist for -- can never destroy the previous good
+        checkpoint.
+        """
+        path = Path(path)
+        payload = json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        scratch = path.with_name(path.name + ".tmp")
+        scratch.write_text(payload)
+        os.replace(scratch, path)
+        return path
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SearchProgress":
+        """Rebuild a checkpoint from :meth:`to_json` output."""
+        version = data.get("format")
+        if version != cls.FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported SearchProgress checkpoint format {version!r} "
+                f"(expected {cls.FORMAT_VERSION})"
+            )
+        known_stats = {f.name for f in dataclasses.fields(BatchEvalStats)}
+        raw_stats = dict(data.get("stats") or {})
+        unknown = sorted(set(raw_stats) - known_stats)
+        if unknown:
+            raise ConfigurationError(
+                f"SearchProgress checkpoint has unknown stats fields {unknown}"
+            )
+        best_row = data.get("best_row")
+        return cls(
+            total_shards=int(data["total_shards"]),
+            completed={int(shard) for shard in data.get("completed", ())},
+            best_toc=float(data.get("best_toc", float("inf"))),
+            best_index=int(data.get("best_index", -1)),
+            best_row=tuple(int(v) for v in best_row) if best_row is not None else None,
+            evaluated=int(data.get("evaluated", 0)),
+            stats=BatchEvalStats(**raw_stats),
+            space=int(data["space"]) if data.get("space") is not None else None,
+            prefix_depth=(
+                int(data["prefix_depth"]) if data.get("prefix_depth") is not None else None
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SearchProgress":
+        """Load a checkpoint previously written by :meth:`save`."""
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
     def record(self, outcome: "_ShardOutcome") -> None:
         """Fold one shard outcome into the checkpoint (lexicographic best)."""
         if outcome.shard_id in self.completed:
@@ -462,8 +545,19 @@ class ParallelEnumerationEngine:
         ]
 
     # ------------------------------------------------------------------
-    def run(self, progress: Optional[SearchProgress] = None) -> SearchProgress:
-        """Enumerate every shard not already completed in ``progress``."""
+    def run(
+        self,
+        progress: Optional[SearchProgress] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+    ) -> SearchProgress:
+        """Enumerate every shard not already completed in ``progress``.
+
+        ``checkpoint_path`` persists the progress to disk (atomically, as
+        JSON) after *every* completed shard, so an interrupted multi-hour
+        run resumes from the last finished shard instead of from zero:
+        ``engine.run(SearchProgress.load(path) if path.exists() else None,
+        checkpoint_path=path)``.
+        """
         shards = self.shard_ranges()
         if progress is None:
             progress = SearchProgress(total_shards=len(shards), space=self.space,
@@ -489,13 +583,17 @@ class ParallelEnumerationEngine:
         pending = [task for task in shards if task[0] not in progress.completed]
         if not pending:
             return progress
+        checkpoint = Path(checkpoint_path) if checkpoint_path is not None else None
         if self.workers <= 1:
-            self._run_serial(pending, progress)
+            self._run_serial(pending, progress, checkpoint)
         else:
-            self._run_pool(pending, progress)
+            self._run_pool(pending, progress, checkpoint)
+        if checkpoint is not None:
+            progress.save(checkpoint)
         return progress
 
-    def _run_serial(self, pending, progress: SearchProgress) -> None:
+    def _run_serial(self, pending, progress: SearchProgress,
+                    checkpoint: Optional[Path] = None) -> None:
         bounds = _PruningBounds(self.evaluator, self.prefix_depth)
         incumbent = _Incumbent(progress.best_toc)
         for shard_id, lo, hi in pending:
@@ -511,8 +609,11 @@ class ParallelEnumerationEngine:
                 self.prune,
             )
             progress.record(outcome)
+            if checkpoint is not None:
+                progress.save(checkpoint)
 
-    def _run_pool(self, pending, progress: SearchProgress) -> None:
+    def _run_pool(self, pending, progress: SearchProgress,
+                  checkpoint: Optional[Path] = None) -> None:
         payload = pickle.dumps(self.spec)
         context = multiprocessing.get_context(self.start_method)
         shared_value = context.Value("d", progress.best_toc)
@@ -524,3 +625,5 @@ class ParallelEnumerationEngine:
         ) as pool:
             for outcome in pool.imap_unordered(_worker_run_shard, pending):
                 progress.record(outcome)
+                if checkpoint is not None:
+                    progress.save(checkpoint)

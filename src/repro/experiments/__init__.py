@@ -1,7 +1,7 @@
 """Experiment harness reproducing every table and figure of the paper's evaluation."""
 
 from repro.experiments.boxes import box1, box2, both_boxes
-from repro.experiments.runner import ExperimentRunner, LayoutEvaluation
+from repro.experiments.runner import ExperimentRunner, LayoutEvaluation, run_solver_matrix
 from repro.experiments import figures, reporting
 
 __all__ = [
@@ -10,6 +10,7 @@ __all__ = [
     "both_boxes",
     "ExperimentRunner",
     "LayoutEvaluation",
+    "run_solver_matrix",
     "drift",
     "figures",
     "reporting",
@@ -19,9 +20,11 @@ __all__ = [
 def __getattr__(name):
     # The drift driver pulls in the whole repro.online subsystem; loading it
     # lazily keeps `import repro.experiments` independent of it (and of any
-    # future online<->experiments import ordering).
+    # future online<->experiments import ordering).  importlib (rather than a
+    # from-import) avoids re-entering this __getattr__ through the import
+    # system's own hasattr probe, which would recurse without terminating.
     if name == "drift":
-        from repro.experiments import drift as module
+        import importlib
 
-        return module
+        return importlib.import_module("repro.experiments.drift")
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

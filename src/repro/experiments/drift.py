@@ -21,15 +21,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.dbms.executor import WorkloadEstimator
-from repro.experiments import boxes
+from repro import scenarios
 from repro.experiments.reporting import format_layout_assignment, format_table
 from repro.online.controller import OnlineAdvisor
-from repro.online.drift import DriftingWorkloadGenerator, PhaseSchedule, WorkloadPhase
 from repro.online.migration import ReProvisioningPolicy
 from repro.online.monitor import DriftThresholds
 from repro.sla.constraints import RelativeSLA
-from repro.workloads import tpch
 
 
 def online_drift_experiment(
@@ -52,28 +49,24 @@ def online_drift_experiment(
     """
     if num_epochs < 2:
         raise ValueError("the drift experiment needs at least two epochs")
-    catalog = tpch.build_catalog(scale_factor)
-    objects = catalog.database_objects()
-    # No noise and no buffer pool: estimates equal simulated runs, so the
-    # run is deterministic and PSR reflects the optimizer's own contract.
-    estimator = WorkloadEstimator(catalog, noise=0.0, buffer_pool=None)
-
-    transactional = tpch.modified_workload(scale_factor, repetitions=oltp_repetitions)
-    analytical = tpch.original_workload(scale_factor, repetitions=olap_repetitions)
-    phases = [
-        WorkloadPhase("oltp", transactional),
-        WorkloadPhase("olap", analytical),
-    ]
-    chosen_schedule = schedule or PhaseSchedule.crossfade(num_epochs, ("oltp", "olap"))
-    generator = DriftingWorkloadGenerator(phases, chosen_schedule, seed=seed,
-                                          name=f"tpch-crossfade-sf{scale_factor:g}")
-
-    if box_name == "Box 1":
-        system = boxes.box1()
-    elif box_name == "Box 2":
-        system = boxes.box2()
-    else:
+    if box_name not in ("Box 1", "Box 2"):
         raise ValueError(f"unknown box name {box_name!r} (expected 'Box 1' or 'Box 2')")
+    # The scenario registry builds the crossfade: a deterministic estimator
+    # (no noise, no buffer pool: estimates equal simulated runs, so PSR
+    # reflects the optimizer's own contract) plus the seeded epoch generator.
+    bundle = scenarios.build(
+        "tpch_drift_crossfade",
+        scale_factor=scale_factor,
+        num_epochs=num_epochs,
+        seed=seed,
+        oltp_repetitions=oltp_repetitions,
+        olap_repetitions=olap_repetitions,
+        schedule=schedule,
+    )
+    objects = bundle.objects
+    estimator = bundle.estimator
+    generator = bundle.extras["generator"]
+    system = scenarios.box_system(box_name)
     advisor = OnlineAdvisor(
         objects,
         system,

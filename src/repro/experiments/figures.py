@@ -9,6 +9,12 @@ Section 5 extensions.  Each function accepts scale parameters so the same
 code drives both the full paper-scale reproduction and the quick versions
 used by tests and CI-sized benchmark runs.
 
+A figure is "scenario x solver list": workloads, catalogs and estimators are
+constructed exclusively through the scenario registry
+(:mod:`repro.scenarios`), and the optimizers run through the uniform
+``Solver.solve(EvaluationContext)`` protocol (:mod:`repro.core.solver`) --
+the results are bitwise identical to the historical hand-wired setups.
+
 Functions return a dictionary with structured results plus a ``"text"`` entry
 containing a rendered table, so benchmarks can both assert on the numbers and
 print something a human can compare against the paper.
@@ -18,59 +24,67 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import scenarios
 from repro.core.advisor import ProvisioningAdvisor
-from repro.core.batch_eval import QueryEstimateCache
 from repro.core.discrete_cost import DiscreteCostModel
-from repro.core.dot import DOTOptimizer
-from repro.core.exhaustive import ExhaustiveSearch
-from repro.core.ilp import MILPPlacement
 from repro.core.layout import Layout
-from repro.core.object_advisor import ObjectAdvisor
 from repro.core.profiler import WorkloadProfiler
 from repro.core.provisioning import GeneralizedProvisioner, ProvisioningOption
 from repro.core.simple_layouts import simple_layouts
-from repro.core.toc import TOCModel
-from repro.dbms.buffer_pool import BufferPool
-from repro.dbms.executor import WorkloadEstimator
-from repro.experiments import boxes
+from repro.core.solver import DOTSolver, ExhaustiveSolver, MILPSolver, ObjectAdvisorSolver
 from repro.experiments.reporting import (
     format_evaluations,
     format_layout_assignment,
     format_table,
 )
-from repro.experiments.runner import ExperimentRunner
-from repro.objects import group_objects
+from repro.experiments.runner import ExperimentRunner, run_solver_matrix
 from repro.sla.constraints import RelativeSLA
 from repro.storage import catalog as storage_catalog
 from repro.storage.microbench import MicroBenchmark, format_table1
-from repro.workloads import tpcc, tpch
 
 
 # ---------------------------------------------------------------------------
-# Shared plumbing
+# Shared plumbing (deprecated shims; construction lives in repro.scenarios)
 # ---------------------------------------------------------------------------
+
+_TPCH_SCENARIOS = {
+    "original": "tpch_original",
+    "modified": "tpch_modified",
+    "es-subset": "tpch_es_subset",
+}
+
+
+def _tpch_bundle(workload_kind: str, scale_factor: float,
+                 repetitions: Optional[int], sla_ratio: float = 0.5):
+    """The TPC-H scenario bundle for a workload kind (registry-backed)."""
+    try:
+        name = _TPCH_SCENARIOS[workload_kind]
+    except KeyError:
+        raise ValueError(f"unknown TPC-H workload kind {workload_kind!r}") from None
+    overrides = {"scale_factor": scale_factor, "sla_ratio": sla_ratio}
+    if repetitions is not None:
+        overrides["repetitions"] = repetitions
+    return scenarios.build(name, **overrides)
+
 
 def _tpch_setup(scale_factor: float, workload_kind: str, repetitions: Optional[int]):
-    """Catalog, workload and estimator for a TPC-H experiment."""
-    catalog = tpch.build_catalog(scale_factor)
-    if workload_kind == "original":
-        workload = tpch.original_workload(scale_factor, repetitions=repetitions or 3)
-    elif workload_kind == "modified":
-        workload = tpch.modified_workload(scale_factor, repetitions=repetitions or 20)
-    elif workload_kind == "es-subset":
-        workload = tpch.es_subset_workload(scale_factor, repetitions=repetitions or 3)
-    else:
-        raise ValueError(f"unknown TPC-H workload kind {workload_kind!r}")
-    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
-    return catalog, workload, estimator
+    """Deprecated: use ``repro.scenarios.build("tpch_*")``.
+
+    Retained so pre-registry callers keep working; returns the bundle's
+    ``(catalog, workload, estimator)`` triple unchanged.
+    """
+    bundle = _tpch_bundle(workload_kind, scale_factor, repetitions)
+    return bundle.catalog, bundle.workload, bundle.estimator
 
 
 def _tpcc_setup(warehouses: int, concurrency: int = 300):
-    """Catalog, workload and estimator for a TPC-C experiment."""
-    catalog = tpcc.build_catalog(warehouses)
-    workload = tpcc.oltp_workload(warehouses, concurrency=concurrency)
-    estimator = WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=4.0))
-    return catalog, workload, estimator
+    """Deprecated: use ``repro.scenarios.build("tpcc_fig8")``.
+
+    Retained so pre-registry callers keep working; returns the bundle's
+    ``(catalog, workload, estimator)`` triple unchanged.
+    """
+    bundle = scenarios.build("tpcc_fig8", warehouses=warehouses, concurrency=concurrency)
+    return bundle.catalog, bundle.workload, bundle.estimator
 
 
 # ---------------------------------------------------------------------------
@@ -126,9 +140,9 @@ def tpch_comparison(
     regenerates Figures 3 (original, 0.5), 5 (modified, 0.5) and 7
     (modified, 0.25), together with the DOT layouts shown in Figures 4 and 6.
     """
-    catalog, workload, estimator = _tpch_setup(scale_factor, workload_kind, repetitions)
-    system = boxes.box1() if box_name == "Box 1" else boxes.box2()
-    objects = catalog.database_objects()
+    bundle = _tpch_bundle(workload_kind, scale_factor, repetitions, sla_ratio)
+    workload, estimator, objects = bundle.workload, bundle.estimator, bundle.objects
+    system = scenarios.box_system(box_name)
     runner = ExperimentRunner(objects, system, estimator)
     sla = RelativeSLA(sla_ratio, metric="response_time")
     measured_constraint = runner.resolve_constraint(workload, sla, mode="run")
@@ -141,7 +155,8 @@ def tpch_comparison(
 
     oa_layout = None
     if include_object_advisor:
-        oa_layout = ObjectAdvisor(objects, system, estimator).recommend(workload).layout
+        oa_result = ObjectAdvisorSolver().solve(bundle.context(system=system, sla=sla))
+        oa_layout = oa_result.layout
         layouts["OA"] = oa_layout
 
     evaluations = runner.evaluate_layouts(layouts, workload, sla=measured_constraint)
@@ -232,46 +247,34 @@ def es_vs_dot_tpch(
     layout-count guard then becomes soft).  Results per configuration are
     bitwise identical to the serial search.
     """
-    catalog, workload, estimator = _tpch_setup(scale_factor, "es-subset", repetitions)
+    bundle = _tpch_bundle("es-subset", scale_factor, repetitions, sla_ratio)
     if full_object_set:
-        objects = catalog.database_objects()
+        objects = bundle.objects
     else:
-        objects = [
-            obj
-            for obj in catalog.database_objects()
-            if obj.name in set(tpch_es_objects())
-        ]
+        objects = bundle.objects_named(bundle.extras["es_object_names"])
     limits = capacity_limits_gb or {"Box 1": {}, "Box 2": {}}
     results: Dict[str, Dict[str, object]] = {}
 
     for box_name, box_limits in limits.items():
-        system = (
-            boxes.box1(capacity_limits_gb=box_limits)
-            if box_name == "Box 1"
-            else boxes.box2(capacity_limits_gb=box_limits)
+        system = scenarios.box_system(box_name, capacity_limits_gb=box_limits)
+        runner = ExperimentRunner(objects, system, bundle.estimator)
+        # The context resolves the estimate-derived search constraint and
+        # owns the one estimate table serving profiling, DOT's walk and the
+        # exhaustive enumeration: every (query, touched-placement-signature)
+        # pair is estimated once for the whole comparison.
+        context = bundle.context(system=system, objects=objects)
+        constraint = runner.resolve_constraint(
+            bundle.workload, RelativeSLA(sla_ratio), mode="run"
         )
-        runner = ExperimentRunner(objects, system, estimator)
-        search_constraint = runner.resolve_constraint(
-            workload, RelativeSLA(sla_ratio), mode="estimate"
+
+        outcomes = run_solver_matrix(
+            context,
+            [
+                DOTSolver(),
+                ExhaustiveSolver(workers=es_workers, max_layouts=es_max_layouts),
+            ],
         )
-        constraint = runner.resolve_constraint(workload, RelativeSLA(sla_ratio), mode="run")
-
-        # One estimate table serves profiling, DOT's walk and the exhaustive
-        # enumeration: every (query, touched-placement-signature) pair is
-        # estimated once for the whole comparison.
-        shared_estimates = QueryEstimateCache(estimator, workload.concurrency)
-        profiler = WorkloadProfiler(objects, system, estimator,
-                                    estimate_cache=shared_estimates)
-        profiles = profiler.profile(workload, mode="estimate")
-
-        dot = DOTOptimizer(objects, system, estimator, constraint=search_constraint,
-                           estimate_cache=shared_estimates)
-        dot_result = dot.optimize(workload, profiles)
-
-        search = ExhaustiveSearch(objects, system, estimator, constraint=search_constraint,
-                                  estimate_cache=shared_estimates, workers=es_workers,
-                                  max_layouts=es_max_layouts)
-        es_result = search.search(workload)
+        dot_result, es_result = outcomes["dot"], outcomes["es"]
 
         comparison: Dict[str, object] = {
             "constraint": constraint,
@@ -281,12 +284,12 @@ def es_vs_dot_tpch(
             "es_elapsed_s": es_result.elapsed_s,
             "dot_evaluated": dot_result.evaluated_layouts,
             "es_evaluated": es_result.evaluated_layouts,
-            "es_stats": search.last_batch_stats,
+            "es_stats": es_result.stats.batch,
         }
         rows = []
         for label, outcome in (("DOT", dot_result), ("ES", es_result)):
             if outcome.feasible:
-                evaluation = runner.evaluate_layout(outcome.layout, workload, constraint)
+                evaluation = runner.evaluate_layout(outcome.layout, bundle.workload, constraint)
                 comparison[f"{label.lower()}_evaluation"] = evaluation
                 rows.append(
                     [label, evaluation.response_time_s, evaluation.toc_cents,
@@ -319,11 +322,11 @@ def figure8(
     concurrency: int = 300,
 ) -> Dict[str, object]:
     """Figure 8: TPC-C tpmC versus TOC for DOT (per SLA) and the simple layouts."""
-    catalog, workload, estimator = _tpcc_setup(warehouses, concurrency)
-    objects = catalog.database_objects()
+    bundle = scenarios.build("tpcc_fig8", warehouses=warehouses, concurrency=concurrency)
+    workload, estimator, objects = bundle.workload, bundle.estimator, bundle.objects
     results: Dict[str, Dict[str, object]] = {}
     for box_name in ("Box 1", "Box 2"):
-        system = boxes.box1() if box_name == "Box 1" else boxes.box2()
+        system = scenarios.box_system(box_name)
         runner = ExperimentRunner(objects, system, estimator)
         profiler = WorkloadProfiler(objects, system, estimator)
         # The paper profiles TPC-C on a single All H-SSD baseline via a test
@@ -338,8 +341,8 @@ def figure8(
             constraint = runner.resolve_constraint(
                 workload, RelativeSLA(ratio, metric="throughput"), mode="estimate"
             )
-            dot = DOTOptimizer(objects, system, estimator, constraint=constraint)
-            outcome = dot.optimize(workload, profiles)
+            context = bundle.context(system=system, sla=constraint, profiles=profiles)
+            outcome = DOTSolver().solve(context)
             per_sla[ratio] = outcome
             if outcome.feasible:
                 name = f"DOT (SLA {ratio:g})"
@@ -361,9 +364,9 @@ def table3(
     concurrency: int = 300,
 ) -> Dict[str, object]:
     """Table 3: the DOT layouts on Box 2 for TPC-C under each relative SLA."""
-    catalog, workload, estimator = _tpcc_setup(warehouses, concurrency)
-    objects = catalog.database_objects()
-    system = boxes.box2()
+    bundle = scenarios.build("tpcc_fig8", warehouses=warehouses, concurrency=concurrency)
+    workload, estimator, objects = bundle.workload, bundle.estimator, bundle.objects
+    system = scenarios.box_system("Box 2")
     runner = ExperimentRunner(objects, system, estimator)
     profiler = WorkloadProfiler(objects, system, estimator)
     profiles = profiler.profile(
@@ -374,8 +377,8 @@ def table3(
         constraint = runner.resolve_constraint(
             workload, RelativeSLA(ratio, metric="throughput"), mode="estimate"
         )
-        dot = DOTOptimizer(objects, system, estimator, constraint=constraint)
-        outcome = dot.optimize(workload, profiles)
+        context = bundle.context(system=system, sla=constraint, profiles=profiles)
+        outcome = DOTSolver().solve(context)
         if outcome.feasible:
             layouts[ratio] = outcome.layout
     text_parts = []
@@ -408,8 +411,10 @@ def figure9(
     pruned parallel engine carries the enumeration (the layout-count guard
     then becomes soft).
     """
-    catalog, workload, estimator = _tpcc_setup(warehouses, concurrency)
-    all_objects = catalog.database_objects()
+    bundle = scenarios.build(
+        "fig9_tpcc", warehouses=warehouses, concurrency=concurrency, sla_ratio=sla_ratio
+    )
+    workload, estimator, all_objects = bundle.workload, bundle.estimator, bundle.objects
     if hot_groups is None:
         hot = list(all_objects)
         cold = []
@@ -420,45 +425,36 @@ def figure9(
     results: Dict[str, Dict[str, object]] = {}
     for limit in hssd_capacity_limits_gb:
         limits = {"H-SSD": limit} if limit is not None else {}
-        system = boxes.box2(capacity_limits_gb=limits)
+        system = scenarios.box_system("Box 2", capacity_limits_gb=limits)
         pinned_class = system.most_expensive().name
 
         runner = ExperimentRunner(all_objects, system, estimator)
-        search_constraint = runner.resolve_constraint(
-            workload, RelativeSLA(sla_ratio, metric="throughput"), mode="estimate"
-        )
+        # The context resolves the estimate-derived search constraint, owns
+        # the estimate table DOT's walk and the enumeration share (the
+        # test-run profiling cannot use it), and profiles lazily on the
+        # single all-fast baseline the scenario prescribes.
+        context = bundle.context(system=system)
         constraint = runner.resolve_constraint(
             workload, RelativeSLA(sla_ratio, metric="throughput"), mode="run"
         )
 
-        profiler = WorkloadProfiler(all_objects, system, estimator)
-        profiles = profiler.profile(
-            workload, mode="testrun", patterns=[profiler.single_baseline_pattern()]
+        outcomes = run_solver_matrix(
+            context,
+            [
+                # DOT over the full object set (as the paper does).
+                DOTSolver(),
+                # ES over the hot objects with the cold objects pinned.
+                ExhaustiveSolver(
+                    objects=hot,
+                    per_group=True,
+                    pinned_objects=cold,
+                    pinned_class=pinned_class,
+                    workers=es_workers,
+                    max_layouts=es_max_layouts,
+                ),
+            ],
         )
-
-        # One estimate table shared between DOT's walk and the exhaustive
-        # enumeration (profiling is a test run here, so it cannot share it).
-        shared_estimates = QueryEstimateCache(estimator, workload.concurrency)
-
-        # DOT over the full object set (as the paper does).
-        dot = DOTOptimizer(all_objects, system, estimator, constraint=search_constraint,
-                           estimate_cache=shared_estimates)
-        dot_outcome = dot.optimize(workload, profiles)
-
-        # ES over the hot objects with the cold objects pinned.
-        search = ExhaustiveSearch(
-            hot,
-            system,
-            estimator,
-            constraint=search_constraint,
-            per_group=True,
-            pinned_objects=cold,
-            pinned_class=pinned_class,
-            estimate_cache=shared_estimates,
-            workers=es_workers,
-            max_layouts=es_max_layouts,
-        )
-        es_outcome = search.search(workload)
+        dot_outcome, es_outcome = outcomes["dot"], outcomes["es"]
 
         label = f"H-SSD limit {limit:g} GB" if limit is not None else "No limit"
         rows = []
@@ -466,7 +462,7 @@ def figure9(
             "constraint": constraint,
             "dot": dot_outcome,
             "es": es_outcome,
-            "es_stats": search.last_batch_stats,
+            "es_stats": es_outcome.stats.batch,
         }
         for method, outcome in (("DOT", dot_outcome), ("ES", es_outcome)):
             if not outcome.feasible:
@@ -495,17 +491,19 @@ def generalized_provisioning(
     repetitions: int = 1,
 ) -> Dict[str, object]:
     """Section 5.1: choose the storage configuration (box) and the layout."""
-    catalog, workload, estimator = _tpch_setup(scale_factor, "original", repetitions)
-    objects = catalog.database_objects()
+    bundle = _tpch_bundle("original", scale_factor, repetitions, sla_ratio)
     options = [
-        ProvisioningOption("Box 1", boxes.box1(), "HDD RAID 0 + L-SSD + H-SSD"),
-        ProvisioningOption("Box 2", boxes.box2(), "HDD + L-SSD RAID 0 + H-SSD"),
+        ProvisioningOption("Box 1", scenarios.box_system("Box 1"),
+                           "HDD RAID 0 + L-SSD + H-SSD"),
+        ProvisioningOption("Box 2", scenarios.box_system("Box 2"),
+                           "HDD + L-SSD RAID 0 + H-SSD"),
         ProvisioningOption(
-            "All classes", storage_catalog.full_system(), "hypothetical box with all five classes"
+            "All classes", scenarios.box_system("All classes"),
+            "hypothetical box with all five classes"
         ),
     ]
-    provisioner = GeneralizedProvisioner(objects, estimator)
-    decision = provisioner.decide(workload, options, sla=RelativeSLA(sla_ratio))
+    provisioner = GeneralizedProvisioner(bundle.objects, bundle.estimator)
+    decision = provisioner.decide(bundle.workload, options, sla=RelativeSLA(sla_ratio))
     return {"decision": decision, "text": decision.describe()}
 
 
@@ -516,9 +514,9 @@ def discrete_cost_experiment(
     repetitions: int = 1,
 ) -> Dict[str, object]:
     """Section 5.2: DOT under the discrete-sized storage cost model."""
-    catalog, workload, estimator = _tpch_setup(scale_factor, "original", repetitions)
-    objects = catalog.database_objects()
-    system = boxes.box1()
+    bundle = _tpch_bundle("original", scale_factor, repetitions, sla_ratio)
+    workload, estimator, objects = bundle.workload, bundle.estimator, bundle.objects
+    system = scenarios.box_system("Box 1")
     runner = ExperimentRunner(objects, system, estimator)
     constraint = runner.resolve_constraint(workload, RelativeSLA(sla_ratio), mode="estimate")
     profiler = WorkloadProfiler(objects, system, estimator)
@@ -527,10 +525,11 @@ def discrete_cost_experiment(
     rows = []
     per_alpha: Dict[float, object] = {}
     for alpha in alphas:
-        cost_model = DiscreteCostModel(alpha=alpha)
-        dot = DOTOptimizer(objects, system, estimator, constraint=constraint,
-                           cost_override=cost_model)
-        outcome = dot.optimize(workload, profiles)
+        context = bundle.context(
+            system=system, sla=constraint, profiles=profiles,
+            cost_override=DiscreteCostModel(alpha=alpha),
+        )
+        outcome = DOTSolver().solve(context)
         per_alpha[alpha] = outcome
         if outcome.feasible:
             classes_used = sum(
@@ -551,23 +550,19 @@ def ablation_grouping(
     repetitions: int = 4,
 ) -> Dict[str, object]:
     """Ablation: DOT's object groups vs per-object (layout-interaction-blind) moves."""
-    catalog, workload, estimator = _tpch_setup(scale_factor, "modified", repetitions)
-    objects = catalog.database_objects()
-    system = boxes.box1()
-    runner = ExperimentRunner(objects, system, estimator)
-    constraint = runner.resolve_constraint(workload, RelativeSLA(sla_ratio), mode="estimate")
-    profiler = WorkloadProfiler(objects, system, estimator)
-    profiles = profiler.profile(workload, mode="estimate")
+    bundle = _tpch_bundle("modified", scale_factor, repetitions, sla_ratio)
+    workload, objects = bundle.workload, bundle.objects
+    system = scenarios.box_system("Box 1")
+    runner = ExperimentRunner(objects, system, bundle.estimator)
+    context = bundle.context(system=system)
 
     rows = []
     outcomes = {}
     for label, independent in (("grouped (DOT)", False), ("independent objects", True)):
-        dot = DOTOptimizer(objects, system, estimator, constraint=constraint,
-                           independent_objects=independent)
-        outcome = dot.optimize(workload, profiles)
+        outcome = DOTSolver(independent_objects=independent).solve(context)
         outcomes[label] = outcome
         if outcome.feasible:
-            evaluation = runner.evaluate_layout(outcome.layout, workload, constraint)
+            evaluation = runner.evaluate_layout(outcome.layout, workload, context.constraint)
             rows.append([label, evaluation.response_time_s, evaluation.toc_cents, evaluation.psr])
         else:
             rows.append([label, float("nan"), float("nan"), 0.0])
@@ -583,36 +578,29 @@ def ablation_ilp(
     repetitions: int = 3,
 ) -> Dict[str, object]:
     """Ablation: DOT's greedy walk vs the exact MILP relaxation."""
-    catalog, workload, estimator = _tpch_setup(scale_factor, "es-subset", repetitions)
-    objects = [obj for obj in catalog.database_objects() if obj.name in set(tpch_es_objects())]
-    system = boxes.box1()
-    runner = ExperimentRunner(objects, system, estimator)
-    constraint = runner.resolve_constraint(workload, RelativeSLA(sla_ratio), mode="estimate")
-    profiler = WorkloadProfiler(objects, system, estimator)
-    profiles = profiler.profile(workload, mode="estimate")
+    bundle = _tpch_bundle("es-subset", scale_factor, repetitions, sla_ratio)
+    objects = bundle.objects_named(bundle.extras["es_object_names"])
+    system = scenarios.box_system("Box 1")
+    context = bundle.context(system=system, objects=objects)
 
-    dot = DOTOptimizer(objects, system, estimator, constraint=constraint)
-    dot_outcome = dot.optimize(workload, profiles)
-
-    # The MILP's time budget is the all-fast layout's profiled I/O time share
-    # scaled by the SLA ratio.
-    groups = group_objects(objects)
-    best_class = system.most_expensive().name
-    best_time = sum(
-        profiles.io_time_share_ms(group, tuple([best_class] * len(group))) for group in groups
+    outcomes = run_solver_matrix(
+        context,
+        [
+            DOTSolver(),
+            # The MILP's time budget is the all-fast layout's profiled I/O
+            # time share scaled by the SLA ratio (derived from the context).
+            MILPSolver(),
+        ],
     )
-    milp = MILPPlacement(objects, system)
-    milp_outcome = milp.solve(profiles, io_time_budget_ms=best_time / sla_ratio)
+    dot_outcome, milp_outcome = outcomes["dot"], outcomes["milp"]
 
     rows = []
-    toc_model = TOCModel(estimator)
     results = {"dot": dot_outcome, "milp": milp_outcome}
     if dot_outcome.feasible:
         rows.append(["DOT", dot_outcome.toc_cents, dot_outcome.elapsed_s])
     if milp_outcome.feasible:
-        milp_report = toc_model.evaluate(milp_outcome.layout, workload, mode="estimate")
-        results["milp_report"] = milp_report
-        rows.append(["MILP", milp_report.toc_cents, milp_outcome.elapsed_s])
+        results["milp_report"] = milp_outcome.toc_report
+        rows.append(["MILP", milp_outcome.toc_cents, milp_outcome.elapsed_s])
     return {
         "results": results,
         "text": format_table(["Method", "TOC (cents)", "Solve time (s)"], rows),

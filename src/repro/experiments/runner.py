@@ -4,6 +4,12 @@ For each candidate layout the runner performs a simulated "real" run of the
 workload, computes the measured TOC, the performance metric (workload
 response time for DSS, tpmC for OLTP) and the PSR against the relative SLA
 resolved from the all-H-SSD (best performing) layout.
+
+:func:`run_solver_matrix` is the experiment layer's "scenario x solver list"
+primitive: it runs any sequence of protocol-conforming solvers against one
+:class:`~repro.core.context.EvaluationContext` (sharing its estimate cache)
+and returns their uniform :class:`~repro.core.solver.SolveResult`\\ s by
+solver name.
 """
 
 from __future__ import annotations
@@ -11,7 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core.context import EvaluationContext
 from repro.core.layout import Layout
+from repro.core.solver import Solver, SolveResult
+from repro.exceptions import ConfigurationError
 from repro.core.toc import TOCModel, TOCReport
 from repro.objects import DatabaseObject
 from repro.sla.constraints import PerformanceConstraint, RelativeSLA
@@ -37,6 +46,36 @@ class LayoutEvaluation:
         if self.transactions_per_minute is not None:
             return self.transactions_per_minute
         return self.response_time_s if self.response_time_s is not None else float("nan")
+
+
+def run_solver_matrix(
+    context: EvaluationContext,
+    solvers: Sequence[Solver],
+) -> Dict[str, SolveResult]:
+    """Run several solvers against one evaluation context, in order.
+
+    Returns ``{solver.name: SolveResult}`` preserving the given order (so
+    callers can iterate deterministically).  All solvers share the context's
+    estimate cache: a (query, touched-placement-signature) pair estimated by
+    one solver is a lookup for the next, exactly the sharing the figure
+    drivers used to wire by hand.
+
+    Duplicate solver names are refused *before* anything runs (the dict
+    would silently keep only the last result); give same-type comparisons
+    distinct per-instance names, e.g. ``solver.name = "es-parallel"``.
+    """
+    names = [getattr(solver, "name", type(solver).__name__) for solver in solvers]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ConfigurationError(
+            f"run_solver_matrix got duplicate solver names {duplicates}; results "
+            "are keyed by name, so one result per name would be silently lost -- "
+            "set distinct per-instance `name` attributes"
+        )
+    results: Dict[str, SolveResult] = {}
+    for name, solver in zip(names, solvers):
+        results[name] = solver.solve(context)
+    return results
 
 
 class ExperimentRunner:

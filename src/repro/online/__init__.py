@@ -13,8 +13,10 @@ pieces on top of the core pipeline:
   model charging bytes moved between class pairs against the TOC, and the
   amortization policy gating every re-tier;
 * :mod:`repro.online.controller` -- the :class:`OnlineAdvisor` epoch loop:
-  warm-started DOT with estimate tables shared across epochs, emitting a
-  timeline of layouts, PSRs and cumulative migration-aware cost.
+  re-tiering through the uniform :class:`~repro.core.solver.Solver`
+  protocol (warm-started DOT by default) with estimate tables shared across
+  epochs, emitting a timeline of layouts, PSRs and cumulative
+  migration-aware cost.
 """
 
 from repro.online.drift import (
@@ -38,6 +40,7 @@ from repro.online.migration import (
 )
 from repro.online.controller import (
     EpochRecord,
+    FrozenEpochRecord,
     FrozenRunResult,
     OnlineAdvisor,
     OnlineRunResult,
@@ -58,6 +61,7 @@ __all__ = [
     "ObjectMove",
     "ReProvisioningPolicy",
     "EpochRecord",
+    "FrozenEpochRecord",
     "FrozenRunResult",
     "OnlineAdvisor",
     "OnlineRunResult",

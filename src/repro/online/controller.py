@@ -7,9 +7,12 @@ Each epoch it
    (optimizer estimates standing in for live telemetry) and feeds the
    per-object I/O counts to the :class:`~repro.online.monitor.TelemetryMonitor`;
 2. **detects drift** against the telemetry of the last provisioning;
-3. on drift, **re-profiles** and re-runs DOT *warm-started from the deployed
-   layout*, with every per-(query, signature) estimate shared across epochs
-   through one :class:`~repro.core.batch_eval.QueryEstimateCache` -- an
+3. on drift, **re-profiles** and re-solves through the uniform
+   :class:`~repro.core.solver.Solver` interface (DOT by default),
+   *warm-started from the deployed layout*, with every per-(query,
+   signature) estimate shared across epochs through one
+   :class:`~repro.core.batch_eval.QueryEstimateCache` (owned by the
+   per-epoch :class:`~repro.core.context.EvaluationContext`) -- an
    unchanged query on an unchanged placement is never re-estimated, which is
    what makes running the advisor every epoch affordable;
 4. prices the layout transition with the
@@ -29,13 +32,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.batch_eval import (
-    IncrementalWorkloadEvaluator,
-    QueryEstimateCache,
-    UnsupportedBatchEvaluation,
-)
-from repro.core.dot import DOTOptimizer, DOTResult
+from repro.core.batch_eval import QueryEstimateCache
+from repro.core.context import EvaluationContext, make_incremental_evaluator
 from repro.core.layout import Layout
+from repro.core.solver import DOTSolver, Solver, SolveResult
 from repro.core.profiler import WorkloadProfiler
 from repro.core.toc import TOCModel, TOCReport
 from repro.objects import DatabaseObject
@@ -70,7 +70,10 @@ class EpochRecord:
     migration_reason: str
     epoch_cost_cents: float
     cumulative_cost_cents: float
-    dot_result: Optional[DOTResult] = field(default=None, repr=False)
+    #: Uniform solver outcome of the epoch's re-optimization (``None`` when
+    #: no drift triggered one); the legacy per-solver result object is
+    #: reachable through ``dot_result.raw``.
+    dot_result: Optional[SolveResult] = field(default=None, repr=False)
     report: Optional[TOCReport] = field(default=None, repr=False)
 
 
@@ -221,6 +224,14 @@ class OnlineAdvisor:
         all-most-expensive reference).  Epoch 0 always provisions from it
         cold, free of migration charges -- both the online run and the
         frozen baseline start from the same initial provisioning.
+    solver:
+        The :class:`~repro.core.solver.Solver` the loop re-tiers through
+        (default: a :class:`~repro.core.solver.DOTSolver` honouring
+        ``capacity_relaxed_walk``).  Every epoch's re-optimization builds an
+        :class:`~repro.core.context.EvaluationContext` around the epoch
+        workload and calls ``solver.solve(context,
+        initial_layout=deployed)``, so any protocol-conforming solver can
+        drive the loop.
     """
 
     def __init__(
@@ -235,6 +246,7 @@ class OnlineAdvisor:
         evaluation_mode: str = "estimate",
         initial_layout: Optional[Layout] = None,
         capacity_relaxed_walk: bool = True,
+        solver: Optional[Solver] = None,
     ):
         if evaluation_mode not in ("estimate", "run"):
             raise ValueError(f"unknown evaluation mode {evaluation_mode!r}")
@@ -248,6 +260,7 @@ class OnlineAdvisor:
         self.evaluation_mode = evaluation_mode
         self.initial_layout = initial_layout
         self.capacity_relaxed_walk = capacity_relaxed_walk
+        self.solver = solver or DOTSolver(capacity_relaxed_walk=capacity_relaxed_walk)
         self.toc_model = TOCModel(estimator)
 
     # ------------------------------------------------------------------
@@ -265,12 +278,9 @@ class OnlineAdvisor:
         across epochs.  ``None`` (exotic workload kinds) falls back to the
         full scalar estimator.
         """
-        try:
-            return IncrementalWorkloadEvaluator(
-                self.estimator, workload, self.toc_model, cache=cache, collect_io=True
-            )
-        except UnsupportedBatchEvaluation:
-            return None
+        return make_incremental_evaluator(
+            self.estimator, workload, self.toc_model, cache=cache, collect_io=True
+        )
 
     def _estimate(self, layout: Layout, workload, evaluator) -> TOCReport:
         """Estimate-mode TOC report, through the shared cache when possible."""
@@ -336,7 +346,7 @@ class OnlineAdvisor:
             migrated = False
             migration: Optional[MigrationCost] = None
             migration_reason = "no drift"
-            dot_result: Optional[DOTResult] = None
+            dot_result: Optional[SolveResult] = None
             retiered_report: Optional[TOCReport] = None
             if initial_epoch or decision.drifted:
                 reoptimized = True
@@ -445,27 +455,33 @@ class OnlineAdvisor:
         cache: QueryEstimateCache,
         constraint: Optional[PerformanceConstraint],
         warm_from: Optional[Layout],
-    ) -> Tuple[DOTResult, Optional[Layout]]:
-        """Re-profile and re-run DOT, warm then (if infeasible) cold.
+    ) -> Tuple[SolveResult, Optional[Layout]]:
+        """Re-profile and re-solve, warm then (if infeasible) cold.
 
-        The warm walk explores moves away from the deployed layout, which is
-        cheap when the drift is small but can never return a group to the
+        The epoch's problem is packaged as an
+        :class:`~repro.core.context.EvaluationContext` (sharing the loop's
+        estimate cache and the freshly re-profiled workload) and handed to
+        the configured solver through the uniform ``solve`` protocol.  The
+        warm solve starts from the deployed layout, which is cheap when the
+        drift is small but -- for DOT -- can never return a group to the
         all-most-expensive placement; when it finds nothing feasible (e.g.
         the drift *tightened* the effective SLA), the cold restart explores
         from the fast end exactly as the paper's Procedure 1 does.
         """
         profiles = profiler.profile(workload, mode="estimate")
-        optimizer = DOTOptimizer(
-            self.objects,
-            self.system,
-            self.estimator,
+        context = EvaluationContext(
+            objects=self.objects,
+            system=self.system,
+            estimator=self.estimator,
+            workload=workload,
             constraint=constraint,
-            capacity_relaxed_walk=self.capacity_relaxed_walk,
+            sla=self.sla if isinstance(self.sla, RelativeSLA) else None,
+            profiles=profiles,
             estimate_cache=cache,
         )
-        result = optimizer.optimize(workload, profiles, initial_layout=warm_from)
+        result = self.solver.solve(context, initial_layout=warm_from)
         if not result.feasible and warm_from is not None:
-            result = optimizer.optimize(workload, profiles)
+            result = self.solver.solve(context)
         return result, result.layout if result.feasible else None
 
     # ------------------------------------------------------------------

@@ -1,0 +1,44 @@
+"""Named experiment scenarios for the solver protocol.
+
+``repro.scenarios`` maps stable names (``tpch_original``, ``tpch_modified``,
+``tpch_es_subset``, ``tpcc_fig8``, ``fig9_tpcc``, ``synthetic_*``,
+``tpch_drift_crossfade``) to fully-built experiment configurations, so that
+every figure driver, benchmark and example constructs its workloads through
+one registry instead of hand-wiring catalogs, estimators and SLAs:
+
+>>> from repro import scenarios
+>>> from repro.core import DOTSolver
+>>> bundle = scenarios.build("tpch_original", scale_factor=2.0, repetitions=1)
+>>> result = DOTSolver().solve(bundle.context(box="Box 1"))
+>>> result.layout.name
+'DOT'
+
+See :mod:`repro.scenarios.registry` for the layering (recipe -> bundle ->
+evaluation context) and :mod:`repro.scenarios.builtin` for the definitions.
+"""
+
+from repro.scenarios.registry import (
+    Scenario,
+    ScenarioBundle,
+    box_system,
+    build,
+    describe,
+    get,
+    register,
+    scenario_names,
+)
+from repro.scenarios import builtin  # noqa: F401  (registers the built-in scenarios)
+from repro.scenarios.builtin import synthetic_scaling_workload
+
+__all__ = [
+    "Scenario",
+    "ScenarioBundle",
+    "box_system",
+    "build",
+    "builtin",
+    "describe",
+    "get",
+    "register",
+    "scenario_names",
+    "synthetic_scaling_workload",
+]

@@ -1,0 +1,400 @@
+"""The built-in scenarios: every experiment configuration of the repo, named.
+
+Each registration below captures one catalog/workload/estimator recipe the
+figure drivers, benchmarks and examples used to assemble inline:
+
+* the paper's evaluation workloads (``tpch_original``, ``tpch_modified``,
+  ``tpch_es_subset``, ``tpcc_fig8``, ``fig9_tpcc``);
+* the repo's own performance studies (``synthetic_scaling``,
+  ``synthetic_scaling_limited``, ``synthetic_small``);
+* the drifting-workload study of the online subsystem
+  (``tpch_drift_crossfade``).
+
+Builders construct everything fresh per call from deterministic parameters,
+so results built from a scenario are bitwise identical to the hand-assembled
+setups they replace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dbms.buffer_pool import BufferPool
+from repro.dbms.datagen import SyntheticTableSpec, build_synthetic_catalog
+from repro.dbms.executor import WorkloadEstimator
+from repro.dbms.query import JoinSpec, Query, TableAccess
+from repro.scenarios.registry import Scenario, ScenarioBundle, box_system, register
+from repro.sla.constraints import RelativeSLA
+from repro.workloads import tpcc, tpch
+from repro.workloads.workload import Workload
+
+
+# ---------------------------------------------------------------------------
+# TPC-H (Sections 4.4 / 5)
+# ---------------------------------------------------------------------------
+
+def _tpch_bundle(
+    name: str,
+    workload_kind: str,
+    scale_factor: float,
+    repetitions: int,
+    sla_ratio: Optional[float],
+    buffer_pool_gb: float = 4.0,
+) -> ScenarioBundle:
+    catalog = tpch.build_catalog(scale_factor)
+    if workload_kind == "original":
+        workload = tpch.original_workload(scale_factor, repetitions=repetitions)
+    elif workload_kind == "modified":
+        workload = tpch.modified_workload(scale_factor, repetitions=repetitions)
+    elif workload_kind == "es-subset":
+        workload = tpch.es_subset_workload(scale_factor, repetitions=repetitions)
+    else:
+        raise ValueError(f"unknown TPC-H workload kind {workload_kind!r}")
+
+    def estimator_factory():
+        return WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=buffer_pool_gb))
+
+    extras = {}
+    if workload_kind == "es-subset":
+        from repro.workloads.tpch.queries import ES_SUBSET_OBJECTS
+
+        extras["es_object_names"] = tuple(ES_SUBSET_OBJECTS)
+    return ScenarioBundle(
+        name=name,
+        catalog=catalog,
+        workload=workload,
+        estimator=estimator_factory(),
+        objects=catalog.database_objects(),
+        sla=RelativeSLA(sla_ratio) if sla_ratio is not None else None,
+        estimator_factory=estimator_factory,
+        extras=extras,
+    )
+
+
+register(Scenario(
+    name="tpch_original",
+    description="The 22 original TPC-H templates (sequential-read heavy DSS).",
+    workload="TPC-H original (22 templates)",
+    system="Box 1 / Box 2",
+    constraint="relative SLA 0.5 (response time)",
+    figure="Figures 3-4",
+    builder=lambda scale_factor, repetitions, sla_ratio: _tpch_bundle(
+        "tpch_original", "original", scale_factor, repetitions, sla_ratio
+    ),
+    defaults={"scale_factor": 20.0, "repetitions": 3, "sla_ratio": 0.5},
+))
+
+register(Scenario(
+    name="tpch_modified",
+    description="The modified (ODS-style, random-I/O heavy) TPC-H workload.",
+    workload="TPC-H modified (selective lookups)",
+    system="Box 1 / Box 2",
+    constraint="relative SLA 0.5 or 0.25 (response time)",
+    figure="Figures 5-7",
+    builder=lambda scale_factor, repetitions, sla_ratio: _tpch_bundle(
+        "tpch_modified", "modified", scale_factor, repetitions, sla_ratio
+    ),
+    defaults={"scale_factor": 20.0, "repetitions": 20, "sla_ratio": 0.5},
+))
+
+register(Scenario(
+    name="tpch_es_subset",
+    description="The reduced TPC-H study: the eight-object workload the paper "
+                "uses to make exhaustive search tractable (extras carry the "
+                "enumerated object names).",
+    workload="TPC-H ES subset (8 objects)",
+    system="Box 1 / Box 2 (optional capacity limits)",
+    constraint="relative SLA 0.5 (response time)",
+    figure="Section 4.4.3",
+    builder=lambda scale_factor, repetitions, sla_ratio: _tpch_bundle(
+        "tpch_es_subset", "es-subset", scale_factor, repetitions, sla_ratio
+    ),
+    defaults={"scale_factor": 20.0, "repetitions": 3, "sla_ratio": 0.5},
+))
+
+
+# ---------------------------------------------------------------------------
+# TPC-C (Section 4.5)
+# ---------------------------------------------------------------------------
+
+def _tpcc_bundle(
+    name: str,
+    warehouses: int,
+    concurrency: int,
+    sla_ratio: Optional[float],
+    buffer_pool_gb: float = 4.0,
+    **extras,
+) -> ScenarioBundle:
+    catalog = tpcc.build_catalog(warehouses)
+    workload = tpcc.oltp_workload(warehouses, concurrency=concurrency)
+
+    def estimator_factory():
+        return WorkloadEstimator(catalog, buffer_pool=BufferPool(size_gb=buffer_pool_gb))
+
+    return ScenarioBundle(
+        name=name,
+        catalog=catalog,
+        workload=workload,
+        estimator=estimator_factory(),
+        objects=catalog.database_objects(),
+        sla=(
+            RelativeSLA(sla_ratio, metric="throughput")
+            if sla_ratio is not None
+            else None
+        ),
+        # The paper profiles TPC-C via a test run on the single all-H-SSD
+        # baseline: the all-random-I/O plans never change with the layout.
+        profile_mode="testrun",
+        single_baseline_profile=True,
+        estimator_factory=estimator_factory,
+        extras=dict(extras),
+    )
+
+
+register(Scenario(
+    name="tpcc_fig8",
+    description="The TPC-C transaction mix under throughput SLAs.",
+    workload="TPC-C mix (300 clients)",
+    system="Box 1 / Box 2",
+    constraint="relative SLA 0.5/0.25/0.125 (throughput)",
+    figure="Figure 8, Table 3",
+    builder=lambda warehouses, concurrency, sla_ratio: _tpcc_bundle(
+        "tpcc_fig8", warehouses, concurrency, sla_ratio
+    ),
+    defaults={"warehouses": 300, "concurrency": 300, "sla_ratio": 0.5},
+))
+
+register(Scenario(
+    name="fig9_tpcc",
+    description="The TPC-C ES-vs-DOT study: hot tables enumerated per group, "
+                "cold objects pinned (extras carry the hot group names).",
+    workload="TPC-C mix (300 clients)",
+    system="Box 2 (optional H-SSD capacity limit)",
+    constraint="relative SLA 0.25 (throughput)",
+    figure="Figure 9 / Section 4.5.3",
+    builder=lambda warehouses, concurrency, sla_ratio: _tpcc_bundle(
+        "fig9_tpcc", warehouses, concurrency, sla_ratio,
+        hot_groups=("stock", "order_line", "customer"),
+    ),
+    defaults={"warehouses": 300, "concurrency": 300, "sla_ratio": 0.25},
+))
+
+
+# ---------------------------------------------------------------------------
+# Synthetic scaling scenarios (repo performance studies)
+# ---------------------------------------------------------------------------
+
+def synthetic_scaling_workload(num_tables: int, include_lookups: bool = True):
+    """A synthetic catalog of ``num_tables`` tables (+ one pkey index each,
+    so ``2 * num_tables`` placeable objects) and a mixed
+    scan/lookup/join workload touching all of them -- the scaling study's
+    layout-sensitive DSS shape.
+
+    ``include_lookups=False`` drops the keyed index lookups, leaving a
+    scan/join workload whose plans do not flip with the layout -- the shape
+    where the profile-once Object Advisor baseline has no plan-interaction
+    blind spot and stays SLA-feasible (the cross-solver sanity harness
+    relies on this)."""
+    specs = [
+        SyntheticTableSpec(
+            f"t{i}", row_count=200_000 + 137_000 * i, row_width_bytes=120 + 10 * i
+        )
+        for i in range(num_tables)
+    ]
+    catalog = build_synthetic_catalog(specs, name=f"scaling-{num_tables}")
+    queries = []
+    for i in range(num_tables):
+        queries.append(
+            Query(
+                name=f"scan_t{i}",
+                accesses=(TableAccess(f"t{i}", selectivity=0.8),),
+                aggregate_rows=100_000,
+            )
+        )
+        if include_lookups:
+            queries.append(
+                Query(
+                    name=f"lookup_t{i}",
+                    accesses=(
+                        TableAccess(f"t{i}", selectivity=0.0001, index=f"t{i}_pkey",
+                                    key_lookup=True),
+                    ),
+                )
+            )
+    for i in range(num_tables - 1):
+        queries.append(
+            Query(
+                name=f"join_t{i}_t{i + 1}",
+                accesses=(
+                    TableAccess(f"t{i}", selectivity=0.01),
+                    TableAccess(f"t{i + 1}", selectivity=1.0, index=f"t{i + 1}_pkey"),
+                ),
+                joins=(
+                    JoinSpec(inner_position=1, rows_per_outer=3.0,
+                             inner_index=f"t{i + 1}_pkey"),
+                ),
+                aggregate_rows=1_000,
+            )
+        )
+    workload = Workload(name=f"scaling-{num_tables}", kind="dss",
+                        queries=tuple(queries), concurrency=1)
+    return catalog, workload
+
+
+def _synthetic_bundle(
+    name: str,
+    num_tables: int,
+    capacity_fraction: Optional[float],
+    sla_ratio: Optional[float],
+    seed: int = 7,
+    include_lookups: bool = True,
+) -> ScenarioBundle:
+    catalog, workload = synthetic_scaling_workload(num_tables, include_lookups)
+    objects = catalog.database_objects()
+
+    def estimator_factory():
+        # Deterministic: no noise, no buffer pool, fixed seed -- the scaling
+        # studies assert bitwise equality across evaluation paths.
+        return WorkloadEstimator(catalog, noise=0.0, buffer_pool=None, seed=seed)
+
+    system = None
+    if capacity_fraction is not None:
+        # A binding fast-class limit gives the capacity pruning bound (and
+        # SLA-feasibility questions) real work.
+        total_gb = sum(obj.size_gb for obj in objects)
+        system = box_system("Box 1", {"H-SSD": total_gb * capacity_fraction})
+    return ScenarioBundle(
+        name=name,
+        catalog=catalog,
+        workload=workload,
+        estimator=estimator_factory(),
+        objects=objects,
+        system=system,
+        sla=RelativeSLA(sla_ratio) if sla_ratio is not None else None,
+        estimator_factory=estimator_factory,
+    )
+
+
+register(Scenario(
+    name="synthetic_scaling",
+    description="Growing synthetic object sets for the scalar-vs-batch "
+                "evaluation engine study.",
+    workload="synthetic scan/lookup/join mix",
+    system="Box 1",
+    constraint="none",
+    figure="— (repo: bench_scaling_batch_eval)",
+    builder=lambda num_tables, sla_ratio: _synthetic_bundle(
+        "synthetic_scaling", num_tables, None, sla_ratio
+    ),
+    defaults={"num_tables": 6, "sla_ratio": None},
+))
+
+register(Scenario(
+    name="synthetic_scaling_limited",
+    description="The scaling scenario with a binding H-SSD capacity limit, "
+                "exercising the parallel engine's branch-and-bound pruning.",
+    workload="synthetic scan/lookup/join mix",
+    system="Box 1, H-SSD capped at a fraction of the data volume",
+    constraint="none",
+    figure="— (repo: bench_parallel_es)",
+    builder=lambda num_tables, capacity_fraction, sla_ratio: _synthetic_bundle(
+        "synthetic_scaling_limited", num_tables, capacity_fraction, sla_ratio
+    ),
+    defaults={"num_tables": 6, "capacity_fraction": 0.45, "sla_ratio": None},
+))
+
+register(Scenario(
+    name="synthetic_sanity",
+    description="The tiny instance with a scan/join-only workload (no keyed "
+                "lookups): plans never flip with the layout, so OA and the "
+                "MILP relaxation stay SLA-feasible and the solvers can be "
+                "cross-checked against the ES optimum.",
+    workload="synthetic scan/join mix (plan-stable)",
+    system="Box 1",
+    constraint="relative SLA 0.25 (response time)",
+    figure="— (repo: tests/test_solver_interface)",
+    builder=lambda num_tables, sla_ratio: _synthetic_bundle(
+        "synthetic_sanity", num_tables, None, sla_ratio, include_lookups=False
+    ),
+    defaults={"num_tables": 3, "sla_ratio": 0.25},
+))
+
+register(Scenario(
+    name="synthetic_small",
+    description="A deliberately tiny instance (3 tables = 6 objects x 3 "
+                "classes) where exhaustive search is instant: the "
+                "solver-vs-legacy equality harness (for cross-solver "
+                "sanity use synthetic_sanity, whose plans never flip).",
+    workload="synthetic scan/lookup/join mix",
+    system="Box 1",
+    constraint="relative SLA 0.5 (response time)",
+    figure="— (repo: tests/test_solver_interface)",
+    builder=lambda num_tables, sla_ratio: _synthetic_bundle(
+        "synthetic_small", num_tables, None, sla_ratio
+    ),
+    defaults={"num_tables": 3, "sla_ratio": 0.5},
+))
+
+
+# ---------------------------------------------------------------------------
+# Drifting workloads (the online re-provisioning study)
+# ---------------------------------------------------------------------------
+
+def _drift_bundle(
+    scale_factor: float,
+    num_epochs: int,
+    seed: int,
+    oltp_repetitions: int,
+    olap_repetitions: int,
+    schedule=None,
+) -> ScenarioBundle:
+    # Imported lazily: the online subsystem is optional for scenario users.
+    from repro.online.drift import DriftingWorkloadGenerator, PhaseSchedule, WorkloadPhase
+
+    catalog = tpch.build_catalog(scale_factor)
+
+    def estimator_factory():
+        # No noise and no buffer pool: estimates equal simulated runs, so the
+        # drift study is deterministic end to end.
+        return WorkloadEstimator(catalog, noise=0.0, buffer_pool=None)
+
+    transactional = tpch.modified_workload(scale_factor, repetitions=oltp_repetitions)
+    analytical = tpch.original_workload(scale_factor, repetitions=olap_repetitions)
+    phases = [
+        WorkloadPhase("oltp", transactional),
+        WorkloadPhase("olap", analytical),
+    ]
+    chosen_schedule = schedule or PhaseSchedule.crossfade(num_epochs, ("oltp", "olap"))
+    generator = DriftingWorkloadGenerator(
+        phases, chosen_schedule, seed=seed,
+        name=f"tpch-crossfade-sf{scale_factor:g}",
+    )
+    return ScenarioBundle(
+        name="tpch_drift_crossfade",
+        catalog=catalog,
+        workload=transactional,
+        estimator=estimator_factory(),
+        objects=catalog.database_objects(),
+        estimator_factory=estimator_factory,
+        extras={
+            "generator": generator,
+            "schedule": chosen_schedule,
+            "transactional": transactional,
+            "analytical": analytical,
+        },
+    )
+
+
+register(Scenario(
+    name="tpch_drift_crossfade",
+    description="OLTP-to-OLAP crossfade: the modified workload smoothly "
+                "drifts into the original one over the epoch schedule "
+                "(extras carry the epoch generator and component workloads).",
+    workload="TPC-H modified -> original crossfade",
+    system="Box 1 / Box 2",
+    constraint="relative SLA 0.25 (response time), re-resolved per epoch",
+    figure="— (repo: experiments.drift / bench_online_drift)",
+    builder=_drift_bundle,
+    defaults={"scale_factor": 4.0, "num_epochs": 12, "seed": 2024,
+              "oltp_repetitions": 4, "olap_repetitions": 1, "schedule": None},
+))

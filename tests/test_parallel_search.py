@@ -548,3 +548,157 @@ class TestFigure9Parallel:
         assert stats.workers == WORKERS
         assert parallel.evaluated_layouts + stats.pruned_layouts == \
             parallel_search.search_space_size()
+
+
+# ---------------------------------------------------------------------------
+# Persisted checkpoints (JSON save/load)
+# ---------------------------------------------------------------------------
+
+class TestDiskCheckpoint:
+    """`SearchProgress.save`/`load`: the multi-hour-run resume story."""
+
+    def _engine(self, small_objects, box1_system, small_catalog, small_workload):
+        estimator = fresh_estimator(small_catalog)
+        evaluator = BatchLayoutEvaluator(
+            small_objects, box1_system, estimator, small_workload
+        )
+        spec = EnumerationSpec(
+            variable_objects=small_objects, system=box1_system, estimator=estimator,
+            workload=small_workload, pinned=[], constraint=None,
+            cache=evaluator.cache, chunk_size=64,
+        )
+        return ParallelEnumerationEngine.from_evaluator(evaluator, spec, workers=1)
+
+    def test_json_round_trip_preserves_every_field(self, small_objects, box1_system,
+                                                   small_catalog, small_workload,
+                                                   tmp_path):
+        engine = self._engine(small_objects, box1_system, small_catalog, small_workload)
+        progress = engine.run()
+        assert progress.finished and progress.best_row is not None
+
+        path = progress.save(tmp_path / "progress.json")
+        loaded = SearchProgress.load(path)
+        assert loaded.to_json() == progress.to_json()
+        assert loaded.completed == progress.completed
+        assert loaded.best_toc == progress.best_toc
+        assert loaded.best_index == progress.best_index
+        assert loaded.best_row == progress.best_row
+        assert loaded.evaluated == progress.evaluated
+        assert loaded.stats.candidates == progress.stats.candidates
+        assert loaded.stats.pruned_subtrees == progress.stats.pruned_subtrees
+        assert loaded.space == progress.space
+        assert loaded.prefix_depth == progress.prefix_depth
+
+    def test_infinite_incumbent_survives_the_round_trip(self, tmp_path):
+        empty = SearchProgress(total_shards=4, space=81, prefix_depth=2)
+        loaded = SearchProgress.load(empty.save(tmp_path / "empty.json"))
+        assert loaded.best_toc == float("inf")
+        assert loaded.best_row is None and loaded.best_index == -1
+        assert not loaded.finished
+
+    def test_partial_checkpoint_resumes_from_disk_to_identical_result(
+            self, small_objects, box1_system, small_catalog, small_workload, tmp_path):
+        engine = self._engine(small_objects, box1_system, small_catalog, small_workload)
+        shards = engine.shard_ranges()
+        assert len(shards) >= 2
+
+        # Process the first half of the shards "before the interruption",
+        # checkpoint to disk, and resume from the file in a fresh object.
+        partial = SearchProgress(total_shards=len(shards))
+        bounds = _PruningBounds(engine.evaluator, engine.prefix_depth)
+        incumbent = _Incumbent()
+        for shard_id, lo, hi in shards[: len(shards) // 2]:
+            partial.record(_process_shard(
+                engine.evaluator, bounds, incumbent, shard_id, lo, hi,
+                engine.spec.chunk_size, engine.toc_floor_factor, True,
+            ))
+        assert not partial.finished
+        evaluated_before = partial.evaluated
+
+        restored = SearchProgress.load(partial.save(tmp_path / "partial.json"))
+        resumed = engine.run(restored)
+        assert resumed.finished
+        assert resumed.evaluated >= evaluated_before
+
+        reference = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog)
+        ).search(small_workload)
+        row = np.array(resumed.best_row, dtype=np.int64)
+        layout = Layout(list(small_objects), box1_system,
+                        engine.evaluator.assignment_for_row(row), name="ES")
+        assert resumed.best_toc == reference.toc_cents
+        assert layout == reference.layout
+
+    def test_geometry_stamp_is_enforced_after_loading(
+            self, small_objects, box1_system, small_catalog, small_workload, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        engine = self._engine(small_objects, box1_system, small_catalog, small_workload)
+        progress = engine.run()
+        loaded = SearchProgress.load(progress.save(tmp_path / "done.json"))
+        loaded.prefix_depth = (loaded.prefix_depth or 1) + 1
+        with pytest.raises(ConfigurationError):
+            engine.run(loaded)
+
+    def test_unsupported_format_version_is_refused(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        payload = SearchProgress(total_shards=1).to_json()
+        payload["format"] = 999
+        with pytest.raises(ConfigurationError):
+            SearchProgress.from_json(payload)
+
+    def test_unknown_stats_fields_are_refused(self):
+        from repro.exceptions import ConfigurationError
+
+        payload = SearchProgress(total_shards=1).to_json()
+        payload["stats"]["definitely_not_a_counter"] = 3
+        with pytest.raises(ConfigurationError):
+            SearchProgress.from_json(payload)
+
+    def test_checkpoint_persists_per_shard_across_a_crash(
+            self, small_objects, box1_system, small_catalog, small_workload,
+            tmp_path, monkeypatch):
+        """Killing the run mid-way must leave a resumable on-disk checkpoint
+        covering every shard that completed before the crash."""
+        import repro.core.parallel_search as ps
+
+        engine = self._engine(small_objects, box1_system, small_catalog, small_workload)
+        path = tmp_path / "crash.json"
+        real_process_shard = ps._process_shard
+        completed_before_crash = 2
+
+        calls = {"n": 0}
+
+        def crashing_process_shard(*args, **kwargs):
+            if calls["n"] >= completed_before_crash:
+                raise RuntimeError("simulated kill")
+            calls["n"] += 1
+            return real_process_shard(*args, **kwargs)
+
+        monkeypatch.setattr(ps, "_process_shard", crashing_process_shard)
+        with pytest.raises(RuntimeError, match="simulated kill"):
+            engine.run(checkpoint_path=path)
+
+        saved = SearchProgress.load(path)
+        assert len(saved.completed) == completed_before_crash
+        assert not saved.finished
+
+        monkeypatch.setattr(ps, "_process_shard", real_process_shard)
+        resumed = engine.run(SearchProgress.load(path), checkpoint_path=path)
+        assert resumed.finished
+
+        reference = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog)
+        ).search(small_workload)
+        assert resumed.best_toc == reference.toc_cents
+        # The final state also landed on disk.
+        assert SearchProgress.load(path).finished
+
+    def test_save_is_atomic_and_leaves_no_scratch_file(self, tmp_path):
+        progress = SearchProgress(total_shards=3, space=27, prefix_depth=1)
+        path = progress.save(tmp_path / "atomic.json")
+        progress.completed.add(0)
+        progress.save(path)  # overwrite in place
+        assert SearchProgress.load(path).completed == {0}
+        assert list(tmp_path.iterdir()) == [path]

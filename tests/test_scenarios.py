@@ -1,0 +1,125 @@
+"""The scenario registry: recipes, bundles and their evaluation contexts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import scenarios
+from repro.core import EvaluationContext
+from repro.exceptions import ConfigurationError
+from repro.sla.constraints import RelativeSLA
+
+
+class TestRegistry:
+    def test_builtin_scenarios_are_registered(self):
+        names = set(scenarios.scenario_names())
+        assert {
+            "tpch_original", "tpch_modified", "tpch_es_subset",
+            "tpcc_fig8", "fig9_tpcc",
+            "synthetic_scaling", "synthetic_scaling_limited",
+            "synthetic_small", "synthetic_sanity",
+            "tpch_drift_crossfade",
+        } <= names
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigurationError):
+            scenarios.get("tpcx_nonexistent")
+
+    def test_unknown_override_raises(self):
+        with pytest.raises(ConfigurationError):
+            scenarios.build("synthetic_small", warehouses=3)
+
+    def test_describe_lists_every_scenario(self):
+        table = scenarios.describe()
+        for name in scenarios.scenario_names():
+            assert name in table
+
+    def test_box_system_names(self):
+        assert len(scenarios.box_system("Box 1")) == 3
+        assert len(scenarios.box_system("Box 2")) == 3
+        assert len(scenarios.box_system("All classes")) == 5
+        with pytest.raises(ConfigurationError):
+            scenarios.box_system("Box 3")
+
+    def test_box_system_capacity_limits(self):
+        limited = scenarios.box_system("Box 1", {"H-SSD": 1.5})
+        assert limited["H-SSD"].capacity_gb == 1.5
+
+
+class TestBundles:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return scenarios.build("synthetic_small")
+
+    def test_bundle_carries_constructed_parts(self, bundle):
+        assert bundle.objects
+        assert bundle.workload.queries
+        assert bundle.sla == RelativeSLA(0.5)
+
+    def test_fresh_estimator_is_independent(self, bundle):
+        one, two = bundle.fresh_estimator(), bundle.fresh_estimator()
+        assert one is not two
+        assert one is not bundle.estimator
+
+    def test_objects_named_preserves_order(self, bundle):
+        names = [obj.name for obj in bundle.objects]
+        subset = bundle.objects_named(reversed(names[:3]))
+        assert [obj.name for obj in subset] == names[:3]
+
+    def test_context_resolves_scenario_sla(self, bundle):
+        context = bundle.context()
+        assert isinstance(context, EvaluationContext)
+        assert context.constraint is not None
+        assert context.workload is bundle.workload
+
+    def test_context_sla_none_is_unconstrained(self, bundle):
+        assert bundle.context(sla=None).constraint is None
+
+    def test_context_override_sla(self, bundle):
+        context = bundle.context(sla=RelativeSLA(0.25))
+        assert context.sla.ratio == 0.25
+
+    def test_scenario_fixed_system_wins(self):
+        limited = scenarios.build("synthetic_scaling_limited", num_tables=2)
+        system = limited.get_system()
+        total_gb = sum(obj.size_gb for obj in limited.objects)
+        assert system["H-SSD"].capacity_gb == pytest.approx(total_gb * 0.45)
+        assert limited.context().system is system
+
+    def test_overrides_change_the_build(self):
+        two = scenarios.build("synthetic_scaling", num_tables=2)
+        three = scenarios.build("synthetic_scaling", num_tables=3)
+        assert len(two.objects) == 4
+        assert len(three.objects) == 6
+
+
+class TestScenarioConventions:
+    def test_sanity_scenario_has_no_lookups(self):
+        bundle = scenarios.build("synthetic_sanity")
+        assert all("lookup" not in q.name for q in bundle.workload.queries)
+
+    def test_tpcc_scenarios_profile_on_the_single_testrun_baseline(self):
+        bundle = scenarios.build("tpcc_fig8", warehouses=2, concurrency=10)
+        assert bundle.profile_mode == "testrun"
+        assert bundle.single_baseline_profile
+        assert bundle.sla.metric == "throughput"
+
+    def test_fig9_extras_carry_the_hot_groups(self):
+        scenario = scenarios.get("fig9_tpcc")
+        bundle = scenario.build(warehouses=2, concurrency=10)
+        assert bundle.extras["hot_groups"] == ("stock", "order_line", "customer")
+
+    def test_es_subset_extras_carry_the_object_names(self):
+        bundle = scenarios.build("tpch_es_subset", scale_factor=1.0, repetitions=1)
+        names = bundle.extras["es_object_names"]
+        assert len(bundle.objects_named(names)) == len(names) == 8
+
+    def test_drift_bundle_generates_reproducible_epochs(self):
+        first = scenarios.build("tpch_drift_crossfade", scale_factor=1.0,
+                                num_epochs=4, seed=9)
+        second = scenarios.build("tpch_drift_crossfade", scale_factor=1.0,
+                                 num_epochs=4, seed=9)
+        epochs_a = list(first.extras["generator"].epochs())
+        epochs_b = list(second.extras["generator"].epochs())
+        assert [e.weights for e in epochs_a] == [e.weights for e in epochs_b]
+        assert [e.workload.name for e in epochs_a] == [e.workload.name for e in epochs_b]
