@@ -1,0 +1,122 @@
+"""Docs smoke check: every ``python`` code fence in the docs must execute.
+
+Run with::
+
+    python examples/check_docs.py [README.md EXPERIMENTS.md ...]
+
+The CI docs job runs this against ``README.md`` and ``EXPERIMENTS.md``:
+each fenced ```` ```python ```` block is extracted and executed in a fresh
+namespace (doctest-style -- the block must run top to bottom without
+raising), so the quickstart snippets shown to new users can never rot.
+Shell fences are checked only for referencing files that exist.  Exits
+non-zero listing every failing block.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+
+#: Commands a shell fence may reference; checked for file existence only.
+SH_FILE = re.compile(r"(?:python|pytest)\s+(?:-m\s+pytest\s+)?([\w./-]+\.py)")
+
+
+def extract_fences(path: Path):
+    """Yield ``(language, first_line_number, code)`` for every code fence.
+
+    Raises :class:`ValueError` on an unterminated fence -- a missing (or
+    stray) ``` line flips the open/close state for the rest of the file and
+    would otherwise silently swallow the very snippets this check guards.
+    """
+    language = None
+    start = 0
+    lines: list[str] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        match = FENCE.match(line)
+        if match is None:
+            if language is not None:
+                lines.append(line)
+            continue
+        if language is None:
+            language = match.group(1) or "text"
+            start = number + 1
+            lines = []
+        else:
+            yield language, start, "\n".join(lines)
+            language = None
+    if language is not None:
+        raise ValueError(
+            f"{path.name}: code fence opened at line {start - 1} is never closed"
+        )
+
+
+def check_python(code: str) -> str | None:
+    """Execute one python fence in a fresh namespace; returns the error."""
+    try:
+        exec(compile(code, "<docs fence>", "exec"), {"__name__": "__docs__"})
+    except Exception:
+        return traceback.format_exc(limit=3)
+    return None
+
+
+def check_sh(code: str) -> str | None:
+    """A shell fence may only reference scripts reachable from its own cwd.
+
+    ``cd`` lines are tracked (relative to the repo root, where every
+    documented command starts), so a fence saying ``cd benchmarks`` may
+    reference bench files bare -- but a repo-root fence naming a script
+    without its directory prefix is flagged, because a user copy-pasting it
+    would hit "No such file or directory".
+    """
+    cwd = ROOT
+    missing = []
+    for line in code.splitlines():
+        cd_match = re.match(r"^\s*cd\s+(\S+)", line)
+        if cd_match:
+            cwd = (cwd / cd_match.group(1)).resolve()
+            continue
+        missing.extend(
+            candidate for candidate in SH_FILE.findall(line)
+            if not (cwd / candidate).exists()
+        )
+    if missing:
+        return f"referenced files do not exist: {', '.join(missing)}"
+    return None
+
+
+def main(argv: list[str]) -> int:
+    documents = [Path(arg) for arg in argv] or [ROOT / "README.md", ROOT / "EXPERIMENTS.md"]
+    failures = 0
+    checked = 0
+    for document in documents:
+        try:
+            for language, line, code in extract_fences(document):
+                if language == "python":
+                    error = check_python(code)
+                elif language == "sh":
+                    error = check_sh(code)
+                else:
+                    continue
+                checked += 1
+                label = f"{document.name}:{line} [{language}]"
+                if error is None:
+                    print(f"ok    {label}")
+                else:
+                    failures += 1
+                    print(f"FAIL  {label}\n{error}")
+        except ValueError as malformed:
+            failures += 1
+            print(f"FAIL  {malformed}")
+    print(f"\n{checked} fenced blocks checked, {failures} failing")
+    return 1 if failures or not checked else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,22 +1,30 @@
-"""Online re-tiering under workload drift: an OLTP-to-OLAP crossfade.
+"""Online re-tiering under workload drift: crossfade, flash crowd, cross-kind.
 
 Run with::
 
     python examples/online_retiering.py
 
-The example drives the :mod:`repro.online` subsystem over a 12-epoch
-smoothstep crossfade from the modified (random-I/O, ODS-style) TPC-H
-workload to the original (scan-heavy, analytical) one on the paper's Box 1.
-Each epoch the online advisor watches per-object I/O telemetry, re-runs DOT
-warm-started from the deployed layout when drift is detected, and re-tiers
-only when the projected TOC saving amortises the migration cost.  The
-baseline is the same sequence of epochs served by the *frozen* epoch-0
-layout.
+Three seeded, fully deterministic studies drive the :mod:`repro.online`
+subsystem on the paper's Box 1:
 
-The run is deterministic: a fixed drift seed and a noise-free estimator
-make every printed digit bitwise reproducible.  The script exits non-zero
-if any acceptance property fails (online cheaper than frozen net of
-migration charges, PSR meeting the SLA at every epoch).
+1. **Crossfade** -- a 12-epoch smoothstep crossfade from the modified
+   (random-I/O, ODS-style) TPC-H workload to the original (scan-heavy,
+   analytical) one.  Each epoch the online advisor watches per-object I/O
+   telemetry, re-profiles *from those measurements* (the estimator replay
+   only runs at the cold start), re-runs DOT warm-started from the deployed
+   layout when drift is detected, and re-tiers only when the projected TOC
+   saving amortises the migration cost.  The baseline is the same sequence
+   of epochs served by the *frozen* epoch-0 layout.
+2. **Flash crowd** -- an analytical spike interrupts the transactional
+   stream; the predictive controller (trend extrapolation over the
+   telemetry window) re-tiers *before* the crowd peaks and is compared
+   against the reactive controller on cumulative migration-aware cost.
+3. **Cross-kind drift** -- the TPC-C transaction mix (throughput metric)
+   crossfades into the TPC-H query stream (response-time metric) over one
+   merged catalog; blended epochs mix the two TOC metrics by the phase
+   weights.
+
+The script exits non-zero if any acceptance property fails.
 """
 
 from __future__ import annotations
@@ -26,14 +34,33 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.experiments.drift import online_drift_experiment
+from repro.experiments.drift import (
+    crosskind_drift_experiment,
+    online_drift_experiment,
+    predictive_drift_experiment,
+)
 
 NUM_EPOCHS = 12
 SLA_RATIO = 0.25
 SEED = 2024
 
 
+def any_failed(checks) -> bool:
+    """Print one [ok]/[FAIL] line per check; True when any check failed."""
+    print("\nAcceptance checks:")
+    failed = False
+    for label, passed in checks.items():
+        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+        failed = failed or not passed
+    return failed
+
+
 def main() -> None:
+    failed = False
+
+    print("=" * 72)
+    print("1. OLTP-to-OLAP crossfade: online vs frozen")
+    print("=" * 72)
     result = online_drift_experiment(
         scale_factor=4.0,
         num_epochs=NUM_EPOCHS,
@@ -41,9 +68,8 @@ def main() -> None:
         seed=SEED,
     )
     print(result["text"])
-
     summary = result["summary"]
-    checks = {
+    failed |= any_failed({
         f"ran at least 10 epochs ({summary['num_epochs']})":
             summary["num_epochs"] >= 10,
         "online cumulative TOC (incl. migration) below the frozen layout's":
@@ -55,12 +81,50 @@ def main() -> None:
             len(summary["retier_epochs"]) >= 1,
         "migration charges stayed below the achieved saving":
             summary["migration_cents"] < summary["saving_cents"],
-    }
-    print("\nAcceptance checks:")
-    failed = False
-    for label, passed in checks.items():
-        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
-        failed = failed or not passed
+    })
+
+    print()
+    print("=" * 72)
+    print("2. Flash crowd: predictive vs reactive re-tiering")
+    print("=" * 72)
+    predictive = predictive_drift_experiment(seed=SEED, sla_ratio=SLA_RATIO)
+    print(predictive["text"])
+    p_summary = predictive["summary"]
+    failed |= any_failed({
+        "predictive cumulative TOC beats the reactive controller's":
+            p_summary["predictive_cumulative_cents"]
+            < p_summary["reactive_cumulative_cents"],
+        "at least one re-tier was trend-triggered (before the peak)":
+            len(p_summary["predicted_retier_epochs"]) >= 1,
+        f"the trend-triggered re-tier fired at or before the spike epoch "
+        f"({p_summary['spike_epoch']})":
+            all(epoch <= p_summary["spike_epoch"]
+                for epoch in p_summary["predicted_retier_epochs"]),
+        "both controllers kept every epoch SLA-feasible (PSR 100 %)":
+            p_summary["predictive_min_psr"] == 1.0
+            and p_summary["reactive_min_psr"] == 1.0,
+    })
+
+    print()
+    print("=" * 72)
+    print("3. Cross-kind drift: TPC-C transactions fade into TPC-H queries")
+    print("=" * 72)
+    crosskind = crosskind_drift_experiment(seed=SEED, sla_ratio=SLA_RATIO)
+    print(crosskind["text"])
+    c_summary = crosskind["summary"]
+    failed |= any_failed({
+        f"kind-mixed epochs were actually served ({c_summary['mixed_epochs']})":
+            c_summary["mixed_epochs"] >= 2,
+        "online blended cost below the frozen layout's":
+            c_summary["online_cumulative_cents"]
+            < c_summary["frozen_cumulative_cents"],
+        "at least one migration actually happened":
+            len(c_summary["retier_epochs"]) >= 1,
+        f"blended PSR stayed above the SLA ratio {SLA_RATIO:g} "
+        f"(min {c_summary['online_min_psr']:.2f})":
+            c_summary["online_min_psr"] >= SLA_RATIO,
+    })
+
     if failed:
         raise SystemExit(1)
 

@@ -1,20 +1,22 @@
-"""The workload-drift experiment: online re-provisioning vs provision-once.
+"""The workload-drift experiments: online re-provisioning vs provision-once.
 
-This driver exercises the :mod:`repro.online` subsystem end to end on an
-OLTP-to-OLAP crossfade built from the two TPC-H workload flavours:
+Three drivers exercise the :mod:`repro.online` subsystem end to end:
 
-* the **transactional phase** is the modified (ODS-style) workload --
-  selective index lookups, random-I/O dominated;
-* the **analytical phase** is the original workload -- full scans and large
-  joins, sequential-I/O dominated.
+* :func:`online_drift_experiment` -- the OLTP-to-OLAP crossfade built from
+  the two TPC-H workload flavours (the modified, random-I/O ODS-style
+  stream fading into the scan-heavy original), comparing the reactive
+  online advisor against the frozen epoch-0 layout;
+* :func:`predictive_drift_experiment` -- a flash crowd on the same phases,
+  comparing the *predictive* controller (trend extrapolation over the
+  telemetry window triggers the re-tier before the crowd peaks) against the
+  reactive one and the frozen baseline;
+* :func:`crosskind_drift_experiment` -- the TPC-C transaction mix
+  crossfading into the TPC-H query stream over one merged catalog
+  (cross-kind epochs blend the two TOC metrics by the phase weights).
 
-A smoothstep crossfade drifts the epoch mix from pure transactional to pure
-analytical.  The :class:`~repro.online.controller.OnlineAdvisor` re-tiers
-whenever its telemetry monitor flags drift and the projected TOC saving
-amortises the migration cost; the baseline replays the same epochs on the
-frozen epoch-0 layout.  With the deterministic estimator configuration used
-here (no noise, no buffer pool), the whole experiment -- epoch streams,
-layouts, every printed digit -- is bitwise reproducible from the seed.
+With the deterministic estimator configurations used here (no noise, no
+buffer pool), every experiment -- epoch streams, layouts, every printed
+digit -- is bitwise reproducible from the seed.
 """
 
 from __future__ import annotations
@@ -24,8 +26,9 @@ from typing import Dict, Optional
 from repro import scenarios
 from repro.experiments.reporting import format_layout_assignment, format_table
 from repro.online.controller import OnlineAdvisor
+from repro.online.drift import PhaseSchedule
 from repro.online.migration import ReProvisioningPolicy
-from repro.online.monitor import DriftThresholds
+from repro.online.monitor import DriftThresholds, TrendPredictor
 from repro.sla.constraints import RelativeSLA
 
 
@@ -122,6 +125,238 @@ def online_drift_experiment(
             format_layout_assignment(online.records[0].layout),
             "",
             format_layout_assignment(online.records[-1].layout),
+        ]
+    )
+    return {
+        "online": online,
+        "frozen": frozen,
+        "generator": generator,
+        "summary": summary,
+        "text": text,
+    }
+
+
+def predictive_drift_experiment(
+    scale_factor: float = 4.0,
+    num_epochs: int = 16,
+    spike_epoch: int = 8,
+    spike_width: int = 4,
+    sla_ratio: float = 0.25,
+    seed: int = 2024,
+    box_name: str = "Box 1",
+    share_threshold: float = 0.10,
+    horizon_epochs: int = 3,
+    predictor: Optional[TrendPredictor] = None,
+    oltp_repetitions: int = 4,
+    olap_repetitions: int = 1,
+) -> Dict[str, object]:
+    """A flash crowd served reactively, predictively, and frozen.
+
+    A triangular analytical flash crowd (spike at ``spike_epoch``, ramp of
+    ``spike_width`` epochs each side) interrupts the steady transactional
+    workload.  Three arms replay identical seeded epochs:
+
+    * **reactive** -- the drift-threshold controller;
+    * **predictive** -- the same controller with a
+      :class:`~repro.online.monitor.TrendPredictor`: when the telemetry
+      window's extrapolated I/O-share trend crosses the drift threshold
+      within the prediction horizon, the re-tier happens *before* the crowd
+      peaks (against the projected profile), so the peak epochs are served
+      by the anticipated layout;
+    * **frozen** -- the epoch-0 layout, never adapted.
+
+    Both controllers run with ``retier_on_sla_violation=True`` so neither
+    can "win" by riding out the crowd's aftermath on an SLA-violating
+    layout; the comparison is between SLA-feasible timelines.  Returns the
+    three timelines plus a ``summary`` whose headline is the predictive
+    arm's cumulative migration-aware saving over the reactive one.
+    """
+    if num_epochs < 4:
+        raise ValueError("the flash-crowd experiment needs at least four epochs")
+    schedule = PhaseSchedule.flash_crowd(
+        num_epochs, spike_epoch=spike_epoch, width=spike_width,
+        phase_names=("oltp", "olap"),
+    )
+    chosen_predictor = predictor or TrendPredictor(window=3, horizon_epochs=2,
+                                                   min_history=2)
+
+    def build_advisor(with_predictor: bool) -> Dict[str, object]:
+        bundle = scenarios.build(
+            "tpch_drift_crossfade",
+            scale_factor=scale_factor,
+            num_epochs=num_epochs,
+            seed=seed,
+            oltp_repetitions=oltp_repetitions,
+            olap_repetitions=olap_repetitions,
+            schedule=schedule,
+        )
+        advisor = OnlineAdvisor(
+            bundle.objects,
+            scenarios.box_system(box_name),
+            bundle.estimator_factory(),
+            sla=RelativeSLA(sla_ratio),
+            thresholds=DriftThresholds(share_threshold=share_threshold),
+            policy=ReProvisioningPolicy(horizon_epochs=horizon_epochs),
+            predictor=chosen_predictor if with_predictor else None,
+            retier_on_sla_violation=True,
+        )
+        return {"advisor": advisor, "generator": bundle.extras["generator"]}
+
+    reactive_arm = build_advisor(with_predictor=False)
+    reactive = reactive_arm["advisor"].run(reactive_arm["generator"].epochs())
+    predictive_arm = build_advisor(with_predictor=True)
+    predictive = predictive_arm["advisor"].run(predictive_arm["generator"].epochs())
+    frozen = reactive_arm["advisor"].evaluate_frozen(
+        reactive_arm["generator"].epochs(), reactive.records[0].layout
+    )
+
+    saving_cents = reactive.cumulative_cost_cents - predictive.cumulative_cost_cents
+    summary = {
+        "num_epochs": num_epochs,
+        "spike_epoch": spike_epoch,
+        "reactive_cumulative_cents": reactive.cumulative_cost_cents,
+        "predictive_cumulative_cents": predictive.cumulative_cost_cents,
+        "frozen_cumulative_cents": frozen.cumulative_cost_cents,
+        "predictive_saving_cents": saving_cents,
+        "predictive_saving_fraction": (
+            saving_cents / reactive.cumulative_cost_cents
+            if reactive.cumulative_cost_cents > 0
+            else 0.0
+        ),
+        "reactive_retier_epochs": reactive.retier_epochs,
+        "predictive_retier_epochs": predictive.retier_epochs,
+        "predicted_retier_epochs": predictive.predicted_retier_epochs,
+        "reactive_min_psr": reactive.min_psr,
+        "predictive_min_psr": predictive.min_psr,
+    }
+    comparison = format_table(
+        ["Strategy", "Cum. cost (cents)", "Migrations", "Min PSR (%)"],
+        [
+            ["Predictive (trend-triggered)", predictive.cumulative_cost_cents,
+             len(predictive.retier_epochs), round(predictive.min_psr * 100.0, 1)],
+            ["Reactive (threshold-triggered)", reactive.cumulative_cost_cents,
+             len(reactive.retier_epochs), round(reactive.min_psr * 100.0, 1)],
+            ["Frozen epoch-0 layout", frozen.cumulative_cost_cents,
+             0, round(frozen.min_psr * 100.0, 1)],
+        ],
+    )
+    text = "\n".join(
+        [
+            f"Flash crowd at epoch {spike_epoch} (width {spike_width}) over "
+            f"{num_epochs} epochs (relative SLA {sla_ratio:g}, seed {seed})",
+            "",
+            "Predictive timeline ('pred' marks trend-triggered re-tiers):",
+            predictive.describe(),
+            "",
+            "Reactive timeline:",
+            reactive.describe(),
+            "",
+            comparison,
+            "",
+            f"Anticipating the crowd saves {saving_cents:.4f} cents over reacting to it "
+            f"({summary['predictive_saving_fraction'] * 100.0:.1f} % of the reactive cost).",
+        ]
+    )
+    return {
+        "predictive": predictive,
+        "reactive": reactive,
+        "frozen": frozen,
+        "generator": predictive_arm["generator"],
+        "summary": summary,
+        "text": text,
+    }
+
+
+def crosskind_drift_experiment(
+    scale_factor: float = 2.0,
+    warehouses: int = 30,
+    oltp_concurrency: int = 100,
+    num_epochs: int = 12,
+    sla_ratio: float = 0.25,
+    seed: int = 2024,
+    box_name: str = "Box 1",
+    share_threshold: float = 0.05,
+    horizon_epochs: int = 4,
+) -> Dict[str, object]:
+    """The cross-kind crossfade: TPC-C transactions fade into TPC-H queries.
+
+    The two benchmarks share one merged catalog (TPC-C tables under a
+    ``tpcc_`` prefix), so the drift is a genuine I/O-share migration from
+    the transactional tables to the analytical ones.  Blended epochs are
+    :class:`~repro.workloads.workload.CrossKindWorkload` instances: the
+    controller evaluates each component with its own kind's machinery
+    (estimate caches per concurrency, SLA metric per kind) and blends TOC
+    and PSR by the phase weights.  Telemetry-driven profiling is what makes
+    the blended epochs solvable at all -- the estimator replay cannot
+    profile a kind-mixed workload.
+    """
+    if num_epochs < 2:
+        raise ValueError("the cross-kind experiment needs at least two epochs")
+    bundle = scenarios.build(
+        "tpch_tpcc_crosskind_drift",
+        scale_factor=scale_factor,
+        warehouses=warehouses,
+        oltp_concurrency=oltp_concurrency,
+        num_epochs=num_epochs,
+        seed=seed,
+    )
+    advisor = OnlineAdvisor(
+        bundle.objects,
+        scenarios.box_system(box_name),
+        bundle.estimator_factory(),
+        sla=RelativeSLA(sla_ratio),
+        thresholds=DriftThresholds(share_threshold=share_threshold),
+        policy=ReProvisioningPolicy(horizon_epochs=horizon_epochs),
+    )
+    generator = bundle.extras["generator"]
+    online = advisor.run(generator.epochs())
+    frozen_layout = online.records[0].layout
+    frozen = advisor.evaluate_frozen(generator.epochs(), frozen_layout)
+
+    saving_cents = frozen.cumulative_cost_cents - online.cumulative_cost_cents
+    # Blended epochs are recognisable from the completed run (no need to
+    # re-materialise the epoch streams a third time just to count them).
+    mixed_epochs = sum(
+        1 for record in online.records
+        if record.report is not None and record.report.metric == "cents_blended"
+    )
+    summary = {
+        "num_epochs": online.num_epochs,
+        "mixed_epochs": mixed_epochs,
+        "online_cumulative_cents": online.cumulative_cost_cents,
+        "frozen_cumulative_cents": frozen.cumulative_cost_cents,
+        "saving_cents": saving_cents,
+        "saving_fraction": (
+            saving_cents / frozen.cumulative_cost_cents
+            if frozen.cumulative_cost_cents > 0
+            else 0.0
+        ),
+        "migration_cents": online.total_migration_cents,
+        "retier_epochs": online.retier_epochs,
+        "online_min_psr": online.min_psr,
+        "frozen_min_psr": frozen.min_psr,
+    }
+    comparison = format_table(
+        ["Strategy", "Cum. blended cost (cents)", "Migrations", "Min PSR (%)"],
+        [
+            ["Online (cross-kind aware)", online.cumulative_cost_cents,
+             len(online.retier_epochs), round(online.min_psr * 100.0, 1)],
+            ["Frozen epoch-0 layout", frozen.cumulative_cost_cents,
+             0, round(frozen.min_psr * 100.0, 1)],
+        ],
+    )
+    text = "\n".join(
+        [
+            f"Cross-kind drift: {generator.name} over {online.num_epochs} epochs "
+            f"({mixed_epochs} kind-mixed, relative SLA {sla_ratio:g}, seed {seed})",
+            "",
+            online.describe(),
+            "",
+            comparison,
+            "",
+            f"Staying online saves {saving_cents:.4f} cents "
+            f"({summary['saving_fraction'] * 100.0:.1f} % of the frozen blended cost), "
+            f"of which {online.total_migration_cents:.4f} cents were spent on migrations.",
         ]
     )
     return {

@@ -6,17 +6,24 @@ pieces on top of the core pipeline:
 
 * :mod:`repro.online.drift` -- time-varying workloads composed from the
   existing generators under phase schedules (ramp, diurnal, flash crowd,
-  OLTP-to-OLAP crossfade) with seeded, reproducible epoch streams;
+  OLTP-to-OLAP crossfade -- including *cross-kind* crossfades whose epochs
+  blend an OLTP mix with a DSS stream) with seeded, reproducible epoch
+  streams;
 * :mod:`repro.online.monitor` -- per-epoch, per-object I/O telemetry folded
-  into workload profiles, with threshold-based drift detection;
-* :mod:`repro.online.migration` -- migration plans between layouts, a cost
-  model charging bytes moved between class pairs against the TOC, and the
-  amortization policy gating every re-tier;
+  into workload profiles, threshold-based drift detection, and the
+  :class:`TrendPredictor` that extrapolates the telemetry window so the
+  loop can re-tier before a ramp or flash crowd peaks;
+* :mod:`repro.online.migration` -- migration plans between layouts, the
+  analytic cost model charging bytes moved between class pairs against the
+  TOC, the :class:`MigrationExecutor` that instead *runs* the plan's byte
+  batches on the device simulator contending with the epoch workload, and
+  the amortization policy gating every re-tier;
 * :mod:`repro.online.controller` -- the :class:`OnlineAdvisor` epoch loop:
-  re-tiering through the uniform :class:`~repro.core.solver.Solver`
-  protocol (warm-started DOT by default) with estimate tables shared across
-  epochs, emitting a timeline of layouts, PSRs and cumulative
-  migration-aware cost.
+  telemetry-driven re-profiling (the estimator replay only runs at cold
+  start), re-tiering through the uniform
+  :class:`~repro.core.solver.Solver` protocol (warm-started DOT by default)
+  with per-concurrency estimate tables shared across epochs, emitting a
+  timeline of layouts, PSRs and cumulative migration-aware cost.
 """
 
 from repro.online.drift import (
@@ -29,14 +36,18 @@ from repro.online.monitor import (
     DriftDecision,
     DriftThresholds,
     EpochTelemetry,
+    PredictionDecision,
     TelemetryMonitor,
+    TrendPredictor,
 )
 from repro.online.migration import (
     MigrationCost,
     MigrationCostModel,
+    MigrationExecutor,
     MigrationPlan,
     ObjectMove,
     ReProvisioningPolicy,
+    SimulatedMigrationCost,
 )
 from repro.online.controller import (
     EpochRecord,
@@ -54,12 +65,16 @@ __all__ = [
     "DriftDecision",
     "DriftThresholds",
     "EpochTelemetry",
+    "PredictionDecision",
     "TelemetryMonitor",
+    "TrendPredictor",
     "MigrationCost",
     "MigrationCostModel",
+    "MigrationExecutor",
     "MigrationPlan",
     "ObjectMove",
     "ReProvisioningPolicy",
+    "SimulatedMigrationCost",
     "EpochRecord",
     "FrozenEpochRecord",
     "FrozenRunResult",

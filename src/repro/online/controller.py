@@ -6,21 +6,42 @@ Each epoch it
 1. **observes** the epoch's workload on the currently deployed layout
    (optimizer estimates standing in for live telemetry) and feeds the
    per-object I/O counts to the :class:`~repro.online.monitor.TelemetryMonitor`;
-2. **detects drift** against the telemetry of the last provisioning;
-3. on drift, **re-profiles** and re-solves through the uniform
-   :class:`~repro.core.solver.Solver` interface (DOT by default),
-   *warm-started from the deployed layout*, with every per-(query,
-   signature) estimate shared across epochs through one
-   :class:`~repro.core.batch_eval.QueryEstimateCache` (owned by the
-   per-epoch :class:`~repro.core.context.EvaluationContext`) -- an
+2. **detects drift** against the telemetry of the last provisioning -- and,
+   with a :class:`~repro.online.monitor.TrendPredictor` configured,
+   *anticipates* it: when the telemetry window's extrapolated I/O-share
+   trend crosses the drift thresholds within the prediction horizon, the
+   loop re-tiers before the ramp or flash crowd peaks;
+3. on (actual or predicted) drift, **re-profiles and re-solves** through the
+   uniform :class:`~repro.core.solver.Solver` interface (DOT by default),
+   *warm-started from the deployed layout*.  Re-profiling is
+   **telemetry-driven**: the epoch's
+   :class:`~repro.core.profiles.WorkloadProfileSet` is built from the
+   monitor's *observed* (or, on a predictive trigger, *projected*)
+   per-object I/O counts -- the estimator-replay profiling of the paper's
+   refinement-phase shortcut only runs at the cold initial provisioning (or
+   when ``profile_source="estimator"`` is forced).  Every per-(query,
+   signature) estimate is shared across epochs through per-concurrency
+   :class:`~repro.core.batch_eval.QueryEstimateCache` instances (owned by
+   the per-epoch :class:`~repro.core.context.EvaluationContext`) -- an
    unchanged query on an unchanged placement is never re-estimated, which is
    what makes running the advisor every epoch affordable;
-4. prices the layout transition with the
-   :class:`~repro.online.migration.MigrationCostModel` and only **re-tiers**
-   when the :class:`~repro.online.migration.ReProvisioningPolicy` projects
-   the TOC savings to amortise the migration within its horizon;
+4. prices the layout transition and only **re-tiers** when the
+   :class:`~repro.online.migration.ReProvisioningPolicy` projects the TOC
+   savings to amortise the migration within its horizon.  The price comes
+   from the analytic :class:`~repro.online.migration.MigrationCostModel` or
+   -- with ``migration_execution="simulated"`` -- from the
+   :class:`~repro.online.migration.MigrationExecutor`, which runs the
+   plan's byte batches through the device simulator *contending with the
+   epoch workload* (the analytic price stays attached as a cross-check);
 5. records a timeline entry: the deployed layout, its TOC and PSR for the
    epoch, any migration performed and the cumulative migration-aware cost.
+
+Cross-kind drift (an OLTP phase crossfading into a DSS phase) produces
+:class:`~repro.workloads.workload.CrossKindWorkload` epochs; the loop
+evaluates each component with its own kind's machinery (estimate caches are
+keyed by concurrency) and blends the TOC metrics by the phase weights --
+the epoch's cost index is ``sum_i w_i * TOC_i`` and its PSR the same convex
+combination of the per-component PSRs.
 
 The controller's cumulative cost is directly comparable to
 :meth:`OnlineAdvisor.evaluate_frozen`, which replays the same epochs on a
@@ -30,27 +51,41 @@ fixed layout -- the "provision once, never adapt" baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.batch_eval import QueryEstimateCache
 from repro.core.context import EvaluationContext, make_incremental_evaluator
 from repro.core.layout import Layout
 from repro.core.solver import DOTSolver, Solver, SolveResult
 from repro.core.profiler import WorkloadProfiler
+from repro.core.profiles import WorkloadProfileSet
 from repro.core.toc import TOCModel, TOCReport
+from repro.dbms.cost_model import CostModel
+from repro.dbms.plan import merge_io_counts, scale_io_counts
 from repro.objects import DatabaseObject
 from repro.online.drift import EpochWorkload
 from repro.online.migration import (
     MigrationCost,
     MigrationCostModel,
+    MigrationExecutor,
     MigrationPlan,
     ReProvisioningPolicy,
+    SimulatedMigrationCost,
 )
-from repro.online.monitor import DriftDecision, DriftThresholds, TelemetryMonitor
+from repro.online.monitor import (
+    DriftDecision,
+    DriftThresholds,
+    PredictionDecision,
+    TelemetryMonitor,
+    TrendPredictor,
+)
 from repro.sla.constraints import PerformanceConstraint, RelativeSLA
 from repro.sla.psr import performance_satisfaction_ratio
 from repro.storage.storage_class import StorageSystem
 from repro.workloads.workload import Workload
+
+#: Anything a migration assessment may return.
+AnyMigrationCost = Union[MigrationCost, SimulatedMigrationCost]
 
 
 @dataclass
@@ -66,7 +101,7 @@ class EpochRecord:
     drift: DriftDecision
     reoptimized: bool
     migrated: bool
-    migration: Optional[MigrationCost]
+    migration: Optional[AnyMigrationCost]
     migration_reason: str
     epoch_cost_cents: float
     cumulative_cost_cents: float
@@ -75,6 +110,12 @@ class EpochRecord:
     #: reachable through ``dot_result.raw``.
     dot_result: Optional[SolveResult] = field(default=None, repr=False)
     report: Optional[TOCReport] = field(default=None, repr=False)
+    #: True when the epoch's re-optimization was triggered by the trend
+    #: predictor rather than by observed drift.
+    predicted: bool = False
+    #: The predictor's decision for the epoch (``None`` when no predictor is
+    #: configured or observed drift pre-empted the forecast).
+    forecast: Optional[PredictionDecision] = field(default=None, repr=False)
 
 
 @dataclass
@@ -82,6 +123,11 @@ class OnlineRunResult:
     """The full timeline of one online re-provisioning run."""
 
     records: List[EpochRecord]
+    #: Aggregate estimate-cache statistics of the run (all concurrencies
+    #: pooled); the telemetry-vs-estimator profiling regression tests pin
+    #: their expectations on these counters.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def num_epochs(self) -> int:
@@ -118,6 +164,15 @@ class OnlineRunResult:
         )
 
     @property
+    def predicted_retier_epochs(self) -> Tuple[int, ...]:
+        """The subset of re-tier epochs triggered by the trend predictor."""
+        return tuple(
+            record.epoch
+            for record in self.records
+            if record.migrated and record.migration is not None and record.predicted
+        )
+
+    @property
     def min_psr(self) -> float:
         """The worst per-epoch PSR of the run."""
         return min((record.psr for record in self.records), default=1.0)
@@ -139,6 +194,9 @@ class OnlineRunResult:
                 if record.migrated and record.migration is not None
                 else 0.0
             )
+            retier = "no"
+            if record.migrated:
+                retier = "pred" if record.predicted else "yes"
             rows.append(
                 [
                     record.epoch,
@@ -147,7 +205,7 @@ class OnlineRunResult:
                     record.toc_cents,
                     round(record.psr * 100.0, 1),
                     f"{record.drift.share_distance:.3f}",
-                    "yes" if record.migrated else "no",
+                    retier,
                     migration_gb,
                     migration_cents,
                     record.cumulative_cost_cents,
@@ -193,6 +251,56 @@ class FrozenRunResult:
         return min((record.psr for record in self.records), default=1.0)
 
 
+class _BlendedRunResult:
+    """The merged observation of a cross-kind epoch (duck-typed run result).
+
+    Carries exactly what the telemetry monitor and the migration executor
+    read: the weight-blended per-object I/O counts, per-class busy times and
+    measurement window of the component evaluations.
+    """
+
+    __slots__ = ("workload_name", "io_by_object", "busy_time_by_class_ms",
+                 "total_time_s", "component_results")
+
+    def __init__(self, workload_name: str):
+        self.workload_name = workload_name
+        self.io_by_object: Dict[str, Dict[object, float]] = {}
+        self.busy_time_by_class_ms: Dict[str, float] = {}
+        self.total_time_s: float = 0.0
+        #: ``(workload, weight, run_result)`` per folded component -- kept so
+        #: consumers needing per-concurrency detail (the migration
+        #: executor's contention window) do not have to work from the
+        #: merged counts alone.
+        self.component_results: List[Tuple[object, float, object]] = []
+
+    def fold(self, workload, run_result, weight: float) -> None:
+        merge_io_counts(
+            self.io_by_object, scale_io_counts(run_result.io_by_object, weight)
+        )
+        for class_name, busy_ms in run_result.busy_time_by_class_ms.items():
+            self.busy_time_by_class_ms[class_name] = (
+                self.busy_time_by_class_ms.get(class_name, 0.0) + weight * busy_ms
+            )
+        self.total_time_s += weight * run_result.total_time_s
+        self.component_results.append((workload, weight, run_result))
+
+
+@dataclass
+class _EpochEvaluation:
+    """One layout scored against one (possibly cross-kind) epoch workload."""
+
+    report: TOCReport
+    psr: float
+
+    @property
+    def toc_cents(self) -> float:
+        return self.report.toc_cents
+
+    @property
+    def run_result(self):
+        return self.report.run_result
+
+
 class OnlineAdvisor:
     """Epoch-driven re-provisioning on top of the DOT pipeline.
 
@@ -204,7 +312,12 @@ class OnlineAdvisor:
         A :class:`~repro.sla.constraints.RelativeSLA` re-resolved against
         the best-performing reference layout *per epoch* (the caps track
         the drifting workload), or an absolute constraint applied as-is,
-        or ``None``.
+        or ``None``.  Pure epochs apply the SLA exactly as declared
+        (metric included -- the PR-4 behaviour); on *cross-kind* epochs a
+        relative SLA's metric follows each component's kind -- response-time
+        caps for DSS, a throughput floor for OLTP (the paper's binding) --
+        which is what lets one SLA govern both sides of an OLTP<->DSS
+        drift.
     thresholds:
         Drift sensitivities for the telemetry monitor.
     policy:
@@ -232,6 +345,33 @@ class OnlineAdvisor:
         workload and calls ``solver.solve(context,
         initial_layout=deployed)``, so any protocol-conforming solver can
         drive the loop.
+    profile_source:
+        ``"telemetry"`` (default) builds each re-tier's workload profiles
+        from the monitor's observed per-object I/O counts (the estimator
+        replay only runs at the cold initial provisioning);
+        ``"estimator"`` forces the paper's refinement-phase shortcut of
+        re-profiling every drifted epoch through the optimizer's ``M^K``
+        baseline enumeration.
+    predictor:
+        An optional :class:`~repro.online.monitor.TrendPredictor`; when
+        set, epochs whose *extrapolated* telemetry crosses the drift
+        thresholds re-optimize before the drift materialises (against the
+        projected profile), still gated by the amortization ``policy``.
+        Requires telemetry (it is independent of ``profile_source`` only in
+        that the cold start still profiles through the estimator).
+    migration_execution:
+        ``"analytic"`` (default) prices migrations with the closed-form
+        :class:`~repro.online.migration.MigrationCostModel`;
+        ``"simulated"`` executes the plan's byte batches on the device
+        simulator contending with the epoch workload
+        (:class:`~repro.online.migration.MigrationExecutor`), keeping the
+        analytic price attached as a cross-check.
+    retier_on_sla_violation:
+        When True, an epoch whose observed PSR drops below 1.0 re-optimizes
+        even if the telemetry drift axes stayed inside their thresholds (the
+        paper's refinement phase reacts to SLA violations the same way).
+        Off by default: the drift-only loop is the regression-locked legacy
+        behaviour.
     """
 
     def __init__(
@@ -247,9 +387,17 @@ class OnlineAdvisor:
         initial_layout: Optional[Layout] = None,
         capacity_relaxed_walk: bool = True,
         solver: Optional[Solver] = None,
+        profile_source: str = "telemetry",
+        predictor: Optional[TrendPredictor] = None,
+        migration_execution: str = "analytic",
+        retier_on_sla_violation: bool = False,
     ):
         if evaluation_mode not in ("estimate", "run"):
             raise ValueError(f"unknown evaluation mode {evaluation_mode!r}")
+        if profile_source not in ("telemetry", "estimator"):
+            raise ValueError(f"unknown profile source {profile_source!r}")
+        if migration_execution not in ("analytic", "simulated"):
+            raise ValueError(f"unknown migration execution mode {migration_execution!r}")
         self.objects = list(objects)
         self.system = system
         self.estimator = estimator
@@ -261,12 +409,47 @@ class OnlineAdvisor:
         self.initial_layout = initial_layout
         self.capacity_relaxed_walk = capacity_relaxed_walk
         self.solver = solver or DOTSolver(capacity_relaxed_walk=capacity_relaxed_walk)
+        self.profile_source = profile_source
+        self.predictor = predictor
+        self.migration_execution = migration_execution
+        self.retier_on_sla_violation = retier_on_sla_violation
+        self.migration_executor = (
+            MigrationExecutor(system, model=self.migration_model)
+            if migration_execution == "simulated"
+            else None
+        )
         self.toc_model = TOCModel(estimator)
+        #: Per-epoch memo of resolved constraints, keyed by component id
+        #: (see :meth:`_resolved_constraint`).
+        self._constraint_memo: Dict[int, Optional[PerformanceConstraint]] = {}
 
     # ------------------------------------------------------------------
     def reference_layout(self) -> Layout:
         """The best-performing reference: everything on the priciest class."""
         return Layout.uniform(self.objects, self.system, self.system.most_expensive().name)
+
+    @staticmethod
+    def _components(workload) -> List[Tuple[object, float]]:
+        """The pure-kind components of a workload with their blend weights."""
+        if getattr(workload, "kind", "dss") == "mixed":
+            return list(workload.components)
+        return [(workload, 1.0)]
+
+    @staticmethod
+    def _lead_workload(workload):
+        """The workload the re-optimization solves for (dominant component)."""
+        if getattr(workload, "kind", "dss") == "mixed":
+            return workload.dominant
+        return workload
+
+    def _cache_for(self, caches: Dict[int, QueryEstimateCache], workload) -> QueryEstimateCache:
+        """The shared estimate cache for a workload's concurrency."""
+        concurrency = getattr(workload, "concurrency", 1)
+        cache = caches.get(concurrency)
+        if cache is None:
+            cache = QueryEstimateCache(self.estimator, concurrency)
+            caches[concurrency] = cache
+        return cache
 
     def _epoch_evaluator(self, workload, cache: Optional[QueryEstimateCache]):
         """A cache-backed estimate evaluator for one epoch's workload.
@@ -288,12 +471,32 @@ class OnlineAdvisor:
             return evaluator.evaluate(layout)
         return self.toc_model.evaluate(layout, workload, mode="estimate")
 
-    def _epoch_constraint(self, workload, evaluator=None) -> Optional[PerformanceConstraint]:
-        """Resolve the SLA for one epoch's workload (estimate-derived caps)."""
-        if self.sla is None or isinstance(self.sla, PerformanceConstraint):
-            return self.sla
+    def _epoch_constraint(self, workload, evaluator=None,
+                          sla=None) -> Optional[PerformanceConstraint]:
+        """Resolve the SLA for one epoch's workload (estimate-derived caps).
+
+        ``sla`` overrides the advisor-level SLA (cross-kind epochs resolve
+        each component against the metric its kind carries).
+        """
+        chosen = self.sla if sla is None else sla
+        if chosen is None or isinstance(chosen, PerformanceConstraint):
+            return chosen
         reference = self._estimate(self.reference_layout(), workload, evaluator)
-        return self.sla.resolve(reference.run_result)
+        return chosen.resolve(reference.run_result)
+
+    def _component_sla(self, workload) -> Optional[Union[RelativeSLA, PerformanceConstraint]]:
+        """The SLA as it applies to one pure component of a mixed epoch.
+
+        A relative SLA's metric follows the component's kind (response time
+        for DSS, throughput for OLTP); absolute constraints and ``None``
+        pass through unchanged.
+        """
+        if not isinstance(self.sla, RelativeSLA):
+            return self.sla
+        metric = "throughput" if getattr(workload, "is_oltp", False) else "response_time"
+        if metric == self.sla.metric:
+            return self.sla
+        return RelativeSLA(self.sla.ratio, metric=metric)
 
     @staticmethod
     def _as_epoch(item: Union[EpochWorkload, Workload], position: int) -> EpochWorkload:
@@ -301,12 +504,173 @@ class OnlineAdvisor:
             return item
         return EpochWorkload(epoch=position, weights=(1.0,), workload=item)
 
+    def _resolved_constraint(self, component, evaluator,
+                             adapt_sla: bool) -> Optional[PerformanceConstraint]:
+        """The component's epoch constraint, resolved at most once per epoch.
+
+        ``adapt_sla`` is True only for components of a *mixed* epoch, where
+        a relative SLA's metric must follow each component's kind; pure
+        epochs apply the advisor SLA exactly as declared (the PR-4
+        behaviour, regression-locked).  A single epoch evaluates its
+        components several times (observation, candidate gate, rebase
+        refresh, run-mode accounting); the resolved caps are identical each
+        time, so they are memoized per component object.  :meth:`run` /
+        :meth:`evaluate_frozen` clear the memo at every epoch boundary --
+        constraints must track the drifting workload, and component
+        identity is only stable within an epoch.
+        """
+        key = id(component)
+        if key not in self._constraint_memo:
+            sla = self._component_sla(component) if adapt_sla else self.sla
+            self._constraint_memo[key] = self._epoch_constraint(
+                component, evaluator, sla=sla
+            )
+        return self._constraint_memo[key]
+
+    # ------------------------------------------------------------------
+    # Epoch evaluation (pure and cross-kind)
+    # ------------------------------------------------------------------
+    def _evaluate_component(
+        self,
+        layout: Layout,
+        component,
+        caches: Dict[int, QueryEstimateCache],
+        mode: str,
+        adapt_sla: bool = False,
+    ) -> Tuple[TOCReport, float]:
+        """Score one pure-kind component: its TOC report and PSR.
+
+        The SLA is resolved through the cache-backed estimate evaluator in
+        *both* modes (constraint caps are estimate-derived by convention);
+        only the accounted report switches to a simulated run in run mode.
+        """
+        evaluator = self._epoch_evaluator(component, self._cache_for(caches, component))
+        constraint = self._resolved_constraint(component, evaluator, adapt_sla)
+        if mode == "estimate":
+            report = self._estimate(layout, component, evaluator)
+        else:
+            report = self.toc_model.evaluate(layout, component, mode="run")
+        psr = (
+            performance_satisfaction_ratio(constraint, report.run_result)
+            if constraint is not None
+            else 1.0
+        )
+        return report, psr
+
+    def _evaluate_epoch(
+        self,
+        layout: Layout,
+        workload,
+        caches: Dict[int, QueryEstimateCache],
+        mode: str = "estimate",
+    ) -> _EpochEvaluation:
+        """Score one layout against one epoch, blending across kinds.
+
+        Pure epochs reduce to the single component's own TOC report and PSR
+        (bit for bit what the one-workload loop computed); cross-kind epochs
+        evaluate every component with its own kind's machinery and blend TOC
+        and PSR by the phase weights.
+        """
+        components = self._components(workload)
+        if len(components) == 1:
+            report, psr = self._evaluate_component(layout, components[0][0], caches, mode)
+            return _EpochEvaluation(report=report, psr=psr)
+
+        blended = _BlendedRunResult(getattr(workload, "name", "workload"))
+        toc_cents = 0.0
+        psr = 0.0
+        for component, weight in components:
+            report, component_psr = self._evaluate_component(
+                layout, component, caches, mode, adapt_sla=True
+            )
+            toc_cents += weight * report.toc_cents
+            psr += weight * component_psr
+            blended.fold(component, report.run_result, weight)
+        report = TOCReport(
+            layout_name=layout.name,
+            workload_name=blended.workload_name,
+            metric="cents_blended",
+            layout_cost_cents_per_hour=self.toc_model.layout_cost(layout),
+            execution_time_s=None,
+            throughput_tasks_per_hour=None,
+            transactions_per_minute=None,
+            toc_cents=toc_cents,
+            run_result=blended,
+        )
+        return _EpochEvaluation(report=report, psr=psr)
+
+    # ------------------------------------------------------------------
+    # Migration pricing
+    # ------------------------------------------------------------------
+    def _component_busy_ms(self, layout: Layout, workload, run_result) -> Dict[str, float]:
+        """Per-class busy time of one pure component's observation.
+
+        The incremental DSS evaluator does not type busy time by class (the
+        drift loop never needed it), so it is reconstructed here from the
+        observed per-object counts and the deployed layout's placement --
+        the same ``CostModel.io_time_by_class`` the full estimator uses, at
+        the component's own concurrency calibration point.
+        """
+        busy = getattr(run_result, "busy_time_by_class_ms", None)
+        if busy:
+            return dict(busy)
+        cost_model = CostModel(
+            layout.placement(),
+            concurrency=getattr(workload, "concurrency", 1),
+            parameters=self.estimator.parameters,
+        )
+        return cost_model.io_time_by_class(run_result.io_by_object)
+
+    def _contention_context(self, layout: Layout, workload, observed: _EpochEvaluation):
+        """The background load the simulated migration contends with.
+
+        Cross-kind epochs reconstruct busy time *per component* (each at
+        its own concurrency, weighted by its phase share) -- service times
+        at concurrency 300 and concurrency 1 differ, so typing the merged
+        counts at one calibration point would misprice the contention.
+        """
+        run_result = observed.run_result
+        window = _BlendedRunResult(run_result.workload_name)
+        component_results = getattr(run_result, "component_results", None)
+        if component_results:
+            for component, weight, result in component_results:
+                for class_name, busy_ms in self._component_busy_ms(
+                        layout, component, result).items():
+                    window.busy_time_by_class_ms[class_name] = (
+                        window.busy_time_by_class_ms.get(class_name, 0.0)
+                        + weight * busy_ms
+                    )
+        else:
+            window.busy_time_by_class_ms = self._component_busy_ms(
+                layout, workload, run_result
+            )
+        window.total_time_s = run_result.total_time_s
+        return window
+
+    def _assess_migration(
+        self,
+        plan: MigrationPlan,
+        candidate: Layout,
+        workload,
+        observed: _EpochEvaluation,
+        deployed: Layout,
+    ) -> AnyMigrationCost:
+        """Price one migration plan (analytic, or simulated under load)."""
+        if self.migration_executor is not None:
+            return self.migration_executor.execute(
+                plan,
+                workload_result=self._contention_context(deployed, workload, observed),
+                layout_cost_cents_per_hour=candidate.storage_cost_cents_per_hour(),
+            )
+        return self.migration_model.assess(
+            plan, layout_cost_cents_per_hour=candidate.storage_cost_cents_per_hour()
+        )
+
     # ------------------------------------------------------------------
     def run(self, epoch_workloads: Iterable[Union[EpochWorkload, Workload]]) -> OnlineRunResult:
         """Drive the re-provisioning loop over a sequence of epoch workloads."""
         records: List[EpochRecord] = []
-        cache: Optional[QueryEstimateCache] = None
-        profiler: Optional[WorkloadProfiler] = None
+        caches: Dict[int, QueryEstimateCache] = {}
         monitor: Optional[TelemetryMonitor] = None
         current: Optional[Layout] = None
         cumulative = 0.0
@@ -315,14 +679,12 @@ class OnlineAdvisor:
             epoch_item = self._as_epoch(item, position)
             epoch = epoch_item.epoch
             workload = epoch_item.workload
-            concurrency = getattr(workload, "concurrency", 1)
-            if cache is None:
-                cache = QueryEstimateCache(self.estimator, concurrency)
-                profiler = WorkloadProfiler(
-                    self.objects, self.system, self.estimator, estimate_cache=cache
-                )
+            self._constraint_memo.clear()
+            if monitor is None:
                 monitor = TelemetryMonitor(
-                    self.system, thresholds=self.thresholds, concurrency=concurrency
+                    self.system,
+                    thresholds=self.thresholds,
+                    concurrency=getattr(workload, "concurrency", 1),
                 )
             if current is None:
                 current = (
@@ -331,27 +693,58 @@ class OnlineAdvisor:
                     else self.reference_layout()
                 )
 
-            evaluator = self._epoch_evaluator(workload, cache)
-            constraint = self._epoch_constraint(workload, evaluator)
-
-            # 1 + 2: observe the epoch on the deployed layout, score drift.
-            observed = self._estimate(current, workload, evaluator)
+            # 1 + 2: observe the epoch on the deployed layout, score drift
+            # (and, with a predictor, the extrapolated drift).
+            observed = self._evaluate_epoch(current, workload, caches)
             monitor.observe(epoch, observed.run_result)
             decision = monitor.check_drift()
-
-            # 3 + 4: on drift (or at initial provisioning), re-optimize and
-            # gate the transition on the migration-aware TOC comparison.
             initial_epoch = not records
+            # Optional refinement-phase trigger: a deployed layout violating
+            # the epoch's SLA caps is re-optimized even when the telemetry
+            # axes stayed inside their thresholds (off by default -- the
+            # drift-only loop is the regression-locked legacy behaviour).
+            sla_trigger = (
+                self.retier_on_sla_violation
+                and not initial_epoch
+                and not decision.drifted
+                and not decision.in_cooldown
+                and observed.psr < 1.0
+            )
+            if sla_trigger:
+                decision = DriftDecision(
+                    drifted=decision.drifted,
+                    share_distance=decision.share_distance,
+                    volume_change=decision.volume_change,
+                    reason=f"SLA violation (PSR {observed.psr:.0%})",
+                )
+            forecast: Optional[PredictionDecision] = None
+            if (self.predictor is not None and not initial_epoch
+                    and not decision.drifted and not sla_trigger):
+                forecast = monitor.check_predicted_drift(self.predictor)
+            predicted_trigger = forecast is not None and forecast.predicted
+
+            # 3 + 4: on (predicted) drift or at initial provisioning,
+            # re-optimize and gate the transition on the migration-aware TOC
+            # comparison.
             reoptimized = False
             migrated = False
-            migration: Optional[MigrationCost] = None
+            migration: Optional[AnyMigrationCost] = None
             migration_reason = "no drift"
             dot_result: Optional[SolveResult] = None
-            retiered_report: Optional[TOCReport] = None
-            if initial_epoch or decision.drifted:
+            retiered_eval: Optional[_EpochEvaluation] = None
+            if initial_epoch or decision.drifted or predicted_trigger or sla_trigger:
                 reoptimized = True
+                mixed = getattr(workload, "kind", "dss") == "mixed"
+                lead = self._lead_workload(workload)
+                lead_cache = self._cache_for(caches, lead)
+                lead_evaluator = self._epoch_evaluator(lead, lead_cache)
+                lead_sla = self._component_sla(lead) if mixed else self.sla
+                lead_constraint = self._resolved_constraint(lead, lead_evaluator, mixed)
+                profiles = self._reprofile(
+                    monitor, lead, lead_cache, initial_epoch, forecast if predicted_trigger else None
+                )
                 dot_result, candidate = self._reoptimize(
-                    workload, profiler, cache, constraint,
+                    lead, lead_cache, lead_constraint, lead_sla, profiles,
                     warm_from=None if initial_epoch else current,
                 )
                 if candidate is None or candidate == current:
@@ -365,28 +758,42 @@ class OnlineAdvisor:
                     monitor.mark_reprovisioned(epoch, observed.run_result)
                 elif initial_epoch:
                     current = candidate.renamed(f"DOT@epoch{epoch}")
-                    retiered_report = self._rebase_monitor(
-                        monitor, epoch, current, workload, evaluator
+                    retiered_eval = self._rebase_monitor(
+                        monitor, epoch, current, workload, caches
                     )
                     migrated = True
                     migration_reason = "initial provisioning (not charged)"
                 else:
                     plan = MigrationPlan.between(current, candidate)
-                    migration = self.migration_model.assess(
-                        plan, layout_cost_cents_per_hour=candidate.storage_cost_cents_per_hour()
+                    migration = self._assess_migration(
+                        plan, candidate, workload, observed, current
                     )
-                    if self.policy.should_migrate(
-                        observed.toc_cents, dot_result.toc_cents, migration.cost_cents
+                    candidate_toc = self._candidate_toc(
+                        candidate, workload, caches, dot_result
+                    )
+                    # Restoring SLA feasibility is a constraint, not a cost
+                    # tradeoff: the amortization gate only prices re-tiers
+                    # between feasible layouts.
+                    if sla_trigger or self.policy.should_migrate(
+                        observed.toc_cents, candidate_toc, migration.cost_cents
                     ):
                         current = candidate.renamed(f"DOT@epoch{epoch}")
-                        retiered_report = self._rebase_monitor(
-                            monitor, epoch, current, workload, evaluator
+                        retiered_eval = self._rebase_monitor(
+                            monitor, epoch, current, workload, caches
                         )
                         migrated = True
-                        migration_reason = (
-                            f"projected net saving "
-                            f"{self.policy.projected_net_saving_cents(observed.toc_cents, dot_result.toc_cents, migration.cost_cents):.4g} c"
-                        )
+                        if sla_trigger:
+                            migration_reason = (
+                                f"restores SLA feasibility (PSR {observed.psr:.0%})"
+                            )
+                        else:
+                            saving = self.policy.projected_net_saving_cents(
+                                observed.toc_cents, candidate_toc, migration.cost_cents
+                            )
+                            migration_reason = (
+                                f"{'anticipated' if predicted_trigger else 'projected'} "
+                                f"net saving {saving:.4g} c"
+                            )
                     else:
                         migration = None
                         migration_reason = "migration cost exceeds projected saving"
@@ -396,20 +803,15 @@ class OnlineAdvisor:
             # `observed` when it did not change, the rebase refresh when it
             # did -- so nothing is recomputed.
             if self.evaluation_mode == "estimate":
-                report = retiered_report if retiered_report is not None else observed
+                final = retiered_eval if retiered_eval is not None else observed
             else:
                 # Simulated test runs are stateful (noise RNG) and must
                 # never be served from the estimate tables.
-                report = self.toc_model.evaluate(current, workload, mode="run")
-            psr = (
-                performance_satisfaction_ratio(constraint, report.run_result)
-                if constraint is not None
-                else 1.0
-            )
+                final = self._evaluate_epoch(current, workload, caches, mode="run")
             migration_charge = (
                 migration.cost_cents if migrated and migration is not None else 0.0
             )
-            epoch_cost = report.toc_cents + migration_charge
+            epoch_cost = final.toc_cents + migration_charge
             cumulative += epoch_cost
             records.append(
                 EpochRecord(
@@ -417,8 +819,8 @@ class OnlineAdvisor:
                     workload_name=getattr(workload, "name", "workload"),
                     phase_weights=tuple(epoch_item.weights),
                     layout=current,
-                    toc_cents=report.toc_cents,
-                    psr=psr,
+                    toc_cents=final.toc_cents,
+                    psr=final.psr,
                     drift=decision,
                     reoptimized=reoptimized,
                     migrated=migrated,
@@ -427,36 +829,98 @@ class OnlineAdvisor:
                     epoch_cost_cents=epoch_cost,
                     cumulative_cost_cents=cumulative,
                     dot_result=dot_result,
-                    report=report,
+                    report=final.report,
+                    predicted=predicted_trigger,
+                    forecast=forecast,
                 )
             )
-        return OnlineRunResult(records=records)
+        return OnlineRunResult(
+            records=records,
+            cache_hits=sum(cache.hits for cache in caches.values()),
+            cache_misses=sum(cache.misses for cache in caches.values()),
+        )
 
     # ------------------------------------------------------------------
-    def _rebase_monitor(self, monitor: TelemetryMonitor, epoch: int,
-                        layout: Layout, workload, evaluator) -> TOCReport:
+    def _candidate_toc(
+        self,
+        candidate: Layout,
+        workload,
+        caches: Dict[int, QueryEstimateCache],
+        dot_result: SolveResult,
+    ) -> float:
+        """The candidate layout's epoch TOC for the amortization gate.
+
+        Pure epochs reuse the solver's own report (bit for bit the legacy
+        gate input); cross-kind epochs blend the candidate's per-component
+        TOCs, since the solver only scored the dominant component.
+        """
+        if getattr(workload, "kind", "dss") != "mixed":
+            return dot_result.toc_cents
+        return self._evaluate_epoch(candidate, workload, caches).toc_cents
+
+    # ------------------------------------------------------------------
+    def _rebase_monitor(self, monitor: TelemetryMonitor, epoch: int, layout: Layout,
+                        workload, caches: Dict[int, QueryEstimateCache]) -> _EpochEvaluation:
         """Point the drift reference at the new layout's own telemetry.
 
         I/O counts depend on the layout (a re-tier can flip plans), so the
         reference must be what the monitor will see for an *unchanged*
         workload under the *new* layout -- otherwise every epoch after a
         re-tier scores phantom drift and re-optimizes for nothing.  Returns
-        the new layout's report so the caller can account the epoch from it.
+        the new layout's evaluation so the caller can account the epoch
+        from it.
         """
-        refreshed = self._estimate(layout, workload, evaluator)
+        refreshed = self._evaluate_epoch(layout, workload, caches)
         monitor.mark_reprovisioned(epoch, refreshed.run_result)
         return refreshed
+
+    # ------------------------------------------------------------------
+    def _reprofile(
+        self,
+        monitor: TelemetryMonitor,
+        lead,
+        cache: QueryEstimateCache,
+        initial_epoch: bool,
+        forecast: Optional[PredictionDecision],
+    ) -> WorkloadProfileSet:
+        """The workload profiles a re-optimization consumes.
+
+        * **Predictive trigger** -- the trend predictor's *projected*
+          per-object counts, so DOT's move ordering anticipates where the
+          I/O is heading rather than where it was.
+        * **Telemetry (warm)** -- the monitor's latest observed counts.  No
+          estimator call and *no estimate-cache warm-up* happens here: the
+          single-pattern profile set is a pure re-labelling of telemetry the
+          loop already paid for (the regression tests pin the cache-stats
+          counters on this).
+        * **Cold start / ``profile_source="estimator"``** -- the paper's
+          refinement-phase shortcut: the epoch workload is re-profiled
+          through the optimizer's ``M^K`` baseline enumeration (shared
+          estimate cache, so repeated epochs replay from the tables).
+        """
+        concurrency = getattr(lead, "concurrency", 1)
+        if forecast is not None and forecast.io_by_object:
+            return monitor.profile_set_from_counts(
+                forecast.io_by_object, concurrency=concurrency
+            )
+        if self.profile_source == "telemetry" and not initial_epoch and monitor.history:
+            return monitor.profile_set(concurrency=concurrency)
+        profiler = WorkloadProfiler(
+            self.objects, self.system, self.estimator, estimate_cache=cache
+        )
+        return profiler.profile(lead, mode="estimate")
 
     # ------------------------------------------------------------------
     def _reoptimize(
         self,
         workload,
-        profiler: WorkloadProfiler,
         cache: QueryEstimateCache,
         constraint: Optional[PerformanceConstraint],
+        sla,
+        profiles: WorkloadProfileSet,
         warm_from: Optional[Layout],
     ) -> Tuple[SolveResult, Optional[Layout]]:
-        """Re-profile and re-solve, warm then (if infeasible) cold.
+        """Re-solve against the given profiles, warm then (if infeasible) cold.
 
         The epoch's problem is packaged as an
         :class:`~repro.core.context.EvaluationContext` (sharing the loop's
@@ -468,14 +932,13 @@ class OnlineAdvisor:
         the drift *tightened* the effective SLA), the cold restart explores
         from the fast end exactly as the paper's Procedure 1 does.
         """
-        profiles = profiler.profile(workload, mode="estimate")
         context = EvaluationContext(
             objects=self.objects,
             system=self.system,
             estimator=self.estimator,
             workload=workload,
             constraint=constraint,
-            sla=self.sla if isinstance(self.sla, RelativeSLA) else None,
+            sla=sla if isinstance(sla, RelativeSLA) else None,
             profiles=profiles,
             estimate_cache=cache,
         )
@@ -497,31 +960,21 @@ class OnlineAdvisor:
         workload with a stale layout.
         """
         records: List[FrozenEpochRecord] = []
-        cache: Optional[QueryEstimateCache] = None
+        caches: Dict[int, QueryEstimateCache] = {}
         cumulative = 0.0
         for position, item in enumerate(epoch_workloads):
             epoch_item = self._as_epoch(item, position)
             workload = epoch_item.workload
-            if cache is None:
-                cache = QueryEstimateCache(self.estimator, getattr(workload, "concurrency", 1))
-            evaluator = self._epoch_evaluator(workload, cache)
-            constraint = self._epoch_constraint(workload, evaluator)
-            if self.evaluation_mode == "estimate":
-                report = self._estimate(layout, workload, evaluator)
-            else:
-                report = self.toc_model.evaluate(layout, workload, mode="run")
-            psr = (
-                performance_satisfaction_ratio(constraint, report.run_result)
-                if constraint is not None
-                else 1.0
-            )
-            cumulative += report.toc_cents
+            self._constraint_memo.clear()
+            mode = "estimate" if self.evaluation_mode == "estimate" else "run"
+            evaluation = self._evaluate_epoch(layout, workload, caches, mode=mode)
+            cumulative += evaluation.toc_cents
             records.append(
                 FrozenEpochRecord(
                     epoch=epoch_item.epoch,
                     workload_name=getattr(workload, "name", "workload"),
-                    toc_cents=report.toc_cents,
-                    psr=psr,
+                    toc_cents=evaluation.toc_cents,
+                    psr=evaluation.psr,
                     cumulative_cost_cents=cumulative,
                 )
             )

@@ -25,12 +25,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import WorkloadError
-from repro.workloads.workload import Workload, blend_transaction_mixes
+from repro.workloads.workload import (
+    CrossKindWorkload,
+    Workload,
+    blend_transaction_mixes,
+)
 
 
 @dataclass(frozen=True)
@@ -174,7 +178,10 @@ class DriftingWorkloadGenerator:
     ----------
     phases:
         The component workloads; all must share one kind and concurrency
-        (the per-epoch result must be a single well-formed workload).
+        (the per-epoch result must be a single well-formed workload) unless
+        ``cross_kind=True``, which allows OLTP and DSS phases side by side
+        (same-kind phases still compose, the kinds are blended into
+        :class:`~repro.workloads.workload.CrossKindWorkload` epochs).
     schedule:
         Per-epoch phase weights; ``schedule.phase_names`` must match the
         phase names in order.
@@ -187,7 +194,7 @@ class DriftingWorkloadGenerator:
     """
 
     def __init__(self, phases: Sequence[WorkloadPhase], schedule: PhaseSchedule,
-                 seed: int = 2011, name: str = "drift"):
+                 seed: int = 2011, name: str = "drift", cross_kind: bool = False):
         if not phases:
             raise WorkloadError("a drifting workload needs at least one phase")
         if tuple(phase.name for phase in phases) != schedule.phase_names:
@@ -195,23 +202,33 @@ class DriftingWorkloadGenerator:
                 "schedule phase names must match the workload phases in order"
             )
         kinds = {phase.workload.kind for phase in phases}
-        if len(kinds) != 1:
-            raise WorkloadError("all phases of a drifting workload must share one kind")
-        concurrencies = {phase.workload.concurrency for phase in phases}
-        if len(concurrencies) != 1:
-            raise WorkloadError("all phases of a drifting workload must share one concurrency")
-        durations = {phase.workload.duration_s for phase in phases}
-        if next(iter(kinds)) == "oltp" and len(durations) != 1:
-            # blend_transaction_mixes would reject this anyway, but only at
-            # the first epoch whose weights actually mix the phases.
+        if not kinds <= {"dss", "oltp"}:
+            raise WorkloadError("drifting workload phases must be pure dss/oltp workloads")
+        if len(kinds) != 1 and not cross_kind:
             raise WorkloadError(
-                "all OLTP phases of a drifting workload must share one measurement window"
+                "all phases of a drifting workload must share one kind "
+                "(pass cross_kind=True to crossfade OLTP and DSS phases)"
             )
+        # Same-kind phases compose into one workload per epoch, so they must
+        # agree on the parameters a single workload carries; across kinds the
+        # components stay separate and may differ.
+        for kind in kinds:
+            same_kind = [phase.workload for phase in phases if phase.workload.kind == kind]
+            if len({workload.concurrency for workload in same_kind}) != 1:
+                raise WorkloadError(
+                    f"all {kind} phases of a drifting workload must share one concurrency"
+                )
+            if kind == "oltp" and len({workload.duration_s for workload in same_kind}) != 1:
+                # blend_transaction_mixes would reject this anyway, but only
+                # at the first epoch whose weights actually mix the phases.
+                raise WorkloadError(
+                    "all OLTP phases of a drifting workload must share one measurement window"
+                )
         self.phases = list(phases)
         self.schedule = schedule
         self.seed = seed
         self.name = name
-        self.kind = kinds.pop()
+        self.kind = kinds.pop() if len(kinds) == 1 else "mixed"
 
     # ------------------------------------------------------------------
     @property
@@ -230,8 +247,10 @@ class DriftingWorkloadGenerator:
                 name=epoch_name,
                 description=self._describe(epoch, weights),
             )
-        else:
+        elif self.kind == "dss":
             workload = self._compose_stream(epoch, weights, epoch_name)
+        else:
+            workload = self._compose_cross_kind(epoch, weights, epoch_name)
         return EpochWorkload(epoch=epoch, weights=weights, workload=workload)
 
     def epochs(self) -> Iterator[EpochWorkload]:
@@ -241,7 +260,9 @@ class DriftingWorkloadGenerator:
 
     # ------------------------------------------------------------------
     def _compose_stream(self, epoch: int, weights: Tuple[float, ...],
-                        epoch_name: str) -> Workload:
+                        epoch_name: str,
+                        phases: Optional[Sequence[WorkloadPhase]] = None,
+                        description: Optional[str] = None) -> Workload:
         """Weight-proportional interleave of the phase query streams.
 
         Each phase contributes ``round(weight * len(stream))`` queries (its
@@ -250,19 +271,78 @@ class DriftingWorkloadGenerator:
         phase so every epoch workload is non-empty.  The contributions are
         shuffled by a per-epoch seeded permutation.
         """
+        chosen = self.phases if phases is None else list(phases)
         contributions: List = []
-        for phase, weight in zip(self.phases, weights):
+        for phase, weight in zip(chosen, weights):
             stream = phase.workload.queries
             take = int(round(weight * len(stream)))
             contributions.extend(stream[:take])
         if not contributions:
             dominant = max(range(len(weights)), key=lambda k: weights[k])
-            contributions.append(self.phases[dominant].workload.queries[0])
+            contributions.append(chosen[dominant].workload.queries[0])
         rng = np.random.default_rng([self.seed, epoch])
         order = rng.permutation(len(contributions))
         queries = tuple(contributions[position] for position in order)
-        return self.phases[0].workload.with_stream(
-            queries, name=epoch_name, description=self._describe(epoch, weights)
+        if description is None:
+            description = self._describe(epoch, weights)
+        return chosen[0].workload.with_stream(
+            queries, name=epoch_name, description=description
+        )
+
+    def _compose_cross_kind(self, epoch: int, weights: Tuple[float, ...],
+                            epoch_name: str):
+        """One epoch of an OLTP<->DSS crossfade.
+
+        Phases are partitioned by kind; each kind's phases compose into one
+        pure workload under their renormalised weights (exactly as a
+        single-kind generator would), and the kind groups are blended by
+        their summed weights.  Epochs where only one kind carries weight
+        materialise as that pure workload, so the endpoints of a cross-kind
+        crossfade are ordinary :class:`~repro.workloads.workload.Workload`
+        instances; in between the epoch is a
+        :class:`~repro.workloads.workload.CrossKindWorkload`.
+        """
+        groups: List[Tuple[str, List[int]]] = []
+        for index, phase in enumerate(self.phases):
+            kind = phase.workload.kind
+            for group_kind, members in groups:
+                if group_kind == kind:
+                    members.append(index)
+                    break
+            else:
+                groups.append((kind, [index]))
+
+        components: List[Tuple[Workload, float]] = []
+        for kind, members in groups:
+            kind_weight = sum(weights[index] for index in members)
+            if kind_weight <= 0:
+                continue
+            sub_phases = [self.phases[index] for index in members]
+            sub_weights = tuple(weights[index] / kind_weight for index in members)
+            sub_name = f"{epoch_name}-{kind}"
+            if kind == "oltp":
+                composed = blend_transaction_mixes(
+                    [phase.workload for phase in sub_phases],
+                    sub_weights,
+                    name=sub_name,
+                    description=self._describe(epoch, weights),
+                )
+            else:
+                # The sub-stream carries the *epoch's* description (full
+                # phase names against full weights); the renormalised
+                # sub-weights only index the kind's own phases and would
+                # mislabel the blend if zipped against self.phases.
+                composed = self._compose_stream(
+                    epoch, sub_weights, sub_name, phases=sub_phases,
+                    description=self._describe(epoch, weights),
+                )
+            components.append((composed, kind_weight))
+        if len(components) == 1:
+            return components[0][0]
+        return CrossKindWorkload(
+            name=epoch_name,
+            components=tuple(components),
+            description=self._describe(epoch, weights),
         )
 
     def _describe(self, epoch: int, weights: Tuple[float, ...]) -> str:

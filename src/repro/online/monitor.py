@@ -1,4 +1,4 @@
-"""Telemetry aggregation and workload-drift detection.
+"""Telemetry aggregation, workload-drift detection and trend forecasting.
 
 The online advisor cannot see workload *definitions* change -- in a real
 deployment it only sees the I/O stream.  This module watches exactly that:
@@ -18,12 +18,26 @@ Either exceeding its threshold marks the epoch as drifted, which is the
 controller's trigger to re-profile and re-optimize.  A workload that does
 not change (and is observed noise-free, i.e. in estimate mode) scores 0.0
 on both axes and therefore never triggers a re-tier.
+
+Two consumers sit on top of the telemetry history:
+
+* :meth:`TelemetryMonitor.profile_set` turns the latest (or any projected)
+  per-object counts into a :class:`~repro.core.profiles.WorkloadProfileSet`,
+  which is how the controller re-profiles from *measurements* instead of
+  replaying the workload through the estimator;
+* :class:`TrendPredictor` extrapolates the per-object I/O-share trend over
+  the telemetry window (linear least-squares or EWMA slope) so the
+  controller can re-tier *before* a ramp or flash crowd peaks -- the
+  anticipated drift decision is gated by exactly the same thresholds (and
+  cooldown) as the reactive one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.profiles import BaselinePlacement, WorkloadProfileSet
 from repro.storage.storage_class import StorageSystem
@@ -48,12 +62,41 @@ class EpochTelemetry:
 
 @dataclass(frozen=True)
 class DriftDecision:
-    """Outcome of one drift check."""
+    """Outcome of one drift check.
+
+    ``in_cooldown`` is True when the thresholds were not even consulted
+    because too few epochs have elapsed since the last re-provision --
+    consumers adding their own triggers (the controller's SLA-violation
+    re-tier) must honour it to keep the thrash protection intact.
+    """
 
     drifted: bool
     share_distance: float
     volume_change: float
     reason: str
+    in_cooldown: bool = False
+
+
+@dataclass(frozen=True)
+class PredictionDecision:
+    """Outcome of one trend-extrapolation check.
+
+    ``share_distance`` / ``volume_change`` score the *projected* telemetry
+    (``epochs_ahead`` epochs past the latest observation) against the
+    last-provisioned reference, on the same two axes as
+    :class:`DriftDecision`; ``io_by_object`` carries the projected per-object
+    counts so the controller can re-profile against the anticipated workload
+    rather than the current one.
+    """
+
+    predicted: bool
+    share_distance: float
+    volume_change: float
+    epochs_ahead: int
+    reason: str
+    io_by_object: Dict[str, Dict[object, float]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
 
 @dataclass(frozen=True)
@@ -80,6 +123,147 @@ class DriftThresholds:
             raise ValueError("cooldown cannot be negative")
 
 
+@dataclass(frozen=True)
+class TrendPredictor:
+    """Extrapolates the per-object I/O-share trend of the telemetry window.
+
+    The predictor fits one slope per object to the I/O *shares* of the last
+    ``window`` epochs observed under the currently deployed layout (telemetry
+    from before the last re-provision is layout-dependent and excluded), plus
+    one slope to the total I/O volume, and projects both ``horizon_epochs``
+    ahead.  Projected shares are clipped at zero and renormalised; projected
+    counts distribute each object's projected total over its I/O types in the
+    proportions of the latest observation.
+
+    ``method`` selects the slope estimator:
+
+    * ``"linear"`` -- ordinary least squares over the window (robust to a
+      single noisy epoch, the default);
+    * ``"ewma"`` -- exponentially weighted average of the consecutive
+      per-epoch deltas with smoothing ``ewma_alpha`` (reacts faster to a
+      fresh ramp).
+
+    With fewer than ``min_history`` observations in the window no prediction
+    is made -- in particular, a freshly re-provisioned layout must accumulate
+    evidence again before the predictor can fire, which is the predictive
+    path's thrash protection on top of the monitor's cooldown.
+    """
+
+    window: int = 4
+    horizon_epochs: int = 2
+    method: str = "linear"
+    ewma_alpha: float = 0.5
+    min_history: int = 3
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError("trend window must span at least two epochs")
+        if self.horizon_epochs < 1:
+            raise ValueError("prediction horizon must be at least one epoch")
+        if self.method not in ("linear", "ewma"):
+            raise ValueError(f"unknown trend method {self.method!r}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("EWMA smoothing must be in (0, 1]")
+        if self.min_history < 2:
+            raise ValueError("need at least two observations to fit a trend")
+        if self.min_history > self.window:
+            raise ValueError(
+                "min_history cannot exceed the window: the truncated "
+                "telemetry could never satisfy it and the predictor would "
+                "silently never fire"
+            )
+
+    # ------------------------------------------------------------------
+    def _slope(self, epochs: Sequence[float], values: Sequence[float]) -> float:
+        """Per-epoch slope of one series under the configured estimator."""
+        if self.method == "linear":
+            x = np.asarray(epochs, dtype=float)
+            y = np.asarray(values, dtype=float)
+            x_centred = x - x.mean()
+            denominator = float(np.dot(x_centred, x_centred))
+            if denominator <= 0.0:
+                return 0.0
+            return float(np.dot(x_centred, y - y.mean()) / denominator)
+        slope = 0.0
+        primed = False
+        for position in range(1, len(values)):
+            gap = epochs[position] - epochs[position - 1]
+            if gap <= 0:
+                continue
+            delta = (values[position] - values[position - 1]) / gap
+            if not primed:
+                slope, primed = delta, True
+            else:
+                slope = self.ewma_alpha * delta + (1.0 - self.ewma_alpha) * slope
+        return slope
+
+    def project(self, telemetry_window: Sequence[EpochTelemetry]
+                ) -> Optional[EpochTelemetry]:
+        """The projected telemetry ``horizon_epochs`` past the latest epoch.
+
+        Returns ``None`` when the window holds fewer than ``min_history``
+        observations.  The projection is deterministic (no RNG).
+        """
+        entries = list(telemetry_window)[-self.window:]
+        if len(entries) < self.min_history:
+            return None
+        latest = entries[-1]
+        epochs = [float(entry.epoch) for entry in entries]
+        totals = [entry.total_ios for entry in entries]
+
+        object_names: List[str] = []
+        for entry in entries:
+            for name in entry.io_by_object:
+                if name not in object_names:
+                    object_names.append(name)
+        totals_by_entry = [entry.object_totals() for entry in entries]
+        sums_by_entry = [sum(totals.values()) for totals in totals_by_entry]
+        share_series: Dict[str, List[float]] = {
+            name: [
+                totals.get(name, 0.0) / total if total > 0 else 0.0
+                for totals, total in zip(totals_by_entry, sums_by_entry)
+            ]
+            for name in object_names
+        }
+
+        volume_hat = max(totals[-1] + self._slope(epochs, totals) * self.horizon_epochs, 0.0)
+        shares_hat = {
+            name: max(series[-1] + self._slope(epochs, series) * self.horizon_epochs, 0.0)
+            for name, series in share_series.items()
+        }
+        share_total = sum(shares_hat.values())
+        if share_total <= 0.0:
+            shares_hat = {name: series[-1] for name, series in share_series.items()}
+            share_total = sum(shares_hat.values())
+            if share_total <= 0.0:
+                return None
+        shares_hat = {name: share / share_total for name, share in shares_hat.items()}
+
+        io_by_object: Dict[str, Dict[object, float]] = {}
+        for name in object_names:
+            projected_total = shares_hat[name] * volume_hat
+            if projected_total <= 0.0:
+                continue
+            by_type = None
+            for entry in reversed(entries):
+                if name in entry.io_by_object and sum(entry.io_by_object[name].values()) > 0:
+                    by_type = entry.io_by_object[name]
+                    break
+            if by_type is None:
+                continue
+            type_total = sum(by_type.values())
+            io_by_object[name] = {
+                io_type: projected_total * (count / type_total)
+                for io_type, count in by_type.items()
+            }
+        return EpochTelemetry(
+            epoch=latest.epoch + self.horizon_epochs,
+            workload_name=latest.workload_name,
+            io_by_object=io_by_object,
+            total_ios=sum(sum(by_type.values()) for by_type in io_by_object.values()),
+        )
+
+
 class TelemetryMonitor:
     """Aggregates epoch telemetry and flags workload drift.
 
@@ -102,6 +286,7 @@ class TelemetryMonitor:
         self.history: List[EpochTelemetry] = []
         self._reference: Optional[EpochTelemetry] = None
         self._last_reprovision_epoch: Optional[int] = None
+        self._window: List[EpochTelemetry] = []
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -121,27 +306,56 @@ class TelemetryMonitor:
         """Fold one epoch's run result into the telemetry history."""
         telemetry = self._telemetry_from(epoch, run_result)
         self.history.append(telemetry)
+        self._window.append(telemetry)
         if self._reference is None:
             self._reference = telemetry
         return telemetry
 
-    def profile_set(self, pattern: Optional[BaselinePlacement] = None) -> WorkloadProfileSet:
+    def trend_window(self) -> List[EpochTelemetry]:
+        """Telemetry observed under the *currently deployed* layout.
+
+        Re-tiers can flip plans and shift I/O between objects, so slopes
+        fitted across a re-provision boundary would mistake the layout change
+        for workload drift; the window therefore restarts at every
+        :meth:`mark_reprovisioned` (seeded with the rebased reference).
+        """
+        return list(self._window)
+
+    def profile_set(self, pattern: Optional[BaselinePlacement] = None,
+                    concurrency: Optional[int] = None) -> WorkloadProfileSet:
         """A fresh single-pattern profile set from the latest telemetry.
 
         The paper's TPC-C profiling shows a single observed baseline is
         enough when plans are placement-stable; the pattern defaults to the
         all-most-expensive placement so
         :meth:`WorkloadProfileSet._lookup`'s single-profile fallback serves
-        every requested placement.
+        every requested placement.  ``concurrency`` overrides the monitor's
+        calibration point (the controller passes the epoch workload's own
+        concurrency when kinds drift).
         """
         if not self.history:
             raise ValueError("no telemetry observed yet")
-        latest = self.history[-1]
+        return self.profile_set_from_counts(
+            self.history[-1].io_by_object, pattern=pattern, concurrency=concurrency
+        )
+
+    def profile_set_from_counts(
+        self,
+        io_by_object: Dict[str, Dict[object, float]],
+        pattern: Optional[BaselinePlacement] = None,
+        concurrency: Optional[int] = None,
+    ) -> WorkloadProfileSet:
+        """Wrap arbitrary per-object counts (observed or projected) into a
+        single-pattern profile set -- the common carrier for telemetry-driven
+        and predictive re-profiling."""
         chosen = tuple(pattern) if pattern is not None else (
             self.system.most_expensive().name,
         )
-        profile = WorkloadProfileSet(system=self.system, concurrency=self.concurrency)
-        profile.add(chosen, latest.io_by_object)
+        profile = WorkloadProfileSet(
+            system=self.system,
+            concurrency=self.concurrency if concurrency is None else concurrency,
+        )
+        profile.add(chosen, io_by_object)
         return profile
 
     # ------------------------------------------------------------------
@@ -163,6 +377,7 @@ class TelemetryMonitor:
                 return DriftDecision(
                     False, share, volume,
                     f"cooldown ({elapsed}/{self.thresholds.min_epochs_between} epochs)",
+                    in_cooldown=True,
                 )
 
         if share > self.thresholds.share_threshold:
@@ -177,6 +392,54 @@ class TelemetryMonitor:
             )
         return DriftDecision(False, share, volume, "within thresholds")
 
+    def check_predicted_drift(self, predictor: TrendPredictor) -> PredictionDecision:
+        """Score the predictor's projected telemetry against the reference.
+
+        The projection is gated by the same thresholds and re-provision
+        cooldown as :meth:`check_drift`, so a predictive controller can never
+        re-tier more often than its thrash protection allows; it only gets to
+        re-tier *earlier* when the trend says the thresholds are about to be
+        crossed.
+        """
+        reference = self._reference
+        if reference is None or not self.history:
+            return PredictionDecision(False, 0.0, 0.0, predictor.horizon_epochs,
+                                      "no telemetry yet")
+        latest = self.history[-1]
+        if self._last_reprovision_epoch is not None:
+            elapsed = latest.epoch - self._last_reprovision_epoch
+            if elapsed < self.thresholds.min_epochs_between:
+                return PredictionDecision(
+                    False, 0.0, 0.0, predictor.horizon_epochs,
+                    f"cooldown ({elapsed}/{self.thresholds.min_epochs_between} epochs)",
+                )
+        projected = predictor.project(self.trend_window())
+        if projected is None:
+            return PredictionDecision(
+                False, 0.0, 0.0, predictor.horizon_epochs,
+                f"insufficient telemetry ({len(self._window)}/{predictor.min_history} epochs)",
+            )
+        share = self._share_distance(reference, projected)
+        volume = self._volume_change(reference, projected)
+        if share > self.thresholds.share_threshold:
+            return PredictionDecision(
+                True, share, volume, predictor.horizon_epochs,
+                f"projected I/O share moves {share:.1%} > "
+                f"{self.thresholds.share_threshold:.1%} within "
+                f"{predictor.horizon_epochs} epochs",
+                io_by_object=projected.io_by_object,
+            )
+        if volume > self.thresholds.volume_threshold:
+            return PredictionDecision(
+                True, share, volume, predictor.horizon_epochs,
+                f"projected I/O volume changes {volume:.1%} > "
+                f"{self.thresholds.volume_threshold:.1%} within "
+                f"{predictor.horizon_epochs} epochs",
+                io_by_object=projected.io_by_object,
+            )
+        return PredictionDecision(False, share, volume, predictor.horizon_epochs,
+                                  "projection within thresholds")
+
     def mark_reprovisioned(self, epoch: int, run_result=None) -> None:
         """Reset the drift reference after a re-provision at ``epoch``.
 
@@ -184,13 +447,15 @@ class TelemetryMonitor:
         I/O between objects), so callers should pass the ``run_result``
         observed *under the newly deployed layout* -- otherwise the next
         epoch's unchanged workload would score spurious drift against
-        counts measured on the old layout.
+        counts measured on the old layout.  The trend window restarts at the
+        new reference.
         """
         if run_result is not None:
             self._reference = self._telemetry_from(epoch, run_result)
         elif self.history:
             self._reference = self.history[-1]
         self._last_reprovision_epoch = epoch
+        self._window = [self._reference] if self._reference is not None else []
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -385,6 +385,71 @@ def _drift_bundle(
     )
 
 
+def _crosskind_drift_bundle(
+    scale_factor: float,
+    warehouses: int,
+    oltp_concurrency: int,
+    num_epochs: int,
+    seed: int,
+    olap_repetitions: int,
+    schedule=None,
+) -> ScenarioBundle:
+    # Imported lazily: the online subsystem is optional for scenario users.
+    from repro.online.drift import DriftingWorkloadGenerator, PhaseSchedule, WorkloadPhase
+    from repro.workloads.crosskind import tpch_tpcc_workloads
+
+    catalog, oltp, dss = tpch_tpcc_workloads(
+        scale_factor=scale_factor,
+        warehouses=warehouses,
+        oltp_concurrency=oltp_concurrency,
+        olap_repetitions=olap_repetitions,
+    )
+
+    def estimator_factory():
+        # No noise and no buffer pool: estimates equal simulated runs, so the
+        # drift study is deterministic end to end.
+        return WorkloadEstimator(catalog, noise=0.0, buffer_pool=None)
+
+    phases = [WorkloadPhase("tpcc", oltp), WorkloadPhase("tpch", dss)]
+    chosen_schedule = schedule or PhaseSchedule.crossfade(num_epochs, ("tpcc", "tpch"))
+    generator = DriftingWorkloadGenerator(
+        phases, chosen_schedule, seed=seed, cross_kind=True,
+        name=f"tpcc-to-tpch-sf{scale_factor:g}-w{warehouses}",
+    )
+    return ScenarioBundle(
+        name="tpch_tpcc_crosskind_drift",
+        catalog=catalog,
+        workload=oltp,
+        estimator=estimator_factory(),
+        objects=catalog.database_objects(),
+        estimator_factory=estimator_factory,
+        extras={
+            "generator": generator,
+            "schedule": chosen_schedule,
+            "transactional": oltp,
+            "analytical": dss,
+        },
+    )
+
+
+register(Scenario(
+    name="tpch_tpcc_crosskind_drift",
+    description="Cross-kind drift: the TPC-C transaction mix (throughput "
+                "metric, closed-loop clients) crossfades into the TPC-H "
+                "query stream (response-time metric) over one merged "
+                "catalog; blended epochs are CrossKindWorkloads whose TOC "
+                "the online controller mixes by the phase weights.",
+    workload="TPC-C mix -> TPC-H original crossfade (kind-mixed epochs)",
+    system="Box 1 / Box 2",
+    constraint="relative SLA, metric per component kind",
+    figure="— (repo: experiments.drift.crosskind / bench_online_drift)",
+    builder=_crosskind_drift_bundle,
+    defaults={"scale_factor": 2.0, "warehouses": 30, "oltp_concurrency": 100,
+              "num_epochs": 12, "seed": 2024, "olap_repetitions": 1,
+              "schedule": None},
+))
+
+
 register(Scenario(
     name="tpch_drift_crossfade",
     description="OLTP-to-OLAP crossfade: the modified workload smoothly "

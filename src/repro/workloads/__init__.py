@@ -1,6 +1,28 @@
-"""Workload definitions: the generic container plus TPC-H / TPC-C style generators."""
+"""Workload definitions: the generic container plus TPC-H / TPC-C style generators.
 
-from repro.workloads.workload import Workload, blend_transaction_mixes
-from repro.workloads import synthetic, tpcc, tpch
+Besides the single-kind :class:`~repro.workloads.workload.Workload`
+container and the benchmark-style generators (:mod:`repro.workloads.tpch`,
+:mod:`repro.workloads.tpcc`, :mod:`repro.workloads.synthetic`), the package
+provides the cross-kind machinery the online drift study uses:
+:class:`~repro.workloads.workload.CrossKindWorkload` blends an OLTP mix and
+a DSS stream into one epoch, and :mod:`repro.workloads.crosskind` merges the
+TPC-H and TPC-C schemas into a single catalog so the two benchmarks can
+crossfade over one object universe.
+"""
 
-__all__ = ["Workload", "blend_transaction_mixes", "synthetic", "tpcc", "tpch"]
+from repro.workloads.workload import (
+    CrossKindWorkload,
+    Workload,
+    blend_transaction_mixes,
+)
+from repro.workloads import crosskind, synthetic, tpcc, tpch
+
+__all__ = [
+    "CrossKindWorkload",
+    "Workload",
+    "blend_transaction_mixes",
+    "crosskind",
+    "synthetic",
+    "tpcc",
+    "tpch",
+]

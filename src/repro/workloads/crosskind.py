@@ -1,0 +1,153 @@
+"""Cross-kind workload composition: TPC-C transactions beside TPC-H queries.
+
+The cross-kind drift study needs an OLTP phase and a DSS phase placing the
+*same* object universe -- but the TPC-H and TPC-C schemas collide on table
+names (both define ``customer`` and ``orders``).  This module provides the
+renaming machinery that merges the two catalogs into one:
+
+* :func:`prefixed_catalog` rebuilds a catalog with every table and index
+  renamed under a prefix (statistics are re-derived from the original row
+  counts, so sizes are bit-identical);
+* :func:`prefixed_query` rewrites a query's accesses, joins and writes onto
+  the renamed objects;
+* :func:`merge_catalogs` unions catalogs into a fresh one (name collisions
+  raise, as they would on a real database);
+* :func:`tpch_tpcc_workloads` wires it all: one merged catalog carrying the
+  TPC-H tables plus the ``tpcc_``-prefixed TPC-C tables, the TPC-C
+  transaction mix rewritten onto the prefixed objects, and the TPC-H query
+  stream untouched -- ready to crossfade as the two phases of a
+  :class:`~repro.online.drift.DriftingWorkloadGenerator` with
+  ``cross_kind=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Optional, Set, Tuple
+
+from repro.dbms.catalog import DatabaseCatalog
+from repro.dbms.query import Query
+from repro.dbms.schema import Index, Table
+from repro.workloads import tpcc, tpch
+from repro.workloads.workload import Workload
+
+
+def prefixed_catalog(catalog: DatabaseCatalog, prefix: str,
+                     name: Optional[str] = None) -> DatabaseCatalog:
+    """Rebuild a catalog with every table and index renamed under ``prefix``.
+
+    Statistics are re-derived from the original row counts over unchanged
+    column definitions, so every object's size (and therefore every layout
+    cost downstream) matches the unprefixed catalog exactly.
+    """
+    renamed = DatabaseCatalog(name=name or f"{prefix}{catalog.name}")
+    for table_name in catalog.table_names:
+        table = catalog.table(table_name)
+        renamed.add_table(
+            Table(name=f"{prefix}{table.name}", columns=table.columns),
+            catalog.table_stats(table_name).row_count,
+        )
+    for index_name in catalog.index_names:
+        index = catalog.index(index_name)
+        renamed.add_index(
+            Index(
+                name=f"{prefix}{index.name}",
+                table=f"{prefix}{index.table}",
+                columns=index.columns,
+                unique=index.unique,
+                primary=index.primary,
+            )
+        )
+    return renamed
+
+
+def prefixed_query(query: Query, prefix: str, known: Set[str]) -> Query:
+    """Rewrite a query onto prefixed object names.
+
+    Only names in ``known`` (the renamed catalog's original tables and
+    indexes) are prefixed, so queries that also touch shared objects keep
+    those references intact.
+    """
+
+    def rename(object_name):
+        if object_name is None:
+            return None
+        return f"{prefix}{object_name}" if object_name in known else object_name
+
+    return replace(
+        query,
+        accesses=tuple(
+            replace(access, table=rename(access.table), index=rename(access.index))
+            for access in query.accesses
+        ),
+        joins=tuple(
+            replace(join, inner_index=rename(join.inner_index))
+            for join in query.joins
+        ),
+        writes=tuple(
+            replace(
+                write,
+                table=rename(write.table),
+                indexes=tuple(rename(index_name) for index_name in write.indexes),
+            )
+            for write in query.writes
+        ),
+    )
+
+
+def merge_catalogs(name: str, catalogs: Iterable[DatabaseCatalog]) -> DatabaseCatalog:
+    """Union several catalogs into a fresh one (collisions raise).
+
+    Tables and indexes are re-registered in catalog order; statistics are
+    re-derived from the original row counts, which reproduces them exactly.
+    """
+    merged = DatabaseCatalog(name=name)
+    for catalog in catalogs:
+        for table_name in catalog.table_names:
+            merged.add_table(
+                catalog.table(table_name), catalog.table_stats(table_name).row_count
+            )
+        for index_name in catalog.index_names:
+            merged.add_index(catalog.index(index_name))
+    return merged
+
+
+def tpch_tpcc_workloads(
+    scale_factor: float = 2.0,
+    warehouses: int = 30,
+    oltp_concurrency: int = 100,
+    olap_repetitions: int = 1,
+    tpcc_prefix: str = "tpcc_",
+) -> Tuple[DatabaseCatalog, Workload, Workload]:
+    """One merged TPC-H + TPC-C universe with its two phase workloads.
+
+    Returns ``(catalog, oltp, dss)``: the merged catalog (TPC-H tables
+    unprefixed, TPC-C tables under ``tpcc_prefix``), the TPC-C standard mix
+    rewritten onto the prefixed objects (throughput metric, closed-loop
+    ``oltp_concurrency``), and the original TPC-H query stream.  The two
+    workloads reference disjoint object sets of the same catalog, which is
+    precisely what an OLTP->DSS crossfade drifts between: the I/O share
+    moves from the transactional tables to the analytical ones.
+    """
+    tpch_catalog = tpch.build_catalog(scale_factor)
+    tpcc_catalog = tpcc.build_catalog(warehouses)
+    known = set(tpcc_catalog.table_names) | set(tpcc_catalog.index_names)
+    merged = merge_catalogs(
+        f"tpch-sf{scale_factor:g}+tpcc-w{warehouses}",
+        [tpch_catalog, prefixed_catalog(tpcc_catalog, tpcc_prefix)],
+    )
+    oltp = tpcc.oltp_workload(warehouses, concurrency=oltp_concurrency)
+    oltp = Workload(
+        name=f"{tpcc_prefix}{oltp.name}",
+        kind="oltp",
+        transaction_mix=tuple(
+            (prefixed_query(query, tpcc_prefix, known), weight)
+            for query, weight in oltp.transaction_mix
+        ),
+        concurrency=oltp.concurrency,
+        measured_transaction_fraction=oltp.measured_transaction_fraction,
+        duration_s=oltp.duration_s,
+        description=oltp.description,
+    )
+    dss = tpch.original_workload(scale_factor, repetitions=olap_repetitions)
+    return merged, oltp, dss

@@ -161,6 +161,96 @@ class Workload:
         )
 
 
+@dataclass(frozen=True)
+class CrossKindWorkload:
+    """A weighted blend of workloads of *different* kinds (``kind="mixed"``).
+
+    When an epoch of a drifting workload mixes an OLTP phase with a DSS
+    phase no single :class:`Workload` can represent it -- the two kinds have
+    different metrics (throughput vs response time) and may run at different
+    concurrencies.  A cross-kind workload therefore keeps its components
+    side by side with their blend weights; consumers evaluate each component
+    with its own kind's machinery and *blend the TOC metrics*: the epoch's
+    cost index is ``sum_i w_i * TOC_i`` over the normalised weights, the
+    same convex combination the phase schedule defines.
+
+    Components must each be a pure (``dss``/``oltp``) workload with a
+    positive weight; weights are normalised to sum to 1.
+    """
+
+    name: str
+    components: Tuple[Tuple[Workload, float], ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise WorkloadError(f"cross-kind workload {self.name!r} has no components")
+        for workload, weight in self.components:
+            if getattr(workload, "kind", None) not in ("dss", "oltp"):
+                raise WorkloadError(
+                    "cross-kind components must be pure dss/oltp workloads"
+                )
+            if weight <= 0:
+                raise WorkloadError(
+                    f"component {workload.name!r} of {self.name!r} has a "
+                    "non-positive blend weight"
+                )
+        total = sum(weight for _, weight in self.components)
+        object.__setattr__(
+            self,
+            "components",
+            tuple((workload, weight / total) for workload, weight in self.components),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        """Always ``"mixed"`` -- the marker consumers dispatch on."""
+        return "mixed"
+
+    @property
+    def is_dss(self) -> bool:
+        """Never a pure query-stream workload."""
+        return False
+
+    @property
+    def is_oltp(self) -> bool:
+        """Never a pure transaction-mix workload."""
+        return False
+
+    @property
+    def weights(self) -> Tuple[float, ...]:
+        """The normalised blend weights, in component order."""
+        return tuple(weight for _, weight in self.components)
+
+    @property
+    def dominant(self) -> Workload:
+        """The component carrying the largest blend weight."""
+        return max(self.components, key=lambda pair: pair[1])[0]
+
+    @property
+    def concurrency(self) -> int:
+        """The dominant component's concurrency (profile calibration point)."""
+        return self.dominant.concurrency
+
+    @property
+    def all_queries(self) -> Tuple[Query, ...]:
+        """Every query of every component (duplicates preserved)."""
+        queries: List[Query] = []
+        for workload, _ in self.components:
+            queries.extend(workload.all_queries)
+        return tuple(queries)
+
+    def referenced_objects(self) -> Tuple[str, ...]:
+        """All object names referenced by any component."""
+        seen: List[str] = []
+        for workload, _ in self.components:
+            for name in workload.referenced_objects():
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+
 def blend_transaction_mixes(
     workloads: Sequence[Workload],
     weights: Sequence[float],

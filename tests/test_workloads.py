@@ -221,3 +221,56 @@ class TestSyntheticWorkload:
         placement = {obj.name: storage_catalog.hssd() for obj in small_catalog.database_objects()}
         result = small_estimator.estimate_workload(workload, placement)
         assert result.total_time_s > 0
+
+
+class TestCrossKindComposition:
+    """The TPC-H + TPC-C merge machinery (repro.workloads.crosskind)."""
+
+    def test_prefixed_catalog_preserves_sizes(self):
+        from repro.workloads.crosskind import prefixed_catalog
+
+        original = tpcc.build_catalog(20)
+        renamed = prefixed_catalog(original, "x_")
+        assert set(renamed.table_names) == {f"x_{n}" for n in original.table_names}
+        assert set(renamed.index_names) == {f"x_{n}" for n in original.index_names}
+        for name in original.table_names:
+            assert renamed.object_size_gb(f"x_{name}") == original.object_size_gb(name)
+        for name in original.index_names:
+            assert renamed.object_size_gb(f"x_{name}") == original.object_size_gb(name)
+
+    def test_merge_rejects_collisions(self):
+        from repro.exceptions import ConfigurationError
+        from repro.workloads.crosskind import merge_catalogs
+
+        a = tpch.build_catalog(1.0)
+        b = tpcc.build_catalog(10)  # both define `customer` and `orders`
+        with pytest.raises(ConfigurationError):
+            merge_catalogs("collision", [a, b])
+
+    def test_merged_universe_is_disjoint_and_estimable(self):
+        from repro.workloads.crosskind import tpch_tpcc_workloads
+
+        catalog, oltp, dss = tpch_tpcc_workloads(
+            scale_factor=1.0, warehouses=10, oltp_concurrency=20
+        )
+        oltp_objects = set(oltp.referenced_objects())
+        dss_objects = set(dss.referenced_objects())
+        assert not oltp_objects & dss_objects
+        for name in oltp_objects | dss_objects:
+            assert catalog.has_object(name)
+        # Both phases must be estimable against the merged catalog.
+        estimator = WorkloadEstimator(catalog, noise=0.0, buffer_pool=None)
+        placement = {obj.name: storage_catalog.hssd()
+                     for obj in catalog.database_objects()}
+        assert estimator.estimate_workload(oltp, placement).tasks_per_hour > 0
+        assert estimator.estimate_workload(dss, placement).total_time_s > 0
+
+    def test_prefixed_query_rewrites_only_known_names(self):
+        from repro.workloads.crosskind import prefixed_query
+
+        queries = tpcc.transaction_queries(10)
+        renamed = prefixed_query(queries["new_order"], "x_", {"stock", "pk_stock"})
+        touched = set(renamed.referenced_objects)
+        assert "x_stock" in touched
+        assert "stock" not in touched
+        assert "item" in touched  # not in the known set: untouched
