@@ -22,15 +22,29 @@ Quickstart
 'DOT'
 """
 
-from repro import core, dbms, experiments, online, scenarios, sla, storage, workloads
+from repro import (
+    core,
+    dbms,
+    experiments,
+    online,
+    resilience,
+    scenarios,
+    sla,
+    storage,
+    workloads,
+)
 from repro.exceptions import (
     CapacityError,
+    CheckpointCorruptionError,
     ConfigurationError,
     InfeasibleLayoutError,
     PlanningError,
     ProfileError,
     ReproError,
+    ShardFailureError,
     SLAError,
+    SolverTimeoutError,
+    TelemetryGapError,
     UnknownObjectError,
     UnknownStorageClassError,
     WorkloadError,
@@ -44,6 +58,7 @@ __all__ = [
     "dbms",
     "experiments",
     "online",
+    "resilience",
     "scenarios",
     "sla",
     "storage",
@@ -53,12 +68,16 @@ __all__ = [
     "ObjectKind",
     "group_objects",
     "ReproError",
+    "CheckpointCorruptionError",
     "ConfigurationError",
     "CapacityError",
     "InfeasibleLayoutError",
     "PlanningError",
     "ProfileError",
+    "ShardFailureError",
     "SLAError",
+    "SolverTimeoutError",
+    "TelemetryGapError",
     "UnknownObjectError",
     "UnknownStorageClassError",
     "WorkloadError",

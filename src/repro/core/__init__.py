@@ -55,6 +55,7 @@ from repro.core.solver import (
     SOLVERS,
     DOTSolver,
     ExhaustiveSolver,
+    FallbackSolver,
     MILPSolver,
     ObjectAdvisorSolver,
     SolveResult,
@@ -88,6 +89,7 @@ __all__ = [
     "SOLVERS",
     "DOTSolver",
     "ExhaustiveSolver",
+    "FallbackSolver",
     "MILPSolver",
     "ObjectAdvisorSolver",
     "get_solver",

@@ -40,7 +40,13 @@ class MoveTrace:
 
 @dataclass
 class DOTResult:
-    """Outcome of one DOT optimization run."""
+    """Outcome of one DOT optimization run.
+
+    ``timed_out`` marks a walk cut short by a ``deadline_s``: the result is
+    then the best feasible layout of the moves scored before the deadline --
+    feasible by construction whenever any candidate was -- rather than of
+    the full move list.
+    """
 
     layout: Optional[Layout]
     toc_report: Optional[TOCReport]
@@ -49,6 +55,7 @@ class DOTResult:
     elapsed_s: float
     history: List[MoveTrace] = field(default_factory=list)
     initial_report: Optional[TOCReport] = None
+    timed_out: bool = False
 
     @property
     def toc_cents(self) -> float:
@@ -193,8 +200,13 @@ class DOTOptimizer:
         profiles: WorkloadProfileSet,
         constraint: Optional[PerformanceConstraint] = None,
         initial_layout: Optional[Layout] = None,
+        deadline_s: Optional[float] = None,
     ) -> DOTResult:
         """Run the optimization phase (Procedure 1) and return the best layout.
+
+        ``deadline_s`` bounds the walk's wall-clock time: the move loop
+        stops at the first move boundary past the deadline and returns the
+        best feasible layout found so far with ``timed_out=True``.
 
         ``initial_layout`` warm-starts the walk from an existing layout
         instead of the paper's all-most-expensive ``L_0`` -- the online
@@ -222,10 +234,15 @@ class DOTOptimizer:
         if initial_check.feasible:
             best_layout, best_report = current, initial_report
 
+        deadline = time.monotonic() + deadline_s if deadline_s is not None else None
         history: List[MoveTrace] = []
         evaluated = 1
+        timed_out = False
         moves = self.enumerate_moves(profiles)
         for move in moves:
+            if deadline is not None and time.monotonic() >= deadline:
+                timed_out = True
+                break
             candidate = move.apply_to(current)
             report = evaluate_candidate(candidate)
             evaluated += 1
@@ -275,6 +292,7 @@ class DOTOptimizer:
             elapsed_s=elapsed,
             history=history,
             initial_report=initial_report,
+            timed_out=timed_out,
         )
 
     # ------------------------------------------------------------------

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -22,7 +22,7 @@ from repro.core.context import make_batch_evaluator
 from repro.core.feasibility import FeasibilityChecker
 from repro.core.layout import Layout
 from repro.core.toc import TOCModel, TOCReport
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SolverTimeoutError
 from repro.objects import DatabaseObject, group_objects
 from repro.sla.constraints import PerformanceConstraint
 from repro.storage.storage_class import StorageSystem
@@ -30,13 +30,22 @@ from repro.storage.storage_class import StorageSystem
 
 @dataclass
 class ExhaustiveSearchResult:
-    """Outcome of an exhaustive search."""
+    """Outcome of an exhaustive search.
+
+    ``timed_out`` marks a search cut short by ``deadline_s``: the result is
+    then the exact best of the portion enumerated before the deadline
+    (feasible whenever any candidate was), not the global optimum.
+    ``incidents`` records the recovery actions the run took (retries,
+    re-queues, the deadline abort itself).
+    """
 
     layout: Optional[Layout]
     toc_report: Optional[TOCReport]
     feasible: bool
     evaluated_layouts: int
     elapsed_s: float
+    timed_out: bool = False
+    incidents: List[str] = field(default_factory=list)
 
     @property
     def toc_cents(self) -> float:
@@ -100,6 +109,16 @@ class ExhaustiveSearch:
         Tuning knobs forwarded to the parallel engine (subtree granularity
         of the pruning bounds and shard oversubscription); the defaults
         adapt to the space and worker count.
+    deadline_s:
+        Hard wall-clock budget for one :meth:`search` call.  All three
+        execution paths honour it: the parallel engine aborts with a
+        checkpointed partial result, the serial batch/scalar loops stop at
+        the next chunk/layout boundary.  The returned result carries
+        ``timed_out=True`` and is the exact best of what was enumerated.
+    shard_max_retries, retry_backoff_s, shard_timeout_s, fault_plan:
+        Fault-tolerance knobs forwarded to the parallel engine (bounded
+        shard retry, dead-worker watchdog, chaos injection); see
+        :class:`~repro.core.parallel_search.ParallelEnumerationEngine`.
     """
 
     def __init__(
@@ -119,6 +138,11 @@ class ExhaustiveSearch:
         workers: int = 1,
         prefix_depth: Optional[int] = None,
         shards_per_worker: int = 4,
+        deadline_s: Optional[float] = None,
+        shard_max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        shard_timeout_s: Optional[float] = None,
+        fault_plan=None,
     ):
         self.objects = list(objects)
         self.system = system
@@ -134,6 +158,11 @@ class ExhaustiveSearch:
         self.workers = max(1, int(workers))
         self.prefix_depth = prefix_depth
         self.shards_per_worker = shards_per_worker
+        self.deadline_s = deadline_s
+        self.shard_max_retries = shard_max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.shard_timeout_s = shard_timeout_s
+        self.fault_plan = fault_plan
         self.toc_model = TOCModel(estimator, cost_override=cost_override)
         self.checker = FeasibilityChecker(constraint)
         #: Batch-evaluation statistics of the last batch-path search (None
@@ -244,14 +273,26 @@ class ExhaustiveSearch:
         if evaluator is None:
             return None
         started = time.perf_counter()
+        deadline = (
+            time.monotonic() + self.deadline_s if self.deadline_s is not None else None
+        )
         variable_objects = evaluator.variable_objects
 
         best_toc = float("inf")
         best_row = None
         evaluated = 0
+        timed_out = False
+        incidents: List[str] = []
         for _, chunk in iter_assignment_chunks(
             len(variable_objects), len(self.system), self.batch_chunk_size
         ):
+            if deadline is not None and time.monotonic() >= deadline:
+                timed_out = True
+                incidents.append(
+                    f"deadline of {self.deadline_s}s expired after "
+                    f"{evaluated} layouts; returning best-so-far"
+                )
+                break
             evaluation = evaluator.evaluate_chunk(chunk)
             evaluated += chunk.shape[0]
             index = evaluation.best_index
@@ -275,6 +316,8 @@ class ExhaustiveSearch:
             feasible=best_layout is not None,
             evaluated_layouts=evaluated,
             elapsed_s=elapsed,
+            timed_out=timed_out,
+            incidents=incidents,
         )
 
     # ------------------------------------------------------------------
@@ -310,6 +353,11 @@ class ExhaustiveSearch:
             workers=self.workers,
             prefix_depth=self.prefix_depth,
             shards_per_worker=self.shards_per_worker,
+            deadline_s=self.deadline_s,
+            shard_max_retries=self.shard_max_retries,
+            retry_backoff_s=self.retry_backoff_s,
+            shard_timeout_s=self.shard_timeout_s,
+            fault_plan=self.fault_plan,
         )
         # Warm-up (the engine pre-estimates every signature) counts as build
         # time; the stats object is snapshotted before shard deltas replace it.
@@ -318,7 +366,18 @@ class ExhaustiveSearch:
         stats.workers = self.workers
 
         started = time.perf_counter()
-        progress = engine.run()
+        timed_out = False
+        with engine:
+            try:
+                progress = engine.run()
+            except SolverTimeoutError as exc:
+                # Deadline abort: the partial progress travels with the
+                # exception and its incumbent is the exact best of the
+                # completed shards -- a degraded but honest result.
+                if exc.progress is None:
+                    raise
+                progress = exc.progress
+                timed_out = True
         stats.merge(progress.stats)
         self.last_batch_stats = stats
 
@@ -338,17 +397,31 @@ class ExhaustiveSearch:
             feasible=best_layout is not None,
             evaluated_layouts=progress.evaluated,
             elapsed_s=elapsed,
+            timed_out=timed_out,
+            incidents=list(progress.incidents),
         )
 
     # ------------------------------------------------------------------
     def _search_scalar(self, workload, checker: FeasibilityChecker) -> ExhaustiveSearchResult:
         """The original per-layout evaluation loop (reference path)."""
         started = time.perf_counter()
+        deadline = (
+            time.monotonic() + self.deadline_s if self.deadline_s is not None else None
+        )
 
         best_layout: Optional[Layout] = None
         best_report: Optional[TOCReport] = None
         evaluated = 0
+        timed_out = False
+        incidents: List[str] = []
         for layout in self._layouts():
+            if deadline is not None and time.monotonic() >= deadline:
+                timed_out = True
+                incidents.append(
+                    f"deadline of {self.deadline_s}s expired after "
+                    f"{evaluated} layouts; returning best-so-far"
+                )
+                break
             evaluated += 1
             # Cheap capacity pre-filter before spending an estimate.
             if not layout.satisfies_capacity():
@@ -372,4 +445,6 @@ class ExhaustiveSearch:
             feasible=best_layout is not None,
             evaluated_layouts=evaluated,
             elapsed_s=elapsed,
+            timed_out=timed_out,
+            incidents=incidents,
         )

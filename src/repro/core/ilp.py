@@ -39,6 +39,11 @@ class MILPResult:
     status: str
     elapsed_s: float
     variables: int
+    #: True when scipy stopped on its iteration/time limit (``status == 1``)
+    #: rather than proving optimality or infeasibility.  A layout may still
+    #: be present (the incumbent at the limit) -- it is feasible but possibly
+    #: sub-optimal, and callers should mark the solve degraded.
+    timed_out: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -146,6 +151,9 @@ class MILPPlacement:
             options=options,
         )
         elapsed = time.perf_counter() - started
+        # scipy stamps status 1 when the iteration/time limit stopped the
+        # branch-and-cut before optimality.
+        hit_limit = getattr(solution, "status", None) == 1
 
         if not solution.success or solution.x is None:
             return MILPResult(
@@ -156,6 +164,7 @@ class MILPPlacement:
                 status=solution.message,
                 elapsed_s=elapsed,
                 variables=num_vars,
+                timed_out=hit_limit,
             )
 
         chosen = np.where(solution.x > 0.5)[0]
@@ -172,7 +181,8 @@ class MILPPlacement:
             objective_cents_per_hour=float(solution.fun),
             io_time_budget_ms=io_time_budget_ms,
             io_time_ms=total_time,
-            status="optimal",
+            status="time_limit" if hit_limit else "optimal",
             elapsed_s=elapsed,
             variables=num_vars,
+            timed_out=hit_limit,
         )

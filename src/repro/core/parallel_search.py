@@ -25,6 +25,24 @@ single-core ceiling:
   :class:`SearchProgress`; feeding a partial progress object back into
   :meth:`ParallelEnumerationEngine.run` skips completed shards and continues
   from the recorded incumbent.
+* **Fault tolerance** -- shard processing is idempotent and deterministic,
+  so the coordinator recovers from worker failures by re-running shards:
+  a failed shard is retried with exponential backoff (bounded by
+  ``shard_max_retries``), a worker that dies mid-shard (detected because its
+  shard exceeds ``shard_timeout_s``) has the shard re-queued on the
+  replenished pool, and duplicate completions are ignored
+  (:meth:`SearchProgress.record` is keyed by shard id).  A hard wall-clock
+  ``deadline_s`` bounds the whole run: on expiry the pool is torn down, the
+  checkpoint is flushed and :class:`~repro.exceptions.SolverTimeoutError` is
+  raised carrying the partial progress (whose incumbent is the exact best of
+  the completed shards).  The engine is a context manager and always
+  terminates/joins its pool -- on success, error and ``KeyboardInterrupt``
+  alike.  Every recovery action is recorded in ``SearchProgress.incidents``.
+  Checkpoints are checksum-guarded: a truncated or garbled file raises
+  :class:`~repro.exceptions.CheckpointCorruptionError` naming the path
+  (:meth:`SearchProgress.load_or_quarantine` renames it aside and redoes the
+  affected shards from scratch).  Faults themselves are injectable through
+  :class:`repro.resilience.FaultPlan` for deterministic chaos tests.
 
 Exactness contract
 ------------------
@@ -42,10 +60,13 @@ serial path exactly and the returned layout and TOC are bitwise identical.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import multiprocessing
 import os
 import pickle
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -60,8 +81,14 @@ from repro.core.batch_eval import (
     accumulate_space_used,
     iter_assignment_chunks,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    CheckpointCorruptionError,
+    ConfigurationError,
+    ShardFailureError,
+    SolverTimeoutError,
+)
 from repro.objects import DatabaseObject
+from repro.resilience.faults import FaultInjector, FaultPlan, fire_shard_fault
 from repro.sla.constraints import PerformanceConstraint
 from repro.storage.storage_class import StorageSystem
 
@@ -117,6 +144,15 @@ class SearchProgress:
     floats (the ``inf`` incumbent of a run that has not found a feasible
     layout yet) use the ``json`` module's ``Infinity`` extension, which the
     loader parses back.
+
+    The on-disk form is integrity-guarded: the payload carries a SHA-256
+    checksum over its canonical rendering, so a truncated write, bit rot or
+    hand edits surface as :class:`~repro.exceptions.CheckpointCorruptionError`
+    (with the offending path) instead of a bare ``json`` traceback or -- far
+    worse -- a silently wrong resume.  :meth:`load_or_quarantine` converts a
+    corrupt checkpoint into a fresh start by renaming the damaged file aside
+    (``<name>.quarantined``), which makes the engine redo the affected shards
+    rather than trust them.
     """
 
     total_shards: int
@@ -131,18 +167,29 @@ class SearchProgress:
     #: refused when the stamp disagrees with the engine's.
     space: Optional[int] = None
     prefix_depth: Optional[int] = None
+    #: Recovery actions taken during the run (retries, re-queues, deadline
+    #: aborts); persisted with the checkpoint for post-mortems.
+    incidents: List[str] = field(default_factory=list)
 
-    #: Schema stamp of the JSON checkpoint layout.
-    FORMAT_VERSION = 1
+    #: Schema stamp of the JSON checkpoint layout (2 added the payload
+    #: checksum and the incident log).
+    FORMAT_VERSION = 2
 
     @property
     def finished(self) -> bool:
         return len(self.completed) >= self.total_shards
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _payload_checksum(payload: Dict[str, object]) -> str:
+        """SHA-256 over the canonical rendering of a checksum-less payload."""
+        body = {key: value for key, value in payload.items() if key != "checksum"}
+        canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def to_json(self) -> Dict[str, object]:
-        """The checkpoint as a JSON-serialisable dictionary."""
-        return {
+        """The checkpoint as a JSON-serialisable dictionary (checksummed)."""
+        payload = {
             "format": self.FORMAT_VERSION,
             "total_shards": self.total_shards,
             "completed": sorted(self.completed),
@@ -153,7 +200,10 @@ class SearchProgress:
             "stats": dataclasses.asdict(self.stats),
             "space": self.space,
             "prefix_depth": self.prefix_depth,
+            "incidents": list(self.incidents),
         }
+        payload["checksum"] = self._payload_checksum(payload)
+        return payload
 
     def save(self, path: Union[str, Path]) -> Path:
         """Persist the checkpoint to ``path`` as JSON; returns the path.
@@ -171,8 +221,14 @@ class SearchProgress:
         return path
 
     @classmethod
-    def from_json(cls, data: Dict[str, object]) -> "SearchProgress":
-        """Rebuild a checkpoint from :meth:`to_json` output."""
+    def from_json(cls, data: Dict[str, object],
+                  source: Optional[Path] = None) -> "SearchProgress":
+        """Rebuild a checkpoint from :meth:`to_json` output.
+
+        Schema violations (wrong format version, unknown stats fields) raise
+        :class:`ConfigurationError`; a failed payload checksum raises
+        :class:`CheckpointCorruptionError` naming ``source``.
+        """
         version = data.get("format")
         if version != cls.FORMAT_VERSION:
             raise ConfigurationError(
@@ -185,6 +241,13 @@ class SearchProgress:
         if unknown:
             raise ConfigurationError(
                 f"SearchProgress checkpoint has unknown stats fields {unknown}"
+            )
+        recorded = data.get("checksum")
+        if recorded != cls._payload_checksum(data):
+            raise CheckpointCorruptionError(
+                "SearchProgress checkpoint failed its payload checksum"
+                + ("" if recorded is not None else " (checksum missing)"),
+                path=source,
             )
         best_row = data.get("best_row")
         return cls(
@@ -199,12 +262,63 @@ class SearchProgress:
             prefix_depth=(
                 int(data["prefix_depth"]) if data.get("prefix_depth") is not None else None
             ),
+            incidents=[str(entry) for entry in data.get("incidents", ())],
         )
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "SearchProgress":
-        """Load a checkpoint previously written by :meth:`save`."""
-        return cls.from_json(json.loads(Path(path).read_text()))
+        """Load a checkpoint previously written by :meth:`save`.
+
+        Unreadable files, invalid JSON and malformed field values all raise
+        :class:`CheckpointCorruptionError` carrying the offending path;
+        schema-version mismatches keep raising :class:`ConfigurationError`
+        (they indicate an incompatible writer, not a damaged file).
+        """
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            # Garbled bytes (a torn sector) are as fatal as an unreadable
+            # file: both mean the checkpoint cannot be trusted.
+            raise CheckpointCorruptionError(
+                f"checkpoint is unreadable: {exc}", path=path
+            ) from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorruptionError(
+                f"checkpoint is not valid JSON: {exc}", path=path
+            ) from exc
+        if not isinstance(data, dict):
+            raise CheckpointCorruptionError(
+                f"checkpoint JSON is a {type(data).__name__}, not an object", path=path
+            )
+        try:
+            return cls.from_json(data, source=path)
+        except (TypeError, ValueError, KeyError) as exc:
+            raise CheckpointCorruptionError(
+                f"checkpoint fields are malformed: {exc}", path=path
+            ) from exc
+
+    @classmethod
+    def load_or_quarantine(cls, path: Union[str, Path]) -> Optional["SearchProgress"]:
+        """Load a checkpoint, quarantining it if corrupt.
+
+        Returns the checkpoint, or ``None`` when the file is missing or
+        corrupt.  A corrupt file is renamed aside to ``<name>.quarantined``
+        (preserved for post-mortems) so the caller restarts from scratch --
+        the quarantine-and-redo path: no shard recorded by a damaged
+        checkpoint is ever trusted.  Schema-version mismatches still raise:
+        an old-format checkpoint is a configuration problem, not corruption.
+        """
+        path = Path(path)
+        if not path.exists():
+            return None
+        try:
+            return cls.load(path)
+        except CheckpointCorruptionError:
+            os.replace(path, path.with_name(path.name + ".quarantined"))
+            return None
 
     # ------------------------------------------------------------------
     def record(self, outcome: "_ShardOutcome") -> None:
@@ -335,8 +449,26 @@ def _process_shard(
     chunk_size: int,
     toc_floor_factor: float,
     prune: bool,
+    *,
+    deadline: Optional[float] = None,
+    injector: Optional[FaultInjector] = None,
+    attempt: int = 0,
+    allow_process_kill: bool = True,
 ) -> _ShardOutcome:
-    """Enumerate and score the subtrees ``[subtree_lo, subtree_hi)``."""
+    """Enumerate and score the subtrees ``[subtree_lo, subtree_hi)``.
+
+    ``deadline`` is an absolute ``time.monotonic`` instant (comparable
+    across processes on Linux); crossing it raises
+    :class:`SolverTimeoutError` between prefix batches.  ``injector`` fires
+    any fault scheduled for ``(shard_id, attempt)`` before work starts --
+    ``allow_process_kill`` is False on the in-process serial path, where a
+    hard worker kill is demoted to :class:`ShardFailureError`.
+    """
+    if injector is not None:
+        fault = injector.shard_fault(shard_id, attempt)
+        if fault is not None:
+            fire_shard_fault(fault, shard_id, attempt,
+                             allow_process_kill=allow_process_kill)
     num_objects = len(evaluator.var_names)
     num_classes = evaluator.num_classes
     prefix_depth = bounds.prefix_depth
@@ -353,6 +485,11 @@ def _process_shard(
     for prefix_start, prefix_matrix in iter_assignment_chunks(
         prefix_depth, num_classes, prefix_batch, start=subtree_lo, stop=subtree_hi
     ):
+        if deadline is not None and time.monotonic() >= deadline:
+            raise SolverTimeoutError(
+                f"shard {shard_id} crossed the enumeration deadline "
+                f"at subtree {prefix_start}/{subtree_hi}"
+            )
         if prune:
             keep, cost_lb = bounds.admissible(prefix_matrix)
         else:
@@ -414,8 +551,16 @@ _WORKER_STATE: Optional[Dict[str, object]] = None
 
 
 def _worker_init(payload: bytes, shared_value, prefix_depth: int, toc_floor_factor: float,
-                 prune: bool) -> None:
-    """Pool initializer: rebuild the evaluator from the pickled spec once."""
+                 prune: bool, plan_payload: Optional[bytes] = None,
+                 deadline: Optional[float] = None) -> None:
+    """Pool initializer: rebuild the evaluator from the pickled spec once.
+
+    ``deadline`` is an absolute ``time.monotonic`` instant stamped by the
+    coordinator; ``CLOCK_MONOTONIC`` is machine-wide on Linux, so workers can
+    compare against it directly.  ``plan_payload`` is a pickled
+    :class:`~repro.resilience.FaultPlan` for chaos runs (``None`` in
+    production).
+    """
     global _WORKER_STATE
     spec: EnumerationSpec = pickle.loads(payload)
     evaluator = spec.build_evaluator()
@@ -426,11 +571,15 @@ def _worker_init(payload: bytes, shared_value, prefix_depth: int, toc_floor_fact
         "chunk_size": spec.chunk_size,
         "toc_floor_factor": toc_floor_factor,
         "prune": prune,
+        "injector": (
+            FaultInjector(pickle.loads(plan_payload)) if plan_payload is not None else None
+        ),
+        "deadline": deadline,
     }
 
 
-def _worker_run_shard(task: Tuple[int, int, int]) -> _ShardOutcome:
-    shard_id, subtree_lo, subtree_hi = task
+def _worker_run_shard(task: Tuple[int, int, int, int]) -> _ShardOutcome:
+    shard_id, subtree_lo, subtree_hi, attempt = task
     state = _WORKER_STATE
     return _process_shard(
         state["evaluator"],
@@ -442,6 +591,9 @@ def _worker_run_shard(task: Tuple[int, int, int]) -> _ShardOutcome:
         state["chunk_size"],
         state["toc_floor_factor"],
         state["prune"],
+        deadline=state["deadline"],
+        injector=state["injector"],
+        attempt=attempt,
     )
 
 
@@ -477,6 +629,31 @@ class ParallelEnumerationEngine:
     start_method:
         Optional ``multiprocessing`` start method (``"fork"``/``"spawn"``);
         defaults to the platform default.
+    shard_max_retries:
+        How often a failed shard is re-attempted before the run gives up
+        with :class:`ShardFailureError`.  Shard processing is idempotent and
+        deterministic, so a retry is always safe.
+    retry_backoff_s:
+        Base of the exponential backoff between attempts of the same shard
+        (``retry_backoff_s * 2**attempt``).
+    shard_timeout_s:
+        Dead-worker detection: a shard whose in-flight time exceeds this is
+        presumed lost (``multiprocessing.Pool`` replaces a crashed worker
+        but silently drops its task) and is re-queued.  ``None`` disables
+        the watchdog; set it when workers can die or straggle.
+    deadline_s:
+        Hard wall-clock budget for the whole run.  On expiry the pool is
+        torn down, the checkpoint flushed, and :class:`SolverTimeoutError`
+        raised carrying the partial :class:`SearchProgress`.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` injected into shard
+        processing for deterministic chaos tests.
+
+    The engine is a context manager: ``with engine: engine.run()``
+    guarantees the pool is terminated and joined on success, error and
+    ``KeyboardInterrupt`` alike (``run`` itself also tears down in a
+    ``finally``; the context manager is belt and braces for callers that
+    drive the engine across multiple calls).
     """
 
     def __init__(
@@ -488,12 +665,23 @@ class ParallelEnumerationEngine:
         prune: bool = True,
         start_method: Optional[str] = None,
         parent_evaluator: Optional[BatchLayoutEvaluator] = None,
+        shard_max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        shard_timeout_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.spec = spec
         self.workers = max(1, int(workers))
         self.shards_per_worker = max(1, int(shards_per_worker))
         self.prune = prune
         self.start_method = start_method
+        self.shard_max_retries = max(0, int(shard_max_retries))
+        self.retry_backoff_s = max(0.0, float(retry_backoff_s))
+        self.shard_timeout_s = shard_timeout_s
+        self.deadline_s = deadline_s
+        self.fault_plan = fault_plan
+        self._pool = None
 
         self.evaluator = parent_evaluator if parent_evaluator is not None else spec.build_evaluator()
         self.num_objects = len(self.evaluator.var_names)
@@ -584,46 +772,186 @@ class ParallelEnumerationEngine:
         if not pending:
             return progress
         checkpoint = Path(checkpoint_path) if checkpoint_path is not None else None
+        deadline = (
+            time.monotonic() + self.deadline_s if self.deadline_s is not None else None
+        )
         if self.workers <= 1:
-            self._run_serial(pending, progress, checkpoint)
+            self._run_serial(pending, progress, checkpoint, deadline)
         else:
-            self._run_pool(pending, progress, checkpoint)
+            self._run_pool(pending, progress, checkpoint, deadline)
         if checkpoint is not None:
             progress.save(checkpoint)
         return progress
 
+    # -- context manager / teardown ------------------------------------
+    def __enter__(self) -> "ParallelEnumerationEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Terminate and join the worker pool, if one is live.
+
+        Safe to call repeatedly; a no-op for serial engines.  Runs from
+        ``__exit__`` and from ``run``'s ``finally``, so no code path --
+        success, exception or ``KeyboardInterrupt`` -- leaks orphaned
+        workers.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    # -- recovery helpers ----------------------------------------------
+    def _deadline_abort(self, progress: SearchProgress,
+                        checkpoint: Optional[Path]) -> None:
+        """Flush the checkpoint and raise the deadline timeout."""
+        progress.incidents.append(
+            f"deadline of {self.deadline_s}s expired with "
+            f"{len(progress.completed)}/{progress.total_shards} shards complete"
+        )
+        if checkpoint is not None:
+            progress.save(checkpoint)
+        raise SolverTimeoutError(
+            f"enumeration deadline ({self.deadline_s}s) expired after "
+            f"{len(progress.completed)}/{progress.total_shards} shards",
+            elapsed_s=self.deadline_s or 0.0,
+            progress=progress,
+        )
+
+    def _handle_shard_failure(self, exc: BaseException, task, attempt: int,
+                              queue, progress: SearchProgress,
+                              checkpoint: Optional[Path]) -> None:
+        """Retry a failed shard with exponential backoff, or give up."""
+        shard_id = task[0]
+        if attempt >= self.shard_max_retries:
+            progress.incidents.append(
+                f"shard {shard_id} failed permanently after {attempt + 1} attempts: {exc}"
+            )
+            if checkpoint is not None:
+                progress.save(checkpoint)
+            raise ShardFailureError(
+                f"shard {shard_id} failed after {attempt + 1} attempts: {exc}",
+                shard_id=shard_id,
+                attempts=attempt + 1,
+            ) from exc
+        progress.incidents.append(
+            f"shard {shard_id} attempt {attempt} failed ({exc}); retrying"
+        )
+        if self.retry_backoff_s:
+            time.sleep(self.retry_backoff_s * (2 ** attempt))
+        queue.append((task, attempt + 1))
+
+    # -- execution paths -----------------------------------------------
     def _run_serial(self, pending, progress: SearchProgress,
-                    checkpoint: Optional[Path] = None) -> None:
+                    checkpoint: Optional[Path] = None,
+                    deadline: Optional[float] = None) -> None:
         bounds = _PruningBounds(self.evaluator, self.prefix_depth)
         incumbent = _Incumbent(progress.best_toc)
-        for shard_id, lo, hi in pending:
-            outcome = _process_shard(
-                self.evaluator,
-                bounds,
-                incumbent,
-                shard_id,
-                lo,
-                hi,
-                self.spec.chunk_size,
-                self.toc_floor_factor,
-                self.prune,
-            )
+        injector = FaultInjector(self.fault_plan) if self.fault_plan is not None else None
+        queue = deque((task, 0) for task in pending)
+        while queue:
+            task, attempt = queue.popleft()
+            shard_id, lo, hi = task
+            if deadline is not None and time.monotonic() >= deadline:
+                self._deadline_abort(progress, checkpoint)
+            try:
+                outcome = _process_shard(
+                    self.evaluator,
+                    bounds,
+                    incumbent,
+                    shard_id,
+                    lo,
+                    hi,
+                    self.spec.chunk_size,
+                    self.toc_floor_factor,
+                    self.prune,
+                    deadline=deadline,
+                    injector=injector,
+                    attempt=attempt,
+                    allow_process_kill=False,
+                )
+            except SolverTimeoutError:
+                self._deadline_abort(progress, checkpoint)
+            except Exception as exc:
+                self._handle_shard_failure(exc, task, attempt, queue, progress, checkpoint)
+                continue
             progress.record(outcome)
             if checkpoint is not None:
                 progress.save(checkpoint)
 
     def _run_pool(self, pending, progress: SearchProgress,
-                  checkpoint: Optional[Path] = None) -> None:
+                  checkpoint: Optional[Path] = None,
+                  deadline: Optional[float] = None) -> None:
         payload = pickle.dumps(self.spec)
+        plan_payload = (
+            pickle.dumps(self.fault_plan) if self.fault_plan is not None else None
+        )
         context = multiprocessing.get_context(self.start_method)
         shared_value = context.Value("d", progress.best_toc)
-        with context.Pool(
+        pool = context.Pool(
             processes=self.workers,
             initializer=_worker_init,
             initargs=(payload, shared_value, self.prefix_depth, self.toc_floor_factor,
-                      self.prune),
-        ) as pool:
-            for outcome in pool.imap_unordered(_worker_run_shard, pending):
-                progress.record(outcome)
-                if checkpoint is not None:
-                    progress.save(checkpoint)
+                      self.prune, plan_payload, deadline),
+        )
+        self._pool = pool
+        try:
+            queue = deque((task, 0) for task in pending)
+            in_flight: Dict[int, Tuple[object, Tuple[int, int, int], int, float]] = {}
+            while queue or in_flight:
+                # Keep the pool saturated with a bounded overhang so a
+                # straggler cannot starve dispatch.
+                while queue and len(in_flight) < 2 * self.workers:
+                    task, attempt = queue.popleft()
+                    if task[0] in progress.completed or task[0] in in_flight:
+                        continue
+                    handle = pool.apply_async(
+                        _worker_run_shard, ((task[0], task[1], task[2], attempt),)
+                    )
+                    in_flight[task[0]] = (handle, task, attempt, time.monotonic())
+                if deadline is not None and time.monotonic() >= deadline:
+                    self._deadline_abort(progress, checkpoint)
+                advanced = False
+                now = time.monotonic()
+                for shard_id in list(in_flight):
+                    handle, task, attempt, started = in_flight[shard_id]
+                    if handle.ready():
+                        del in_flight[shard_id]
+                        advanced = True
+                        try:
+                            outcome = handle.get()
+                        except SolverTimeoutError:
+                            self._deadline_abort(progress, checkpoint)
+                        except Exception as exc:
+                            self._handle_shard_failure(
+                                exc, task, attempt, queue, progress, checkpoint
+                            )
+                            continue
+                        progress.record(outcome)
+                        if checkpoint is not None:
+                            progress.save(checkpoint)
+                    elif (self.shard_timeout_s is not None
+                          and now - started > self.shard_timeout_s):
+                        # Dead-worker detection: the pool replaces a crashed
+                        # process but its task never completes.  Abandon the
+                        # attempt and re-queue; a late "ghost" completion of
+                        # a straggler is harmless because record() is
+                        # idempotent per shard id.
+                        del in_flight[shard_id]
+                        advanced = True
+                        timeout_exc = ShardFailureError(
+                            f"shard {shard_id} attempt {attempt} exceeded "
+                            f"{self.shard_timeout_s}s (worker presumed dead)",
+                            shard_id=shard_id,
+                            attempts=attempt + 1,
+                        )
+                        self._handle_shard_failure(
+                            timeout_exc, task, attempt, queue, progress, checkpoint
+                        )
+                if not advanced:
+                    time.sleep(0.005)
+        finally:
+            self.close()

@@ -25,9 +25,18 @@ This module gives all four one shape:
   :func:`register_solver`) so experiment drivers can express "scenario x
   solver list" declaratively.
 
-``budget`` is the solver's native notion of effort: a layout-count cap for
-the exhaustive search, a wall-clock second limit for the MILP; DOT and the
-Object Advisor run to completion and ignore it.  ``initial_layout``
+``budget`` is a **hard wall-clock deadline in seconds**, uniform across all
+four solvers: the exhaustive search aborts its enumeration at the deadline
+and returns the exact best of what it scored, DOT stops its move walk at the
+next move boundary, the MILP passes it down as scipy's ``time_limit`` and
+the Object Advisor (a single closed-form pass) flags the rare overrun after
+the fact.  A solve cut short this way is *degraded*: the result is still
+feasible whenever any feasible candidate was found (every search path only
+ever keeps feasible incumbents), and its provenance is recorded in
+:attr:`SolveStats.degraded` plus a human-readable incident list --
+degradation is never silent.  :class:`FallbackSolver` stacks solvers into a
+chain (ES -> DOT -> hold the initial layout) so ``solve()`` always returns
+a layout even when individual solvers fail outright.  ``initial_layout``
 warm-starts solvers that support it (DOT's walk; others ignore it), which is
 how the online advisor re-tiers through the same interface it provisions
 with.
@@ -35,8 +44,9 @@ with.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Protocol, Sequence, Type, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Sequence, Type, runtime_checkable
 
 from repro.core.batch_eval import BatchEvalStats
 from repro.core.context import EvaluationContext
@@ -77,6 +87,14 @@ class SolveStats:
     #: MILP: number of binary placement variables.
     variables: int = 0
     batch: Optional[BatchEvalStats] = field(default=None, repr=False)
+    #: True when the solve was cut short (deadline) or rerouted (fallback
+    #: chain): the result is honest but not the solver's full-effort answer.
+    degraded: bool = False
+    #: Human-readable record of what degraded the solve (deadline aborts,
+    #: shard retries, fallback hops); empty for a clean full-effort run.
+    incidents: List[str] = field(default_factory=list)
+    #: The wall-clock budget the solve ran under (``None`` = unbounded).
+    deadline_s: Optional[float] = None
 
 
 @dataclass
@@ -209,11 +227,19 @@ class DOTSolver:
             context.workload,
             context.get_profiles(),
             initial_layout=initial_layout,
+            deadline_s=budget,
         )
         stats = SolveStats(
             elapsed_s=result.elapsed_s,
             evaluated_layouts=result.evaluated_layouts,
             moves_accepted=sum(1 for trace in result.history if trace.accepted),
+            degraded=result.timed_out,
+            incidents=(
+                [f"dot walk stopped at the {budget}s deadline after "
+                 f"{result.evaluated_layouts} candidates"]
+                if result.timed_out else []
+            ),
+            deadline_s=budget,
         )
         return SolveResult(
             solver=self.name,
@@ -232,7 +258,10 @@ class ExhaustiveSolver:
     ``objects``/``pinned_objects`` optionally restrict the enumeration to a
     subset of the context's objects with the remainder pinned (the Figure 9
     hot-set study); by default every context object is enumerated.  The
-    solve-time ``budget`` overrides ``max_layouts``.
+    solve-time ``budget`` is a hard wall-clock deadline in seconds: the
+    enumeration stops at the deadline and returns the exact best of the
+    layouts it scored, marked degraded.  ``max_layouts`` remains the
+    constructor-level guard on enumeration size.
     """
 
     name = "es"
@@ -249,6 +278,11 @@ class ExhaustiveSolver:
         workers: int = 1,
         prefix_depth: Optional[int] = None,
         shards_per_worker: int = 4,
+        deadline_s: Optional[float] = None,
+        shard_max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        shard_timeout_s: Optional[float] = None,
+        fault_plan=None,
     ):
         self.objects = list(objects) if objects is not None else None
         self.per_group = per_group
@@ -260,6 +294,11 @@ class ExhaustiveSolver:
         self.workers = workers
         self.prefix_depth = prefix_depth
         self.shards_per_worker = shards_per_worker
+        self.deadline_s = deadline_s
+        self.shard_max_retries = shard_max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.shard_timeout_s = shard_timeout_s
+        self.fault_plan = fault_plan
 
     def search(self, context: EvaluationContext, budget: Optional[float] = None) -> ExhaustiveSearch:
         """The underlying search this solver drives for ``context``."""
@@ -268,7 +307,7 @@ class ExhaustiveSolver:
             context.system,
             context.estimator,
             constraint=context.constraint,
-            max_layouts=int(budget) if budget is not None else self.max_layouts,
+            max_layouts=self.max_layouts,
             per_group=self.per_group,
             cost_override=context.cost_override,
             pinned_objects=self.pinned_objects,
@@ -279,6 +318,11 @@ class ExhaustiveSolver:
             workers=self.workers,
             prefix_depth=self.prefix_depth,
             shards_per_worker=self.shards_per_worker,
+            deadline_s=budget if budget is not None else self.deadline_s,
+            shard_max_retries=self.shard_max_retries,
+            retry_backoff_s=self.retry_backoff_s,
+            shard_timeout_s=self.shard_timeout_s,
+            fault_plan=self.fault_plan,
         )
 
     def solve(
@@ -298,6 +342,9 @@ class ExhaustiveSolver:
             pruned_layouts=batch_stats.pruned_layouts if batch_stats is not None else 0,
             workers=batch_stats.workers if batch_stats is not None else 0,
             batch=batch_stats,
+            degraded=result.timed_out,
+            incidents=list(result.incidents),
+            deadline_s=budget if budget is not None else self.deadline_s,
         )
         return SolveResult(
             solver=self.name,
@@ -363,7 +410,18 @@ class MILPSolver:
         toc_report = (
             context.evaluate(result.layout) if result.layout is not None else None
         )
-        stats = SolveStats(elapsed_s=result.elapsed_s, variables=result.variables)
+        limit = budget if budget is not None else self.time_limit_s
+        stats = SolveStats(
+            elapsed_s=result.elapsed_s,
+            variables=result.variables,
+            degraded=result.timed_out,
+            incidents=(
+                [f"milp stopped at its {limit}s time limit "
+                 f"(status: {result.status})"]
+                if result.timed_out else []
+            ),
+            deadline_s=limit,
+        )
         return SolveResult(
             solver=self.name,
             layout=result.layout,
@@ -400,7 +458,20 @@ class ObjectAdvisorSolver:
         result = advisor.recommend(context.workload, budgets_gb=self.budgets_gb)
         toc_report = context.evaluate(result.layout)
         check = context.checker().check(result.layout, toc_report.run_result)
-        stats = SolveStats(elapsed_s=result.elapsed_s, evaluated_layouts=1)
+        # OA is one closed-form greedy pass with no interruption point, so
+        # the deadline can only be audited after the fact.
+        overran = budget is not None and result.elapsed_s > budget
+        stats = SolveStats(
+            elapsed_s=result.elapsed_s,
+            evaluated_layouts=1,
+            degraded=overran,
+            incidents=(
+                [f"oa pass overran its {budget}s deadline "
+                 f"({result.elapsed_s:.3f}s elapsed)"]
+                if overran else []
+            ),
+            deadline_s=budget,
+        )
         return SolveResult(
             solver=self.name,
             layout=result.layout,
@@ -413,6 +484,100 @@ class ObjectAdvisorSolver:
 
 
 # ---------------------------------------------------------------------------
+# The fallback chain
+# ---------------------------------------------------------------------------
+
+class FallbackSolver:
+    """A degrade-gracefully chain of solvers with a hold-the-layout backstop.
+
+    Stages are tried in order (default: exhaustive search, then DOT), each
+    given whatever remains of the shared wall-clock ``budget``.  A stage
+    that raises, times out without a layout, or comes back infeasible is
+    recorded as an incident and the chain moves on.  When every stage
+    fails, the terminal backstop returns ``initial_layout`` (or the
+    context's reference layout) evaluated honestly -- a fleet holding its
+    current placement is strictly better than a fleet with no placement
+    decision at all.  The returned result is marked degraded whenever
+    anything other than the first stage's full-effort answer is returned,
+    so provenance is never lost.
+    """
+
+    name = "fallback"
+
+    def __init__(self, chain: Optional[Sequence[Solver]] = None):
+        self.chain: List[Solver] = (
+            list(chain) if chain is not None else [ExhaustiveSolver(), DOTSolver()]
+        )
+
+    def solve(
+        self,
+        context: EvaluationContext,
+        *,
+        initial_layout: Optional[Layout] = None,
+        budget: Optional[float] = None,
+    ) -> SolveResult:
+        deadline = time.monotonic() + budget if budget is not None else None
+        incidents: List[str] = []
+        degraded = False
+        for stage in self.chain:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    incidents.append(
+                        f"{stage.name}: skipped, shared deadline already spent"
+                    )
+                    degraded = True
+                    continue
+            try:
+                result = stage.solve(
+                    context, initial_layout=initial_layout, budget=remaining
+                )
+            except Exception as exc:  # noqa: BLE001 - the chain exists to absorb
+                incidents.append(f"{stage.name}: raised {exc!r}; falling back")
+                degraded = True
+                continue
+            if result.feasible and result.layout is not None:
+                stats = result.stats
+                stats.incidents = incidents + list(stats.incidents)
+                stats.degraded = stats.degraded or degraded
+                stats.deadline_s = budget
+                return SolveResult(
+                    solver=f"{self.name}:{result.solver}",
+                    layout=result.layout,
+                    toc_report=result.toc_report,
+                    feasible=result.feasible,
+                    stats=stats,
+                    psr=result.psr,
+                    raw=result.raw,
+                )
+            incidents.append(f"{stage.name}: no feasible layout; falling back")
+            degraded = True
+
+        held = initial_layout if initial_layout is not None else context.reference_layout()
+        toc_report = context.evaluate(held)
+        check = context.checker().check(held, toc_report.run_result)
+        incidents.append(
+            f"held layout {held.name!r}: every chained solver failed"
+        )
+        stats = SolveStats(
+            evaluated_layouts=1,
+            degraded=True,
+            incidents=incidents,
+            deadline_s=budget,
+        )
+        return SolveResult(
+            solver=f"{self.name}:hold",
+            layout=held,
+            toc_report=toc_report,
+            feasible=check.feasible,
+            stats=stats,
+            psr=_psr_for(context, toc_report),
+            raw=None,
+        )
+
+
+# ---------------------------------------------------------------------------
 # The registry
 # ---------------------------------------------------------------------------
 
@@ -421,6 +586,7 @@ SOLVERS: Dict[str, Type] = {
     ExhaustiveSolver.name: ExhaustiveSolver,
     MILPSolver.name: MILPSolver,
     ObjectAdvisorSolver.name: ObjectAdvisorSolver,
+    FallbackSolver.name: FallbackSolver,
 }
 
 
@@ -454,6 +620,7 @@ __all__ = [
     "SolveStats",
     "DOTSolver",
     "ExhaustiveSolver",
+    "FallbackSolver",
     "MILPSolver",
     "ObjectAdvisorSolver",
     "SOLVERS",

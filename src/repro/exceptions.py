@@ -50,6 +50,58 @@ class InfeasibleLayoutError(ReproError):
     """
 
 
+class SolverTimeoutError(ReproError):
+    """A solver overran its hard wall-clock deadline.
+
+    Raised by search layers that cannot degrade in place (the parallel
+    enumeration engine terminates its pool, checkpoints and raises); the
+    solver layer catches it and downgrades to a partial-but-feasible result
+    with :attr:`~repro.core.solver.SolveStats.degraded` set.  ``progress``
+    carries whatever partial state the search accumulated (a
+    :class:`~repro.core.parallel_search.SearchProgress` for the parallel
+    engine, ``None`` elsewhere).
+    """
+
+    def __init__(self, message: str, elapsed_s: float = 0.0, progress=None):
+        self.elapsed_s = elapsed_s
+        self.progress = progress
+        super().__init__(message)
+
+
+class ShardFailureError(ReproError):
+    """An enumeration shard kept failing after its bounded retries.
+
+    ``shard_id`` and ``attempts`` identify the shard and how often it was
+    tried; the original worker exception travels as ``__cause__``.
+    """
+
+    def __init__(self, message: str, shard_id: int = -1, attempts: int = 0):
+        self.shard_id = shard_id
+        self.attempts = attempts
+        super().__init__(message)
+
+
+class CheckpointCorruptionError(ReproError):
+    """A persisted checkpoint failed its integrity checks.
+
+    Raised instead of a bare ``json`` traceback when a checkpoint file is
+    truncated, garbled, or fails its payload checksum; ``path`` names the
+    offending file so the caller can quarantine it and redo the work.
+    """
+
+    def __init__(self, message: str, path=None):
+        self.path = path
+        super().__init__(message if path is None else f"{message} (checkpoint: {path})")
+
+
+class TelemetryGapError(ReproError, ValueError):
+    """Telemetry needed for a decision is missing or unusable.
+
+    Subclasses :class:`ValueError` for backward compatibility with callers
+    that guarded the monitor's historical ``ValueError``.
+    """
+
+
 class ProfileError(ReproError):
     """A workload profile is missing or inconsistent with the request."""
 

@@ -50,6 +50,7 @@ fixed layout -- the "provision once, never adapt" baseline.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -75,10 +76,12 @@ from repro.online.migration import (
 from repro.online.monitor import (
     DriftDecision,
     DriftThresholds,
+    OutlierPolicy,
     PredictionDecision,
     TelemetryMonitor,
     TrendPredictor,
 )
+from repro.resilience.faults import FaultInjector
 from repro.sla.constraints import PerformanceConstraint, RelativeSLA
 from repro.sla.psr import performance_satisfaction_ratio
 from repro.storage.storage_class import StorageSystem
@@ -116,6 +119,10 @@ class EpochRecord:
     #: The predictor's decision for the epoch (``None`` when no predictor is
     #: configured or observed drift pre-empted the forecast).
     forecast: Optional[PredictionDecision] = field(default=None, repr=False)
+    #: Recovery actions the epoch took (telemetry gaps, outlier clamps,
+    #: degraded or failed re-tier solves, migration retries).  Empty on a
+    #: fault-free epoch; the loop records faults here instead of raising.
+    incidents: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -285,6 +292,21 @@ class _BlendedRunResult:
         self.component_results.append((workload, weight, run_result))
 
 
+class _GlitchedRunResult:
+    """An epoch observation as reported by a glitching I/O counter.
+
+    Carries the true run result's counts scaled by the injected outlier
+    factor -- only what the telemetry monitor reads (``workload_name`` and
+    ``io_by_object``); the epoch's accounting never sees it.
+    """
+
+    __slots__ = ("workload_name", "io_by_object")
+
+    def __init__(self, run_result, factor: float):
+        self.workload_name = run_result.workload_name
+        self.io_by_object = scale_io_counts(run_result.io_by_object, factor)
+
+
 @dataclass
 class _EpochEvaluation:
     """One layout scored against one (possibly cross-kind) epoch workload."""
@@ -372,6 +394,26 @@ class OnlineAdvisor:
         paper's refinement phase reacts to SLA violations the same way).
         Off by default: the drift-only loop is the regression-locked legacy
         behaviour.
+    fault_injector:
+        An optional :class:`~repro.resilience.faults.FaultInjector` whose
+        epoch-scoped faults (telemetry dropout/outlier, solver error/overrun,
+        migration failure) are fired at the loop's injection points.  The
+        loop *never raises* on an injected (or organic) epoch fault: it
+        degrades along a declared path -- hold the last observation, hold the
+        deployed layout, skip the migration -- and records what happened in
+        ``EpochRecord.incidents``.
+    retier_budget_s:
+        An optional hard wall-clock deadline (seconds) handed to every
+        re-tier ``solver.solve`` call as its ``budget``.  A solve that blows
+        it returns a degraded-but-feasible result (recorded as an incident)
+        rather than stalling the loop.
+    migration_max_retries:
+        Bounded retries of a failed migration assessment/execution; after
+        ``migration_max_retries + 1`` failed attempts the epoch holds the
+        deployed layout and re-arms for the next epoch.
+    outlier_policy:
+        Forwarded to the :class:`~repro.online.monitor.TelemetryMonitor`:
+        an optional MAD clamp on physically implausible telemetry epochs.
     """
 
     def __init__(
@@ -391,6 +433,10 @@ class OnlineAdvisor:
         predictor: Optional[TrendPredictor] = None,
         migration_execution: str = "analytic",
         retier_on_sla_violation: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
+        retier_budget_s: Optional[float] = None,
+        migration_max_retries: int = 2,
+        outlier_policy: Optional[OutlierPolicy] = None,
     ):
         if evaluation_mode not in ("estimate", "run"):
             raise ValueError(f"unknown evaluation mode {evaluation_mode!r}")
@@ -413,6 +459,12 @@ class OnlineAdvisor:
         self.predictor = predictor
         self.migration_execution = migration_execution
         self.retier_on_sla_violation = retier_on_sla_violation
+        self.fault_injector = fault_injector
+        self.retier_budget_s = retier_budget_s
+        if migration_max_retries < 0:
+            raise ValueError("migration retries cannot be negative")
+        self.migration_max_retries = migration_max_retries
+        self.outlier_policy = outlier_policy
         self.migration_executor = (
             MigrationExecutor(system, model=self.migration_model)
             if migration_execution == "simulated"
@@ -666,6 +718,44 @@ class OnlineAdvisor:
             plan, layout_cost_cents_per_hour=candidate.storage_cost_cents_per_hour()
         )
 
+    def _assess_migration_with_retry(
+        self,
+        epoch: int,
+        plan: MigrationPlan,
+        candidate: Layout,
+        workload,
+        observed: _EpochEvaluation,
+        deployed: Layout,
+        incidents: List[str],
+    ) -> Optional[AnyMigrationCost]:
+        """Price/execute one migration with bounded retries.
+
+        Each attempt first consults the fault injector (an injected
+        ``migration_failure`` fails its first ``spec.attempts`` attempts),
+        then runs the real assessment.  Every failed attempt is recorded;
+        ``None`` after ``migration_max_retries + 1`` failures tells the loop
+        to hold the deployed layout for this epoch.
+        """
+        attempts = self.migration_max_retries + 1
+        for attempt in range(attempts):
+            try:
+                if (self.fault_injector is not None
+                        and self.fault_injector.migration_fault(epoch, attempt)):
+                    raise RuntimeError(
+                        f"injected migration failure (attempt {attempt})"
+                    )
+                return self._assess_migration(plan, candidate, workload, observed, deployed)
+            except Exception as exc:
+                incidents.append(
+                    f"epoch {epoch}: migration attempt {attempt + 1}/{attempts} "
+                    f"failed ({exc})"
+                )
+        incidents.append(
+            f"epoch {epoch}: migration abandoned after {attempts} attempts; "
+            "holding deployed layout"
+        )
+        return None
+
     # ------------------------------------------------------------------
     def run(self, epoch_workloads: Iterable[Union[EpochWorkload, Workload]]) -> OnlineRunResult:
         """Drive the re-provisioning loop over a sequence of epoch workloads."""
@@ -685,6 +775,7 @@ class OnlineAdvisor:
                     self.system,
                     thresholds=self.thresholds,
                     concurrency=getattr(workload, "concurrency", 1),
+                    outlier_policy=self.outlier_policy,
                 )
             if current is None:
                 current = (
@@ -694,10 +785,30 @@ class OnlineAdvisor:
                 )
 
             # 1 + 2: observe the epoch on the deployed layout, score drift
-            # (and, with a predictor, the extrapolated drift).
+            # (and, with a predictor, the extrapolated drift).  An injected
+            # telemetry fault perturbs only what the *monitor* sees -- the
+            # epoch's accounting stays on the true evaluation, exactly like a
+            # flaky counter in front of a healthy system.
+            incidents: List[str] = []
+            injector = self.fault_injector
             observed = self._evaluate_epoch(current, workload, caches)
-            monitor.observe(epoch, observed.run_result)
-            decision = monitor.check_drift()
+            telemetry_spec = (
+                injector.telemetry_fault(epoch) if injector is not None else None
+            )
+            if telemetry_spec is not None and telemetry_spec.kind == "telemetry_dropout":
+                monitor.observe_gap(epoch)
+                decision = DriftDecision(
+                    drifted=False,
+                    share_distance=0.0,
+                    volume_change=0.0,
+                    reason="telemetry dropout: no observation to score",
+                )
+            else:
+                run_result = observed.run_result
+                if telemetry_spec is not None:  # telemetry_outlier
+                    run_result = _GlitchedRunResult(run_result, telemetry_spec.factor)
+                monitor.observe(epoch, run_result)
+                decision = monitor.check_drift()
             initial_epoch = not records
             # Optional refinement-phase trigger: a deployed layout violating
             # the epoch's SLA caps is re-optimized even when the telemetry
@@ -734,20 +845,64 @@ class OnlineAdvisor:
             retiered_eval: Optional[_EpochEvaluation] = None
             if initial_epoch or decision.drifted or predicted_trigger or sla_trigger:
                 reoptimized = True
-                mixed = getattr(workload, "kind", "dss") == "mixed"
-                lead = self._lead_workload(workload)
-                lead_cache = self._cache_for(caches, lead)
-                lead_evaluator = self._epoch_evaluator(lead, lead_cache)
-                lead_sla = self._component_sla(lead) if mixed else self.sla
-                lead_constraint = self._resolved_constraint(lead, lead_evaluator, mixed)
-                profiles = self._reprofile(
-                    monitor, lead, lead_cache, initial_epoch, forecast if predicted_trigger else None
-                )
-                dot_result, candidate = self._reoptimize(
-                    lead, lead_cache, lead_constraint, lead_sla, profiles,
-                    warm_from=None if initial_epoch else current,
-                )
-                if candidate is None or candidate == current:
+                candidate: Optional[Layout] = None
+                solve_failed = False
+                try:
+                    mixed = getattr(workload, "kind", "dss") == "mixed"
+                    lead = self._lead_workload(workload)
+                    lead_cache = self._cache_for(caches, lead)
+                    lead_evaluator = self._epoch_evaluator(lead, lead_cache)
+                    lead_sla = self._component_sla(lead) if mixed else self.sla
+                    lead_constraint = self._resolved_constraint(lead, lead_evaluator, mixed)
+                    profiles = self._reprofile(
+                        monitor, lead, lead_cache, initial_epoch,
+                        forecast if predicted_trigger else None,
+                    )
+                    budget = self.retier_budget_s
+                    solver_spec = (
+                        injector.solver_fault(epoch) if injector is not None else None
+                    )
+                    if solver_spec is not None:
+                        if solver_spec.kind == "solver_error":
+                            raise RuntimeError(
+                                solver_spec.message
+                                or f"injected solver error at epoch {epoch}"
+                            )
+                        # solver_overrun: a stalled queue eats into the solve's
+                        # own deadline before the solver even starts.
+                        if solver_spec.delay_s > 0.0:
+                            time.sleep(solver_spec.delay_s)
+                        if budget is not None:
+                            budget = max(0.0, budget - solver_spec.delay_s)
+                    dot_result, candidate = self._reoptimize(
+                        lead, lead_cache, lead_constraint, lead_sla, profiles,
+                        warm_from=None if initial_epoch else current,
+                        budget=budget,
+                    )
+                    if dot_result.stats.degraded:
+                        incidents.extend(dot_result.stats.incidents)
+                        budget_note = (
+                            f" (budget {budget:.3g} s)" if budget is not None else ""
+                        )
+                        incidents.append(
+                            f"epoch {epoch}: re-tier solve degraded"
+                            f"{budget_note}; using best-so-far layout"
+                        )
+                except Exception as exc:
+                    # The loop never raises: a failed or timed-out re-tier
+                    # holds the deployed layout and -- unlike a legitimately
+                    # infeasible solve -- does NOT rebase the drift reference,
+                    # so the same drift re-triggers a fresh attempt next epoch.
+                    solve_failed = True
+                    dot_result = None
+                    candidate = None
+                    incidents.append(
+                        f"epoch {epoch}: re-tier solve failed ({exc}); "
+                        "holding deployed layout"
+                    )
+                if solve_failed:
+                    migration_reason = "re-tier solve failed; holding deployed layout"
+                elif candidate is None or candidate == current:
                     migration_reason = (
                         "no feasible layout" if candidate is None else "layout unchanged"
                     )
@@ -765,38 +920,46 @@ class OnlineAdvisor:
                     migration_reason = "initial provisioning (not charged)"
                 else:
                     plan = MigrationPlan.between(current, candidate)
-                    migration = self._assess_migration(
-                        plan, candidate, workload, observed, current
+                    migration = self._assess_migration_with_retry(
+                        epoch, plan, candidate, workload, observed, current, incidents
                     )
-                    candidate_toc = self._candidate_toc(
-                        candidate, workload, caches, dot_result
-                    )
-                    # Restoring SLA feasibility is a constraint, not a cost
-                    # tradeoff: the amortization gate only prices re-tiers
-                    # between feasible layouts.
-                    if sla_trigger or self.policy.should_migrate(
-                        observed.toc_cents, candidate_toc, migration.cost_cents
-                    ):
-                        current = candidate.renamed(f"DOT@epoch{epoch}")
-                        retiered_eval = self._rebase_monitor(
-                            monitor, epoch, current, workload, caches
+                    if migration is None:
+                        # Bounded retries exhausted: hold the deployed layout
+                        # (without rebasing the drift reference, so the still-
+                        # drifted telemetry re-triggers next epoch).
+                        migration_reason = (
+                            "migration failed after retries; holding deployed layout"
                         )
-                        migrated = True
-                        if sla_trigger:
-                            migration_reason = (
-                                f"restores SLA feasibility (PSR {observed.psr:.0%})"
-                            )
-                        else:
-                            saving = self.policy.projected_net_saving_cents(
-                                observed.toc_cents, candidate_toc, migration.cost_cents
-                            )
-                            migration_reason = (
-                                f"{'anticipated' if predicted_trigger else 'projected'} "
-                                f"net saving {saving:.4g} c"
-                            )
                     else:
-                        migration = None
-                        migration_reason = "migration cost exceeds projected saving"
+                        candidate_toc = self._candidate_toc(
+                            candidate, workload, caches, dot_result
+                        )
+                        # Restoring SLA feasibility is a constraint, not a cost
+                        # tradeoff: the amortization gate only prices re-tiers
+                        # between feasible layouts.
+                        if sla_trigger or self.policy.should_migrate(
+                            observed.toc_cents, candidate_toc, migration.cost_cents
+                        ):
+                            current = candidate.renamed(f"DOT@epoch{epoch}")
+                            retiered_eval = self._rebase_monitor(
+                                monitor, epoch, current, workload, caches
+                            )
+                            migrated = True
+                            if sla_trigger:
+                                migration_reason = (
+                                    f"restores SLA feasibility (PSR {observed.psr:.0%})"
+                                )
+                            else:
+                                saving = self.policy.projected_net_saving_cents(
+                                    observed.toc_cents, candidate_toc, migration.cost_cents
+                                )
+                                migration_reason = (
+                                    f"{'anticipated' if predicted_trigger else 'projected'} "
+                                    f"net saving {saving:.4g} c"
+                                )
+                        else:
+                            migration = None
+                            migration_reason = "migration cost exceeds projected saving"
 
             # 5: account the epoch on the (possibly re-tiered) layout.  In
             # estimate mode the deployed layout's report already exists --
@@ -813,6 +976,7 @@ class OnlineAdvisor:
             )
             epoch_cost = final.toc_cents + migration_charge
             cumulative += epoch_cost
+            incidents = monitor.drain_incidents() + incidents
             records.append(
                 EpochRecord(
                     epoch=epoch,
@@ -832,6 +996,7 @@ class OnlineAdvisor:
                     report=final.report,
                     predicted=predicted_trigger,
                     forecast=forecast,
+                    incidents=tuple(incidents),
                 )
             )
         return OnlineRunResult(
@@ -919,6 +1084,7 @@ class OnlineAdvisor:
         sla,
         profiles: WorkloadProfileSet,
         warm_from: Optional[Layout],
+        budget: Optional[float] = None,
     ) -> Tuple[SolveResult, Optional[Layout]]:
         """Re-solve against the given profiles, warm then (if infeasible) cold.
 
@@ -942,9 +1108,9 @@ class OnlineAdvisor:
             profiles=profiles,
             estimate_cache=cache,
         )
-        result = self.solver.solve(context, initial_layout=warm_from)
+        result = self.solver.solve(context, initial_layout=warm_from, budget=budget)
         if not result.feasible and warm_from is not None:
-            result = self.solver.solve(context)
+            result = self.solver.solve(context, budget=budget)
         return result, result.layout if result.feasible else None
 
     # ------------------------------------------------------------------

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.profiles import BaselinePlacement, WorkloadProfileSet
+from repro.exceptions import TelemetryGapError
 from repro.storage.storage_class import StorageSystem
 
 
@@ -121,6 +122,39 @@ class DriftThresholds:
             raise ValueError("volume threshold must be positive")
         if self.min_epochs_between < 0:
             raise ValueError("cooldown cannot be negative")
+
+
+@dataclass(frozen=True)
+class OutlierPolicy:
+    """MAD-based clamp for physically implausible telemetry epochs.
+
+    A flaky I/O counter can report 25x the real traffic for one epoch; fed
+    raw into the drift detector that single epoch would trigger a re-tier
+    (and pollute the trend window) for a workload that never changed.  The
+    clamp scores each incoming epoch's total I/O count against the median of
+    the last ``window`` accepted epochs: a deviation beyond ``k`` times the
+    median absolute deviation -- floored at ``rel_floor`` of the median so a
+    noise-free history cannot make the test infinitely strict -- is treated
+    as a counter glitch, and the epoch's counts are rescaled to the median
+    volume (its *shares* are preserved: only the implausible magnitude is
+    clamped).  Fewer than ``min_history`` accepted epochs, or a non-positive
+    median, disables the test.
+    """
+
+    window: int = 5
+    k: float = 6.0
+    rel_floor: float = 0.05
+    min_history: int = 3
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError("outlier window must span at least two epochs")
+        if self.k <= 0:
+            raise ValueError("the MAD multiplier must be positive")
+        if self.rel_floor < 0:
+            raise ValueError("the relative floor cannot be negative")
+        if self.min_history < 2:
+            raise ValueError("need at least two epochs of history to clamp against")
 
 
 @dataclass(frozen=True)
@@ -275,15 +309,28 @@ class TelemetryMonitor:
         Drift sensitivities (:class:`DriftThresholds`).
     concurrency:
         Concurrency calibration point recorded in emitted profile sets.
+    outlier_policy:
+        Optional :class:`OutlierPolicy` enabling the MAD clamp on incoming
+        telemetry; ``None`` (the default) accepts every epoch verbatim.
+
+    Recovery actions the monitor takes on faulty telemetry (outlier clamps,
+    recorded gaps) accumulate in :attr:`incidents`;
+    :meth:`drain_incidents` hands them to the controller for the epoch
+    record.
     """
 
     def __init__(self, system: StorageSystem,
                  thresholds: Optional[DriftThresholds] = None,
-                 concurrency: int = 1):
+                 concurrency: int = 1,
+                 outlier_policy: Optional[OutlierPolicy] = None):
         self.system = system
         self.thresholds = thresholds or DriftThresholds()
         self.concurrency = concurrency
+        self.outlier_policy = outlier_policy
         self.history: List[EpochTelemetry] = []
+        self.incidents: List[str] = []
+        #: Epochs whose telemetry never arrived (dropouts); see observe_gap.
+        self.gap_epochs: List[int] = []
         self._reference: Optional[EpochTelemetry] = None
         self._last_reprovision_epoch: Optional[int] = None
         self._window: List[EpochTelemetry] = []
@@ -303,13 +350,74 @@ class TelemetryMonitor:
         )
 
     def observe(self, epoch: int, run_result) -> EpochTelemetry:
-        """Fold one epoch's run result into the telemetry history."""
+        """Fold one epoch's run result into the telemetry history.
+
+        With an :class:`OutlierPolicy` configured, an epoch whose total I/O
+        volume is implausible against the recent window is clamped to the
+        median volume (shares preserved) before entering the history, and
+        the clamp is recorded as an incident.
+        """
         telemetry = self._telemetry_from(epoch, run_result)
+        telemetry = self._clamp_outlier(telemetry)
         self.history.append(telemetry)
         self._window.append(telemetry)
         if self._reference is None:
             self._reference = telemetry
         return telemetry
+
+    def observe_gap(self, epoch: int) -> None:
+        """Record that ``epoch``'s telemetry never arrived (a dropout).
+
+        The history is left untouched -- fabricating counts would corrupt
+        both the drift reference and the trend window -- so drift checks
+        keep scoring the last *real* observation and the controller falls
+        back to estimator-derived profiles for any re-profiling this epoch.
+        """
+        self.gap_epochs.append(epoch)
+        self.incidents.append(
+            f"epoch {epoch}: telemetry dropout; holding last observation and "
+            "falling back to estimator profiles"
+        )
+
+    def drain_incidents(self) -> List[str]:
+        """Return and clear the accumulated telemetry incidents."""
+        drained, self.incidents = self.incidents, []
+        return drained
+
+    def _clamp_outlier(self, telemetry: EpochTelemetry) -> EpochTelemetry:
+        """Apply the MAD clamp to one incoming epoch (no-op without policy)."""
+        policy = self.outlier_policy
+        if policy is None or len(self.history) < policy.min_history:
+            return telemetry
+        totals = np.array(
+            [entry.total_ios for entry in self.history[-policy.window:]], dtype=float
+        )
+        median = float(np.median(totals))
+        if median <= 0.0:
+            return telemetry
+        mad = float(np.median(np.abs(totals - median)))
+        threshold = policy.k * max(mad, policy.rel_floor * median)
+        deviation = abs(telemetry.total_ios - median)
+        if deviation <= threshold or telemetry.total_ios <= 0.0:
+            return telemetry
+        scale = median / telemetry.total_ios
+        self.incidents.append(
+            f"epoch {telemetry.epoch}: telemetry outlier clamped "
+            f"({telemetry.total_ios:.0f} I/Os vs median {median:.0f}, "
+            f"deviation {deviation:.0f} > {threshold:.0f}); volume rescaled "
+            f"x{scale:.3g} with shares preserved"
+        )
+        return EpochTelemetry(
+            epoch=telemetry.epoch,
+            workload_name=telemetry.workload_name,
+            io_by_object={
+                object_name: {
+                    io_type: count * scale for io_type, count in by_type.items()
+                }
+                for object_name, by_type in telemetry.io_by_object.items()
+            },
+            total_ios=telemetry.total_ios * scale,
+        )
 
     def trend_window(self) -> List[EpochTelemetry]:
         """Telemetry observed under the *currently deployed* layout.
@@ -334,7 +442,7 @@ class TelemetryMonitor:
         concurrency when kinds drift).
         """
         if not self.history:
-            raise ValueError("no telemetry observed yet")
+            raise TelemetryGapError("no telemetry observed yet")
         return self.profile_set_from_counts(
             self.history[-1].io_by_object, pattern=pattern, concurrency=concurrency
         )

@@ -1,0 +1,30 @@
+"""Fault injection and chaos-testing support for the advisor stack.
+
+``repro.resilience`` holds the seeded fault-injection harness
+(:class:`FaultPlan` / :class:`FaultInjector`) that the recovery machinery in
+the parallel search, the solver layer and the online control plane is tested
+against.  See :mod:`repro.resilience.faults` for the failure-mode taxonomy
+and EXPERIMENTS.md ("Failure modes & recovery") for the fault matrix.
+"""
+
+from repro.resilience.faults import (
+    CORRUPTION_MODES,
+    EPOCH_FAULT_KINDS,
+    SHARD_FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    corrupt_file,
+    fire_shard_fault,
+)
+
+__all__ = [
+    "CORRUPTION_MODES",
+    "EPOCH_FAULT_KINDS",
+    "SHARD_FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "corrupt_file",
+    "fire_shard_fault",
+]

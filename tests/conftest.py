@@ -14,6 +14,12 @@ if str(_SRC) not in sys.path:
 
 import pytest
 
+try:
+    import pytest_timeout  # noqa: F401  (the real plugin, when installed)
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
 
 # ---------------------------------------------------------------------------
 # The `slow` marker: stress tests run in CI (or with --runslow), not in the
@@ -27,6 +33,74 @@ def pytest_addoption(parser):
         default=False,
         help="run tests marked slow (always run when the CI env var is set)",
     )
+    if not _HAVE_PYTEST_TIMEOUT:
+        # Fallback shim: own the `timeout` ini key / marker the real plugin
+        # would register, so `pytest.ini` and `@pytest.mark.timeout(...)`
+        # behave the same with or without pytest-timeout installed (CI
+        # installs the real plugin; the shim covers bare environments).
+        parser.addini(
+            "timeout",
+            "per-test wall-clock timeout in seconds (pytest-timeout fallback shim)",
+            default="0",
+        )
+        parser.addoption(
+            "--timeout",
+            action="store",
+            default=None,
+            help="per-test wall-clock timeout in seconds (fallback shim)",
+        )
+
+
+def pytest_configure(config):
+    if not _HAVE_PYTEST_TIMEOUT:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test if it runs longer (fallback shim)",
+        )
+
+
+def _shim_timeout_seconds(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    option = item.config.getoption("--timeout", default=None)
+    if option:
+        return float(option)
+    try:
+        return float(item.config.getini("timeout") or 0.0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM-based per-test timeout when pytest-timeout is unavailable.
+
+    A hung chaos test (a worker kill the recovery machinery fails to detect,
+    a deadline that never fires) aborts with a clear failure instead of
+    wedging the whole run.  Main-thread/Unix only -- exactly where the chaos
+    suite runs; the real plugin takes over wherever it is installed.
+    """
+    import signal
+    import threading
+
+    seconds = 0.0
+    if not _HAVE_PYTEST_TIMEOUT and threading.current_thread() is threading.main_thread():
+        seconds = _shim_timeout_seconds(item)
+    if seconds <= 0.0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(f"test exceeded the {seconds:g}s timeout (fallback shim)")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def pytest_collection_modifyitems(config, items):

@@ -26,6 +26,7 @@ from repro.core.parallel_search import (
 )
 from repro.core.toc import TOCModel
 from repro.dbms.datagen import SyntheticTableSpec, build_synthetic_catalog
+from repro.exceptions import ShardFailureError
 from repro.dbms.executor import WorkloadEstimator
 from repro.dbms.query import Query, TableAccess
 from repro.sla.constraints import RelativeSLA
@@ -677,7 +678,9 @@ class TestDiskCheckpoint:
             return real_process_shard(*args, **kwargs)
 
         monkeypatch.setattr(ps, "_process_shard", crashing_process_shard)
-        with pytest.raises(RuntimeError, match="simulated kill"):
+        # The engine retries each shard (bounded) and then surfaces the
+        # persistent failure as ShardFailureError with the cause embedded.
+        with pytest.raises(ShardFailureError, match="simulated kill"):
             engine.run(checkpoint_path=path)
 
         saved = SearchProgress.load(path)

@@ -237,11 +237,20 @@ class TestProtocol:
         for name in ("dot", "es", "milp", "oa"):
             assert isinstance(get_solver(name), Solver)
 
-    def test_es_budget_overrides_max_layouts(self, small_bundle):
-        # A tiny layout budget must trip the serial guard, proving the
-        # solve-time budget reaches the underlying search.
-        with pytest.raises(ConfigurationError):
-            ExhaustiveSolver().solve(make_context(small_bundle), budget=10)
+    def test_es_budget_is_a_wall_clock_deadline(self, small_bundle):
+        # budget is a hard deadline in seconds, uniform across solvers: a
+        # zero-second budget must cut the enumeration short (degraded, with
+        # an incident recorded), proving the deadline reaches the search.
+        result = ExhaustiveSolver().solve(make_context(small_bundle), budget=0.0)
+        assert result.raw.timed_out
+        assert result.stats.degraded
+        assert result.stats.incidents
+        assert result.stats.deadline_s == 0.0
+
+    def test_es_without_budget_is_not_degraded(self, small_bundle):
+        result = ExhaustiveSolver().solve(make_context(small_bundle))
+        assert not result.stats.degraded
+        assert result.stats.incidents == []
 
     def test_milp_without_relative_sla_needs_explicit_budget(self, small_bundle):
         context = make_context(small_bundle, sla=None)
