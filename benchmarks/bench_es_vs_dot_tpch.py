@@ -7,6 +7,9 @@ from repro.experiments import figures
 
 from conftest import run_once, write_bench_json
 
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_es_vs_dot_tpch")
+
 
 def _payload(results):
     """Headline search metrics per box for the BENCH json."""
@@ -37,7 +40,7 @@ def test_es_vs_dot_tpch_no_capacity_limits(benchmark):
     )
     write_bench_json("es_vs_dot_tpch", _payload(results))
     for box_name, result in results.items():
-        print(f"\n=== {box_name} ===\n{result['text']}")
+        log.info(f"\n=== {box_name} ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]
         assert result["dot"].feasible and result["es"].feasible
         # Paper: DOT's TOC within ~16 % of ES, response time within ~9 %,
@@ -61,7 +64,7 @@ def test_es_vs_dot_tpch_with_capacity_limits(benchmark):
     )
     write_bench_json("es_vs_dot_tpch_capacity_limited", _payload(results))
     for box_name, result in results.items():
-        print(f"\n=== {box_name} (capacity limited) ===\n{result['text']}")
+        log.info(f"\n=== {box_name} (capacity limited) ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]
         assert result["es"].feasible
         assert result["dot"].feasible

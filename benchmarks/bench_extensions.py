@@ -12,10 +12,13 @@ from repro.experiments import figures
 
 from conftest import run_once, write_bench_json
 
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_extensions")
+
 
 def test_generalized_provisioning_picks_a_box(benchmark):
     result = run_once(benchmark, figures.generalized_provisioning, 4.0, 0.5, 1)
-    print("\n" + result["text"])
+    log.info("\n" + result["text"])
     benchmark.extra_info["decision"] = result["text"]
     decision = result["decision"]
     write_bench_json(
@@ -37,7 +40,7 @@ def test_generalized_provisioning_picks_a_box(benchmark):
 
 def test_discrete_cost_model_consolidates_classes(benchmark):
     result = run_once(benchmark, figures.discrete_cost_experiment, 4.0, 0.5, (0.0, 0.5, 1.0), 1)
-    print("\n" + result["text"])
+    log.info("\n" + result["text"])
     benchmark.extra_info["alpha_sweep"] = result["text"]
     outcomes = result["results"]
     write_bench_json(
@@ -61,7 +64,7 @@ def test_discrete_cost_model_consolidates_classes(benchmark):
 
 def test_ablation_object_grouping(benchmark):
     result = run_once(benchmark, figures.ablation_grouping, 4.0, 0.5, 4)
-    print("\n" + result["text"])
+    log.info("\n" + result["text"])
     benchmark.extra_info["grouping"] = result["text"]
     outcomes = result["results"]
     write_bench_json(
@@ -85,7 +88,7 @@ def test_ablation_object_grouping(benchmark):
 
 def test_ablation_milp_reference(benchmark):
     result = run_once(benchmark, figures.ablation_ilp, 4.0, 0.5, 3)
-    print("\n" + result["text"])
+    log.info("\n" + result["text"])
     benchmark.extra_info["milp"] = result["text"]
     outcomes = result["results"]
     write_bench_json(

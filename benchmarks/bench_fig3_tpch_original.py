@@ -7,6 +7,9 @@ from repro.experiments.reporting import format_layout_assignment
 
 from conftest import run_once, write_bench_json
 
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_fig3_tpch_original")
+
 
 def _evaluation_payload(results):
     """Per-box TOC/PSR of every evaluated layout for the BENCH json."""
@@ -29,7 +32,7 @@ def test_fig3_original_tpch_sla05(benchmark):
     results = run_once(benchmark, figures.figure3, 20.0, 3)
     write_bench_json("fig3_tpch_original", _evaluation_payload(results))
     for box_name, result in results.items():
-        print(f"\n=== {box_name} ===\n{result['text']}")
+        log.info(f"\n=== {box_name} ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]
         by_name = {e.layout_name: e for e in result["evaluations"]}
 
@@ -56,7 +59,7 @@ def test_fig4_dot_layouts_for_original_tpch(benchmark):
         },
     )
     for box_name, entry in layouts.items():
-        print(f"\n=== {box_name} ===\n{entry['text']}")
+        log.info(f"\n=== {box_name} ===\n{entry['text']}")
         benchmark.extra_info[box_name] = entry["text"]
         layout = entry["layout"]
         # The SR-dominated bulk data (lineitem) leaves the H-SSD for the

@@ -6,6 +6,9 @@ from repro.experiments import figures
 
 from conftest import run_once, write_bench_json
 
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_fig5_tpch_modified")
+
 
 def _evaluation_payload(results):
     return {
@@ -27,7 +30,7 @@ def test_fig5_modified_tpch_sla05(benchmark):
     results = run_once(benchmark, figures.figure5, 20.0, 20)
     write_bench_json("fig5_tpch_modified", _evaluation_payload(results))
     for box_name, result in results.items():
-        print(f"\n=== {box_name} ===\n{result['text']}")
+        log.info(f"\n=== {box_name} ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]
         by_name = {e.layout_name: e for e in result["evaluations"]}
 
@@ -55,7 +58,7 @@ def test_fig6_dot_layouts_for_modified_tpch(benchmark):
         },
     )
     for box_name, entry in layouts.items():
-        print(f"\n=== {box_name} ===\n{entry['text']}")
+        log.info(f"\n=== {box_name} ===\n{entry['text']}")
         benchmark.extra_info[box_name] = entry["text"]
         layout = entry["layout"]
         # The modified workload keeps much more data on the H-SSD than the

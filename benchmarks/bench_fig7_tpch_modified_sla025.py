@@ -6,6 +6,9 @@ from repro.experiments import figures
 
 from conftest import run_once, write_bench_json
 
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_fig7_tpch_modified_sla025")
+
 
 def test_fig7_modified_tpch_sla025(benchmark):
     results = run_once(benchmark, figures.figure7, 20.0, 20)
@@ -27,7 +30,7 @@ def test_fig7_modified_tpch_sla025(benchmark):
         },
     )
     for box_name, result in results.items():
-        print(f"\n=== {box_name} ===\n{result['text']}")
+        log.info(f"\n=== {box_name} ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]
         by_name = {e.layout_name: e for e in result["evaluations"]}
         by_name_05 = {e.layout_name: e for e in sla05[box_name]["evaluations"]}

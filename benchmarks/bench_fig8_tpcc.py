@@ -6,6 +6,9 @@ from repro.experiments import figures
 
 from conftest import run_once, write_bench_json
 
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_fig8_tpcc")
+
 
 def test_fig8_tpcc_throughput_vs_toc(benchmark):
     results = run_once(benchmark, figures.figure8, 300, (0.5, 0.25, 0.125), 300)
@@ -26,7 +29,7 @@ def test_fig8_tpcc_throughput_vs_toc(benchmark):
         },
     )
     for box_name, result in results.items():
-        print(f"\n=== {box_name} ===\n{result['text']}")
+        log.info(f"\n=== {box_name} ===\n{result['text']}")
         benchmark.extra_info[box_name] = result["text"]
         by_name = {e.layout_name: e for e in result["evaluations"]}
 
@@ -59,7 +62,7 @@ def test_table3_tpcc_dot_layouts_per_sla(benchmark):
             },
         },
     )
-    print("\n" + result["text"])
+    log.info("\n" + result["text"])
     benchmark.extra_info["table3"] = result["text"]
     layouts = result["layouts"]
     assert set(layouts) == {0.5, 0.25, 0.125}

@@ -6,6 +6,9 @@ from repro.experiments import figures
 
 from conftest import run_once, write_bench_json
 
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_fig9_es_vs_dot_tpcc")
+
 
 def test_fig9_es_vs_dot_tpcc(benchmark):
     results = run_once(
@@ -34,7 +37,7 @@ def test_fig9_es_vs_dot_tpcc(benchmark):
         },
     )
     for label, result in results.items():
-        print(f"\n=== {label} ===\n{result['text']}")
+        log.info(f"\n=== {label} ===\n{result['text']}")
         benchmark.extra_info[label] = result["text"]
         assert result["es"].feasible
         assert result["dot"].feasible

@@ -27,6 +27,9 @@ from repro.experiments.drift import (
     online_drift_experiment,
     predictive_drift_experiment,
 )
+from repro.obs import log as obs_log
+
+log = obs_log.get_logger("benchmarks.bench_online_drift")
 
 SLA_RATIO = 0.25
 
@@ -57,7 +60,7 @@ def test_online_drift_crossfade(benchmark):
         seed=2024,
     )
     summary = result["summary"]
-    print(result["text"])
+    log.info(result["text"])
     benchmark.extra_info["report"] = result["text"]
     benchmark.extra_info["summary"] = {
         key: value for key, value in summary.items() if key != "retier_epochs"
@@ -91,7 +94,7 @@ def test_online_drift_predictive_flash_crowd(benchmark):
         seed=2024,
     )
     summary = result["summary"]
-    print(result["text"])
+    log.info(result["text"])
     benchmark.extra_info["report"] = result["text"]
     benchmark.extra_info["summary"] = _plain(summary)
     _record("predictive_flash_crowd", run_once.last_elapsed_s, _plain(summary))
@@ -122,7 +125,7 @@ def test_online_drift_crosskind(benchmark):
         seed=2024,
     )
     summary = result["summary"]
-    print(result["text"])
+    log.info(result["text"])
     benchmark.extra_info["report"] = result["text"]
     benchmark.extra_info["summary"] = _plain(summary)
     _record("crosskind", run_once.last_elapsed_s, _plain(summary))

@@ -30,6 +30,9 @@ from repro.core.solver import ExhaustiveSolver
 
 from conftest import run_once, write_bench_json
 
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_parallel_es")
+
 
 def _default_tables() -> int:
     return 7 if (os.cpu_count() or 1) >= 4 else 6
@@ -127,7 +130,7 @@ def test_parallel_es_scaling(benchmark):
             f"{row['speedup']:>7.2f}x"
         )
     text = "\n".join(lines)
-    print(f"\nspace: {outcome['objects']} objects x {outcome['classes']} classes = "
+    log.info(f"\nspace: {outcome['objects']} objects x {outcome['classes']} classes = "
           f"{outcome['space']} layouts\n{text}")
     benchmark.extra_info["table"] = text
     benchmark.extra_info["rows"] = rows

@@ -35,6 +35,9 @@ from repro.online.monitor import DriftThresholds, OutlierPolicy
 from repro.resilience import FaultInjector, FaultPlan
 from repro.sla.constraints import RelativeSLA
 
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_resilience")
+
 WORKERS = 2
 NUM_EPOCHS = 10
 
@@ -178,7 +181,7 @@ def test_search_chaos_recovery(benchmark):
     outcome = run_once(benchmark, search_chaos_run)
     benchmark.extra_info["summary"] = outcome
     _record("search_chaos", dict(outcome, elapsed_s=run_once.last_elapsed_s))
-    print(
+    log.info(
         f"\nsearch chaos: {outcome['faults_injected']} faults, "
         f"{outcome['incidents']} incidents, "
         f"overhead {outcome['recovery_overhead_x']:.2f}x "
@@ -191,7 +194,7 @@ def test_degraded_solve_within_budget(benchmark):
     outcome = run_once(benchmark, degraded_solve_run)
     benchmark.extra_info["summary"] = outcome
     _record("degraded_solve", dict(outcome, total_s=run_once.last_elapsed_s))
-    print(
+    log.info(
         f"\ndegraded solve: {outcome['elapsed_s']:.3f}s against a "
         f"{outcome['budget_s']}s budget, feasible={outcome['feasible']}"
     )
@@ -201,7 +204,7 @@ def test_online_chaos_recovery(benchmark):
     outcome = run_once(benchmark, online_chaos_run)
     benchmark.extra_info["summary"] = outcome
     _record("online_chaos", dict(outcome, elapsed_s=run_once.last_elapsed_s))
-    print(
+    log.info(
         f"\nonline chaos: {outcome['faulty_epochs']}/{outcome['num_epochs']} faulty "
         f"epochs, {outcome['incidents']} incidents, cost identical to fault-free, "
         f"min PSR {outcome['min_psr']:.2f}"

@@ -21,6 +21,9 @@ from repro.core.solver import DOTSolver, ExhaustiveSolver
 
 from conftest import run_once, write_bench_json
 
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_scaling_batch_eval")
+
 
 def build_scenario(num_tables):
     """The synthetic scaling scenario (from the registry): ``num_tables``
@@ -90,7 +93,7 @@ def test_scaling_batch_eval(benchmark):
             f"{row['dot_speedup']:>5.1f}x"
         )
     text = "\n".join(lines)
-    print("\n" + text)
+    log.info("\n" + text)
     benchmark.extra_info["table"] = text
     benchmark.extra_info["rows"] = rows
 

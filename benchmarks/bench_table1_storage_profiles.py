@@ -7,6 +7,9 @@ from repro.experiments import figures
 
 from conftest import run_once, write_bench_json
 
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_table1_storage_profiles")
+
 
 def test_table1_storage_profiles(benchmark):
     result = run_once(benchmark, figures.table1, (1, 300))
@@ -19,7 +22,7 @@ def test_table1_storage_profiles(benchmark):
         },
     )
     benchmark.extra_info["table"] = result["text"]
-    print("\n" + result["text"])
+    log.info("\n" + result["text"])
 
     # Prices match the published Table 1 within 10 %.
     for name, published in result["published_prices"].items():
@@ -52,5 +55,5 @@ def test_table2_device_specifications(benchmark):
         },
     )
     benchmark.extra_info["table"] = result["text"]
-    print("\n" + result["text"])
+    log.info("\n" + result["text"])
     assert set(result["devices"]) == {"HDD", "L-SSD", "H-SSD"}

@@ -6,10 +6,18 @@ rendered text table to the benchmark's ``extra_info`` so the numbers can be
 compared against the paper after a run (see EXPERIMENTS.md).
 
 Besides the human-readable tables, each benchmark emits a machine-readable
-``BENCH_<name>.json`` next to this file (or into ``$BENCH_JSON_DIR``) via
+``BENCH_<name>.json`` into ``benchmarks/out/`` (or ``$BENCH_JSON_DIR``) via
 :func:`write_bench_json`, so successive runs accumulate a perf trajectory
 (elapsed seconds, evaluated layouts, speedups, TOCs) that scripts and CI
-artifact consumers can diff without scraping stdout.
+artifact consumers can diff without scraping stdout.  Fresh JSONs never land
+in ``benchmarks/`` itself -- only the curated copies under
+``benchmarks/baselines/`` are committed, and the perf gate
+(``python -m repro.obs.report --check-regressions``) compares the two.
+
+Every payload is stamped with the process-wide metrics snapshot
+(``repro.obs.metrics``), and -- when ``REPRO_OBS_TRACE`` is on -- with the
+span trees the run produced, so one artifact carries both the headline
+numbers and the breakdown that explains them.
 """
 
 from __future__ import annotations
@@ -24,6 +32,12 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+from repro.obs import log as obs_log  # noqa: E402
+from repro.obs import metrics as obs_metrics  # noqa: E402
+from repro.obs import trace as obs_trace  # noqa: E402
+
+obs_log.configure()
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -65,14 +79,22 @@ def write_bench_json(name: str, payload: dict) -> Path:
 
     ``payload`` holds the benchmark-specific metrics (elapsed seconds,
     evaluated layouts, speedups, TOCs, ...); the helper adds the benchmark
-    name and a timestamp and keeps the file deterministic-ish (sorted keys)
+    name, a timestamp, the current metrics snapshot and any span trees the
+    tracer accumulated, and keeps the file deterministic-ish (sorted keys)
     so diffs between runs stay readable.  The target directory defaults to
-    the benchmarks directory and can be redirected with ``$BENCH_JSON_DIR``
-    (created on demand), which is how CI collects the artifacts.
+    ``benchmarks/out/`` (never the committed benchmarks/ root) and can be
+    redirected with ``$BENCH_JSON_DIR`` (created on demand), which is how
+    CI collects the artifacts.
     """
-    directory = Path(os.environ.get("BENCH_JSON_DIR", Path(__file__).resolve().parent))
+    directory = Path(
+        os.environ.get("BENCH_JSON_DIR", Path(__file__).resolve().parent / "out")
+    )
     directory.mkdir(parents=True, exist_ok=True)
     record = {"bench": name, "generated_unix_s": time.time()}
+    record["metrics"] = obs_metrics.get_metrics().snapshot()
+    spans = obs_trace.get_tracer().drain_roots()
+    if spans:
+        record["spans"] = spans
     record.update(payload)
     path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True, default=_jsonable) + "\n")

@@ -22,6 +22,11 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.obs import log as obs_log
+
+obs_log.configure()
+log = obs_log.get_logger("examples.check_docs")
+
 FENCE = re.compile(r"^```(\w*)\s*$")
 
 #: Commands a shell fence may reference; checked for file existence only.
@@ -107,14 +112,14 @@ def main(argv: list[str]) -> int:
                 checked += 1
                 label = f"{document.name}:{line} [{language}]"
                 if error is None:
-                    print(f"ok    {label}")
+                    log.info(f"ok    {label}")
                 else:
                     failures += 1
-                    print(f"FAIL  {label}\n{error}")
+                    log.info(f"FAIL  {label}\n{error}")
         except ValueError as malformed:
             failures += 1
-            print(f"FAIL  {malformed}")
-    print(f"\n{checked} fenced blocks checked, {failures} failing")
+            log.info(f"FAIL  {malformed}")
+    log.info(f"\n{checked} fenced blocks checked, {failures} failing")
     return 1 if failures or not checked else 0
 
 

@@ -39,6 +39,10 @@ from repro.experiments.drift import (
     online_drift_experiment,
     predictive_drift_experiment,
 )
+from repro.obs import log as obs_log
+
+obs_log.configure()
+log = obs_log.get_logger("examples.online_retiering")
 
 NUM_EPOCHS = 12
 SLA_RATIO = 0.25
@@ -47,10 +51,10 @@ SEED = 2024
 
 def any_failed(checks) -> bool:
     """Print one [ok]/[FAIL] line per check; True when any check failed."""
-    print("\nAcceptance checks:")
+    log.info("\nAcceptance checks:")
     failed = False
     for label, passed in checks.items():
-        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+        log.info(f"  [{'ok' if passed else 'FAIL'}] {label}")
         failed = failed or not passed
     return failed
 
@@ -58,16 +62,16 @@ def any_failed(checks) -> bool:
 def main() -> None:
     failed = False
 
-    print("=" * 72)
-    print("1. OLTP-to-OLAP crossfade: online vs frozen")
-    print("=" * 72)
+    log.info("=" * 72)
+    log.info("1. OLTP-to-OLAP crossfade: online vs frozen")
+    log.info("=" * 72)
     result = online_drift_experiment(
         scale_factor=4.0,
         num_epochs=NUM_EPOCHS,
         sla_ratio=SLA_RATIO,
         seed=SEED,
     )
-    print(result["text"])
+    log.info(result["text"])
     summary = result["summary"]
     failed |= any_failed({
         f"ran at least 10 epochs ({summary['num_epochs']})":
@@ -83,12 +87,12 @@ def main() -> None:
             summary["migration_cents"] < summary["saving_cents"],
     })
 
-    print()
-    print("=" * 72)
-    print("2. Flash crowd: predictive vs reactive re-tiering")
-    print("=" * 72)
+    log.info("")
+    log.info("=" * 72)
+    log.info("2. Flash crowd: predictive vs reactive re-tiering")
+    log.info("=" * 72)
     predictive = predictive_drift_experiment(seed=SEED, sla_ratio=SLA_RATIO)
-    print(predictive["text"])
+    log.info(predictive["text"])
     p_summary = predictive["summary"]
     failed |= any_failed({
         "predictive cumulative TOC beats the reactive controller's":
@@ -105,12 +109,12 @@ def main() -> None:
             and p_summary["reactive_min_psr"] == 1.0,
     })
 
-    print()
-    print("=" * 72)
-    print("3. Cross-kind drift: TPC-C transactions fade into TPC-H queries")
-    print("=" * 72)
+    log.info("")
+    log.info("=" * 72)
+    log.info("3. Cross-kind drift: TPC-C transactions fade into TPC-H queries")
+    log.info("=" * 72)
     crosskind = crosskind_drift_experiment(seed=SEED, sla_ratio=SLA_RATIO)
-    print(crosskind["text"])
+    log.info(crosskind["text"])
     c_summary = crosskind["summary"]
     failed |= any_failed({
         f"kind-mixed epochs were actually served ({c_summary['mixed_epochs']})":

@@ -39,6 +39,10 @@ from repro.core.parallel_search import (
     ParallelEnumerationEngine,
     SearchProgress,
 )
+from repro.obs import log as obs_log
+
+obs_log.configure()
+log = obs_log.get_logger("examples.parallel_es")
 
 
 def run_checkpointed(bundle, objects, pinned, system, workers: int, path: Path):
@@ -62,16 +66,16 @@ def run_checkpointed(bundle, objects, pinned, system, workers: int, path: Path):
     progress = None
     if path.exists():
         progress = SearchProgress.load(path)
-        print(f"Resuming from {path}: {len(progress.completed)}/{progress.total_shards} "
+        log.info(f"Resuming from {path}: {len(progress.completed)}/{progress.total_shards} "
               f"shards done, incumbent TOC {progress.best_toc:.6g} cents")
     # checkpoint_path persists after every completed shard, so killing the
     # run mid-way loses at most one shard of work.
     progress = engine.run(progress, checkpoint_path=path)
-    print(f"Checkpoint saved to {path}: {len(progress.completed)}/{progress.total_shards} "
+    log.info(f"Checkpoint saved to {path}: {len(progress.completed)}/{progress.total_shards} "
           f"shards, {progress.evaluated:,} layouts evaluated")
     if progress.best_row is not None:
         assignment = evaluator.assignment_for_row(np.array(progress.best_row, dtype=np.int64))
-        print(f"Best TOC {progress.best_toc:.6g} cents; fast-class objects: "
+        log.info(f"Best TOC {progress.best_toc:.6g} cents; fast-class objects: "
               + ", ".join(sorted(name for name, cls in assignment.items()
                                  if cls == system.most_expensive().name)))
     return progress
@@ -104,7 +108,7 @@ def main() -> None:
     total_gb = sum(obj.size_gb for obj in objects)
     system = scenarios.box_system("Box 1", {"H-SSD": total_gb * 0.4})
     space = len(system) ** len(objects)
-    print(f"Search space: {len(objects)} objects x {len(system)} classes = "
+    log.info(f"Search space: {len(objects)} objects x {len(system)} classes = "
           f"{space:,} layouts ({len(pinned)} objects pinned to "
           f"{system.cheapest().name})")
 
@@ -127,17 +131,17 @@ def main() -> None:
     serial = None
     if not args.skip_serial:
         serial = solve(build_solver())
-        print(f"\nSerial batch ES:   {serial.elapsed_s:8.2f} s, "
+        log.info(f"\nSerial batch ES:   {serial.elapsed_s:8.2f} s, "
               f"{serial.evaluated_layouts:,} layouts evaluated, "
               f"TOC {serial.toc_cents:.6g} cents")
 
     parallel = solve(build_solver(workers=args.workers))
     stats = parallel.stats.batch
-    print(f"Parallel ES (x{args.workers}): {parallel.elapsed_s:8.2f} s "
+    log.info(f"Parallel ES (x{args.workers}): {parallel.elapsed_s:8.2f} s "
           f"(+ {stats.build_s:.2f} s build/warm-up), "
           f"{parallel.evaluated_layouts:,} layouts evaluated, "
           f"TOC {parallel.toc_cents:.6g} cents")
-    print(f"Pruning: {stats.pruned_subtrees:,} subtrees "
+    log.info(f"Pruning: {stats.pruned_subtrees:,} subtrees "
           f"({stats.pruned_subtree_layouts:,} layouts) by the capacity bound, "
           f"{stats.pruned_chunks:,} chunks ({stats.pruned_chunk_layouts:,} layouts) "
           f"by the incumbent-TOC bound "
@@ -146,11 +150,11 @@ def main() -> None:
     if serial is not None:
         identical = (parallel.layout == serial.layout
                      and parallel.toc_cents == serial.toc_cents)
-        print(f"\nBitwise-identical to the serial search: {identical}")
+        log.info(f"\nBitwise-identical to the serial search: {identical}")
         if not identical:
             raise SystemExit("parallel ES diverged from the serial reference")
         if serial.elapsed_s > 0:
-            print(f"Speedup vs serial enumeration: "
+            log.info(f"Speedup vs serial enumeration: "
                   f"{serial.elapsed_s / parallel.elapsed_s:.2f}x")
 
 

@@ -25,6 +25,11 @@ from repro.experiments.reporting import format_evaluations
 from repro.experiments.runner import ExperimentRunner
 from repro.sla import RelativeSLA
 
+from repro.obs import log as obs_log
+
+obs_log.configure()
+log = obs_log.get_logger("examples.quickstart")
+
 
 def main() -> None:
     # 1 + 2. Database and workload: one scenario-registry lookup builds the
@@ -33,9 +38,9 @@ def main() -> None:
     bundle = scenarios.build("tpch_original", scale_factor=2.0, repetitions=1)
     catalog, workload, estimator = bundle.catalog, bundle.workload, bundle.estimator
     objects = bundle.objects
-    print(f"Database: {catalog.name}, {len(objects)} objects, "
+    log.info(f"Database: {catalog.name}, {len(objects)} objects, "
           f"{catalog.total_size_gb():.1f} GB")
-    print(f"Workload: {workload.description}")
+    log.info(f"Workload: {workload.description}")
 
     # 3. The storage system: the paper's Box 1.
     system = scenarios.box_system("Box 1")
@@ -43,7 +48,7 @@ def main() -> None:
     # 4. Ask DOT for a layout under a relative SLA of 0.5.
     advisor = ProvisioningAdvisor(objects, system, estimator)
     recommendation = advisor.recommend(workload, sla=RelativeSLA(0.5))
-    print("\n" + recommendation.describe())
+    log.info("\n" + recommendation.describe())
 
     # 5. Compare against the simple layouts.
     runner = ExperimentRunner(objects, system, estimator)
@@ -51,8 +56,8 @@ def main() -> None:
     layouts["DOT"] = recommendation.layout
     evaluations = runner.evaluate_layouts(layouts, workload, sla=RelativeSLA(0.5))
     evaluations.sort(key=lambda evaluation: evaluation.toc_cents)
-    print("\nMeasured comparison (simulated runs):")
-    print(format_evaluations(evaluations, metric_label="Response time (s)"))
+    log.info("\nMeasured comparison (simulated runs):")
+    log.info(format_evaluations(evaluations, metric_label="Response time (s)"))
 
 
 if __name__ == "__main__":

@@ -22,6 +22,11 @@ from repro.core.discrete_cost import DiscreteCostModel
 from repro.core.provisioning import GeneralizedProvisioner, ProvisioningOption
 from repro.sla import RelativeSLA
 
+from repro.obs import log as obs_log
+
+obs_log.configure()
+log = obs_log.get_logger("examples.server_purchase_planning")
+
 
 def main(scale_factor: float = 2.0) -> None:
     bundle = scenarios.build("tpch_original", scale_factor=scale_factor, repetitions=1)
@@ -38,14 +43,14 @@ def main(scale_factor: float = 2.0) -> None:
     ]
     provisioner = GeneralizedProvisioner(objects, estimator)
     decision = provisioner.decide(workload, options, sla=RelativeSLA(0.5))
-    print(decision.describe())
+    log.info(decision.describe())
     if decision.feasible:
-        print(f"\nChosen configuration: {decision.chosen.name} "
+        log.info(f"\nChosen configuration: {decision.chosen.name} "
               f"({decision.chosen.description})")
-        print(decision.recommendation.layout.describe())
+        log.info(decision.recommendation.layout.describe())
 
     # --- Section 5.2: discrete-sized storage cost model ------------------
-    print("\nDiscrete-sized cost model (alpha sweep on Box 1):")
+    log.info("\nDiscrete-sized cost model (alpha sweep on Box 1):")
     system = scenarios.box_system("Box 1")
     profiles = None
     for alpha in (0.0, 0.5, 1.0):
@@ -55,7 +60,7 @@ def main(scale_factor: float = 2.0) -> None:
         outcome = DOTSolver().solve(context)
         profiles = context.get_profiles()  # shared across the alpha sweep
         classes_used = sum(1 for _, gb in outcome.layout.space_used_gb().items() if gb > 0)
-        print(f"  alpha={alpha:.1f}: TOC {outcome.toc_cents:.5f} cents, "
+        log.info(f"  alpha={alpha:.1f}: TOC {outcome.toc_cents:.5f} cents, "
               f"{classes_used} storage classes in use")
 
 

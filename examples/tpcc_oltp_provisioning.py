@@ -22,6 +22,11 @@ from repro.experiments.reporting import format_evaluations, format_layout_assign
 from repro.experiments.runner import ExperimentRunner
 from repro.sla import RelativeSLA
 
+from repro.obs import log as obs_log
+
+obs_log.configure()
+log = obs_log.get_logger("examples.tpcc_oltp_provisioning")
+
 
 def main(warehouses: int = 30) -> None:
     bundle = scenarios.build("tpcc_fig8", warehouses=warehouses, concurrency=100)
@@ -45,15 +50,15 @@ def main(warehouses: int = 30) -> None:
         if outcome.feasible:
             name = f"DOT (SLA {ratio:g})"
             layouts[name] = outcome.layout.renamed(name)
-            print(f"\n=== DOT layout at relative SLA {ratio:g} ===")
-            print(format_layout_assignment(outcome.layout))
+            log.info(f"\n=== DOT layout at relative SLA {ratio:g} ===")
+            log.info(format_layout_assignment(outcome.layout))
         else:
-            print(f"\nRelative SLA {ratio:g}: no feasible layout found")
+            log.info(f"\nRelative SLA {ratio:g}: no feasible layout found")
 
     evaluations = runner.evaluate_layouts(layouts, workload)
     evaluations.sort(key=lambda evaluation: -(evaluation.transactions_per_minute or 0))
-    print("\nMeasured comparison (simulated runs):")
-    print(format_evaluations(evaluations, metric_label="tpmC"))
+    log.info("\nMeasured comparison (simulated runs):")
+    log.info(format_evaluations(evaluations, metric_label="tpmC"))
 
 
 if __name__ == "__main__":

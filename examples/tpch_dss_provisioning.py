@@ -20,6 +20,11 @@ from repro.core import ProvisioningAdvisor
 from repro.experiments.reporting import format_layout_assignment
 from repro.sla import RelativeSLA
 
+from repro.obs import log as obs_log
+
+obs_log.configure()
+log = obs_log.get_logger("examples.tpch_dss_provisioning")
+
 
 def main(scale_factor: float = 2.0) -> None:
     # Both workload flavours come from the scenario registry (each build
@@ -41,12 +46,12 @@ def main(scale_factor: float = 2.0) -> None:
             recommendation = advisor.recommend(workload, sla=RelativeSLA(ratio))
             report = recommendation.measured_report
             hssd_gb = recommendation.layout.space_used_gb().get("H-SSD", 0.0)
-            print(f"\n=== {workload_label}, relative SLA {ratio} ===")
-            print(f"TOC: {report.toc_cents:.4f} cents/run, "
+            log.info(f"\n=== {workload_label}, relative SLA {ratio} ===")
+            log.info(f"TOC: {report.toc_cents:.4f} cents/run, "
                   f"storage: {report.layout_cost_cents_per_hour:.4f} c/h, "
                   f"PSR: {recommendation.psr * 100:.0f}%, "
                   f"H-SSD usage: {hssd_gb:.2f} GB")
-            print(format_layout_assignment(recommendation.layout))
+            log.info(format_layout_assignment(recommendation.layout))
 
 
 if __name__ == "__main__":

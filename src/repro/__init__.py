@@ -26,6 +26,7 @@ from repro import (
     core,
     dbms,
     experiments,
+    obs,
     online,
     resilience,
     scenarios,
@@ -57,6 +58,7 @@ __all__ = [
     "core",
     "dbms",
     "experiments",
+    "obs",
     "online",
     "resilience",
     "scenarios",

@@ -34,6 +34,7 @@ search returns the identical best layout and TOC, it just gets there faster.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -405,6 +406,9 @@ class BatchEvalStats:
     oltp_aggregations: int = 0
     chunks: int = 0
     build_s: float = 0.0
+    #: Cumulative wall time spent inside ``evaluate_chunk`` (the vectorized
+    #: scoring itself, excluding enumeration and coordination overhead).
+    eval_s: float = 0.0
     workers: int = 0
     shards: int = 0
     pruned_subtrees: int = 0
@@ -424,6 +428,7 @@ class BatchEvalStats:
         self.estimator_calls += other.estimator_calls
         self.oltp_aggregations += other.oltp_aggregations
         self.chunks += other.chunks
+        self.eval_s += other.eval_s
         self.shards += other.shards
         self.pruned_subtrees += other.pruned_subtrees
         self.pruned_subtree_layouts += other.pruned_subtree_layouts
@@ -798,7 +803,16 @@ class BatchLayoutEvaluator:
         ``var_assign`` is a ``(batch, len(variable_objects))`` integer matrix
         of class indices.  Returns per-candidate TOC (``inf`` where the
         capacity pre-filter rejected the candidate) plus feasibility masks.
+        The chunk's wall time accumulates into ``stats.eval_s`` (two
+        ``perf_counter`` calls per ~4096-candidate chunk -- noise).
         """
+        started = time.perf_counter()
+        try:
+            return self._evaluate_chunk(var_assign)
+        finally:
+            self.stats.eval_s += time.perf_counter() - started
+
+    def _evaluate_chunk(self, var_assign: np.ndarray) -> ChunkEvaluation:
         var_assign = np.asarray(var_assign, dtype=np.int64)
         batch = var_assign.shape[0]
         self.stats.candidates += batch

@@ -24,6 +24,7 @@ from repro.core.layout import Layout
 from repro.core.toc import TOCModel, TOCReport
 from repro.exceptions import ConfigurationError, SolverTimeoutError
 from repro.objects import DatabaseObject, group_objects
+from repro.obs import trace
 from repro.sla.constraints import PerformanceConstraint
 from repro.storage.storage_class import StorageSystem
 
@@ -250,19 +251,22 @@ class ExhaustiveSearch:
         skew ES-vs-DOT search-time comparisons.
         """
         build_started = time.perf_counter()
-        evaluator = make_batch_evaluator(
-            self._variable_objects(),
-            self.system,
-            self.estimator,
-            workload,
-            pinned=[(obj, self.pinned_class) for obj in self.pinned_objects],
-            constraint=constraint,
-            cache=self.estimate_cache,
-            toc_model=self.toc_model,
-        )
-        if evaluator is None:
-            return None
-        evaluator.stats.build_s = time.perf_counter() - build_started
+        with trace.span("es.build") as span:
+            evaluator = make_batch_evaluator(
+                self._variable_objects(),
+                self.system,
+                self.estimator,
+                workload,
+                pinned=[(obj, self.pinned_class) for obj in self.pinned_objects],
+                constraint=constraint,
+                cache=self.estimate_cache,
+                toc_model=self.toc_model,
+            )
+            if evaluator is None:
+                span.set(vectorizable=False)
+                return None
+            evaluator.stats.build_s = time.perf_counter() - build_started
+            span.set(build_s=evaluator.stats.build_s)
         return evaluator
 
     def _search_batch(
@@ -272,6 +276,8 @@ class ExhaustiveSearch:
         evaluator = self._build_evaluator(workload, constraint)
         if evaluator is None:
             return None
+        tracer = trace.get_tracer()
+        span = tracer.start_span("es.enumerate", path="batch")
         started = time.perf_counter()
         deadline = (
             time.monotonic() + self.deadline_s if self.deadline_s is not None else None
@@ -310,6 +316,7 @@ class ExhaustiveSearch:
             )
             best_report = self.toc_model.evaluate(best_layout, workload, mode="estimate")
         elapsed = time.perf_counter() - started
+        tracer.end_span(span, evaluated=evaluated, timed_out=timed_out)
         return ExhaustiveSearchResult(
             layout=best_layout,
             toc_report=best_report,
@@ -336,6 +343,8 @@ class ExhaustiveSearch:
         evaluator = self._build_evaluator(workload, constraint)
         if evaluator is None:
             return None
+        tracer = trace.get_tracer()
+        warm_span = tracer.start_span("es.warm", workers=self.workers)
         build_started = time.perf_counter()
         spec = EnumerationSpec(
             variable_objects=evaluator.variable_objects,
@@ -364,7 +373,12 @@ class ExhaustiveSearch:
         stats = evaluator.stats
         stats.build_s += time.perf_counter() - build_started
         stats.workers = self.workers
+        tracer.end_span(warm_span, build_s=stats.build_s)
 
+        span = tracer.start_span(
+            "es.enumerate", path="parallel", workers=self.workers,
+            shards=len(engine.shard_ranges()), prefix_depth=engine.prefix_depth,
+        )
         started = time.perf_counter()
         timed_out = False
         with engine:
@@ -391,6 +405,7 @@ class ExhaustiveSearch:
             )
             best_report = self.toc_model.evaluate(best_layout, workload, mode="estimate")
         elapsed = time.perf_counter() - started
+        tracer.end_span(span, evaluated=progress.evaluated, timed_out=timed_out)
         return ExhaustiveSearchResult(
             layout=best_layout,
             toc_report=best_report,
@@ -404,6 +419,8 @@ class ExhaustiveSearch:
     # ------------------------------------------------------------------
     def _search_scalar(self, workload, checker: FeasibilityChecker) -> ExhaustiveSearchResult:
         """The original per-layout evaluation loop (reference path)."""
+        tracer = trace.get_tracer()
+        span = tracer.start_span("es.enumerate", path="scalar")
         started = time.perf_counter()
         deadline = (
             time.monotonic() + self.deadline_s if self.deadline_s is not None else None
@@ -434,6 +451,7 @@ class ExhaustiveSearch:
                 best_layout, best_report = layout, report
 
         elapsed = time.perf_counter() - started
+        tracer.end_span(span, evaluated=evaluated, timed_out=timed_out)
         if best_layout is not None:
             best_layout = best_layout.renamed("ES")
             best_report = self.toc_model.report_from_result(

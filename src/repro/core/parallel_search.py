@@ -88,6 +88,7 @@ from repro.exceptions import (
     SolverTimeoutError,
 )
 from repro.objects import DatabaseObject
+from repro.obs import trace
 from repro.resilience.faults import FaultInjector, FaultPlan, fire_shard_fault
 from repro.sla.constraints import PerformanceConstraint
 from repro.storage.storage_class import StorageSystem
@@ -347,6 +348,10 @@ class _ShardOutcome:
     best_row: Optional[Tuple[int, ...]]
     evaluated: int
     stats: BatchEvalStats
+    #: Serialized per-shard span (worker-local tracing buffer; ``None`` when
+    #: tracing is disabled).  The coordinator grafts it into its live tree;
+    #: checkpoints ignore it (spans are observability, not search state).
+    span: Optional[Dict[str, object]] = None
 
 
 # ---------------------------------------------------------------------------
@@ -454,6 +459,7 @@ def _process_shard(
     injector: Optional[FaultInjector] = None,
     attempt: int = 0,
     allow_process_kill: bool = True,
+    trace_enabled: bool = False,
 ) -> _ShardOutcome:
     """Enumerate and score the subtrees ``[subtree_lo, subtree_hi)``.
 
@@ -463,12 +469,21 @@ def _process_shard(
     any fault scheduled for ``(shard_id, attempt)`` before work starts --
     ``allow_process_kill`` is False on the in-process serial path, where a
     hard worker kill is demoted to :class:`ShardFailureError`.
+    ``trace_enabled`` records the shard into a worker-local span buffer
+    (:attr:`_ShardOutcome.span`) the coordinator merges into its tree; a
+    shard that dies mid-flight loses its buffer, and the retry's span plus
+    the coordinator's retry event carry the provenance instead.
     """
     if injector is not None:
         fault = injector.shard_fault(shard_id, attempt)
         if fault is not None:
             fire_shard_fault(fault, shard_id, attempt,
                              allow_process_kill=allow_process_kill)
+    shard_tracer = trace.Tracer(enabled=trace_enabled)
+    shard_span = shard_tracer.start_span(
+        f"shard[{shard_id}]", shard_id=shard_id, attempt=attempt,
+        subtree_lo=subtree_lo, subtree_hi=subtree_hi,
+    )
     num_objects = len(evaluator.var_names)
     num_classes = evaluator.num_classes
     prefix_depth = bounds.prefix_depth
@@ -533,6 +548,11 @@ def _process_shard(
                         best_row = chunk[index].copy()
                         incumbent.offer(toc)
                 chunk_start = chunk_stop
+    shard_tracer.end_span(
+        shard_span, evaluated=evaluated,
+        pruned_subtrees=stats.pruned_subtrees, pruned_chunks=stats.pruned_chunks,
+        eval_s=stats.eval_s,
+    )
     return _ShardOutcome(
         shard_id=shard_id,
         best_toc=best_toc,
@@ -540,6 +560,7 @@ def _process_shard(
         best_row=tuple(int(v) for v in best_row) if best_row is not None else None,
         evaluated=evaluated,
         stats=stats,
+        span=shard_span.to_dict() if trace_enabled else None,
     )
 
 
@@ -552,7 +573,8 @@ _WORKER_STATE: Optional[Dict[str, object]] = None
 
 def _worker_init(payload: bytes, shared_value, prefix_depth: int, toc_floor_factor: float,
                  prune: bool, plan_payload: Optional[bytes] = None,
-                 deadline: Optional[float] = None) -> None:
+                 deadline: Optional[float] = None,
+                 trace_enabled: bool = False) -> None:
     """Pool initializer: rebuild the evaluator from the pickled spec once.
 
     ``deadline`` is an absolute ``time.monotonic`` instant stamped by the
@@ -575,6 +597,7 @@ def _worker_init(payload: bytes, shared_value, prefix_depth: int, toc_floor_fact
             FaultInjector(pickle.loads(plan_payload)) if plan_payload is not None else None
         ),
         "deadline": deadline,
+        "trace_enabled": trace_enabled,
     }
 
 
@@ -594,6 +617,7 @@ def _worker_run_shard(task: Tuple[int, int, int, int]) -> _ShardOutcome:
         deadline=state["deadline"],
         injector=state["injector"],
         attempt=attempt,
+        trace_enabled=bool(state["trace_enabled"]),
     )
 
 
@@ -812,6 +836,10 @@ class ParallelEnumerationEngine:
             f"deadline of {self.deadline_s}s expired with "
             f"{len(progress.completed)}/{progress.total_shards} shards complete"
         )
+        trace.current_span().event(
+            "deadline_abort", deadline_s=self.deadline_s,
+            completed=len(progress.completed), total=progress.total_shards,
+        )
         if checkpoint is not None:
             progress.save(checkpoint)
         raise SolverTimeoutError(
@@ -830,6 +858,10 @@ class ParallelEnumerationEngine:
             progress.incidents.append(
                 f"shard {shard_id} failed permanently after {attempt + 1} attempts: {exc}"
             )
+            trace.current_span().event(
+                "shard_failed", shard_id=shard_id, attempts=attempt + 1,
+                error=str(exc),
+            )
             if checkpoint is not None:
                 progress.save(checkpoint)
             raise ShardFailureError(
@@ -839,6 +871,9 @@ class ParallelEnumerationEngine:
             ) from exc
         progress.incidents.append(
             f"shard {shard_id} attempt {attempt} failed ({exc}); retrying"
+        )
+        trace.current_span().event(
+            "shard_retry", shard_id=shard_id, attempt=attempt, error=str(exc),
         )
         if self.retry_backoff_s:
             time.sleep(self.retry_backoff_s * (2 ** attempt))
@@ -851,6 +886,7 @@ class ParallelEnumerationEngine:
         bounds = _PruningBounds(self.evaluator, self.prefix_depth)
         incumbent = _Incumbent(progress.best_toc)
         injector = FaultInjector(self.fault_plan) if self.fault_plan is not None else None
+        tracer = trace.get_tracer()
         queue = deque((task, 0) for task in pending)
         while queue:
             task, attempt = queue.popleft()
@@ -872,12 +908,15 @@ class ParallelEnumerationEngine:
                     injector=injector,
                     attempt=attempt,
                     allow_process_kill=False,
+                    trace_enabled=tracer.enabled,
                 )
             except SolverTimeoutError:
                 self._deadline_abort(progress, checkpoint)
             except Exception as exc:
                 self._handle_shard_failure(exc, task, attempt, queue, progress, checkpoint)
                 continue
+            if shard_id not in progress.completed:
+                tracer.adopt(outcome.span)
             progress.record(outcome)
             if checkpoint is not None:
                 progress.save(checkpoint)
@@ -889,13 +928,14 @@ class ParallelEnumerationEngine:
         plan_payload = (
             pickle.dumps(self.fault_plan) if self.fault_plan is not None else None
         )
+        tracer = trace.get_tracer()
         context = multiprocessing.get_context(self.start_method)
         shared_value = context.Value("d", progress.best_toc)
         pool = context.Pool(
             processes=self.workers,
             initializer=_worker_init,
             initargs=(payload, shared_value, self.prefix_depth, self.toc_floor_factor,
-                      self.prune, plan_payload, deadline),
+                      self.prune, plan_payload, deadline, tracer.enabled),
         )
         self._pool = pool
         try:
@@ -930,6 +970,8 @@ class ParallelEnumerationEngine:
                                 exc, task, attempt, queue, progress, checkpoint
                             )
                             continue
+                        if outcome.shard_id not in progress.completed:
+                            tracer.adopt(outcome.span)
                         progress.record(outcome)
                         if checkpoint is not None:
                             progress.save(checkpoint)

@@ -58,6 +58,7 @@ from repro.core.object_advisor import ObjectAdvisor
 from repro.core.toc import TOCReport
 from repro.exceptions import ConfigurationError, InfeasibleLayoutError
 from repro.objects import DatabaseObject, group_objects
+from repro.obs.instrument import instrument_solver
 from repro.sla.psr import performance_satisfaction_ratio
 
 
@@ -175,6 +176,7 @@ class Solver(Protocol):
 # The four solvers
 # ---------------------------------------------------------------------------
 
+@instrument_solver
 class DOTSolver:
     """DOT's greedy optimization walk (Procedure 1) behind the protocol.
 
@@ -252,6 +254,7 @@ class DOTSolver:
         )
 
 
+@instrument_solver
 class ExhaustiveSolver:
     """The exhaustive search (serial batch or sharded parallel) as a solver.
 
@@ -357,6 +360,7 @@ class ExhaustiveSolver:
         )
 
 
+@instrument_solver
 class MILPSolver:
     """The exact MILP relaxation (Section 5 reference) behind the protocol.
 
@@ -433,6 +437,7 @@ class MILPSolver:
         )
 
 
+@instrument_solver
 class ObjectAdvisorSolver:
     """The Object Advisor baseline (Canim et al. [10]) behind the protocol.
 
@@ -487,6 +492,7 @@ class ObjectAdvisorSolver:
 # The fallback chain
 # ---------------------------------------------------------------------------
 
+@instrument_solver
 class FallbackSolver:
     """A degrade-gracefully chain of solvers with a hold-the-layout backstop.
 

@@ -1,0 +1,79 @@
+"""Structured logging with run-id / span-id context injection.
+
+A thin layer over stdlib ``logging``: every record emitted through a
+``repro.*`` logger carries ``%(run_id)s`` (the recorder's declared run id,
+or a per-process default) and ``%(span)s`` (the innermost open span's name,
+``-`` outside any span), so interleaved output from examples, benchmarks
+and future services can be attributed to the run and phase that produced
+it.  ``src/`` library modules stay logging-free by design -- progress
+reporting belongs to the drivers (``examples/``, ``benchmarks/``), which
+route their former ``print`` output through :func:`get_logger`.
+
+Usage::
+
+    from repro.obs.log import configure, get_logger
+
+    configure()                       # once per process, idempotent
+    log = get_logger("examples.quickstart")
+    log.info("DOT layout: %s", layout.name)
+
+emits ``[proc-1234 -] INFO repro.examples.quickstart: DOT layout: DOT``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+from repro.obs import recorder, trace
+
+#: The root of the library's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+DEFAULT_FORMAT = "[%(run_id)s %(span)s] %(levelname)s %(name)s: %(message)s"
+
+
+class ContextFilter(logging.Filter):
+    """Injects ``run_id`` and ``span`` attributes into every record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        """Stamp the record; never drops it."""
+        record.run_id = recorder.current_run_id()
+        span = trace.get_tracer().current()
+        record.span = span.name if span is not trace.NULL_SPAN else "-"
+        return True
+
+
+def configure(level: int = logging.INFO, stream=None,
+              fmt: str = DEFAULT_FORMAT) -> logging.Logger:
+    """Attach a context-aware handler to the ``repro`` logger (idempotent).
+
+    Re-running replaces the handler (so tests can redirect ``stream``), sets
+    the level, and disables propagation to the root logger so embedding
+    applications keep control of their own logging tree.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs = True
+    handler.setFormatter(logging.Formatter(fmt))
+    handler.addFilter(ContextFilter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + ".") or name == ROOT_LOGGER:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+__all__ = ["ContextFilter", "DEFAULT_FORMAT", "ROOT_LOGGER", "configure", "get_logger"]

@@ -1,0 +1,208 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+The registry is the always-on half of the observability layer: counters are
+plain Python attribute increments (no locks -- every parallel path in this
+repository uses processes, not threads), so the hot paths can afford to fold
+their numbers in unconditionally.  By convention the *solver and online
+layers fold deltas at run boundaries* (one `solve()`, one epoch) from the
+accounting they already collect (``SolveStats``, ``BatchEvalStats``,
+``QueryEstimateCache.hits/misses``) rather than incrementing per evaluated
+layout -- which keeps the bitwise-identity contracts and the <2% overhead
+bound trivially safe.
+
+Histograms record ``count/total/min/max`` (not quantile sketches): the
+consumers are the run recorder and the regression gate, which want
+deterministic, diffable numbers.
+
+Glossary of the metric names the instrumented tree emits (see
+EXPERIMENTS.md for the full table):
+
+* ``solver.solves``, ``solver.<name>.solves``, ``solver.<name>.solve_s`` --
+  per-solver run counts and wall-time histograms;
+* ``solver.evaluated_layouts`` / ``solver.pruned_layouts`` /
+  ``solver.degraded`` / ``solver.incidents`` -- search effort and provenance;
+* ``dot.moves_evaluated`` / ``dot.moves_accepted`` -- DOT walk accounting;
+* ``batch.chunks`` / ``batch.eval_s`` / ``batch.pruned_chunks`` /
+  ``batch.pruned_subtrees`` / ``batch.estimator_calls`` -- batch engine;
+* ``estimate_cache.hits`` / ``estimate_cache.misses`` -- shared estimate
+  cache traffic (outermost solve / online run folds the delta);
+* ``online.epochs`` / ``online.retiers`` / ``online.migration_gb`` /
+  ``online.migration_cents`` / ``online.sla_violations`` /
+  ``online.incidents`` -- the online control loop.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing value (int or float increments)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready state."""
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins value (queue depths, worker counts, knobs)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Overwrite the gauge."""
+        self.value = value
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready state."""
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Streaming count/total/min/max summary of observed values."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: Number) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready state (``min``/``max`` null when empty)."""
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics."""
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready state of every registered metric, sorted by name."""
+        return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
+
+    def reset(self) -> None:
+        """Drop every registered metric (fresh process-start state)."""
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide registry; returns the previous one."""
+    global _REGISTRY
+    previous, _REGISTRY = _REGISTRY, registry
+    return previous
+
+
+def snapshot() -> Dict[str, Dict[str, object]]:
+    """Snapshot of the process-wide registry."""
+    return _REGISTRY.snapshot()
+
+
+@contextmanager
+def fresh_metrics():
+    """Swap in an empty registry for a block (test isolation helper)."""
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "fresh_metrics",
+    "get_metrics",
+    "set_metrics",
+    "snapshot",
+]

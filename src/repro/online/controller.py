@@ -64,6 +64,10 @@ from repro.core.toc import TOCModel, TOCReport
 from repro.dbms.cost_model import CostModel
 from repro.dbms.plan import merge_io_counts, scale_io_counts
 from repro.objects import DatabaseObject
+from repro.obs import instrument as obs_instrument
+from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as obs_recorder
+from repro.obs import trace as obs_trace
 from repro.online.drift import EpochWorkload
 from repro.online.migration import (
     MigrationCost,
@@ -758,7 +762,86 @@ class OnlineAdvisor:
 
     # ------------------------------------------------------------------
     def run(self, epoch_workloads: Iterable[Union[EpochWorkload, Workload]]) -> OnlineRunResult:
-        """Drive the re-provisioning loop over a sequence of epoch workloads."""
+        """Drive the re-provisioning loop over a sequence of epoch workloads.
+
+        The loop is observed as one ``online.run`` span with one
+        ``online.epoch`` child per epoch (epoch incidents become span
+        events, nested re-tier solves hang their own ``solve:*`` subtrees
+        off the epoch), folds its accounting into the metrics registry at
+        the run boundary, and -- when recording is active and this is the
+        outermost observation scope -- persists one run record to the
+        store.  All of it is inert (no-op spans, a handful of counter
+        folds) unless tracing/recording were switched on.
+        """
+        tracer = obs_trace.get_tracer()
+        obs_instrument.enter_scope()
+        run_started = time.perf_counter()
+        root_span = tracer.start_span("online.run", solver=self.solver.name)
+        result: Optional[OnlineRunResult] = None
+        try:
+            result = self._run_loop(epoch_workloads, tracer)
+            return result
+        finally:
+            wall_s = time.perf_counter() - run_started
+            if result is not None:
+                root_span.set(epochs=result.num_epochs,
+                              cumulative_cost_cents=result.cumulative_cost_cents,
+                              min_psr=result.min_psr if result.records else None)
+            tracer.end_span(root_span)
+            outermost = obs_instrument.exit_scope()
+            if result is not None:
+                self._fold_run_metrics(result)
+                if outermost and obs_recorder.active_store() is not None:
+                    obs_recorder.maybe_record(
+                        "online",
+                        self.solver.name,
+                        elapsed_s=wall_s,
+                        wall_s=wall_s,
+                        stats=self._run_stats(result),
+                        metrics_snapshot=obs_metrics.get_metrics().snapshot(),
+                        spans=root_span.to_dict(),
+                    )
+
+    @staticmethod
+    def _fold_run_metrics(result: OnlineRunResult) -> None:
+        """Fold one finished run's accounting into the metrics registry."""
+        registry = obs_metrics.get_metrics()
+        registry.counter("online.runs").inc()
+        registry.counter("online.epochs").inc(result.num_epochs)
+        for record in result.records:
+            if record.psr < 1.0:
+                registry.counter("online.sla_violations").inc()
+            if record.incidents:
+                registry.counter("online.incidents").inc(len(record.incidents))
+            if record.migrated and record.migration is not None:
+                registry.counter("online.retiers").inc()
+                registry.counter("online.migration_gb").inc(
+                    getattr(record.migration, "bytes_moved_gb", 0.0)
+                )
+                registry.counter("online.migration_cents").inc(
+                    record.migration.cost_cents
+                )
+        registry.counter("estimate_cache.hits").inc(result.cache_hits)
+        registry.counter("estimate_cache.misses").inc(result.cache_misses)
+
+    @staticmethod
+    def _run_stats(result: OnlineRunResult) -> Dict[str, object]:
+        """The run-record payload of one online run."""
+        return {
+            "num_epochs": result.num_epochs,
+            "cumulative_cost_cents": result.cumulative_cost_cents,
+            "total_migration_cents": result.total_migration_cents,
+            "retier_epochs": list(result.retier_epochs),
+            "predicted_retier_epochs": list(result.predicted_retier_epochs),
+            "min_psr": result.min_psr if result.records else None,
+            "sla_violations": sum(1 for r in result.records if r.psr < 1.0),
+            "incidents": sum(len(r.incidents) for r in result.records),
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+        }
+
+    def _run_loop(self, epoch_workloads: Iterable[Union[EpochWorkload, Workload]],
+                  tracer) -> OnlineRunResult:
         records: List[EpochRecord] = []
         caches: Dict[int, QueryEstimateCache] = {}
         monitor: Optional[TelemetryMonitor] = None
@@ -769,6 +852,10 @@ class OnlineAdvisor:
             epoch_item = self._as_epoch(item, position)
             epoch = epoch_item.epoch
             workload = epoch_item.workload
+            epoch_span = tracer.start_span(
+                "online.epoch", epoch=epoch,
+                workload=getattr(workload, "name", "workload"),
+            )
             self._constraint_memo.clear()
             if monitor is None:
                 monitor = TelemetryMonitor(
@@ -998,6 +1085,16 @@ class OnlineAdvisor:
                     forecast=forecast,
                     incidents=tuple(incidents),
                 )
+            )
+            for incident in incidents:
+                epoch_span.event("incident", message=incident)
+            tracer.end_span(
+                epoch_span,
+                toc_cents=final.toc_cents,
+                psr=final.psr,
+                reoptimized=reoptimized,
+                migrated=migrated,
+                epoch_cost_cents=epoch_cost,
             )
         return OnlineRunResult(
             records=records,
