@@ -1,0 +1,171 @@
+"""Benchmark: throughput and recovery cost of the multi-tenant advisor service.
+
+Not a paper figure -- this benchmark tracks :mod:`repro.service`, answering
+the questions an operator asks before putting the advisor daemon in front
+of a fleet: *how many tenants does one service instance advise per second,
+what recommendation latency do tenants see at the tail, and how long does a
+crashed service take to come back to its exact pre-crash state?*  Two arms,
+both seeded and deterministic:
+
+* **fleet** -- ``TENANTS`` concurrently drifting tenants (a mix of
+  crossfade, flash-crowd and steady workloads) run to completion through
+  the tick loop; headline numbers are tenants/sec, epochs/sec and the p99
+  per-step recommendation latency (from the daemon's own step accounting);
+* **recovery** -- the same fleet under a seeded worker-kill storm is
+  hard-stopped mid-run; the arm times :meth:`AdvisorService.recover`
+  (journal replay + bitwise layout verification) and asserts the resumed
+  run converges every tenant to the bitwise-identical layouts of the
+  fault-free arm.
+
+The summary lands in ``BENCH_service.json``; the perf gate pins the
+machine-independent fields (tenant/epoch counts, convergence, replay and
+kill counts) exactly and the timings within the usual factor.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import run_once, write_bench_json
+
+from repro.resilience import FaultInjector, FaultPlan
+from repro.service import AdvisorService, ServiceConfig, TenantSpec
+
+from repro.obs import log as obs_log
+log = obs_log.get_logger("benchmarks.bench_service")
+
+TENANTS = 6
+EPOCHS_PER_TENANT = 5
+RESTART_AFTER_TICKS = 4
+
+_bench_payload = {}
+
+
+def _record(section, entry):
+    _bench_payload[section] = entry
+    write_bench_json("service", _bench_payload)
+
+
+def _specs():
+    drifts = ("crossfade", "flash", "steady")
+    return [
+        TenantSpec(tenant_id=f"tenant-{i}", num_epochs=EPOCHS_PER_TENANT,
+                   drift=drifts[i % len(drifts)], drift_seed=2011 + i)
+        for i in range(TENANTS)
+    ]
+
+
+def _service(state_dir, injector=None):
+    service = AdvisorService(
+        state_dir,
+        ServiceConfig(workers=2, queue_depth=TENANTS, sync_journal=False),
+        fault_injector=injector,
+    )
+    for spec in _specs():
+        service.register(spec)
+    return service
+
+
+def _p99(samples):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * (len(ordered) - 1) + 0.999))]
+
+
+def fleet_run():
+    state_dir = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    try:
+        service = _service(state_dir / "state")
+        started = time.perf_counter()
+        report = service.run(max_ticks=256)
+        elapsed = time.perf_counter() - started
+        service.shutdown()
+        assert report.all_done, "fleet run left tenants unfinished"
+        layouts = report.layouts()
+        assert all(layouts.values()), "fleet run produced empty layouts"
+        return {
+            "tenants": TENANTS,
+            "epochs_per_tenant": EPOCHS_PER_TENANT,
+            "completed_epochs": report.completed_epochs,
+            "ticks": report.ticks,
+            "converged": report.all_done and all(layouts.values()),
+            "fleet_s": elapsed,
+            "tenants_per_s": TENANTS / elapsed if elapsed > 0 else None,
+            "epochs_per_s": (
+                report.completed_epochs / elapsed if elapsed > 0 else None
+            ),
+            "p99_step_s": _p99(service.step_s),
+            "_layouts": layouts,  # consumed by the recovery arm, then dropped
+        }
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def recovery_run(reference_layouts):
+    plan = FaultPlan.chaos_service(
+        seed=2026, num_ticks=24, kill_fraction=0.25, kill_count=1,
+        burst_fraction=0.0, slow_fraction=0.0,
+    )
+    state_dir = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    try:
+        state = state_dir / "state"
+        stormed = _service(state, injector=FaultInjector(plan))
+        for _ in range(RESTART_AFTER_TICKS):
+            stormed.tick()
+        stormed.save_snapshot()
+        stormed.journal.close()  # hard mid-run process stop
+
+        started = time.perf_counter()
+        resumed = AdvisorService.recover(
+            state,
+            ServiceConfig(workers=2, queue_depth=TENANTS, sync_journal=False),
+            fault_injector=FaultInjector(plan),
+        )
+        recovery_s = time.perf_counter() - started
+        report = resumed.run(max_ticks=256)
+        resumed.shutdown()
+
+        assert report.all_done, "recovered run left tenants unfinished"
+        converged = report.layouts() == reference_layouts
+        assert converged, "recovered run diverged from the fault-free layouts"
+        return {
+            "tenants": TENANTS,
+            "worker_kills": stormed.supervisor.kills + resumed.supervisor.kills,
+            "replayed_epochs": report.replayed_epochs,
+            "recovery_s": recovery_s,
+            "converged": converged,
+            "torn_tail": report.torn_tail_note is not None,
+        }
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def test_fleet_throughput(benchmark):
+    outcome = run_once(benchmark, fleet_run)
+    test_fleet_throughput.layouts = outcome.pop("_layouts")
+    benchmark.extra_info["summary"] = outcome
+    _record("fleet", dict(outcome, elapsed_s=run_once.last_elapsed_s))
+    log.info(
+        f"\nfleet: {outcome['tenants']} tenants x {outcome['epochs_per_tenant']} "
+        f"epochs in {outcome['fleet_s']:.2f}s "
+        f"({outcome['tenants_per_s']:.2f} tenants/s, "
+        f"p99 step {outcome['p99_step_s'] * 1e3:.1f}ms)"
+    )
+
+
+def test_recovery_after_seeded_kill(benchmark):
+    reference = getattr(test_fleet_throughput, "layouts", None)
+    if reference is None:
+        reference = fleet_run().pop("_layouts")
+    outcome = run_once(benchmark, recovery_run, reference)
+    benchmark.extra_info["summary"] = outcome
+    _record("recovery", dict(outcome, elapsed_s=run_once.last_elapsed_s))
+    log.info(
+        f"\nrecovery: {outcome['worker_kills']} kills, "
+        f"{outcome['replayed_epochs']} epochs replayed in "
+        f"{outcome['recovery_s']:.2f}s, layouts bitwise identical"
+    )

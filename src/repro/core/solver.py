@@ -515,6 +515,22 @@ class FallbackSolver:
             list(chain) if chain is not None else [ExhaustiveSolver(), DOTSolver()]
         )
 
+    # -- stage-outcome hooks (no-ops here) -----------------------------
+    # The chain reports what happened to every stage through these, so
+    # subclasses can attach policy without re-implementing the ladder: the
+    # service's breaker-guarded solver (repro.service.breaker) trips a
+    # per-solver-class circuit on repeated failures/timeouts and skips the
+    # stage while the circuit is open.
+    def _stage_blocked(self, stage: Solver) -> Optional[str]:
+        """A reason to skip this stage outright, or ``None`` to run it."""
+        return None
+
+    def _stage_failed(self, stage: Solver, timeout: bool = False) -> None:
+        """The stage raised, blew its deadline, or came back infeasible."""
+
+    def _stage_succeeded(self, stage: Solver) -> None:
+        """The stage returned a feasible, full-effort result."""
+
     def solve(
         self,
         context: EvaluationContext,
@@ -526,6 +542,11 @@ class FallbackSolver:
         incidents: List[str] = []
         degraded = False
         for stage in self.chain:
+            blocked = self._stage_blocked(stage)
+            if blocked is not None:
+                incidents.append(f"{stage.name}: {blocked}")
+                degraded = True
+                continue
             remaining = None
             if deadline is not None:
                 remaining = deadline - time.monotonic()
@@ -540,10 +561,17 @@ class FallbackSolver:
                     context, initial_layout=initial_layout, budget=remaining
                 )
             except Exception as exc:  # noqa: BLE001 - the chain exists to absorb
+                self._stage_failed(stage)
                 incidents.append(f"{stage.name}: raised {exc!r}; falling back")
                 degraded = True
                 continue
             if result.feasible and result.layout is not None:
+                if result.stats.degraded:
+                    # A deadline-degraded answer is a timeout for supervision
+                    # purposes even though the result itself is usable.
+                    self._stage_failed(stage, timeout=True)
+                else:
+                    self._stage_succeeded(stage)
                 stats = result.stats
                 stats.incidents = incidents + list(stats.incidents)
                 stats.degraded = stats.degraded or degraded
@@ -557,6 +585,7 @@ class FallbackSolver:
                     psr=result.psr,
                     raw=result.raw,
                 )
+            self._stage_failed(stage)
             incidents.append(f"{stage.name}: no feasible layout; falling back")
             degraded = True
 

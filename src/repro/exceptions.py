@@ -116,3 +116,43 @@ class WorkloadError(ReproError):
 
 class SLAError(ReproError):
     """A performance constraint is malformed or cannot be resolved."""
+
+
+class AdmissionRejectedError(ReproError):
+    """The advisor service refused to accept a unit of tenant work.
+
+    Raised by the service's public submission API when admission control
+    sheds the request -- the bounded work queue is full, the service is
+    draining, or the tenant is over budget (see the
+    :class:`TenantBudgetExceededError` subclass for that case).  ``reason``
+    carries the shed reason exactly as it is counted in the ``service.shed``
+    metrics, so callers can branch on it without parsing the message.
+    """
+
+    def __init__(self, message: str, tenant_id: str = "", reason: str = "rejected"):
+        self.tenant_id = tenant_id
+        self.reason = reason
+        super().__init__(message)
+
+
+class TenantBudgetExceededError(AdmissionRejectedError):
+    """A tenant exhausted its configured wall-clock budget.
+
+    Admission control stops scheduling further epochs for the tenant once
+    its accumulated solve time crosses the budget; the tenant's deployed
+    layout stays served, only re-provisioning work is shed.
+    """
+
+    def __init__(self, message: str, tenant_id: str = "",
+                 used_s: float = 0.0, budget_s: float = 0.0):
+        super().__init__(message, tenant_id=tenant_id, reason="budget_exhausted")
+        self.used_s = used_s
+        self.budget_s = budget_s
+
+
+class ServiceShutdownError(ReproError):
+    """An operation was attempted on a stopped (or stopping) advisor service.
+
+    Raised when work is submitted after :meth:`~repro.service.AdvisorService.
+    shutdown`, and by service entry points once the daemon has drained.
+    """

@@ -7,7 +7,11 @@ or a per-process default) and ``%(span)s`` (the innermost open span's name,
 and future services can be attributed to the run and phase that produced
 it.  ``src/`` library modules stay logging-free by design -- progress
 reporting belongs to the drivers (``examples/``, ``benchmarks/``), which
-route their former ``print`` output through :func:`get_logger`.
+route their former ``print`` output through :func:`get_logger`.  The one
+in-tree exception is the advisor daemon (:mod:`repro.service`): a service
+*is* a driver, so registrations, sheds, worker kills/restarts and recovery
+summaries log through ``repro.service`` at the operational levels an
+operator tails.
 
 Usage::
 

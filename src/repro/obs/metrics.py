@@ -28,7 +28,18 @@ EXPERIMENTS.md for the full table):
   cache traffic (outermost solve / online run folds the delta);
 * ``online.epochs`` / ``online.retiers`` / ``online.migration_gb`` /
   ``online.migration_cents`` / ``online.sla_violations`` /
-  ``online.incidents`` -- the online control loop.
+  ``online.incidents`` -- the online control loop;
+* ``service.ticks`` / ``service.admitted`` / ``service.completed_epochs``
+  -- the advisor daemon's scheduler throughput;
+* ``service.queue_depth`` (gauge) / ``service.shed`` /
+  ``service.shed.<reason>`` -- backpressure: bounded-queue depth and
+  shed-with-reason counts (``queue_full``, ``budget_exhausted``,
+  ``shutting_down``);
+* ``service.worker_kills`` / ``service.worker_restarts`` /
+  ``service.step_errors`` / ``service.step_failures`` -- supervision:
+  crashed workers, backoff restarts, failed step attempts;
+* ``service.recoveries`` / ``service.replayed_epochs`` -- crash recovery
+  sessions and the journaled epochs they re-executed.
 """
 
 from __future__ import annotations

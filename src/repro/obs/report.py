@@ -94,6 +94,16 @@ GATE_CHECKS: Dict[str, Tuple[Check, ...]] = {
         Check("predictive_flash_crowd.elapsed_s", "timing"),
         Check("crosskind.elapsed_s", "timing"),
     ),
+    "service": (
+        Check("fleet.tenants", "equal"),
+        Check("fleet.completed_epochs", "equal"),
+        Check("fleet.converged", "equal"),
+        Check("recovery.converged", "equal"),
+        Check("recovery.replayed_epochs", "equal"),
+        Check("recovery.worker_kills", "equal"),
+        Check("fleet.elapsed_s", "timing"),
+        Check("recovery.recovery_s", "timing"),
+    ),
     "resilience": (
         Check("degraded_solve.feasible", "equal"),
         Check("online_chaos.num_epochs", "equal"),

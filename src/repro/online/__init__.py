@@ -54,6 +54,7 @@ from repro.online.controller import (
     FrozenEpochRecord,
     FrozenRunResult,
     OnlineAdvisor,
+    OnlineLoop,
     OnlineRunResult,
 )
 
@@ -79,5 +80,6 @@ __all__ = [
     "FrozenEpochRecord",
     "FrozenRunResult",
     "OnlineAdvisor",
+    "OnlineLoop",
     "OnlineRunResult",
 ]

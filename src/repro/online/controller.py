@@ -842,265 +842,10 @@ class OnlineAdvisor:
 
     def _run_loop(self, epoch_workloads: Iterable[Union[EpochWorkload, Workload]],
                   tracer) -> OnlineRunResult:
-        records: List[EpochRecord] = []
-        caches: Dict[int, QueryEstimateCache] = {}
-        monitor: Optional[TelemetryMonitor] = None
-        current: Optional[Layout] = None
-        cumulative = 0.0
-
-        for position, item in enumerate(epoch_workloads):
-            epoch_item = self._as_epoch(item, position)
-            epoch = epoch_item.epoch
-            workload = epoch_item.workload
-            epoch_span = tracer.start_span(
-                "online.epoch", epoch=epoch,
-                workload=getattr(workload, "name", "workload"),
-            )
-            self._constraint_memo.clear()
-            if monitor is None:
-                monitor = TelemetryMonitor(
-                    self.system,
-                    thresholds=self.thresholds,
-                    concurrency=getattr(workload, "concurrency", 1),
-                    outlier_policy=self.outlier_policy,
-                )
-            if current is None:
-                current = (
-                    self.initial_layout
-                    if self.initial_layout is not None
-                    else self.reference_layout()
-                )
-
-            # 1 + 2: observe the epoch on the deployed layout, score drift
-            # (and, with a predictor, the extrapolated drift).  An injected
-            # telemetry fault perturbs only what the *monitor* sees -- the
-            # epoch's accounting stays on the true evaluation, exactly like a
-            # flaky counter in front of a healthy system.
-            incidents: List[str] = []
-            injector = self.fault_injector
-            observed = self._evaluate_epoch(current, workload, caches)
-            telemetry_spec = (
-                injector.telemetry_fault(epoch) if injector is not None else None
-            )
-            if telemetry_spec is not None and telemetry_spec.kind == "telemetry_dropout":
-                monitor.observe_gap(epoch)
-                decision = DriftDecision(
-                    drifted=False,
-                    share_distance=0.0,
-                    volume_change=0.0,
-                    reason="telemetry dropout: no observation to score",
-                )
-            else:
-                run_result = observed.run_result
-                if telemetry_spec is not None:  # telemetry_outlier
-                    run_result = _GlitchedRunResult(run_result, telemetry_spec.factor)
-                monitor.observe(epoch, run_result)
-                decision = monitor.check_drift()
-            initial_epoch = not records
-            # Optional refinement-phase trigger: a deployed layout violating
-            # the epoch's SLA caps is re-optimized even when the telemetry
-            # axes stayed inside their thresholds (off by default -- the
-            # drift-only loop is the regression-locked legacy behaviour).
-            sla_trigger = (
-                self.retier_on_sla_violation
-                and not initial_epoch
-                and not decision.drifted
-                and not decision.in_cooldown
-                and observed.psr < 1.0
-            )
-            if sla_trigger:
-                decision = DriftDecision(
-                    drifted=decision.drifted,
-                    share_distance=decision.share_distance,
-                    volume_change=decision.volume_change,
-                    reason=f"SLA violation (PSR {observed.psr:.0%})",
-                )
-            forecast: Optional[PredictionDecision] = None
-            if (self.predictor is not None and not initial_epoch
-                    and not decision.drifted and not sla_trigger):
-                forecast = monitor.check_predicted_drift(self.predictor)
-            predicted_trigger = forecast is not None and forecast.predicted
-
-            # 3 + 4: on (predicted) drift or at initial provisioning,
-            # re-optimize and gate the transition on the migration-aware TOC
-            # comparison.
-            reoptimized = False
-            migrated = False
-            migration: Optional[AnyMigrationCost] = None
-            migration_reason = "no drift"
-            dot_result: Optional[SolveResult] = None
-            retiered_eval: Optional[_EpochEvaluation] = None
-            if initial_epoch or decision.drifted or predicted_trigger or sla_trigger:
-                reoptimized = True
-                candidate: Optional[Layout] = None
-                solve_failed = False
-                try:
-                    mixed = getattr(workload, "kind", "dss") == "mixed"
-                    lead = self._lead_workload(workload)
-                    lead_cache = self._cache_for(caches, lead)
-                    lead_evaluator = self._epoch_evaluator(lead, lead_cache)
-                    lead_sla = self._component_sla(lead) if mixed else self.sla
-                    lead_constraint = self._resolved_constraint(lead, lead_evaluator, mixed)
-                    profiles = self._reprofile(
-                        monitor, lead, lead_cache, initial_epoch,
-                        forecast if predicted_trigger else None,
-                    )
-                    budget = self.retier_budget_s
-                    solver_spec = (
-                        injector.solver_fault(epoch) if injector is not None else None
-                    )
-                    if solver_spec is not None:
-                        if solver_spec.kind == "solver_error":
-                            raise RuntimeError(
-                                solver_spec.message
-                                or f"injected solver error at epoch {epoch}"
-                            )
-                        # solver_overrun: a stalled queue eats into the solve's
-                        # own deadline before the solver even starts.
-                        if solver_spec.delay_s > 0.0:
-                            time.sleep(solver_spec.delay_s)
-                        if budget is not None:
-                            budget = max(0.0, budget - solver_spec.delay_s)
-                    dot_result, candidate = self._reoptimize(
-                        lead, lead_cache, lead_constraint, lead_sla, profiles,
-                        warm_from=None if initial_epoch else current,
-                        budget=budget,
-                    )
-                    if dot_result.stats.degraded:
-                        incidents.extend(dot_result.stats.incidents)
-                        budget_note = (
-                            f" (budget {budget:.3g} s)" if budget is not None else ""
-                        )
-                        incidents.append(
-                            f"epoch {epoch}: re-tier solve degraded"
-                            f"{budget_note}; using best-so-far layout"
-                        )
-                except Exception as exc:
-                    # The loop never raises: a failed or timed-out re-tier
-                    # holds the deployed layout and -- unlike a legitimately
-                    # infeasible solve -- does NOT rebase the drift reference,
-                    # so the same drift re-triggers a fresh attempt next epoch.
-                    solve_failed = True
-                    dot_result = None
-                    candidate = None
-                    incidents.append(
-                        f"epoch {epoch}: re-tier solve failed ({exc}); "
-                        "holding deployed layout"
-                    )
-                if solve_failed:
-                    migration_reason = "re-tier solve failed; holding deployed layout"
-                elif candidate is None or candidate == current:
-                    migration_reason = (
-                        "no feasible layout" if candidate is None else "layout unchanged"
-                    )
-                    # The deployed layout was re-validated against the drifted
-                    # telemetry; rebase the reference (and arm the cooldown) so
-                    # the same drift does not trigger a futile re-optimization
-                    # every remaining epoch.
-                    monitor.mark_reprovisioned(epoch, observed.run_result)
-                elif initial_epoch:
-                    current = candidate.renamed(f"DOT@epoch{epoch}")
-                    retiered_eval = self._rebase_monitor(
-                        monitor, epoch, current, workload, caches
-                    )
-                    migrated = True
-                    migration_reason = "initial provisioning (not charged)"
-                else:
-                    plan = MigrationPlan.between(current, candidate)
-                    migration = self._assess_migration_with_retry(
-                        epoch, plan, candidate, workload, observed, current, incidents
-                    )
-                    if migration is None:
-                        # Bounded retries exhausted: hold the deployed layout
-                        # (without rebasing the drift reference, so the still-
-                        # drifted telemetry re-triggers next epoch).
-                        migration_reason = (
-                            "migration failed after retries; holding deployed layout"
-                        )
-                    else:
-                        candidate_toc = self._candidate_toc(
-                            candidate, workload, caches, dot_result
-                        )
-                        # Restoring SLA feasibility is a constraint, not a cost
-                        # tradeoff: the amortization gate only prices re-tiers
-                        # between feasible layouts.
-                        if sla_trigger or self.policy.should_migrate(
-                            observed.toc_cents, candidate_toc, migration.cost_cents
-                        ):
-                            current = candidate.renamed(f"DOT@epoch{epoch}")
-                            retiered_eval = self._rebase_monitor(
-                                monitor, epoch, current, workload, caches
-                            )
-                            migrated = True
-                            if sla_trigger:
-                                migration_reason = (
-                                    f"restores SLA feasibility (PSR {observed.psr:.0%})"
-                                )
-                            else:
-                                saving = self.policy.projected_net_saving_cents(
-                                    observed.toc_cents, candidate_toc, migration.cost_cents
-                                )
-                                migration_reason = (
-                                    f"{'anticipated' if predicted_trigger else 'projected'} "
-                                    f"net saving {saving:.4g} c"
-                                )
-                        else:
-                            migration = None
-                            migration_reason = "migration cost exceeds projected saving"
-
-            # 5: account the epoch on the (possibly re-tiered) layout.  In
-            # estimate mode the deployed layout's report already exists --
-            # `observed` when it did not change, the rebase refresh when it
-            # did -- so nothing is recomputed.
-            if self.evaluation_mode == "estimate":
-                final = retiered_eval if retiered_eval is not None else observed
-            else:
-                # Simulated test runs are stateful (noise RNG) and must
-                # never be served from the estimate tables.
-                final = self._evaluate_epoch(current, workload, caches, mode="run")
-            migration_charge = (
-                migration.cost_cents if migrated and migration is not None else 0.0
-            )
-            epoch_cost = final.toc_cents + migration_charge
-            cumulative += epoch_cost
-            incidents = monitor.drain_incidents() + incidents
-            records.append(
-                EpochRecord(
-                    epoch=epoch,
-                    workload_name=getattr(workload, "name", "workload"),
-                    phase_weights=tuple(epoch_item.weights),
-                    layout=current,
-                    toc_cents=final.toc_cents,
-                    psr=final.psr,
-                    drift=decision,
-                    reoptimized=reoptimized,
-                    migrated=migrated,
-                    migration=migration,
-                    migration_reason=migration_reason,
-                    epoch_cost_cents=epoch_cost,
-                    cumulative_cost_cents=cumulative,
-                    dot_result=dot_result,
-                    report=final.report,
-                    predicted=predicted_trigger,
-                    forecast=forecast,
-                    incidents=tuple(incidents),
-                )
-            )
-            for incident in incidents:
-                epoch_span.event("incident", message=incident)
-            tracer.end_span(
-                epoch_span,
-                toc_cents=final.toc_cents,
-                psr=final.psr,
-                reoptimized=reoptimized,
-                migrated=migrated,
-                epoch_cost_cents=epoch_cost,
-            )
-        return OnlineRunResult(
-            records=records,
-            cache_hits=sum(cache.hits for cache in caches.values()),
-            cache_misses=sum(cache.misses for cache in caches.values()),
-        )
+        loop = OnlineLoop(self, tracer=tracer)
+        for item in epoch_workloads:
+            loop.step(item)
+        return loop.result()
 
     # ------------------------------------------------------------------
     def _candidate_toc(
@@ -1242,3 +987,307 @@ class OnlineAdvisor:
                 )
             )
         return FrozenRunResult(layout=layout, records=records)
+
+
+class OnlineLoop:
+    """The steppable state of one online re-provisioning run.
+
+    :meth:`OnlineAdvisor.run` is a thin driver over this class: it feeds
+    every epoch workload through :meth:`step` and returns :meth:`result`.
+    Long-running callers -- the multi-tenant :mod:`repro.service` daemon
+    foremost -- instead keep one ``OnlineLoop`` per tenant and advance it
+    one epoch at a time as work is scheduled, interleaving many tenants'
+    loops in a single process.  The loop carries exactly the state the old
+    monolithic epoch ``for``-body kept in locals (timeline records, the
+    per-concurrency estimate caches, the telemetry monitor, the deployed
+    layout and the cumulative migration-aware cost), so driving it epoch by
+    epoch is bitwise identical to one :meth:`OnlineAdvisor.run` call over
+    the same epochs.
+    """
+
+    def __init__(self, advisor: "OnlineAdvisor", tracer=None):
+        self.advisor = advisor
+        self.tracer = tracer if tracer is not None else obs_trace.get_tracer()
+        self.records: List[EpochRecord] = []
+        self.caches: Dict[int, QueryEstimateCache] = {}
+        self.monitor: Optional[TelemetryMonitor] = None
+        self.current: Optional[Layout] = None
+        self.cumulative = 0.0
+        self._position = 0
+
+    @property
+    def deployed(self) -> Optional[Layout]:
+        """The currently deployed layout (``None`` before the first step)."""
+        return self.current
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of epochs stepped so far."""
+        return len(self.records)
+
+    def result(self) -> OnlineRunResult:
+        """The timeline of the epochs stepped so far (snapshot, reusable)."""
+        return OnlineRunResult(
+            records=list(self.records),
+            cache_hits=sum(cache.hits for cache in self.caches.values()),
+            cache_misses=sum(cache.misses for cache in self.caches.values()),
+        )
+
+    def step(self, item: Union[EpochWorkload, Workload]) -> EpochRecord:
+        """Advance the loop by one epoch and return its timeline record."""
+        advisor = self.advisor
+        tracer = self.tracer
+        position = self._position
+        self._position += 1
+
+        epoch_item = advisor._as_epoch(item, position)
+        epoch = epoch_item.epoch
+        workload = epoch_item.workload
+        epoch_span = tracer.start_span(
+            "online.epoch", epoch=epoch,
+            workload=getattr(workload, "name", "workload"),
+        )
+        advisor._constraint_memo.clear()
+        if self.monitor is None:
+            self.monitor = TelemetryMonitor(
+                advisor.system,
+                thresholds=advisor.thresholds,
+                concurrency=getattr(workload, "concurrency", 1),
+                outlier_policy=advisor.outlier_policy,
+            )
+        if self.current is None:
+            self.current = (
+                advisor.initial_layout
+                if advisor.initial_layout is not None
+                else advisor.reference_layout()
+            )
+        monitor = self.monitor
+        caches = self.caches
+        current = self.current
+
+        # 1 + 2: observe the epoch on the deployed layout, score drift
+        # (and, with a predictor, the extrapolated drift).  An injected
+        # telemetry fault perturbs only what the *monitor* sees -- the
+        # epoch's accounting stays on the true evaluation, exactly like a
+        # flaky counter in front of a healthy system.
+        incidents: List[str] = []
+        injector = advisor.fault_injector
+        observed = advisor._evaluate_epoch(current, workload, caches)
+        telemetry_spec = (
+            injector.telemetry_fault(epoch) if injector is not None else None
+        )
+        if telemetry_spec is not None and telemetry_spec.kind == "telemetry_dropout":
+            monitor.observe_gap(epoch)
+            decision = DriftDecision(
+                drifted=False,
+                share_distance=0.0,
+                volume_change=0.0,
+                reason="telemetry dropout: no observation to score",
+            )
+        else:
+            run_result = observed.run_result
+            if telemetry_spec is not None:  # telemetry_outlier
+                run_result = _GlitchedRunResult(run_result, telemetry_spec.factor)
+            monitor.observe(epoch, run_result)
+            decision = monitor.check_drift()
+        initial_epoch = not self.records
+        # Optional refinement-phase trigger: a deployed layout violating
+        # the epoch's SLA caps is re-optimized even when the telemetry
+        # axes stayed inside their thresholds (off by default -- the
+        # drift-only loop is the regression-locked legacy behaviour).
+        sla_trigger = (
+            advisor.retier_on_sla_violation
+            and not initial_epoch
+            and not decision.drifted
+            and not decision.in_cooldown
+            and observed.psr < 1.0
+        )
+        if sla_trigger:
+            decision = DriftDecision(
+                drifted=decision.drifted,
+                share_distance=decision.share_distance,
+                volume_change=decision.volume_change,
+                reason=f"SLA violation (PSR {observed.psr:.0%})",
+            )
+        forecast: Optional[PredictionDecision] = None
+        if (advisor.predictor is not None and not initial_epoch
+                and not decision.drifted and not sla_trigger):
+            forecast = monitor.check_predicted_drift(advisor.predictor)
+        predicted_trigger = forecast is not None and forecast.predicted
+
+        # 3 + 4: on (predicted) drift or at initial provisioning,
+        # re-optimize and gate the transition on the migration-aware TOC
+        # comparison.
+        reoptimized = False
+        migrated = False
+        migration: Optional[AnyMigrationCost] = None
+        migration_reason = "no drift"
+        dot_result: Optional[SolveResult] = None
+        retiered_eval: Optional[_EpochEvaluation] = None
+        if initial_epoch or decision.drifted or predicted_trigger or sla_trigger:
+            reoptimized = True
+            candidate: Optional[Layout] = None
+            solve_failed = False
+            try:
+                mixed = getattr(workload, "kind", "dss") == "mixed"
+                lead = advisor._lead_workload(workload)
+                lead_cache = advisor._cache_for(caches, lead)
+                lead_evaluator = advisor._epoch_evaluator(lead, lead_cache)
+                lead_sla = advisor._component_sla(lead) if mixed else advisor.sla
+                lead_constraint = advisor._resolved_constraint(lead, lead_evaluator, mixed)
+                profiles = advisor._reprofile(
+                    monitor, lead, lead_cache, initial_epoch,
+                    forecast if predicted_trigger else None,
+                )
+                budget = advisor.retier_budget_s
+                solver_spec = (
+                    injector.solver_fault(epoch) if injector is not None else None
+                )
+                if solver_spec is not None:
+                    if solver_spec.kind == "solver_error":
+                        raise RuntimeError(
+                            solver_spec.message
+                            or f"injected solver error at epoch {epoch}"
+                        )
+                    # solver_overrun: a stalled queue eats into the solve's
+                    # own deadline before the solver even starts.
+                    if solver_spec.delay_s > 0.0:
+                        time.sleep(solver_spec.delay_s)
+                    if budget is not None:
+                        budget = max(0.0, budget - solver_spec.delay_s)
+                dot_result, candidate = advisor._reoptimize(
+                    lead, lead_cache, lead_constraint, lead_sla, profiles,
+                    warm_from=None if initial_epoch else current,
+                    budget=budget,
+                )
+                if dot_result.stats.degraded:
+                    incidents.extend(dot_result.stats.incidents)
+                    budget_note = (
+                        f" (budget {budget:.3g} s)" if budget is not None else ""
+                    )
+                    incidents.append(
+                        f"epoch {epoch}: re-tier solve degraded"
+                        f"{budget_note}; using best-so-far layout"
+                    )
+            except Exception as exc:
+                # The loop never raises: a failed or timed-out re-tier
+                # holds the deployed layout and -- unlike a legitimately
+                # infeasible solve -- does NOT rebase the drift reference,
+                # so the same drift re-triggers a fresh attempt next epoch.
+                solve_failed = True
+                dot_result = None
+                candidate = None
+                incidents.append(
+                    f"epoch {epoch}: re-tier solve failed ({exc}); "
+                    "holding deployed layout"
+                )
+            if solve_failed:
+                migration_reason = "re-tier solve failed; holding deployed layout"
+            elif candidate is None or candidate == current:
+                migration_reason = (
+                    "no feasible layout" if candidate is None else "layout unchanged"
+                )
+                # The deployed layout was re-validated against the drifted
+                # telemetry; rebase the reference (and arm the cooldown) so
+                # the same drift does not trigger a futile re-optimization
+                # every remaining epoch.
+                monitor.mark_reprovisioned(epoch, observed.run_result)
+            elif initial_epoch:
+                current = candidate.renamed(f"DOT@epoch{epoch}")
+                retiered_eval = advisor._rebase_monitor(
+                    monitor, epoch, current, workload, caches
+                )
+                migrated = True
+                migration_reason = "initial provisioning (not charged)"
+            else:
+                plan = MigrationPlan.between(current, candidate)
+                migration = advisor._assess_migration_with_retry(
+                    epoch, plan, candidate, workload, observed, current, incidents
+                )
+                if migration is None:
+                    # Bounded retries exhausted: hold the deployed layout
+                    # (without rebasing the drift reference, so the still-
+                    # drifted telemetry re-triggers next epoch).
+                    migration_reason = (
+                        "migration failed after retries; holding deployed layout"
+                    )
+                else:
+                    candidate_toc = advisor._candidate_toc(
+                        candidate, workload, caches, dot_result
+                    )
+                    # Restoring SLA feasibility is a constraint, not a cost
+                    # tradeoff: the amortization gate only prices re-tiers
+                    # between feasible layouts.
+                    if sla_trigger or advisor.policy.should_migrate(
+                        observed.toc_cents, candidate_toc, migration.cost_cents
+                    ):
+                        current = candidate.renamed(f"DOT@epoch{epoch}")
+                        retiered_eval = advisor._rebase_monitor(
+                            monitor, epoch, current, workload, caches
+                        )
+                        migrated = True
+                        if sla_trigger:
+                            migration_reason = (
+                                f"restores SLA feasibility (PSR {observed.psr:.0%})"
+                            )
+                        else:
+                            saving = advisor.policy.projected_net_saving_cents(
+                                observed.toc_cents, candidate_toc, migration.cost_cents
+                            )
+                            migration_reason = (
+                                f"{'anticipated' if predicted_trigger else 'projected'} "
+                                f"net saving {saving:.4g} c"
+                            )
+                    else:
+                        migration = None
+                        migration_reason = "migration cost exceeds projected saving"
+
+        # 5: account the epoch on the (possibly re-tiered) layout.  In
+        # estimate mode the deployed layout's report already exists --
+        # `observed` when it did not change, the rebase refresh when it
+        # did -- so nothing is recomputed.
+        if advisor.evaluation_mode == "estimate":
+            final = retiered_eval if retiered_eval is not None else observed
+        else:
+            # Simulated test runs are stateful (noise RNG) and must
+            # never be served from the estimate tables.
+            final = advisor._evaluate_epoch(current, workload, caches, mode="run")
+        migration_charge = (
+            migration.cost_cents if migrated and migration is not None else 0.0
+        )
+        epoch_cost = final.toc_cents + migration_charge
+        self.cumulative += epoch_cost
+        self.current = current
+        incidents = monitor.drain_incidents() + incidents
+        record = EpochRecord(
+            epoch=epoch,
+            workload_name=getattr(workload, "name", "workload"),
+            phase_weights=tuple(epoch_item.weights),
+            layout=current,
+            toc_cents=final.toc_cents,
+            psr=final.psr,
+            drift=decision,
+            reoptimized=reoptimized,
+            migrated=migrated,
+            migration=migration,
+            migration_reason=migration_reason,
+            epoch_cost_cents=epoch_cost,
+            cumulative_cost_cents=self.cumulative,
+            dot_result=dot_result,
+            report=final.report,
+            predicted=predicted_trigger,
+            forecast=forecast,
+            incidents=tuple(incidents),
+        )
+        self.records.append(record)
+        for incident in incidents:
+            epoch_span.event("incident", message=incident)
+        tracer.end_span(
+            epoch_span,
+            toc_cents=final.toc_cents,
+            psr=final.psr,
+            reoptimized=reoptimized,
+            migrated=migrated,
+            epoch_cost_cents=epoch_cost,
+        )
+        return record

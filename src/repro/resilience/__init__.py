@@ -10,6 +10,7 @@ and EXPERIMENTS.md ("Failure modes & recovery") for the fault matrix.
 from repro.resilience.faults import (
     CORRUPTION_MODES,
     EPOCH_FAULT_KINDS,
+    SERVICE_FAULT_KINDS,
     SHARD_FAULT_KINDS,
     FaultInjector,
     FaultPlan,
@@ -21,6 +22,7 @@ from repro.resilience.faults import (
 __all__ = [
     "CORRUPTION_MODES",
     "EPOCH_FAULT_KINDS",
+    "SERVICE_FAULT_KINDS",
     "SHARD_FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",

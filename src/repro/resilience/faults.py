@@ -48,6 +48,8 @@ EPOCH_FAULT_KINDS = (
     "solver_error",
     "migration_failure",
 )
+#: Fault kinds scoped to one scheduler tick of the multi-tenant service.
+SERVICE_FAULT_KINDS = ("worker_kill", "overload_burst", "slow_solve")
 #: Checkpoint damage modes understood by :func:`corrupt_file`.
 CORRUPTION_MODES = ("truncate", "garble", "junk")
 
@@ -65,17 +67,25 @@ class FaultSpec:
     * ``migration_failure`` -- fail the first ``attempts`` executor attempts;
     * ``solver_overrun`` -- stall the re-tier solve by ``delay_s`` so it
       blows its deadline (rather than erroring outright like
-      ``solver_error``).
+      ``solver_error``);
+    * ``worker_kill`` -- crash ``count`` busy service workers at the tick,
+      before their in-flight steps commit (the supervisor's heartbeat
+      watchdog must detect and requeue);
+    * ``overload_burst`` -- occupy ``count`` slots of the service's bounded
+      work queue for the tick, forcing admission control to shed;
+    * ``slow_solve`` -- charge ``delay_s`` extra wall-clock seconds to every
+      solve dispatched at the tick (a stalled estimator or noisy neighbour).
     """
 
     kind: str
     delay_s: float = 0.0
     factor: float = 1.0
     attempts: int = 1
+    count: int = 1
     message: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in SHARD_FAULT_KINDS + EPOCH_FAULT_KINDS:
+        if self.kind not in SHARD_FAULT_KINDS + EPOCH_FAULT_KINDS + SERVICE_FAULT_KINDS:
             raise ConfigurationError(f"unknown fault kind {self.kind!r}")
 
 
@@ -87,11 +97,15 @@ class FaultPlan:
     what makes chaos runs *recoverable by construction*: a fault registered
     for attempt 0 does not re-fire on the retry, so a bounded-retry search
     converges to the fault-free answer.  ``epoch_faults`` keys are epoch
-    numbers of the online loop.
+    numbers of the online loop; ``service_faults`` keys are scheduler ticks
+    of the multi-tenant service daemon (kills/bursts/slowdowns only delay
+    work -- shed items are re-offered -- so a chaos service run converges to
+    the fault-free layouts the same way).
     """
 
     shard_faults: Dict[Tuple[int, int], FaultSpec] = field(default_factory=dict)
     epoch_faults: Dict[int, Tuple[FaultSpec, ...]] = field(default_factory=dict)
+    service_faults: Dict[int, Tuple[FaultSpec, ...]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def add_shard_fault(self, shard_id: int, spec: FaultSpec, attempt: int = 0) -> "FaultPlan":
@@ -108,10 +122,17 @@ class FaultPlan:
         self.epoch_faults[epoch] = self.epoch_faults.get(epoch, ()) + (spec,)
         return self
 
+    def add_service_fault(self, tick: int, spec: FaultSpec) -> "FaultPlan":
+        """Register one service-tick-scoped fault; returns self for chaining."""
+        if spec.kind not in SERVICE_FAULT_KINDS:
+            raise ConfigurationError(f"{spec.kind!r} is not a service-scoped fault")
+        self.service_faults[tick] = self.service_faults.get(tick, ()) + (spec,)
+        return self
+
     @property
     def is_empty(self) -> bool:
         """True when the plan injects nothing."""
-        return not self.shard_faults and not self.epoch_faults
+        return not (self.shard_faults or self.epoch_faults or self.service_faults)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -194,6 +215,46 @@ class FaultPlan:
             )
         return plan
 
+    @classmethod
+    def chaos_service(
+        cls,
+        seed: int,
+        num_ticks: int,
+        kill_fraction: float = 0.1,
+        kill_count: int = 1,
+        burst_fraction: float = 0.1,
+        burst_slots: int = 4,
+        slow_fraction: float = 0.1,
+        slow_s: float = 0.02,
+    ) -> "FaultPlan":
+        """A seeded kill/overload/slow-solve storm over one service run.
+
+        Disjoint tick subsets get a worker kill (``kill_count`` workers
+        crash before their in-flight steps commit), an overload burst
+        (``burst_slots`` queue slots occupied, shedding admissions) or a
+        slow solve (``delay_s`` charged to every step of the tick).  Tick 0
+        is spared so the storm always hits a running service, and the same
+        seed yields the same storm -- the chaos recovery lock compares the
+        stormed run bitwise against the fault-free one.
+        """
+        if kill_fraction + burst_fraction + slow_fraction > 1.0:
+            raise ConfigurationError("fault fractions sum past 1.0: ticks would overlap")
+        rng = random.Random(seed)
+        eligible = list(range(1, num_ticks))
+        rng.shuffle(eligible)
+        plan = cls()
+        cursor = 0
+        for fraction, spec in (
+            (kill_fraction, FaultSpec(kind="worker_kill", count=kill_count)),
+            (burst_fraction, FaultSpec(kind="overload_burst", count=burst_slots)),
+            (slow_fraction, FaultSpec(kind="slow_solve", delay_s=slow_s)),
+        ):
+            count = int(round(fraction * num_ticks))
+            for tick in eligible[cursor:cursor + count]:
+                plan.add_service_fault(tick, spec)
+            cursor += count
+        return plan
+
 
 class FaultInjector:
     """Runtime face of a :class:`FaultPlan`: the hooks the machinery queries.
@@ -231,6 +292,28 @@ class FaultInjector:
         """True when this migration-executor attempt should fail."""
         spec = self._epoch_fault(epoch, "migration_failure")
         return spec is not None and attempt < spec.attempts
+
+    # -- multi-tenant service --------------------------------------------
+    def _service_fault(self, tick: int, kind: str) -> Optional[FaultSpec]:
+        for spec in self.plan.service_faults.get(tick, ()):
+            if spec.kind == kind:
+                return spec
+        return None
+
+    def worker_kills(self, tick: int) -> int:
+        """How many service workers an injected kill crashes at this tick."""
+        spec = self._service_fault(tick, "worker_kill")
+        return spec.count if spec is not None else 0
+
+    def burst_slots(self, tick: int) -> int:
+        """Queue slots an injected overload burst occupies at this tick."""
+        spec = self._service_fault(tick, "overload_burst")
+        return spec.count if spec is not None else 0
+
+    def solve_delay_s(self, tick: int) -> float:
+        """Extra seconds an injected slowdown charges to solves at this tick."""
+        spec = self._service_fault(tick, "slow_solve")
+        return spec.delay_s if spec is not None else 0.0
 
 
 def fire_shard_fault(spec: FaultSpec, shard_id: int, attempt: int,

@@ -1,0 +1,76 @@
+"""Fault-tolerant multi-tenant advisor service.
+
+``repro.service`` is the control plane in front of the solver and online
+layers: a supervised daemon (:class:`AdvisorService`) that registers
+tenants, admits their per-epoch work under budgets and explicit
+backpressure, runs it on a supervised worker pool with circuit-breakered
+solver fallbacks, and journals every committed epoch to checksummed durable
+state so a crashed service recovers to bitwise-identical layouts.
+
+Module map:
+
+* :mod:`repro.service.queue` -- bounded work queue, fair-share scheduling,
+  admission control with shed reasons and budget reservations;
+* :mod:`repro.service.supervisor` -- logical worker pool with heartbeats,
+  crash detection and bounded restart-with-backoff;
+* :mod:`repro.service.breaker` -- per-solver-class circuit breakers and
+  the :class:`GuardedFallbackSolver` degradation ladder;
+* :mod:`repro.service.journal` -- checksummed write-ahead journal and
+  atomic snapshots;
+* :mod:`repro.service.tenants` -- tenant specs and deterministic epoch
+  streams;
+* :mod:`repro.service.daemon` -- the tick-driven service itself plus
+  :meth:`AdvisorService.recover`.
+"""
+
+from repro.service.breaker import (
+    BreakerBoard,
+    CircuitBreaker,
+    GuardedFallbackSolver,
+)
+from repro.service.daemon import (
+    AdvisorService,
+    ServiceConfig,
+    ServiceReport,
+    TenantStatus,
+)
+from repro.service.journal import Journal, SnapshotStore
+from repro.service.queue import (
+    AdmissionController,
+    AdmissionDecision,
+    SHED_REASONS,
+    WorkItem,
+    WorkQueue,
+)
+from repro.service.supervisor import Supervisor, Worker
+from repro.service.tenants import (
+    DRIFT_KINDS,
+    TenantRuntime,
+    TenantSpec,
+    build_epoch_stream,
+    build_runtime,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdvisorService",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "DRIFT_KINDS",
+    "GuardedFallbackSolver",
+    "Journal",
+    "SHED_REASONS",
+    "ServiceConfig",
+    "ServiceReport",
+    "SnapshotStore",
+    "Supervisor",
+    "TenantRuntime",
+    "TenantSpec",
+    "TenantStatus",
+    "Worker",
+    "WorkItem",
+    "WorkQueue",
+    "build_epoch_stream",
+    "build_runtime",
+]

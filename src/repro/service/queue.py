@@ -1,0 +1,260 @@
+"""Bounded work queue, admission control and fair-share scheduling.
+
+The service's control plane treats tenant work as pure data: one
+:class:`WorkItem` per (tenant, epoch), offered to the
+:class:`AdmissionController` every scheduler tick and drained by the
+supervisor's workers through the :class:`WorkQueue`.  Three properties the
+property tests pin:
+
+* **Backpressure is explicit.**  The queue is bounded; an offer that does
+  not fit is *shed with a reason* (``queue_full``, ``budget_exhausted``,
+  ``shutting_down``) instead of blocking or growing without bound.  Shed
+  work is not lost -- the daemon re-offers a tenant's next epoch every tick
+  until it is admitted, so overload delays work but never skips it.
+* **Scheduling is fair-share.**  :meth:`WorkQueue.take` serves tenants
+  deficit-round-robin in registration order: every tenant with queued work
+  is served within one full rotation, so no tenant starves however noisy
+  its neighbours are.
+* **Decisions are deterministic.**  Admission reads only declared costs,
+  configured budgets and the queue's structural state -- replaying the same
+  offer sequence (same seed, same faults) reproduces the same shed
+  decisions bit for bit, which is what makes chaos runs comparable to
+  fault-free runs.
+
+Budgets are charged in *declared* cost units at admission time (the daemon
+declares its smoothed per-step seconds) and settled to actual seconds when
+the step commits, so accepted-at-admission work never exceeds the
+configured budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import (
+    AdmissionRejectedError,
+    ConfigurationError,
+    ServiceShutdownError,
+    TenantBudgetExceededError,
+)
+
+#: Shed reasons, exactly as counted under ``service.shed.<reason>``.
+SHED_QUEUE_FULL = "queue_full"
+SHED_BUDGET_EXHAUSTED = "budget_exhausted"
+SHED_SHUTTING_DOWN = "shutting_down"
+SHED_REASONS = (SHED_QUEUE_FULL, SHED_BUDGET_EXHAUSTED, SHED_SHUTTING_DOWN)
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable unit: advance one tenant's loop by one epoch."""
+
+    tenant_id: str
+    epoch: int
+    #: Declared cost (seconds) reserved against the tenant's budget at
+    #: admission; settled to the measured cost when the step commits.
+    cost_units: float = 0.0
+    #: Retry ordinal (0 on first dispatch; bumped when a worker dies holding
+    #: the item and the supervisor requeues it).
+    attempt: int = 0
+    enqueued_tick: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Pure-data form for snapshots."""
+        return {
+            "tenant_id": self.tenant_id,
+            "epoch": self.epoch,
+            "cost_units": self.cost_units,
+            "attempt": self.attempt,
+            "enqueued_tick": self.enqueued_tick,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "WorkItem":
+        """Rebuild an item from its snapshot form."""
+        return cls(
+            tenant_id=str(payload["tenant_id"]),
+            epoch=int(payload["epoch"]),
+            cost_units=float(payload.get("cost_units", 0.0)),
+            attempt=int(payload.get("attempt", 0)),
+            enqueued_tick=int(payload.get("enqueued_tick", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission offer."""
+
+    admitted: bool
+    reason: str = "admitted"
+
+
+@dataclass
+class WorkQueue:
+    """A bounded multi-tenant queue drained deficit-round-robin.
+
+    Per-tenant FIFOs preserve epoch order; :meth:`take` rotates over the
+    registered tenants from a cursor, serving the first tenant with pending
+    work and parking the cursor just past it -- every tenant with queued
+    work is served within one full rotation (the no-starvation property).
+    ``max_depth`` bounds the *total* queued items across tenants; requeues
+    of already-admitted work (a killed worker's in-flight item) bypass the
+    bound so supervision can never lose admitted work to backpressure.
+    """
+
+    max_depth: int = 8
+    _fifos: Dict[str, List[WorkItem]] = field(default_factory=dict)
+    _rotation: List[str] = field(default_factory=list)
+    _cursor: int = 0
+    _depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ConfigurationError("work queue depth must be >= 1")
+
+    def register_tenant(self, tenant_id: str) -> None:
+        """Add a tenant to the fair-share rotation (idempotent)."""
+        if tenant_id not in self._fifos:
+            self._fifos[tenant_id] = []
+            self._rotation.append(tenant_id)
+
+    @property
+    def depth(self) -> int:
+        """Total queued items across all tenants."""
+        return self._depth
+
+    def slots_free(self, burst_slots: int = 0) -> int:
+        """Capacity left after an injected overload burst occupies slots."""
+        return max(0, self.max_depth - max(0, burst_slots) - self._depth)
+
+    def push(self, item: WorkItem) -> None:
+        """Enqueue an already-admitted item (capacity-exempt; see class doc)."""
+        self.register_tenant(item.tenant_id)
+        self._fifos[item.tenant_id].append(item)
+        self._depth += 1
+
+    def take(self) -> Optional[WorkItem]:
+        """The next item in fair-share order, or ``None`` when empty."""
+        if self._depth == 0 or not self._rotation:
+            return None
+        size = len(self._rotation)
+        for offset in range(size):
+            index = (self._cursor + offset) % size
+            fifo = self._fifos[self._rotation[index]]
+            if fifo:
+                self._cursor = (index + 1) % size
+                self._depth -= 1
+                return fifo.pop(0)
+        return None
+
+    def contents(self) -> List[WorkItem]:
+        """Every queued item in rotation order (for snapshots)."""
+        return [item for tenant in self._rotation for item in self._fifos[tenant]]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Pure-data form of the queue for the service snapshot."""
+        return {
+            "cursor": self._cursor,
+            "items": [item.to_dict() for item in self.contents()],
+        }
+
+    def restore(self, payload: Dict[str, object]) -> None:
+        """Re-seed the queue from a snapshot (tenants must be registered)."""
+        self._cursor = int(payload.get("cursor", 0)) % max(1, len(self._rotation))
+        for raw in payload.get("items", []):
+            self.push(WorkItem.from_dict(raw))
+
+
+class AdmissionController:
+    """Budget- and capacity-gated admission in declared cost units.
+
+    One controller fronts the service's :class:`WorkQueue`.  Offers are
+    checked in a fixed order -- draining, tenant budget, queue capacity --
+    so the shed reason is deterministic; admitted items reserve their
+    declared cost against the tenant budget immediately and
+    :meth:`settle` trues the reservation up to the measured seconds when
+    the step commits.
+    """
+
+    def __init__(self, queue: WorkQueue):
+        self.queue = queue
+        self._budget_s: Dict[str, Optional[float]] = {}
+        self._used_s: Dict[str, float] = {}
+
+    def register_tenant(self, tenant_id: str, budget_s: Optional[float] = None) -> None:
+        """Register a tenant and its (optional) wall-clock budget."""
+        if budget_s is not None and budget_s < 0:
+            raise ConfigurationError("tenant budget cannot be negative")
+        self.queue.register_tenant(tenant_id)
+        self._budget_s[tenant_id] = budget_s
+        self._used_s.setdefault(tenant_id, 0.0)
+
+    def used_s(self, tenant_id: str) -> float:
+        """Budget units consumed (reservations plus settlements) so far."""
+        return self._used_s.get(tenant_id, 0.0)
+
+    def budget_s(self, tenant_id: str) -> Optional[float]:
+        """The tenant's configured budget (``None`` = unlimited)."""
+        return self._budget_s.get(tenant_id)
+
+    def decide(self, item: WorkItem, burst_slots: int = 0,
+               draining: bool = False) -> AdmissionDecision:
+        """Score one offer without changing any state."""
+        if draining:
+            return AdmissionDecision(False, SHED_SHUTTING_DOWN)
+        budget = self._budget_s.get(item.tenant_id)
+        if budget is not None and self.used_s(item.tenant_id) + item.cost_units > budget:
+            return AdmissionDecision(False, SHED_BUDGET_EXHAUSTED)
+        if self.queue.slots_free(burst_slots) == 0:
+            return AdmissionDecision(False, SHED_QUEUE_FULL)
+        return AdmissionDecision(True)
+
+    def offer(self, item: WorkItem, burst_slots: int = 0,
+              draining: bool = False) -> AdmissionDecision:
+        """Admit (reserve + enqueue) or shed one item."""
+        decision = self.decide(item, burst_slots=burst_slots, draining=draining)
+        if decision.admitted:
+            self._used_s[item.tenant_id] = self.used_s(item.tenant_id) + item.cost_units
+            self.queue.push(item)
+        return decision
+
+    def require(self, item: WorkItem, burst_slots: int = 0,
+                draining: bool = False) -> None:
+        """Admit or raise the typed error matching the shed reason."""
+        decision = self.offer(item, burst_slots=burst_slots, draining=draining)
+        if decision.admitted:
+            return
+        if decision.reason == SHED_BUDGET_EXHAUSTED:
+            raise TenantBudgetExceededError(
+                f"tenant {item.tenant_id!r} exhausted its budget "
+                f"({self.used_s(item.tenant_id):.3f}s used of "
+                f"{self._budget_s.get(item.tenant_id)}s)",
+                tenant_id=item.tenant_id,
+                used_s=self.used_s(item.tenant_id),
+                budget_s=self._budget_s.get(item.tenant_id) or 0.0,
+            )
+        if decision.reason == SHED_SHUTTING_DOWN:
+            raise ServiceShutdownError(
+                f"service is draining; rejected work for tenant {item.tenant_id!r}"
+            )
+        raise AdmissionRejectedError(
+            f"work queue full; shed epoch {item.epoch} of tenant {item.tenant_id!r}",
+            tenant_id=item.tenant_id,
+            reason=decision.reason,
+        )
+
+    def settle(self, item: WorkItem, actual_s: float) -> None:
+        """Replace an admitted item's reservation with its measured cost."""
+        self._used_s[item.tenant_id] = (
+            self.used_s(item.tenant_id) - item.cost_units + max(0.0, actual_s)
+        )
+
+    def snapshot(self) -> Dict[str, float]:
+        """Per-tenant consumed budget units (for the service snapshot)."""
+        return dict(self._used_s)
+
+    def restore(self, payload: Dict[str, float]) -> None:
+        """Restore consumed budget units from a snapshot."""
+        for tenant_id, used in payload.items():
+            self._used_s[tenant_id] = float(used)

@@ -1,0 +1,218 @@
+"""Tenant specifications, runtimes and deterministic epoch streams.
+
+A tenant is registered as a :class:`TenantSpec` -- *pure data* naming a
+scenario from the registry plus drift/budget/threshold parameters.  That
+purity is what makes the service crash-safe: the spec round-trips through
+the journal, and :func:`build_runtime` rebuilds the tenant's scenario
+bundle, epoch workload stream and steppable
+:class:`~repro.online.controller.OnlineLoop` bit-for-bit from it, so
+recovery can re-execute committed epochs and land on the exact pre-crash
+layouts (the scenario estimators are deterministic by construction).
+
+Drift shapes reuse the :mod:`repro.online.drift` machinery: the scenario
+workload's query stream is split into a low-table-heavy and a
+high-table-heavy phase (the fact-heavy/dim-heavy idiom of the online
+tests) and crossfaded or flash-crowded under a seeded schedule, giving
+every tenant a reproducible drifting workload without bespoke fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro import scenarios
+from repro.exceptions import ConfigurationError
+from repro.online.controller import OnlineAdvisor, OnlineLoop
+from repro.online.drift import (
+    DriftingWorkloadGenerator,
+    EpochWorkload,
+    PhaseSchedule,
+    WorkloadPhase,
+)
+from repro.online.monitor import DriftThresholds
+from repro.sla.constraints import RelativeSLA
+
+#: Drift shapes a tenant spec may request.
+DRIFT_KINDS = ("steady", "crossfade", "flash")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's registration, as journaled: pure, serialisable data."""
+
+    tenant_id: str
+    scenario: str = "synthetic_small"
+    #: Parameter overrides forwarded to ``scenarios.build``.
+    overrides: Mapping[str, object] = field(default_factory=dict)
+    num_epochs: int = 8
+    drift: str = "steady"
+    drift_seed: int = 2011
+    #: Wall-clock budget (seconds of solve/step time); ``None`` = unlimited.
+    budget_s: Optional[float] = None
+    #: Drift sensitivity of the tenant's telemetry monitor.
+    share_threshold: float = 0.05
+    #: Relative SLA ratio (``None`` uses the scenario's default SLA).
+    sla_ratio: Optional[float] = None
+    #: Per-re-tier solve deadline handed to the guarded solver chain.
+    retier_budget_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id:
+            raise ConfigurationError("a tenant needs a non-empty id")
+        if self.num_epochs < 1:
+            raise ConfigurationError("a tenant needs at least one epoch")
+        if self.drift not in DRIFT_KINDS:
+            raise ConfigurationError(
+                f"unknown drift shape {self.drift!r} (known: {DRIFT_KINDS})"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """The journal form of the registration."""
+        return {
+            "tenant_id": self.tenant_id,
+            "scenario": self.scenario,
+            "overrides": dict(self.overrides),
+            "num_epochs": self.num_epochs,
+            "drift": self.drift,
+            "drift_seed": self.drift_seed,
+            "budget_s": self.budget_s,
+            "share_threshold": self.share_threshold,
+            "sla_ratio": self.sla_ratio,
+            "retier_budget_s": self.retier_budget_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TenantSpec":
+        """Rebuild a spec from its journal form."""
+        return cls(
+            tenant_id=str(payload["tenant_id"]),
+            scenario=str(payload.get("scenario", "synthetic_small")),
+            overrides=dict(payload.get("overrides", {})),
+            num_epochs=int(payload.get("num_epochs", 8)),
+            drift=str(payload.get("drift", "steady")),
+            drift_seed=int(payload.get("drift_seed", 2011)),
+            budget_s=payload.get("budget_s"),
+            share_threshold=float(payload.get("share_threshold", 0.05)),
+            sla_ratio=payload.get("sla_ratio"),
+            retier_budget_s=payload.get("retier_budget_s"),
+        )
+
+
+def build_epoch_stream(bundle, spec: TenantSpec) -> List[EpochWorkload]:
+    """The tenant's deterministic per-epoch workloads.
+
+    ``steady`` repeats the scenario workload; ``crossfade`` ramps from a
+    low-table-heavy to a high-table-heavy reweighting of the same query
+    stream; ``flash`` spikes the heavy phase around the run's midpoint.
+    Same spec => bitwise-identical stream (the drift generator is seeded),
+    which recovery relies on.
+    """
+    if spec.drift == "steady":
+        return [
+            EpochWorkload(epoch=epoch, weights=(1.0,), workload=bundle.workload)
+            for epoch in range(spec.num_epochs)
+        ]
+    queries = list(bundle.workload.queries)
+    half = max(1, len(queries) // 2)
+    low, high = queries[:half], queries[half:] or queries[:half]
+    phase_a = bundle.workload.with_stream(
+        tuple(low + low + high), name=f"{spec.tenant_id}-low-heavy"
+    )
+    phase_b = bundle.workload.with_stream(
+        tuple(high + high + low), name=f"{spec.tenant_id}-high-heavy"
+    )
+    if spec.drift == "crossfade":
+        schedule = PhaseSchedule.ramp(
+            spec.num_epochs,
+            start_epoch=max(0, spec.num_epochs // 4),
+            end_epoch=max(1, (3 * spec.num_epochs) // 4),
+            phase_names=("low", "high"),
+        )
+    else:  # flash
+        schedule = PhaseSchedule.flash_crowd(
+            spec.num_epochs,
+            spike_epoch=spec.num_epochs // 2,
+            width=max(1, spec.num_epochs // 4),
+            phase_names=("low", "high"),
+        )
+    generator = DriftingWorkloadGenerator(
+        [WorkloadPhase("low", phase_a), WorkloadPhase("high", phase_b)],
+        schedule,
+        seed=spec.drift_seed,
+        name=f"{spec.tenant_id}-{spec.drift}",
+    )
+    return list(generator.epochs())
+
+
+@dataclass
+class TenantRuntime:
+    """The in-memory face of one registered tenant.
+
+    Everything here is rebuilt deterministically from the spec (bundle,
+    epoch stream, advisor, loop); only the *cursor* -- how many epochs have
+    committed -- and the provenance trail are decided by the journal.
+    """
+
+    spec: TenantSpec
+    bundle: object
+    epochs: List[EpochWorkload]
+    advisor: OnlineAdvisor
+    loop: OnlineLoop
+    #: Number of committed epochs (the next epoch to run).
+    cursor: int = 0
+    #: True while a work item for the cursor epoch is queued or in flight.
+    in_flight: bool = False
+    #: Dispatch attempts of the cursor epoch (kills/errors bump it).
+    attempts: int = 0
+    #: Set when admission permanently stopped the tenant (budget) or the
+    #: epoch exceeded its retry bound.
+    exhausted: bool = False
+    failed: bool = False
+    #: Everything notable that happened to the tenant, in order: sheds,
+    #: kills that lost its in-flight work, retries, recovery replays, and
+    #: every incident its epoch records carried.
+    provenance: List[str] = field(default_factory=list)
+    #: Smoothed per-step seconds, declared as admission cost.
+    predicted_step_s: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        """True when every epoch committed (or the tenant was stopped)."""
+        return self.cursor >= self.spec.num_epochs or self.exhausted or self.failed
+
+    @property
+    def active(self) -> bool:
+        """True while the tenant still has schedulable work."""
+        return not self.done
+
+    def note(self, message: str) -> None:
+        """Append one provenance entry."""
+        self.provenance.append(message)
+
+
+def build_runtime(spec: TenantSpec, solver) -> TenantRuntime:
+    """Construct a tenant's bundle, epoch stream, advisor and loop."""
+    bundle = scenarios.build(spec.scenario, **dict(spec.overrides))
+    epochs = build_epoch_stream(bundle, spec)
+    sla = (
+        RelativeSLA(spec.sla_ratio)
+        if spec.sla_ratio is not None
+        else bundle.sla
+    )
+    advisor = OnlineAdvisor(
+        bundle.objects,
+        bundle.get_system(),
+        bundle.fresh_estimator(),
+        sla=sla,
+        thresholds=DriftThresholds(share_threshold=spec.share_threshold),
+        solver=solver,
+        retier_budget_s=spec.retier_budget_s,
+    )
+    return TenantRuntime(
+        spec=spec,
+        bundle=bundle,
+        epochs=epochs,
+        advisor=advisor,
+        loop=OnlineLoop(advisor),
+    )
