@@ -80,6 +80,9 @@ def parallel_es_run(num_tables, worker_counts):
             "workers": 1,
             "elapsed_s": serial.elapsed_s,
             "build_s": serial_stats.build_s,
+            "warm_s": serial_stats.warm_s,
+            "attach_s": serial_stats.attach_s,
+            "steals": 0,
             "evaluated": serial.evaluated_layouts,
             "pruned_layouts": 0,
             "pruned_subtrees": 0,
@@ -97,6 +100,9 @@ def parallel_es_run(num_tables, worker_counts):
                 "workers": workers,
                 "elapsed_s": result.elapsed_s,
                 "build_s": stats.build_s,
+                "warm_s": stats.warm_s,
+                "attach_s": stats.attach_s,
+                "steals": stats.steals,
                 "evaluated": result.evaluated_layouts,
                 "pruned_layouts": stats.pruned_layouts,
                 "pruned_subtrees": stats.pruned_subtrees,
@@ -104,12 +110,53 @@ def parallel_es_run(num_tables, worker_counts):
                 "speedup": serial.elapsed_s / result.elapsed_s,
             }
         )
+
+    # Transport/schedule contrast at the largest worker count: the
+    # steal+shared-memory default against the pickle fallback and the
+    # static pre-split.  Every arm must stay bitwise-equal to serial.
+    contrast_workers = max(worker_counts)
+    arms = {}
+    for arm_name, arm_kwargs in (
+        ("steal_shm", {}),
+        ("steal_pickle", {"use_shared_memory": False}),
+        ("static_pickle", {"schedule": "static", "use_shared_memory": False}),
+    ):
+        result = run_search(workers=contrast_workers, **arm_kwargs)
+        assert result.layout == serial.layout, f"layout mismatch in arm {arm_name}"
+        assert result.toc_cents == serial.toc_cents, f"TOC mismatch in arm {arm_name}"
+        stats = result.stats.batch
+        arms[arm_name] = {
+            "workers": contrast_workers,
+            "elapsed_s": result.elapsed_s,
+            "build_s": stats.build_s,
+            "warm_s": stats.warm_s,
+            "attach_s": stats.attach_s,
+            "steals": stats.steals,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+        }
+    # Worker-boot contrast: both arms pay the coordinator warm-up once, so
+    # the pickle arm's extra warm_s is the per-worker re-warm the shared
+    # tables replace with attach_s.
+    worker_warm_s = max(arms["steal_pickle"]["warm_s"] - arms["steal_shm"]["warm_s"], 0.0)
+    attach_s = arms["steal_shm"]["attach_s"]
+    boot = {
+        "worker_warm_s": worker_warm_s,
+        "attach_s": attach_s,
+        "speedup": worker_warm_s / attach_s if attach_s > 0 else 0.0,
+    }
+    steal_speedup = (
+        arms["static_pickle"]["elapsed_s"] / arms["steal_pickle"]["elapsed_s"]
+    )
     return {
         "space": space,
         "objects": len(objects),
         "classes": len(system),
         "toc_cents": serial.toc_cents,
         "rows": rows,
+        "transport_arms": arms,
+        "boot": boot,
+        "steal_speedup": steal_speedup,
     }
 
 
@@ -119,19 +166,25 @@ def test_parallel_es_scaling(benchmark):
     outcome = run_once(benchmark, parallel_es_run, num_tables, worker_counts)
 
     rows = outcome["rows"]
-    header = (f"{'workers':>7s} {'elapsed':>9s} {'build':>8s} {'evaluated':>10s} "
+    header = (f"{'workers':>7s} {'elapsed':>9s} {'build':>8s} {'warm':>8s} "
+              f"{'attach':>8s} {'steals':>6s} {'evaluated':>10s} "
               f"{'pruned':>10s} {'prune %':>8s} {'speedup':>8s}")
     lines = [header]
     for row in rows:
         prune_pct = 100.0 * row["pruned_layouts"] / outcome["space"]
         lines.append(
             f"{row['workers']:>7d} {row['elapsed_s']:>8.2f}s {row['build_s']:>7.2f}s "
+            f"{row['warm_s']:>7.3f}s {row['attach_s']:>7.3f}s {row['steals']:>6d} "
             f"{row['evaluated']:>10d} {row['pruned_layouts']:>10d} {prune_pct:>7.1f}% "
             f"{row['speedup']:>7.2f}x"
         )
     text = "\n".join(lines)
+    boot = outcome["boot"]
     log.info(f"\nspace: {outcome['objects']} objects x {outcome['classes']} classes = "
-          f"{outcome['space']} layouts\n{text}")
+          f"{outcome['space']} layouts\n{text}\n"
+          f"worker boot: warm {boot['worker_warm_s']:.4f}s (pickle) vs attach "
+          f"{boot['attach_s']:.4f}s (shm) = {boot['speedup']:.1f}x; "
+          f"steal-vs-static speedup {outcome['steal_speedup']:.2f}x")
     benchmark.extra_info["table"] = text
     benchmark.extra_info["rows"] = rows
 
@@ -144,6 +197,9 @@ def test_parallel_es_scaling(benchmark):
             "classes": outcome["classes"],
             "toc_cents": outcome["toc_cents"],
             "worker_runs": rows,
+            "transport_arms": outcome["transport_arms"],
+            "boot": boot,
+            "steal_speedup": outcome["steal_speedup"],
         },
     )
 
@@ -163,3 +219,19 @@ def test_parallel_es_scaling(benchmark):
     four = next((row for row in rows if row["workers"] == 4), None)
     if four is not None and (os.cpu_count() or 1) >= 4:
         assert four["speedup"] >= 2.5
+
+    # The raw-speed floor bars.  Structure is asserted everywhere: the shm
+    # arm must actually attach (and skip the per-worker re-warm), the steal
+    # arms must dispatch dynamically, the static arm must not.
+    arms = outcome["transport_arms"]
+    assert arms["steal_shm"]["attach_s"] > 0.0
+    assert arms["steal_shm"]["steals"] > 0
+    assert arms["steal_pickle"]["steals"] > 0
+    assert arms["static_pickle"]["steals"] == 0
+    assert arms["steal_pickle"]["warm_s"] > arms["steal_shm"]["warm_s"]
+    # Magnitude bars only on machines that can resolve them: >= 5x cheaper
+    # worker boot through shared memory, >= 1.3x from stealing on the
+    # skew-pruned space.  1-2 core smoke runners measure but don't assert.
+    if (os.cpu_count() or 1) >= 4:
+        assert outcome["boot"]["speedup"] >= 5.0
+        assert outcome["steal_speedup"] >= 1.3

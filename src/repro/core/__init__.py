@@ -35,6 +35,7 @@ from repro.core.context import (
     make_batch_evaluator,
     make_incremental_evaluator,
 )
+from repro.core.kernels import HAVE_NUMBA, Kernel, describe_kernels, get_kernel
 from repro.core.layout import Layout
 from repro.core.toc import TOCModel, TOCReport
 from repro.core.profiles import BaselinePlacement, WorkloadProfileSet
@@ -48,6 +49,7 @@ from repro.core.parallel_search import (
     ParallelEnumerationEngine,
     SearchProgress,
 )
+from repro.core.shm_tables import SharedEstimateTables
 from repro.core.object_advisor import ObjectAdvisor
 from repro.core.simple_layouts import all_on, index_data_split, simple_layouts
 from repro.core.ilp import MILPPlacement, MILPResult
@@ -112,6 +114,11 @@ __all__ = [
     "EnumerationSpec",
     "ParallelEnumerationEngine",
     "SearchProgress",
+    "SharedEstimateTables",
+    "HAVE_NUMBA",
+    "Kernel",
+    "describe_kernels",
+    "get_kernel",
     "ObjectAdvisor",
     "all_on",
     "index_data_split",

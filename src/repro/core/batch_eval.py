@@ -36,10 +36,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.kernels import Kernel, get_kernel
 from repro.core.toc import TOCModel, TOCReport
 from repro.dbms.concurrency import ClosedLoopModel
 from repro.dbms.executor import ExecutionResult, WorkloadRunResult
@@ -87,6 +88,15 @@ def iter_assignment_chunks(
     if chunk_size < 1:
         raise ValueError("chunk_size must be positive")
     total = num_classes**num_objects
+    if total > np.iinfo(np.int64).max:
+        # The mixed-radix index space must fit the int64 indices the decode
+        # loop (and every shard/chunk boundary) is computed in; beyond that
+        # the arithmetic would silently wrap.  3^19 ~ 1.16e9 is far inside
+        # the guard; it trips at ~40 ternary objects.
+        raise ValueError(
+            f"enumeration space {num_classes}^{num_objects} exceeds the 64-bit "
+            "mixed-radix index range"
+        )
     if stop is None:
         stop = total
     if not 0 <= start <= stop <= total:
@@ -405,12 +415,27 @@ class BatchEvalStats:
     estimator_calls: int = 0
     oltp_aggregations: int = 0
     chunks: int = 0
+    #: Coordinator evaluator construction time; on pool runs the summed
+    #: per-worker unpickle+construct time folds in as well.
     build_s: float = 0.0
+    #: Estimate-table warm-up time (coordinator ``warm_signatures`` plus any
+    #: per-worker warm on the pickle fallback path), split out of ``build_s``.
+    warm_s: float = 0.0
+    #: Per-worker shared-memory attach time (the shm replacement for the
+    #: pickle path's per-worker ``build_s + warm_s``).
+    attach_s: float = 0.0
     #: Cumulative wall time spent inside ``evaluate_chunk`` (the vectorized
     #: scoring itself, excluding enumeration and coordination overhead).
     eval_s: float = 0.0
     workers: int = 0
     shards: int = 0
+    #: Shard units dispatched beyond each worker's initial share -- i.e.
+    #: ranges idle workers pulled ("stole") from the coordinator deque.
+    steals: int = 0
+    #: Worker-local estimate-cache hit/miss deltas, folded once per
+    #: ``(shard_id, attempt)`` so retried or stolen shards never double-count.
+    cache_hits: int = 0
+    cache_misses: int = 0
     pruned_subtrees: int = 0
     pruned_subtree_layouts: int = 0
     pruned_chunks: int = 0
@@ -419,8 +444,10 @@ class BatchEvalStats:
     def merge(self, other: "BatchEvalStats") -> None:
         """Fold another stats delta (e.g. one worker's shard) into this one.
 
-        Counting fields add up; ``build_s`` and ``workers`` describe the run
-        as a whole and are left to the coordinating caller.
+        Counting fields add up; ``workers`` and the coordinator-side slices of
+        ``build_s``/``warm_s`` describe the run as a whole and are stamped by
+        the coordinating caller (worker boot deltas arrive through shard
+        outcomes, which this method does fold).
         """
         self.candidates += other.candidates
         self.capacity_feasible += other.capacity_feasible
@@ -430,6 +457,12 @@ class BatchEvalStats:
         self.chunks += other.chunks
         self.eval_s += other.eval_s
         self.shards += other.shards
+        self.steals += other.steals
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.build_s += other.build_s
+        self.warm_s += other.warm_s
+        self.attach_s += other.attach_s
         self.pruned_subtrees += other.pruned_subtrees
         self.pruned_subtree_layouts += other.pruned_subtree_layouts
         self.pruned_chunks += other.pruned_chunks
@@ -469,6 +502,7 @@ class _QueryTable:
     __slots__ = (
         "query", "var_columns", "weights", "code_to_slot",
         "response_ms", "executions", "touched_classes",
+        "dense_response", "_response_array",
     )
 
     def __init__(self, query, var_columns: List[int], num_classes: int):
@@ -482,6 +516,25 @@ class _QueryTable:
         #: Per slot: {object_name: class_name} for the signature's placeable
         #: objects (used to type OLTP busy time by storage class).
         self.touched_classes: List[Dict[str, str]] = []
+        #: Complete response table indexed directly by signature *code*
+        #: (attached from a shared-memory segment); when set, slot == code
+        #: and the per-chunk ``np.unique``/dict translation is skipped.
+        self.dense_response: Optional[np.ndarray] = None
+        self._response_array: Optional[np.ndarray] = None
+
+    def response_array(self) -> np.ndarray:
+        """Responses indexed by slot, as one cached contiguous array.
+
+        The lazy slot path re-caches whenever a new slot was appended; the
+        dense (shared-memory) path returns the attached table itself.
+        """
+        if self.dense_response is not None:
+            return self.dense_response
+        cached = self._response_array
+        if cached is None or cached.shape[0] != len(self.response_ms):
+            cached = np.array(self.response_ms)
+            self._response_array = cached
+        return cached
 
 
 class BatchLayoutEvaluator:
@@ -520,6 +573,7 @@ class BatchLayoutEvaluator:
         pinned: Sequence[Tuple[DatabaseObject, str]] = (),
         constraint: Optional[PerformanceConstraint] = None,
         cache: Optional[QueryEstimateCache] = None,
+        kernel: Union[str, Kernel] = "numpy",
     ):
         from repro.core.feasibility import constraint_signature
 
@@ -559,6 +613,18 @@ class BatchLayoutEvaluator:
         self.prices = [storage_class.price_cents_per_gb_hour for storage_class in self.classes]
         self.capacities = np.array(
             [storage_class.capacity_gb for storage_class in self.classes]
+        )
+
+        self.kernel = kernel if isinstance(kernel, Kernel) else get_kernel(kernel)
+        # C-contiguous operand arrays the kernels consume (values identical
+        # to the list attributes above, which stay for compatibility).
+        self._sizes_arr = np.array(self.var_sizes, dtype=float)
+        self._prices_arr = np.array(self.prices, dtype=float)
+        self._pinned_class_arr = np.array(
+            [class_index for _, class_index, _ in self.pinned], dtype=np.int64
+        )
+        self._pinned_size_arr = np.array(
+            [size_gb for _, _, size_gb in self.pinned], dtype=float
         )
 
         self.cache = _adopt_cache(cache, estimator, self.concurrency)
@@ -624,6 +690,77 @@ class BatchLayoutEvaluator:
         self._fully_warmed = fully
         return fully
 
+    def dense_response_tables(self) -> Dict[str, np.ndarray]:
+        """Code-indexed ``float64`` response arrays, one per query table.
+
+        Eligible only for fully warmed DSS evaluators: ``warm_signatures``
+        enumerates each table's signature subspace in mixed-radix order, so
+        slot ``s`` holds exactly signature code ``s`` and the per-query
+        ``response_ms`` list densifies into an array indexed directly by
+        code.  These arrays are the payload
+        :class:`repro.core.shm_tables.SharedEstimateTables` publishes to
+        workers.  Raises :class:`UnsupportedBatchEvaluation` when the
+        evaluator is OLTP (aggregation needs full ``ExecutionResult`` I/O
+        maps, not just response times) or not fully warmed.
+        """
+        if self.kind != "dss":
+            raise UnsupportedBatchEvaluation(
+                "dense response tables require a DSS workload; OLTP aggregation "
+                "consumes full per-execution I/O maps"
+            )
+        if not self._fully_warmed:
+            raise UnsupportedBatchEvaluation(
+                "dense response tables require a fully warmed evaluator"
+            )
+        views: Dict[str, np.ndarray] = {}
+        for table in self._template_order:
+            if table.dense_response is not None:
+                views[table.query.name] = table.dense_response
+                continue
+            subspace = self.num_classes ** len(table.var_columns)
+            if len(table.response_ms) != subspace:
+                raise UnsupportedBatchEvaluation(
+                    f"table for {table.query.name!r} holds {len(table.response_ms)} "
+                    f"slots, expected the full {subspace}-signature subspace"
+                )
+            for code in range(subspace):
+                if table.code_to_slot.get(code) != code:
+                    raise UnsupportedBatchEvaluation(
+                        f"table for {table.query.name!r} is not in dense "
+                        "(code == slot) order"
+                    )
+            views[table.query.name] = np.ascontiguousarray(table.response_ms, dtype=float)
+        return views
+
+    def install_dense_tables(self, views: Mapping[str, np.ndarray]) -> None:
+        """Adopt code-indexed response arrays (typically shared-memory views).
+
+        After installation ``_slots_for`` returns raw signature codes (slot ==
+        code), no estimator or cache traffic happens for these queries, and
+        the evaluator counts as fully warmed.  The arrays are read-only
+        lookups; the values are bitwise the ones ``warm_signatures`` would
+        have produced, so scoring is unchanged bit for bit.
+        """
+        if self.kind != "dss":
+            raise UnsupportedBatchEvaluation(
+                "dense response tables require a DSS workload"
+            )
+        for table in self._template_order:
+            view = views.get(table.query.name)
+            if view is None:
+                raise UnsupportedBatchEvaluation(
+                    f"missing dense table for query {table.query.name!r}"
+                )
+            subspace = self.num_classes ** len(table.var_columns)
+            if view.shape != (subspace,):
+                raise UnsupportedBatchEvaluation(
+                    f"dense table for {table.query.name!r} has shape {view.shape}, "
+                    f"expected ({subspace},)"
+                )
+        for table in self._template_order:
+            table.dense_response = views[table.query.name]
+        self._fully_warmed = True
+
     def toc_floor_factor(self) -> float:
         """A factor ``f`` with ``TOC(row) >= layout_cost(row) * f`` for every
         candidate row, or ``0.0`` when no sound bound is available.
@@ -644,9 +781,14 @@ class BatchLayoutEvaluator:
             total_ms = 0.0
             for query in self._instances:
                 table = self._tables[query.name]
-                if not table.response_ms:
+                if table.dense_response is not None:
+                    if table.dense_response.size == 0:
+                        return 0.0
+                    total_ms += float(table.dense_response.min())
+                elif table.response_ms:
+                    total_ms += min(table.response_ms)
+                else:
                     return 0.0
-                total_ms += min(table.response_ms)
             return ((total_ms / MS_PER_SECOND) / SECONDS_PER_HOUR) * margin
         response_lb_ms = 0.0
         for query, weight in self._oltp.mix:
@@ -691,19 +833,17 @@ class BatchLayoutEvaluator:
     def _space_used(self, var_assign: np.ndarray) -> np.ndarray:
         """Per-candidate space per class, accumulated in scalar-path order
         (pinned objects first, then variable objects column by column)."""
-        return accumulate_space_used(
+        return self.kernel.accumulate_space(
             var_assign,
             self.num_classes,
-            self.var_sizes,
-            [(class_index, size_gb) for _, class_index, size_gb in self.pinned],
+            self._sizes_arr,
+            self._pinned_class_arr,
+            self._pinned_size_arr,
         )
 
     def _layout_cost(self, used: np.ndarray) -> np.ndarray:
         """``C(L) = sum_j p_j * S_j`` with the scalar per-class add order."""
-        cost = np.zeros(used.shape[0])
-        for class_index, price in enumerate(self.prices):
-            cost += price * used[:, class_index]
-        return cost
+        return self.kernel.layout_cost(used, self._prices_arr)
 
     # ------------------------------------------------------------------
     # Per-query signature slots
@@ -716,11 +856,15 @@ class BatchLayoutEvaluator:
         optimizer's plan cache is therefore populated by exactly the same
         placements, in the same order, as in the scalar search, and a warm
         cache serves bitwise-identical executions without re-estimating.
+
+        With a dense (shared-memory) response table installed the slot *is*
+        the signature code -- :meth:`install_dense_tables` views are indexed
+        by code, so the per-chunk ``np.unique`` + dict translation (and any
+        estimator traffic) disappears entirely.
         """
-        if table.var_columns.size == 0:
-            codes = np.zeros(sub_assign.shape[0], dtype=np.int64)
-        else:
-            codes = sub_assign[:, table.var_columns] @ table.weights
+        codes = self.kernel.signature_codes(sub_assign, table.var_columns, table.weights)
+        if table.dense_response is not None:
+            return codes
         unique_codes, first_rows, inverse = np.unique(
             codes, return_index=True, return_inverse=True
         )
@@ -839,16 +983,18 @@ class BatchLayoutEvaluator:
             performance_ok = np.ones(rows.size, dtype=bool)
             caps = self._constraint_data if self._constraint_kind == "response_time" else None
             response_arrays = {
-                table.query.name: np.array(table.response_ms)
+                table.query.name: table.response_array()
                 for table in self._template_order
             }
             for query in self._instances:
-                response = response_arrays[query.name][slots[query.name]]
-                total_ms += response
-                if caps is not None:
-                    cap = caps.get(query.name)
-                    if cap is not None:
-                        performance_ok &= response <= cap
+                cap = caps.get(query.name) if caps is not None else None
+                self.kernel.add_responses(
+                    total_ms,
+                    response_arrays[query.name],
+                    slots[query.name],
+                    float("nan") if cap is None else float(cap),
+                    performance_ok,
+                )
             toc_cents[rows] = cost * ((total_ms / MS_PER_SECOND) / SECONDS_PER_HOUR)
             feasible[rows] = performance_ok
         else:

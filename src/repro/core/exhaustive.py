@@ -120,6 +120,15 @@ class ExhaustiveSearch:
         Fault-tolerance knobs forwarded to the parallel engine (bounded
         shard retry, dead-worker watchdog, chaos injection); see
         :class:`~repro.core.parallel_search.ParallelEnumerationEngine`.
+    kernel:
+        Chunk-scoring kernel for the batch paths: ``"numpy"`` (reference)
+        or ``"compiled"`` (numba-jitted; falls back to numpy tolerance-free
+        when numba is absent).  Both are bitwise identical -- see
+        :mod:`repro.core.kernels`.
+    schedule, steal_units, use_shared_memory:
+        Raw-speed knobs forwarded to the parallel engine: dynamic
+        work-stealing shard units vs the static split, the steal-unit
+        count, and shared-memory estimate-table transport to workers.
     """
 
     def __init__(
@@ -144,6 +153,10 @@ class ExhaustiveSearch:
         retry_backoff_s: float = 0.05,
         shard_timeout_s: Optional[float] = None,
         fault_plan=None,
+        kernel: str = "numpy",
+        schedule: str = "steal",
+        steal_units: Optional[int] = None,
+        use_shared_memory: bool = True,
     ):
         self.objects = list(objects)
         self.system = system
@@ -164,6 +177,10 @@ class ExhaustiveSearch:
         self.retry_backoff_s = retry_backoff_s
         self.shard_timeout_s = shard_timeout_s
         self.fault_plan = fault_plan
+        self.kernel = kernel
+        self.schedule = schedule
+        self.steal_units = steal_units
+        self.use_shared_memory = use_shared_memory
         self.toc_model = TOCModel(estimator, cost_override=cost_override)
         self.checker = FeasibilityChecker(constraint)
         #: Batch-evaluation statistics of the last batch-path search (None
@@ -261,10 +278,17 @@ class ExhaustiveSearch:
                 constraint=constraint,
                 cache=self.estimate_cache,
                 toc_model=self.toc_model,
+                kernel=self.kernel,
             )
             if evaluator is None:
                 span.set(vectorizable=False)
                 return None
+            with trace.span("es.kernel") as kernel_span:
+                kernel_span.set(
+                    requested=evaluator.kernel.requested,
+                    backend=evaluator.kernel.name,
+                    fallback=evaluator.kernel.fallback_reason,
+                )
             evaluator.stats.build_s = time.perf_counter() - build_started
             span.set(build_s=evaluator.stats.build_s)
         return evaluator
@@ -345,7 +369,7 @@ class ExhaustiveSearch:
             return None
         tracer = trace.get_tracer()
         warm_span = tracer.start_span("es.warm", workers=self.workers)
-        build_started = time.perf_counter()
+        warm_started = time.perf_counter()
         spec = EnumerationSpec(
             variable_objects=evaluator.variable_objects,
             system=self.system,
@@ -355,6 +379,7 @@ class ExhaustiveSearch:
             constraint=constraint,
             cache=evaluator.cache,
             chunk_size=self.batch_chunk_size,
+            kernel=self.kernel,
         )
         engine = ParallelEnumerationEngine.from_evaluator(
             evaluator,
@@ -367,13 +392,18 @@ class ExhaustiveSearch:
             retry_backoff_s=self.retry_backoff_s,
             shard_timeout_s=self.shard_timeout_s,
             fault_plan=self.fault_plan,
+            schedule=self.schedule,
+            steal_units=self.steal_units,
+            use_shared_memory=self.use_shared_memory,
         )
-        # Warm-up (the engine pre-estimates every signature) counts as build
-        # time; the stats object is snapshotted before shard deltas replace it.
+        # Coordinator warm-up (the engine pre-estimates every signature) is
+        # its own stats slice -- per-worker boot deltas (build/warm/attach)
+        # arrive later through the shard outcomes; the stats object is
+        # snapshotted before shard deltas replace it.
         stats = evaluator.stats
-        stats.build_s += time.perf_counter() - build_started
+        stats.warm_s += time.perf_counter() - warm_started
         stats.workers = self.workers
-        tracer.end_span(warm_span, build_s=stats.build_s)
+        tracer.end_span(warm_span, build_s=stats.build_s, warm_s=stats.warm_s)
 
         span = tracer.start_span(
             "es.enumerate", path="parallel", workers=self.workers,

@@ -1,0 +1,264 @@
+"""Selectable chunk-scoring kernels for the batch layout evaluator.
+
+The inner loop of every search -- :meth:`~repro.core.batch_eval.
+BatchLayoutEvaluator.evaluate_chunk` -- spends its time in four numeric
+primitives: accumulating per-candidate per-class space usage, pricing the
+resulting layouts, encoding per-query placement signatures, and
+gather-accumulating per-query response times into a workload total.  The
+default implementations are interpreted numpy (one array op per object
+column / storage class / query), which pays a Python dispatch and a full
+temporary array per step.
+
+This module packages those primitives as swappable *kernels*:
+
+* ``kernel="numpy"`` -- the reference implementations, byte-for-byte the
+  array expressions the evaluator has always used;
+* ``kernel="compiled"`` -- ``numba``-jitted single-pass loops over the same
+  operands.  numba is an **optional** dependency: when it is not importable
+  the compiled kernel falls back to the numpy kernel *without any tolerance
+  relaxation* (there is no approximate path -- both kernels are exact, the
+  fallback merely loses the speedup), and :attr:`Kernel.fallback_reason`
+  records why.
+
+Exactness contract
+------------------
+The compiled loops replay the numpy expressions' floating-point operation
+order **per output element**: space usage adds pinned objects first and then
+the variable columns left to right, layout cost sums ``price_j * used_j``
+over classes in class order, and the DSS total adds one response per query
+in instance order.  Each elementary operation is an IEEE 754 double multiply
+or add (numba does not enable fast-math, so LLVM may not contract them into
+FMAs), which makes every kernel bitwise identical to the numpy path -- the
+three-path ES equality tests extend to a fourth path with ``==``, not
+``approx``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+    NUMBA_VERSION: Optional[str] = getattr(numba, "__version__", "unknown")
+except ImportError:  # the supported, tolerance-free fallback configuration
+    numba = None
+    HAVE_NUMBA = False
+    NUMBA_VERSION = None
+
+KERNEL_NAMES = ("numpy", "compiled")
+
+
+class Kernel:
+    """One resolved set of chunk-scoring primitives.
+
+    ``requested`` is the name the caller asked for, ``name`` the
+    implementation actually serving it (they differ only when ``compiled``
+    fell back to ``numpy``); ``fallback_reason`` documents the downgrade.
+    All four primitives are bitwise-exact replacements for each other.
+    """
+
+    def __init__(
+        self,
+        requested: str,
+        name: str,
+        accumulate_space: Callable,
+        layout_cost: Callable,
+        signature_codes: Callable,
+        add_responses: Callable,
+        fallback_reason: Optional[str] = None,
+    ):
+        self.requested = requested
+        self.name = name
+        self.accumulate_space = accumulate_space
+        self.layout_cost = layout_cost
+        self.signature_codes = signature_codes
+        self.add_responses = add_responses
+        self.fallback_reason = fallback_reason
+
+    @property
+    def compiled(self) -> bool:
+        """True when the jitted implementations are serving this kernel."""
+        return self.name == "compiled"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        suffix = f" (fallback: {self.fallback_reason})" if self.fallback_reason else ""
+        return f"Kernel({self.requested!r} -> {self.name!r}{suffix})"
+
+
+# ---------------------------------------------------------------------------
+# numpy reference implementations
+# ---------------------------------------------------------------------------
+
+def _np_accumulate_space(var_assign: np.ndarray, num_classes: int,
+                         sizes: np.ndarray, pinned_classes: np.ndarray,
+                         pinned_sizes: np.ndarray) -> np.ndarray:
+    """Per-candidate per-class usage: pinned first, then columns left to right."""
+    batch = var_assign.shape[0]
+    used = np.zeros((batch, num_classes))
+    for class_index, size_gb in zip(pinned_classes, pinned_sizes):
+        used[:, class_index] += size_gb
+    rows = np.arange(batch)
+    for column in range(var_assign.shape[1]):
+        used[rows, var_assign[:, column]] += sizes[column]
+    return used
+
+
+def _np_layout_cost(used: np.ndarray, prices: np.ndarray) -> np.ndarray:
+    """``C(L) = sum_j p_j * S_j`` with the scalar per-class add order."""
+    cost = np.zeros(used.shape[0])
+    for class_index in range(prices.shape[0]):
+        cost += prices[class_index] * used[:, class_index]
+    return cost
+
+
+def _np_signature_codes(sub_assign: np.ndarray, var_columns: np.ndarray,
+                        weights: np.ndarray) -> np.ndarray:
+    """Mixed-radix signature code per candidate row (exact integer math)."""
+    if var_columns.size == 0:
+        return np.zeros(sub_assign.shape[0], dtype=np.int64)
+    return sub_assign[:, var_columns] @ weights
+
+
+def _np_add_responses(total_ms: np.ndarray, response_table: np.ndarray,
+                      slots: np.ndarray, cap: float,
+                      performance_ok: np.ndarray) -> None:
+    """Gather one query's responses by slot, add into ``total_ms`` in place.
+
+    ``cap`` is the query's response-time SLA cap, or ``nan`` when the query
+    is uncapped; capped queries AND their pass mask into ``performance_ok``.
+    """
+    response = response_table[slots]
+    total_ms += response
+    if cap == cap:  # nan check: nan != nan
+        performance_ok &= response <= cap
+
+
+_NUMPY_KERNEL = Kernel(
+    requested="numpy",
+    name="numpy",
+    accumulate_space=_np_accumulate_space,
+    layout_cost=_np_layout_cost,
+    signature_codes=_np_signature_codes,
+    add_responses=_np_add_responses,
+)
+
+
+# ---------------------------------------------------------------------------
+# numba-jitted implementations (optional)
+# ---------------------------------------------------------------------------
+
+_COMPILED_KERNEL: Optional[Kernel] = None
+
+
+def _build_compiled_kernel() -> Kernel:  # pragma: no cover - needs numba
+    """Jit the four primitives; call only when ``HAVE_NUMBA`` is true."""
+    jit = numba.njit(cache=False, fastmath=False)
+
+    @jit
+    def accumulate_space(var_assign, num_classes, sizes, pinned_classes, pinned_sizes):
+        batch, num_objects = var_assign.shape
+        used = np.zeros((batch, num_classes))
+        for row in range(batch):
+            for position in range(pinned_classes.shape[0]):
+                used[row, pinned_classes[position]] += pinned_sizes[position]
+            for column in range(num_objects):
+                used[row, var_assign[row, column]] += sizes[column]
+        return used
+
+    @jit
+    def layout_cost(used, prices):
+        batch = used.shape[0]
+        cost = np.zeros(batch)
+        for row in range(batch):
+            total = 0.0
+            for class_index in range(prices.shape[0]):
+                total += prices[class_index] * used[row, class_index]
+            cost[row] = total
+        return cost
+
+    @jit
+    def signature_codes(sub_assign, var_columns, weights):
+        batch = sub_assign.shape[0]
+        codes = np.zeros(batch, dtype=np.int64)
+        for row in range(batch):
+            code = 0
+            for position in range(var_columns.shape[0]):
+                code += sub_assign[row, var_columns[position]] * weights[position]
+            codes[row] = code
+        return codes
+
+    @jit
+    def add_responses(total_ms, response_table, slots, cap, performance_ok):
+        capped = cap == cap
+        for row in range(slots.shape[0]):
+            response = response_table[slots[row]]
+            total_ms[row] += response
+            if capped and response > cap:
+                performance_ok[row] = False
+
+    return Kernel(
+        requested="compiled",
+        name="compiled",
+        accumulate_space=accumulate_space,
+        layout_cost=layout_cost,
+        signature_codes=signature_codes,
+        add_responses=add_responses,
+    )
+
+
+def get_kernel(name: str = "numpy") -> Kernel:
+    """Resolve a kernel by name (``"numpy"`` or ``"compiled"``).
+
+    ``"compiled"`` returns the jitted kernel when numba is importable and a
+    numpy-backed fallback kernel (``fallback_reason`` set) otherwise --
+    results are bitwise identical either way, so selecting ``"compiled"``
+    is always safe.  Unknown names raise :class:`ConfigurationError`.
+    """
+    if name == "numpy":
+        return _NUMPY_KERNEL
+    if name == "compiled":
+        global _COMPILED_KERNEL
+        if _COMPILED_KERNEL is None:
+            if HAVE_NUMBA:  # pragma: no cover - needs numba
+                _COMPILED_KERNEL = _build_compiled_kernel()
+            else:
+                _COMPILED_KERNEL = Kernel(
+                    requested="compiled",
+                    name="numpy",
+                    accumulate_space=_np_accumulate_space,
+                    layout_cost=_np_layout_cost,
+                    signature_codes=_np_signature_codes,
+                    add_responses=_np_add_responses,
+                    fallback_reason="numba is not importable",
+                )
+        return _COMPILED_KERNEL
+    raise ConfigurationError(
+        f"unknown evaluation kernel {name!r} (expected one of {KERNEL_NAMES})"
+    )
+
+
+def describe_kernels() -> Dict[str, object]:
+    """Capability report for benchmarks and BENCH JSON payloads."""
+    compiled = get_kernel("compiled")
+    return {
+        "have_numba": HAVE_NUMBA,
+        "numba_version": NUMBA_VERSION,
+        "compiled_backend": compiled.name,
+        "compiled_fallback_reason": compiled.fallback_reason,
+    }
+
+
+__all__ = [
+    "HAVE_NUMBA",
+    "KERNEL_NAMES",
+    "NUMBA_VERSION",
+    "Kernel",
+    "describe_kernels",
+    "get_kernel",
+]

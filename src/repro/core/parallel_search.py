@@ -81,6 +81,7 @@ from repro.core.batch_eval import (
     accumulate_space_used,
     iter_assignment_chunks,
 )
+from repro.core.shm_tables import SharedEstimateTables
 from repro.exceptions import (
     CheckpointCorruptionError,
     ConfigurationError,
@@ -88,6 +89,7 @@ from repro.exceptions import (
     SolverTimeoutError,
 )
 from repro.objects import DatabaseObject
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 from repro.resilience.faults import FaultInjector, FaultPlan, fire_shard_fault
 from repro.sla.constraints import PerformanceConstraint
@@ -116,6 +118,9 @@ class EnumerationSpec:
     constraint: Optional[PerformanceConstraint]
     cache: Optional[QueryEstimateCache]
     chunk_size: int = 4096
+    #: Chunk-scoring kernel name (see :mod:`repro.core.kernels`); travels in
+    #: the spec so pool workers resolve the same kernel the coordinator did.
+    kernel: str = "numpy"
 
     def build_evaluator(self) -> BatchLayoutEvaluator:
         return BatchLayoutEvaluator(
@@ -126,6 +131,7 @@ class EnumerationSpec:
             pinned=self.pinned,
             constraint=self.constraint,
             cache=self.cache,
+            kernel=self.kernel,
         )
 
 
@@ -387,6 +393,22 @@ class _PruningBounds:
         min_price = float(self.prices.min()) if self.prices.size else 0.0
         self.residual_min_cost = float(residual_sizes.sum() * min_price)
         self.slack_epsilon = 1e-9 * (1.0 + self.residual_total_gb + float(self.capacities.sum()))
+        # Chunk-level bound operands: full-width sizes, mixed-radix place
+        # values (python ints -- 3^19 era magnitudes), pinned storage cost,
+        # and the min-price cost of every column suffix.
+        self.num_objects = len(evaluator.var_names)
+        self.all_sizes = np.array(evaluator.var_sizes, dtype=float)
+        self.place_values = [
+            self.num_classes ** (self.num_objects - 1 - column)
+            for column in range(self.num_objects)
+        ]
+        self.pinned_cost = float(
+            sum(size_gb * float(self.prices[class_index])
+                for class_index, size_gb in self.pinned)
+        )
+        suffix = np.zeros(self.num_objects + 1)
+        suffix[:-1] = np.cumsum(self.all_sizes[::-1])[::-1] * min_price
+        self.suffix_min_cost = suffix
 
     def prefix_space(self, prefix_matrix: np.ndarray) -> np.ndarray:
         """Per-subtree per-class space usage of the fixed prefix columns.
@@ -408,6 +430,35 @@ class _PruningBounds:
         keep = ~(overflow | cannot_fit)
         cost_lb = (used @ self.prices + self.residual_min_cost) * (1.0 - 1e-9)
         return keep, cost_lb
+
+    def chunk_cost_lb(self, chunk_start: int, chunk_last: int) -> float:
+        """Storage-cost lower bound over the index range
+        ``[chunk_start, chunk_last]`` (inclusive).
+
+        A contiguous mixed-radix range shares the common most-significant
+        digits of its two endpoints; those columns are *fixed* for every
+        index in the range and price at their actual class, while the free
+        suffix prices at the cheapest class.  This tightens the per-subtree
+        bound (which fixes only ``prefix_depth`` columns) to chunk
+        granularity: deep inside a subtree a chunk fixes many more columns.
+        The same ``1 - 1e-9`` margin plus the caller's strict comparison
+        keep the bound sound regardless of summation order.
+        """
+        cost = self.pinned_cost
+        depth = 0
+        lo = chunk_start
+        hi = chunk_last
+        for column in range(self.num_objects):
+            place = self.place_values[column]
+            digit_lo = lo // place
+            digit_hi = hi // place
+            if digit_lo != digit_hi:
+                break
+            cost += float(self.all_sizes[column]) * float(self.prices[digit_lo])
+            lo -= digit_lo * place
+            hi -= digit_hi * place
+            depth = column + 1
+        return (cost + float(self.suffix_min_cost[depth])) * (1.0 - 1e-9)
 
 
 # ---------------------------------------------------------------------------
@@ -520,15 +571,31 @@ def _process_shard(
             chunk_start = subtree * subtree_size
             while chunk_start < subtree_stop:
                 chunk_stop = min(chunk_start + chunk_size, subtree_stop)
-                if prune and toc_lower_bound > incumbent.get():
-                    # The incumbent only ever decreases and the bound is
-                    # constant per subtree, so no remaining chunk of this
-                    # subtree can win: count the rest pruned without decoding
-                    # a single row.
-                    remaining = subtree_stop - chunk_start
-                    stats.pruned_chunks += -(-remaining // chunk_size)
-                    stats.pruned_chunk_layouts += remaining
-                    break
+                if prune:
+                    current_best = incumbent.get()
+                    if toc_lower_bound > current_best:
+                        # The incumbent only ever decreases and the bound is
+                        # constant per subtree, so no remaining chunk of this
+                        # subtree can win: count the rest pruned without
+                        # decoding a single row.
+                        remaining = subtree_stop - chunk_start
+                        stats.pruned_chunks += -(-remaining // chunk_size)
+                        stats.pruned_chunk_layouts += remaining
+                        break
+                    if toc_floor_factor > 0.0:
+                        # Chunk-level bound: the chunk's endpoints share more
+                        # fixed digits than the subtree prefix, so its cost
+                        # floor is tighter -- skip just this chunk when even
+                        # that floor cannot beat the incumbent.
+                        chunk_bound = (
+                            bounds.chunk_cost_lb(chunk_start, chunk_stop - 1)
+                            * toc_floor_factor
+                        )
+                        if chunk_bound > current_best:
+                            stats.pruned_chunks += 1
+                            stats.pruned_chunk_layouts += chunk_stop - chunk_start
+                            chunk_start = chunk_stop
+                            continue
                 _, chunk = next(iter_assignment_chunks(
                     num_objects, num_classes, chunk_stop - chunk_start,
                     start=chunk_start, stop=chunk_stop,
@@ -574,7 +641,9 @@ _WORKER_STATE: Optional[Dict[str, object]] = None
 def _worker_init(payload: bytes, shared_value, prefix_depth: int, toc_floor_factor: float,
                  prune: bool, plan_payload: Optional[bytes] = None,
                  deadline: Optional[float] = None,
-                 trace_enabled: bool = False) -> None:
+                 trace_enabled: bool = False,
+                 shm_descriptor: Optional[Dict[str, object]] = None,
+                 warm_eagerly: bool = False) -> None:
     """Pool initializer: rebuild the evaluator from the pickled spec once.
 
     ``deadline`` is an absolute ``time.monotonic`` instant stamped by the
@@ -582,10 +651,43 @@ def _worker_init(payload: bytes, shared_value, prefix_depth: int, toc_floor_fact
     compare against it directly.  ``plan_payload`` is a pickled
     :class:`~repro.resilience.FaultPlan` for chaos runs (``None`` in
     production).
+
+    Boot cost is measured in three slices -- ``build_s`` (unpickle +
+    construct), then **either** ``attach_s`` (map the coordinator's
+    shared-memory tables via ``shm_descriptor``) **or** ``warm_s``
+    (pre-populate the estimate tables from the pickled cache when
+    ``warm_eagerly``; the coordinator sets it iff its own evaluator was
+    fully warmed, so warming is pure cache lookups).  The slices ride back
+    on the worker's first completed shard outcome.  A failed shm attach
+    falls back to the warm path: slower, bitwise-identical.
     """
     global _WORKER_STATE
+    boot_started = time.perf_counter()
     spec: EnumerationSpec = pickle.loads(payload)
     evaluator = spec.build_evaluator()
+    build_s = time.perf_counter() - boot_started
+    warm_s = 0.0
+    attach_s = 0.0
+    shm_tables: Optional[SharedEstimateTables] = None
+    if shm_descriptor is not None:
+        attach_started = time.perf_counter()
+        try:
+            shm_tables = SharedEstimateTables.attach(shm_descriptor)
+            evaluator.install_dense_tables(shm_tables.views())
+            attach_s = time.perf_counter() - attach_started
+        except Exception:
+            if shm_tables is not None:
+                shm_tables.close()
+                shm_tables = None
+    warm_hits = 0
+    warm_misses = 0
+    if shm_tables is None and warm_eagerly:
+        warm_started = time.perf_counter()
+        hits_before, misses_before = evaluator.cache.hits, evaluator.cache.misses
+        evaluator.warm_signatures()
+        warm_hits = evaluator.cache.hits - hits_before
+        warm_misses = evaluator.cache.misses - misses_before
+        warm_s = time.perf_counter() - warm_started
     _WORKER_STATE = {
         "evaluator": evaluator,
         "bounds": _PruningBounds(evaluator, prefix_depth),
@@ -598,14 +700,31 @@ def _worker_init(payload: bytes, shared_value, prefix_depth: int, toc_floor_fact
         ),
         "deadline": deadline,
         "trace_enabled": trace_enabled,
+        # Keeps the shm mapping alive for the worker's lifetime.
+        "shm_tables": shm_tables,
+        "boot": {
+            "build_s": build_s,
+            "warm_s": warm_s,
+            "attach_s": attach_s,
+            "cache_hits": warm_hits,
+            "cache_misses": warm_misses,
+            "reported": False,
+        },
     }
 
 
 def _worker_run_shard(task: Tuple[int, int, int, int]) -> _ShardOutcome:
     shard_id, subtree_lo, subtree_hi, attempt = task
     state = _WORKER_STATE
-    return _process_shard(
-        state["evaluator"],
+    evaluator: BatchLayoutEvaluator = state["evaluator"]
+    # Worker caches are pickled copies the coordinator's metrics fold never
+    # sees; measure this attempt's delta so the coordinator can fold it once
+    # per (shard_id, attempt) -- SearchProgress.record drops duplicate and
+    # retried completions, so stolen/re-run shards cannot double-count.
+    hits_before = evaluator.cache.hits
+    misses_before = evaluator.cache.misses
+    outcome = _process_shard(
+        evaluator,
         state["bounds"],
         state["incumbent"],
         shard_id,
@@ -619,6 +738,17 @@ def _worker_run_shard(task: Tuple[int, int, int, int]) -> _ShardOutcome:
         attempt=attempt,
         trace_enabled=bool(state["trace_enabled"]),
     )
+    outcome.stats.cache_hits = evaluator.cache.hits - hits_before
+    outcome.stats.cache_misses = evaluator.cache.misses - misses_before
+    boot = state["boot"]
+    if not boot["reported"]:
+        boot["reported"] = True
+        outcome.stats.build_s += boot["build_s"]
+        outcome.stats.warm_s += boot["warm_s"]
+        outcome.stats.attach_s += boot["attach_s"]
+        outcome.stats.cache_hits += boot["cache_hits"]
+        outcome.stats.cache_misses += boot["cache_misses"]
+    return outcome
 
 
 # ---------------------------------------------------------------------------
@@ -647,6 +777,25 @@ class ParallelEnumerationEngine:
     shards_per_worker:
         Oversubscription factor: more shards than workers lets the pool
         balance uneven pruning across processes.
+    schedule:
+        ``"steal"`` (default) cuts the space into fine-grained shard units
+        that idle workers pull dynamically from the coordinator deque --
+        dispatches beyond each worker's initial unit are counted as
+        *steals* -- so a worker whose subtrees prune away instantly moves on
+        to untouched ranges instead of idling behind a static split.
+        ``"static"`` reproduces the coarse ``workers * shards_per_worker``
+        partition.  Results are bitwise identical either way; checkpoints
+        record the unit geometry and refuse cross-schedule resumes.
+    steal_units:
+        Target number of shard units under ``schedule="steal"``; defaults
+        to ``8 * workers * shards_per_worker`` (clamped to the subtree
+        count).
+    use_shared_memory:
+        Publish the coordinator's fully-warmed dense estimate tables
+        through ``multiprocessing.shared_memory`` so workers attach views
+        instead of re-warming from the pickled cache.  Automatically falls
+        back to the pickle path for ineligible evaluators (OLTP, partially
+        warmed) or platforms without shared memory.
     prune:
         Disable to enumerate every candidate (the bounds are then skipped
         entirely); results are identical either way.
@@ -694,7 +843,14 @@ class ParallelEnumerationEngine:
         shard_timeout_s: Optional[float] = None,
         deadline_s: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
+        schedule: str = "steal",
+        steal_units: Optional[int] = None,
+        use_shared_memory: bool = True,
     ):
+        if schedule not in ("steal", "static"):
+            raise ConfigurationError(
+                f"unknown shard schedule {schedule!r} (expected 'steal' or 'static')"
+            )
         self.spec = spec
         self.workers = max(1, int(workers))
         self.shards_per_worker = max(1, int(shards_per_worker))
@@ -705,7 +861,11 @@ class ParallelEnumerationEngine:
         self.shard_timeout_s = shard_timeout_s
         self.deadline_s = deadline_s
         self.fault_plan = fault_plan
+        self.schedule = schedule
+        self.steal_units = steal_units
+        self.use_shared_memory = use_shared_memory
         self._pool = None
+        self._shm_tables: Optional[SharedEstimateTables] = None
 
         self.evaluator = parent_evaluator if parent_evaluator is not None else spec.build_evaluator()
         self.num_objects = len(self.evaluator.var_names)
@@ -747,8 +907,23 @@ class ParallelEnumerationEngine:
         return depth
 
     def shard_ranges(self) -> List[Tuple[int, int, int]]:
-        """``(shard_id, subtree_lo, subtree_hi)`` for every shard."""
-        shard_count = min(self.num_subtrees, self.workers * self.shards_per_worker)
+        """``(shard_id, subtree_lo, subtree_hi)`` for every shard unit.
+
+        Under ``schedule="static"`` this is the coarse
+        ``workers * shards_per_worker`` split; under ``schedule="steal"``
+        the same contiguous-subtree construction at ~8x finer granularity,
+        giving the dynamic dispatcher units small enough that skew-pruned
+        ranges cannot strand a worker.
+        """
+        if self.schedule == "steal":
+            target = (
+                self.steal_units
+                if self.steal_units is not None
+                else 8 * self.workers * self.shards_per_worker
+            )
+            shard_count = min(self.num_subtrees, max(1, int(target)))
+        else:
+            shard_count = min(self.num_subtrees, self.workers * self.shards_per_worker)
         boundaries = np.linspace(0, self.num_subtrees, shard_count + 1).astype(np.int64)
         return [
             (shard_id, int(boundaries[shard_id]), int(boundaries[shard_id + 1]))
@@ -827,6 +1002,9 @@ class ParallelEnumerationEngine:
         if pool is not None:
             pool.terminate()
             pool.join()
+        shm_tables, self._shm_tables = self._shm_tables, None
+        if shm_tables is not None:
+            shm_tables.unlink()
 
     # -- recovery helpers ----------------------------------------------
     def _deadline_abort(self, progress: SearchProgress,
@@ -921,6 +1099,33 @@ class ParallelEnumerationEngine:
             if checkpoint is not None:
                 progress.save(checkpoint)
 
+    def _attach_shared_tables(self) -> Optional[Dict[str, object]]:
+        """Publish the dense estimate tables to shared memory, if eligible.
+
+        Returns the worker attach descriptor, or ``None`` on fallback (OLTP
+        evaluators, partially warmed tables, platforms without shm).  Either
+        way an ``es.shm_attach`` span records what happened.
+        """
+        with trace.span("es.shm_attach") as shm_span:
+            try:
+                self._shm_tables = SharedEstimateTables.build(self.evaluator)
+            except (UnsupportedBatchEvaluation, OSError, ImportError, ValueError) as exc:
+                shm_span.set(fallback=str(exc) or type(exc).__name__, shm_bytes=0)
+                return None
+            shm_span.set(
+                shm_bytes=self._shm_tables.nbytes,
+                tables=self._shm_tables.num_tables,
+            )
+            obs_metrics.get_metrics().counter("batch.shm_bytes").inc(
+                self._shm_tables.nbytes
+            )
+            return self._shm_tables.descriptor()
+
+    #: Per-steal span events are capped; past the cap only the summary
+    #: attributes on the enclosing span grow (big runs steal thousands of
+    #: times and the span tree must stay readable).
+    _STEAL_EVENT_CAP = 32
+
     def _run_pool(self, pending, progress: SearchProgress,
                   checkpoint: Optional[Path] = None,
                   deadline: Optional[float] = None) -> None:
@@ -929,15 +1134,22 @@ class ParallelEnumerationEngine:
             pickle.dumps(self.fault_plan) if self.fault_plan is not None else None
         )
         tracer = trace.get_tracer()
+        shm_descriptor = self._attach_shared_tables() if self.use_shared_memory else None
+        warm_eagerly = shm_descriptor is None and bool(
+            getattr(self.evaluator, "_fully_warmed", False)
+        )
         context = multiprocessing.get_context(self.start_method)
         shared_value = context.Value("d", progress.best_toc)
         pool = context.Pool(
             processes=self.workers,
             initializer=_worker_init,
             initargs=(payload, shared_value, self.prefix_depth, self.toc_floor_factor,
-                      self.prune, plan_payload, deadline, tracer.enabled),
+                      self.prune, plan_payload, deadline, tracer.enabled,
+                      shm_descriptor, warm_eagerly),
         )
         self._pool = pool
+        dispatched = 0
+        steals = 0
         try:
             queue = deque((task, 0) for task in pending)
             in_flight: Dict[int, Tuple[object, Tuple[int, int, int], int, float]] = {}
@@ -952,6 +1164,17 @@ class ParallelEnumerationEngine:
                         _worker_run_shard, ((task[0], task[1], task[2], attempt),)
                     )
                     in_flight[task[0]] = (handle, task, attempt, time.monotonic())
+                    dispatched += 1
+                    if self.schedule == "steal" and dispatched > self.workers:
+                        # Beyond every worker's initial unit this dispatch is
+                        # demand-driven: an idle worker stealing the next
+                        # range off the coordinator deque.
+                        steals += 1
+                        progress.stats.steals += 1
+                        if steals <= self._STEAL_EVENT_CAP:
+                            trace.current_span().event(
+                                "es.steal", shard_id=task[0], attempt=attempt,
+                            )
                 if deadline is not None and time.monotonic() >= deadline:
                     self._deadline_abort(progress, checkpoint)
                 advanced = False
@@ -995,5 +1218,9 @@ class ParallelEnumerationEngine:
                         )
                 if not advanced:
                     time.sleep(0.005)
+            trace.current_span().set(
+                steals=steals, shard_units=len(pending), schedule=self.schedule,
+                shm=shm_descriptor is not None,
+            )
         finally:
             self.close()

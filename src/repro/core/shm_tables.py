@@ -1,0 +1,151 @@
+"""Shared-memory transport for pre-warmed estimate tables.
+
+PR 3 exposed ``build_s`` -- every pool worker unpickles an
+:class:`~repro.core.parallel_search.EnumerationSpec`, reconstructs a
+:class:`~repro.core.batch_eval.BatchLayoutEvaluator`, and re-warms its
+estimate tables before scoring a single chunk.  For fully warmed DSS
+evaluators all of that boot work reduces to data the coordinator already
+holds: one code-indexed ``float64`` response array per query
+(:meth:`BatchLayoutEvaluator.dense_response_tables`).
+
+:class:`SharedEstimateTables` serializes those arrays **once** into a single
+C-contiguous :class:`multiprocessing.shared_memory.SharedMemory` segment.
+Workers attach read-only numpy views by name/offset
+(:meth:`SharedEstimateTables.attach`) and install them with
+:meth:`BatchLayoutEvaluator.install_dense_tables`; per-worker boot collapses
+from "unpickle + construct + warm" to a few-microsecond map of an existing
+segment, and chunk scoring additionally skips the per-chunk ``np.unique`` +
+dict slot translation because a dense table's slot *is* the signature code.
+
+The transport is an optimisation with two graceful exits, both preserving
+bitwise-identical results:
+
+* ineligible evaluators (OLTP aggregation, partially warmed tables) raise
+  :class:`~repro.core.batch_eval.UnsupportedBatchEvaluation` from
+  :meth:`build`, and the engine falls back to the pickle path;
+* platforms without a usable ``/dev/shm`` (or with ``shared_memory``
+  missing) surface ``OSError``/``ImportError``, handled the same way.
+
+Lifetime: the coordinator owns the segment and must call :meth:`unlink`
+(the parallel engine does so from its ``close()``/context-manager exit);
+workers only ever :meth:`close` their attachment.  Resource-tracker note:
+on Python < 3.13 the stdlib registers attachments as if they were owned,
+but ``multiprocessing`` pool children (fork *and* spawn) share the
+coordinator's tracker process, whose name cache is a set -- the attach-side
+re-registration is a no-op and the coordinator's :meth:`unlink` clears the
+single entry, so no double-unlink or leak warning can occur in the engine's
+usage.  Attaching from an unrelated process that outlives the coordinator
+is not supported on < 3.13.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+_DTYPE = np.dtype("float64")
+
+
+class SharedEstimateTables:
+    """One shared-memory segment holding every query's dense response table.
+
+    Construct through :meth:`build` (coordinator, owns + unlinks) or
+    :meth:`attach` (worker, maps + closes).  ``descriptor()`` is the small
+    picklable handle that travels to workers via pool ``initargs``.
+    """
+
+    def __init__(self, shm, layout: List[Tuple[str, int, int]], owner: bool):
+        self._shm = shm
+        self._layout = layout
+        self._owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, evaluator) -> "SharedEstimateTables":
+        """Serialize ``evaluator``'s dense tables into a fresh shm segment.
+
+        Raises ``UnsupportedBatchEvaluation`` for ineligible evaluators and
+        whatever ``OSError`` the platform raises when shared memory is
+        unavailable; callers treat both as "use the pickle path".
+        """
+        from multiprocessing import shared_memory
+
+        tables = evaluator.dense_response_tables()
+        layout: List[Tuple[str, int, int]] = []
+        offset = 0
+        for name in sorted(tables):
+            length = int(tables[name].shape[0])
+            layout.append((name, offset, length))
+            offset += length * _DTYPE.itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for name, start, length in layout:
+            view = np.ndarray((length,), dtype=_DTYPE, buffer=shm.buf, offset=start)
+            view[:] = tables[name]
+        return cls(shm, layout, owner=True)
+
+    def descriptor(self) -> Dict[str, object]:
+        """The picklable attach handle: segment name + per-table layout."""
+        return {"name": self._shm.name, "layout": list(self._layout)}
+
+    @classmethod
+    def attach(cls, descriptor: Mapping[str, object]) -> "SharedEstimateTables":
+        """Map an existing segment read-only (worker side)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=descriptor["name"])
+        return cls(shm, [tuple(entry) for entry in descriptor["layout"]], owner=False)
+
+    # ------------------------------------------------------------------
+    # views + lifetime
+    # ------------------------------------------------------------------
+    def views(self) -> Dict[str, np.ndarray]:
+        """Zero-copy read-only numpy views, one per query table."""
+        out: Dict[str, np.ndarray] = {}
+        for name, start, length in self._layout:
+            view = np.ndarray((length,), dtype=_DTYPE, buffer=self._shm.buf, offset=start)
+            view.flags.writeable = False
+            out[name] = view
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Total table payload in bytes (excludes allocator rounding)."""
+        return sum(length for _, _, length in self._layout) * _DTYPE.itemsize
+
+    @property
+    def num_tables(self) -> int:
+        """Number of per-query tables in the segment."""
+        return len(self._layout)
+
+    def close(self) -> None:
+        """Drop this process's mapping (safe to call twice)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - platform noise
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; implies :meth:`close`)."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+            self._owner = False
+
+    def __enter__(self) -> "SharedEstimateTables":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink() if self._owner else self.close()
+
+
+__all__ = ["SharedEstimateTables"]

@@ -286,6 +286,10 @@ class ExhaustiveSolver:
         retry_backoff_s: float = 0.05,
         shard_timeout_s: Optional[float] = None,
         fault_plan=None,
+        kernel: str = "numpy",
+        schedule: str = "steal",
+        steal_units: Optional[int] = None,
+        use_shared_memory: bool = True,
     ):
         self.objects = list(objects) if objects is not None else None
         self.per_group = per_group
@@ -302,6 +306,10 @@ class ExhaustiveSolver:
         self.retry_backoff_s = retry_backoff_s
         self.shard_timeout_s = shard_timeout_s
         self.fault_plan = fault_plan
+        self.kernel = kernel
+        self.schedule = schedule
+        self.steal_units = steal_units
+        self.use_shared_memory = use_shared_memory
 
     def search(self, context: EvaluationContext, budget: Optional[float] = None) -> ExhaustiveSearch:
         """The underlying search this solver drives for ``context``."""
@@ -326,6 +334,10 @@ class ExhaustiveSolver:
             retry_backoff_s=self.retry_backoff_s,
             shard_timeout_s=self.shard_timeout_s,
             fault_plan=self.fault_plan,
+            kernel=self.kernel,
+            schedule=self.schedule,
+            steal_units=self.steal_units,
+            use_shared_memory=self.use_shared_memory,
         )
 
     def solve(

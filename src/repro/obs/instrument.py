@@ -100,6 +100,13 @@ def _fold_solve_metrics(registry, name: str, result, wall_s: float,
         registry.counter("batch.pruned_chunks").inc(batch.pruned_chunks)
         registry.counter("batch.pruned_subtrees").inc(batch.pruned_subtrees)
         registry.counter("batch.estimator_calls").inc(batch.estimator_calls)
+        registry.counter("batch.steals").inc(getattr(batch, "steals", 0))
+        # Worker-local estimate-cache deltas, measured once per
+        # (shard_id, attempt) and deduplicated by SearchProgress.record --
+        # the pool path's counterpart of the outermost context-cache delta
+        # below (worker caches are pickled copies the context never sees).
+        registry.counter("estimate_cache.hits").inc(getattr(batch, "cache_hits", 0))
+        registry.counter("estimate_cache.misses").inc(getattr(batch, "cache_misses", 0))
     if outermost and cache is not None and cache_before is not None:
         registry.counter("estimate_cache.hits").inc(cache.hits - cache_before[0])
         registry.counter("estimate_cache.misses").inc(cache.misses - cache_before[1])

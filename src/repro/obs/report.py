@@ -24,7 +24,7 @@ Tolerance kinds: ``equal`` (exact -- enumeration geometry, epoch counts),
 because CI runners are slower and noisier than the machines that commit
 baselines).  A baseline file that does not exist is skipped with a warning;
 a *current* file that does not exist fails only for benches named in
-``--require`` (CI requires the three smokes it just ran).
+``--require`` (CI requires the smokes it just ran).
 """
 
 from __future__ import annotations
@@ -70,6 +70,20 @@ GATE_CHECKS: Dict[str, Tuple[Check, ...]] = {
         Check("objects", "equal"),
         Check("classes", "equal"),
         Check("toc_cents", "close"),
+        # Machine-relative: the bench asserts the absolute shm-boot and
+        # steal bars itself (on >= 4 CPUs); the gate only catches
+        # order-of-magnitude collapses of either mechanism.
+        Check("boot.speedup", "floor", factor=0.1),
+        Check("steal_speedup", "floor", factor=0.1),
+        Check("elapsed_s", "timing"),
+    ),
+    "kernels": (
+        Check("space", "equal"),
+        Check("candidates", "equal"),
+        Check("identical", "equal"),
+        # ~1.0 without numba (fallback), >= 3x with it; the bench asserts
+        # the absolute bar when the jit is live.
+        Check("speedup_compiled", "floor", factor=0.1),
         Check("elapsed_s", "timing"),
     ),
     "scaling_batch_eval": (

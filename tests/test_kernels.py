@@ -1,0 +1,399 @@
+"""The chunk-scoring kernel layer and the shared-memory estimate tables.
+
+Two contracts are under test:
+
+* **Kernel exactness** -- the ``"compiled"`` kernel (numba-jitted when numba
+  is importable, numpy-backed fallback otherwise) must be *bitwise* identical
+  to the ``"numpy"`` reference on every primitive and end to end: the
+  three-path ES equality (scalar / batch / parallel) extends to a fourth
+  path with ``==``, never ``approx``.
+* **Shared-table transport** -- ``SharedEstimateTables`` must round-trip the
+  coordinator's dense response tables through shared memory byte for byte,
+  refuse ineligible evaluators (OLTP, partially warmed), and an evaluator
+  with installed views must score chunks identically to the one that warmed
+  its own tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch_eval import (
+    BatchEvalStats,
+    BatchLayoutEvaluator,
+    UnsupportedBatchEvaluation,
+    iter_assignment_chunks,
+)
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.kernels import (
+    HAVE_NUMBA,
+    KERNEL_NAMES,
+    describe_kernels,
+    get_kernel,
+)
+from repro.core.parallel_search import SearchProgress, _ShardOutcome
+from repro.core.shm_tables import SharedEstimateTables
+from repro.dbms.executor import WorkloadEstimator
+from repro.exceptions import ConfigurationError
+from repro.workloads.workload import Workload
+
+WORKERS = 2
+
+
+def fresh_estimator(catalog):
+    return WorkloadEstimator(catalog, noise=0.0, buffer_pool=None, seed=7)
+
+
+def make_evaluator(objects, system, catalog, workload, **kwargs):
+    return BatchLayoutEvaluator(
+        objects, system, fresh_estimator(catalog), workload, **kwargs
+    )
+
+
+@pytest.fixture
+def oltp_workload(scan_query, lookup_query, write_query):
+    return Workload(
+        name="tiny-oltp",
+        kind="oltp",
+        transaction_mix=((scan_query, 1.0), (lookup_query, 8.0), (write_query, 3.0)),
+        concurrency=50,
+        measured_transaction_fraction=0.4,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernel resolution
+# ---------------------------------------------------------------------------
+
+class TestKernelResolution:
+    def test_numpy_kernel_is_the_reference(self):
+        kernel = get_kernel("numpy")
+        assert kernel.requested == kernel.name == "numpy"
+        assert kernel.fallback_reason is None
+        assert not kernel.compiled
+
+    def test_compiled_kernel_resolves_or_falls_back(self):
+        kernel = get_kernel("compiled")
+        assert kernel.requested == "compiled"
+        if HAVE_NUMBA:
+            assert kernel.name == "compiled"
+            assert kernel.compiled
+            assert kernel.fallback_reason is None
+        else:
+            # The supported no-numba configuration: numpy-backed, exact,
+            # with the downgrade documented -- never an ImportError.
+            assert kernel.name == "numpy"
+            assert not kernel.compiled
+            assert "numba" in kernel.fallback_reason
+
+    def test_kernels_are_cached_singletons(self):
+        assert get_kernel("numpy") is get_kernel("numpy")
+        assert get_kernel("compiled") is get_kernel("compiled")
+
+    def test_unknown_kernel_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            get_kernel("avx512")
+
+    def test_describe_kernels_reports_capabilities(self):
+        report = describe_kernels()
+        assert report["have_numba"] is HAVE_NUMBA
+        assert set(KERNEL_NAMES) == {"numpy", "compiled"}
+        if HAVE_NUMBA:
+            assert report["compiled_backend"] == "compiled"
+            assert report["compiled_fallback_reason"] is None
+        else:
+            assert report["compiled_backend"] == "numpy"
+            assert report["compiled_fallback_reason"]
+
+
+# ---------------------------------------------------------------------------
+# Primitive-level bitwise equality (numpy vs compiled)
+# ---------------------------------------------------------------------------
+
+class TestPrimitiveEquality:
+    """Each compiled primitive must reproduce the numpy reference bit for bit.
+
+    Without numba the compiled kernel serves the numpy functions and these
+    pass trivially; with numba (the CI extra) they pin the jitted loops to
+    the reference's IEEE 754 operation order.
+    """
+
+    @pytest.fixture
+    def operands(self):
+        rng = np.random.default_rng(17)
+        batch, num_objects, num_classes = 257, 9, 3
+        return {
+            "var_assign": rng.integers(0, num_classes, size=(batch, num_objects)).astype(
+                np.int64
+            ),
+            "num_classes": num_classes,
+            "sizes": rng.uniform(0.1, 40.0, size=num_objects),
+            "pinned_classes": np.array([0, 2, 1], dtype=np.int64),
+            "pinned_sizes": rng.uniform(1.0, 5.0, size=3),
+            "prices": rng.uniform(0.001, 0.2, size=num_classes),
+        }
+
+    def test_accumulate_space_bitwise(self, operands):
+        reference = get_kernel("numpy")
+        candidate = get_kernel("compiled")
+        args = (operands["var_assign"], operands["num_classes"], operands["sizes"],
+                operands["pinned_classes"], operands["pinned_sizes"])
+        assert (reference.accumulate_space(*args) == candidate.accumulate_space(*args)).all()
+
+    def test_layout_cost_bitwise(self, operands):
+        reference = get_kernel("numpy")
+        candidate = get_kernel("compiled")
+        used = reference.accumulate_space(
+            operands["var_assign"], operands["num_classes"], operands["sizes"],
+            operands["pinned_classes"], operands["pinned_sizes"],
+        )
+        assert (
+            reference.layout_cost(used, operands["prices"])
+            == candidate.layout_cost(used, operands["prices"])
+        ).all()
+
+    def test_signature_codes_exact(self, operands):
+        reference = get_kernel("numpy")
+        candidate = get_kernel("compiled")
+        var_columns = np.array([1, 4, 7], dtype=np.int64)
+        weights = np.array([9, 3, 1], dtype=np.int64)
+        expected = reference.signature_codes(operands["var_assign"], var_columns, weights)
+        got = candidate.signature_codes(operands["var_assign"], var_columns, weights)
+        assert expected.dtype == got.dtype == np.int64
+        assert (expected == got).all()
+
+    def test_empty_signature_is_code_zero(self, operands):
+        for name in KERNEL_NAMES:
+            codes = get_kernel(name).signature_codes(
+                operands["var_assign"],
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+            assert (codes == 0).all()
+
+    @pytest.mark.parametrize("cap", [float("nan"), 55.0])
+    def test_add_responses_bitwise(self, operands, cap):
+        rng = np.random.default_rng(23)
+        table = rng.uniform(1.0, 100.0, size=27)
+        slots = rng.integers(0, 27, size=257).astype(np.int64)
+        results = {}
+        for name in KERNEL_NAMES:
+            total_ms = np.zeros(257)
+            performance_ok = np.ones(257, dtype=bool)
+            get_kernel(name).add_responses(total_ms, table, slots, cap, performance_ok)
+            results[name] = (total_ms, performance_ok)
+        assert (results["numpy"][0] == results["compiled"][0]).all()
+        assert (results["numpy"][1] == results["compiled"][1]).all()
+        if cap == cap:
+            assert not results["numpy"][1].all()  # the finite cap must actually bite
+        else:
+            assert results["numpy"][1].all()  # nan cap means uncapped
+
+
+# ---------------------------------------------------------------------------
+# Fourth-path end-to-end identity
+# ---------------------------------------------------------------------------
+
+class TestFourPathIdentity:
+    """Scalar, batch-numpy, batch-compiled and parallel-compiled must agree
+    bitwise -- the PR's extension of the long-standing three-path contract."""
+
+    def assert_identical(self, reference, candidate):
+        assert candidate.feasible == reference.feasible
+        assert candidate.toc_cents == reference.toc_cents
+        assert candidate.layout == reference.layout
+
+    def test_dss_four_paths(self, small_objects, box1_system, small_catalog,
+                            small_workload):
+        scalar = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog), batch=False
+        ).search(small_workload)
+        batch_numpy = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog), batch=True,
+            kernel="numpy",
+        ).search(small_workload)
+        batch_compiled = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog), batch=True,
+            kernel="compiled",
+        ).search(small_workload)
+        parallel_compiled = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog), batch=True,
+            workers=WORKERS, kernel="compiled",
+        ).search(small_workload)
+        self.assert_identical(scalar, batch_numpy)
+        self.assert_identical(scalar, batch_compiled)
+        self.assert_identical(scalar, parallel_compiled)
+
+    def test_oltp_compiled_matches_scalar(self, small_objects, box1_system,
+                                          small_catalog, oltp_workload):
+        scalar = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog), batch=False
+        ).search(oltp_workload)
+        compiled = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog), batch=True,
+            kernel="compiled",
+        ).search(oltp_workload)
+        self.assert_identical(scalar, compiled)
+
+    def test_chunk_scores_identical_across_kernels(self, small_objects, box1_system,
+                                                   small_catalog, small_workload):
+        rows = np.concatenate(
+            [chunk for _, chunk in
+             iter_assignment_chunks(len(small_objects), 3, 16)]
+        )
+        evaluations = {}
+        for name in KERNEL_NAMES:
+            evaluator = make_evaluator(
+                small_objects, box1_system, small_catalog, small_workload, kernel=name
+            )
+            evaluations[name] = evaluator.evaluate_chunk(rows)
+        reference, candidate = evaluations["numpy"], evaluations["compiled"]
+        assert (reference.toc_cents == candidate.toc_cents).all()
+        assert (reference.capacity_ok == candidate.capacity_ok).all()
+        assert (reference.feasible == candidate.feasible).all()
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory estimate tables
+# ---------------------------------------------------------------------------
+
+class TestSharedTables:
+    def warmed_evaluator(self, small_objects, box1_system, small_catalog,
+                         small_workload):
+        evaluator = make_evaluator(
+            small_objects, box1_system, small_catalog, small_workload
+        )
+        assert evaluator.warm_signatures()
+        return evaluator
+
+    def test_roundtrip_is_bitwise(self, small_objects, box1_system, small_catalog,
+                                  small_workload):
+        evaluator = self.warmed_evaluator(
+            small_objects, box1_system, small_catalog, small_workload
+        )
+        dense = evaluator.dense_response_tables()
+        with SharedEstimateTables.build(evaluator) as tables:
+            assert tables.num_tables == len(dense)
+            assert tables.nbytes == sum(arr.nbytes for arr in dense.values())
+            attached = SharedEstimateTables.attach(tables.descriptor())
+            try:
+                views = attached.views()
+                assert set(views) == set(dense)
+                for name, arr in dense.items():
+                    assert (views[name] == arr).all()
+                    assert not views[name].flags.writeable
+            finally:
+                attached.close()
+
+    def test_installed_views_score_identically(self, small_objects, box1_system,
+                                               small_catalog, small_workload):
+        warmed = self.warmed_evaluator(
+            small_objects, box1_system, small_catalog, small_workload
+        )
+        rows = np.concatenate(
+            [chunk for _, chunk in
+             iter_assignment_chunks(len(small_objects), 3, 16)]
+        )
+        reference = warmed.evaluate_chunk(rows)
+        with SharedEstimateTables.build(warmed) as tables:
+            attached = SharedEstimateTables.attach(tables.descriptor())
+            try:
+                cold = make_evaluator(
+                    small_objects, box1_system, small_catalog, small_workload
+                )
+                cold.install_dense_tables(attached.views())
+                candidate = cold.evaluate_chunk(rows)
+                assert (reference.toc_cents == candidate.toc_cents).all()
+                assert (reference.feasible == candidate.feasible).all()
+                # Installed tables answer from shared memory: no estimator
+                # traffic, and the TOC floor bound stays available.
+                assert cold.stats.estimator_calls == 0
+                assert cold.toc_floor_factor() > 0.0
+            finally:
+                attached.close()
+
+    def test_unwarmed_evaluator_is_refused(self, small_objects, box1_system,
+                                           small_catalog, small_workload):
+        evaluator = make_evaluator(
+            small_objects, box1_system, small_catalog, small_workload
+        )
+        with pytest.raises(UnsupportedBatchEvaluation):
+            evaluator.dense_response_tables()
+
+    def test_oltp_evaluator_is_refused(self, small_objects, box1_system,
+                                       small_catalog, oltp_workload):
+        evaluator = make_evaluator(
+            small_objects, box1_system, small_catalog, oltp_workload
+        )
+        evaluator.warm_signatures()
+        with pytest.raises(UnsupportedBatchEvaluation):
+            SharedEstimateTables.build(evaluator)
+
+    def test_install_validates_shapes_and_coverage(self, small_objects, box1_system,
+                                                   small_catalog, small_workload):
+        evaluator = self.warmed_evaluator(
+            small_objects, box1_system, small_catalog, small_workload
+        )
+        views = evaluator.dense_response_tables()
+        target = make_evaluator(
+            small_objects, box1_system, small_catalog, small_workload
+        )
+        name = next(iter(views))
+        with pytest.raises(UnsupportedBatchEvaluation):
+            target.install_dense_tables(
+                {**views, name: views[name][:-1]}  # truncated table
+            )
+        missing = dict(views)
+        del missing[name]
+        with pytest.raises(UnsupportedBatchEvaluation):
+            target.install_dense_tables(missing)
+
+    def test_unlink_destroys_the_segment(self, small_objects, box1_system,
+                                         small_catalog, small_workload):
+        evaluator = self.warmed_evaluator(
+            small_objects, box1_system, small_catalog, small_workload
+        )
+        tables = SharedEstimateTables.build(evaluator)
+        descriptor = tables.descriptor()
+        tables.unlink()
+        tables.unlink()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            SharedEstimateTables.attach(descriptor)
+
+
+# ---------------------------------------------------------------------------
+# Worker cache-delta folding
+# ---------------------------------------------------------------------------
+
+class TestCacheDeltaFolding:
+    """Worker cache hit/miss deltas are measured per ``(shard_id, attempt)``
+    and folded exactly once: a retried (or stolen-and-raced) shard whose
+    first outcome already landed must not double-count."""
+
+    @staticmethod
+    def outcome(shard_id, hits, misses):
+        stats = BatchEvalStats(cache_hits=hits, cache_misses=misses)
+        return _ShardOutcome(
+            shard_id=shard_id, best_toc=float("inf"), best_index=-1,
+            best_row=None, evaluated=0, stats=stats,
+        )
+
+    def test_duplicate_shard_outcomes_fold_once(self):
+        progress = SearchProgress(total_shards=2)
+        progress.record(self.outcome(0, hits=5, misses=2))
+        progress.record(self.outcome(0, hits=7, misses=9))  # late duplicate attempt
+        progress.record(self.outcome(1, hits=3, misses=1))
+        assert progress.stats.cache_hits == 8
+        assert progress.stats.cache_misses == 3
+
+    def test_stats_merge_folds_boot_and_steal_fields(self):
+        total = BatchEvalStats()
+        total.merge(BatchEvalStats(build_s=0.5, warm_s=0.25, attach_s=0.01, steals=3,
+                                   cache_hits=10, cache_misses=4))
+        total.merge(BatchEvalStats(build_s=0.5, warm_s=0.25, attach_s=0.02, steals=1,
+                                   cache_hits=2, cache_misses=6))
+        assert total.build_s == 1.0
+        assert total.warm_s == 0.5
+        assert total.attach_s == pytest.approx(0.03)
+        assert total.steals == 4
+        assert total.cache_hits == 12
+        assert total.cache_misses == 10

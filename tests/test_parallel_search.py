@@ -13,7 +13,12 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.core.batch_eval import BatchLayoutEvaluator, iter_assignment_chunks
+from repro.core.batch_eval import (
+    BatchLayoutEvaluator,
+    UnsupportedBatchEvaluation,
+    _mixed_radix_weights,
+    iter_assignment_chunks,
+)
 from repro.core.exhaustive import ExhaustiveSearch
 from repro.core.layout import Layout
 from repro.core.parallel_search import (
@@ -84,6 +89,74 @@ class TestRangeEnumeration:
             list(iter_assignment_chunks(3, 3, 4, start=5, stop=3))
         with pytest.raises(ValueError):
             list(iter_assignment_chunks(3, 3, 4, stop=3**3 + 1))
+
+    # -- edge cases at the paper's full 19-object width -------------------
+
+    @staticmethod
+    def decode_index(index, num_objects, num_classes):
+        """Reference mixed-radix decode in arbitrary-precision python ints."""
+        row = []
+        for _ in range(num_objects):
+            row.append(index % num_classes)
+            index //= num_classes
+        return row[::-1]
+
+    def test_int64_overflow_guard(self):
+        # Mixed-radix indices live in int64; a space that does not fit must
+        # be refused up front, not silently wrapped.  3^40 and 2^63 both
+        # exceed int64; 2^62 is the largest clean power-of-two space.
+        with pytest.raises(ValueError):
+            next(iter_assignment_chunks(40, 3))
+        with pytest.raises(ValueError):
+            next(iter_assignment_chunks(63, 2))
+        start = 2**62 - 3
+        rows = np.concatenate(
+            [chunk for _, chunk in
+             iter_assignment_chunks(62, 2, 8, start=start, stop=2**62)]
+        )
+        assert rows.shape == (3, 62)
+        assert (rows[-1] == 1).all()  # the final assignment of the space
+        with pytest.raises(UnsupportedBatchEvaluation):
+            _mixed_radix_weights(64, 2)  # the 2^63 weight cannot be encoded
+
+    def test_last_partial_chunk_at_paper_width(self):
+        # The final chunk of a 3^19 stream is almost always partial; its
+        # geometry (start index, row count, decoded digits) must be exact.
+        total = 3**19
+        start = total - 10
+        chunks = list(iter_assignment_chunks(19, 3, 7, start=start, stop=total))
+        assert [chunk_start for chunk_start, _ in chunks] == [start, start + 7]
+        assert [matrix.shape[0] for _, matrix in chunks] == [7, 3]
+        rows = np.concatenate([matrix for _, matrix in chunks])
+        for offset, row in enumerate(rows):
+            assert list(row) == self.decode_index(start + offset, 19, 3)
+        assert (rows[-1] == 2).all()  # the very last assignment: all on class 2
+
+    def test_steal_boundaries_cover_each_index_once(self):
+        # The steal schedule splits one subtree range into many fine units;
+        # stitching their chunk streams back together must visit each index
+        # exactly once, in order, bitwise equal to a single direct pass.
+        total = 3**19
+        window_lo, window_hi = total - 5000, total - 17
+        boundaries = np.unique(
+            np.linspace(window_lo, window_hi, 23).astype(np.int64)
+        )
+        pieces = []
+        for unit_lo, unit_hi in zip(boundaries[:-1], boundaries[1:]):
+            pieces.extend(
+                iter_assignment_chunks(19, 3, 64, start=int(unit_lo), stop=int(unit_hi))
+            )
+        expected_start = window_lo
+        for chunk_start, matrix in pieces:
+            assert chunk_start == expected_start  # no skip, no overlap
+            expected_start += matrix.shape[0]
+        assert expected_start == window_hi
+        stitched = np.concatenate([matrix for _, matrix in pieces])
+        direct = np.concatenate(
+            [matrix for _, matrix in
+             iter_assignment_chunks(19, 3, 512, start=window_lo, stop=window_hi)]
+        )
+        assert (stitched == direct).all()
 
 
 # ---------------------------------------------------------------------------
@@ -442,11 +515,13 @@ class TestResume:
             workload=small_workload, pinned=[], constraint=None,
             cache=evaluator.cache,
         )
+        # Static schedule: both engines then cut the same shard count, so the
+        # refusal must come from the prefix-depth stamp, not the shard count.
         engine_a = ParallelEnumerationEngine.from_evaluator(
-            evaluator, spec, workers=1, prefix_depth=2
+            evaluator, spec, workers=1, prefix_depth=2, schedule="static"
         )
         engine_b = ParallelEnumerationEngine.from_evaluator(
-            evaluator, spec, workers=1, prefix_depth=3
+            evaluator, spec, workers=1, prefix_depth=3, schedule="static"
         )
         assert len(engine_a.shard_ranges()) == len(engine_b.shard_ranges())
         progress = engine_a.run()

@@ -171,6 +171,34 @@ class TestChaosIdentity:
         assert result.layout == serial_reference.layout
         assert result.incidents  # every recovery left a trace
 
+    @pytest.mark.timeout(120)
+    def test_worker_kills_under_work_stealing_recover_identically(
+            self, small_objects, box1_system, small_catalog, small_workload,
+            serial_reference):
+        """The steal schedule splits the space into finer shard units and
+        re-queued units dispatch as steals; hard-killing workers on a chunk
+        of those units must still converge to the bitwise fault-free
+        optimum, with the steal counter recording the dynamic dispatches."""
+        probe = make_engine(
+            small_objects, box1_system, small_catalog, small_workload,
+            workers=WORKERS, schedule="steal",
+        )
+        shard_ids = [task[0] for task in probe.shard_ranges()]
+        assert len(shard_ids) > WORKERS  # there must be units left to steal
+        plan = FaultPlan.chaos_search(seed=31, shard_ids=shard_ids, crash_fraction=0.4)
+        assert plan.shard_faults
+        search = ExhaustiveSearch(
+            small_objects, box1_system, fresh_estimator(small_catalog),
+            workers=WORKERS, shard_timeout_s=1.0, fault_plan=plan,
+            schedule="steal",
+        )
+        result = search.search(small_workload)
+        assert result.feasible == serial_reference.feasible
+        assert result.toc_cents == serial_reference.toc_cents
+        assert result.layout == serial_reference.layout
+        assert not result.timed_out
+        assert search.last_batch_stats.steals > 0
+
     def test_serial_path_injects_faults_without_killing_the_process(
             self, small_objects, box1_system, small_catalog, small_workload,
             serial_reference):
