@@ -1,68 +1,69 @@
-"""Figure 3 / Figure 4: original TPC-H workload at relative SLA 0.5 (both boxes)."""
+"""Figure 3 / Figure 4: original TPC-H workload at relative SLA 0.5 (both boxes).
+
+Both benchmarks are thin spec declarations over the experiment orchestrator:
+the figure's spec matrix is diffed against the session results store, only
+missing arms run, and the assertions read the assembled store payloads --
+Figure 4 reuses the very rows the Figure 3 benchmark recorded.
+"""
 
 import pytest
 
-from repro.experiments import figures
-from repro.experiments.reporting import format_layout_assignment
-
-from conftest import run_once, write_bench_json
+from conftest import orchestrate, run_once, write_bench_json
 
 from repro.obs import log as obs_log
 log = obs_log.get_logger("benchmarks.bench_fig3_tpch_original")
 
 
-def _evaluation_payload(results):
+def _evaluation_payload(assembled):
     """Per-box TOC/PSR of every evaluated layout for the BENCH json."""
     return {
         "elapsed_s": run_once.last_elapsed_s,
         "boxes": {
             box_name: {
-                evaluation.layout_name: {
-                    "toc_cents": evaluation.toc_cents,
-                    "psr": evaluation.psr,
+                evaluation["layout_name"]: {
+                    "toc_cents": evaluation["toc_cents"],
+                    "psr": evaluation["psr"],
                 }
-                for evaluation in result["evaluations"]
+                for evaluation in arm["data"]["evaluations"]
             }
-            for box_name, result in results.items()
+            for box_name, arm in assembled.items()
         },
     }
 
 
 def test_fig3_original_tpch_sla05(benchmark):
-    results = run_once(benchmark, figures.figure3, 20.0, 3)
-    write_bench_json("fig3_tpch_original", _evaluation_payload(results))
-    for box_name, result in results.items():
-        log.info(f"\n=== {box_name} ===\n{result['text']}")
-        benchmark.extra_info[box_name] = result["text"]
-        by_name = {e.layout_name: e for e in result["evaluations"]}
+    assembled = run_once(benchmark, orchestrate, "fig3")
+    write_bench_json("fig3_tpch_original", _evaluation_payload(assembled))
+    for box_name, arm in assembled.items():
+        log.info(f"\n=== {box_name} ===\n{arm['text']}")
+        benchmark.extra_info[box_name] = arm["text"]
+        by_name = {e["layout_name"]: e for e in arm["data"]["evaluations"]}
 
         # Paper: DOT saves more than 3x TOC against All H-SSD while keeping a
         # 100 % PSR; the simple all-on-one-class layouts are either expensive
         # or miss the SLA.
-        assert by_name["DOT"].toc_cents < by_name["All H-SSD"].toc_cents / 2.0
-        assert by_name["DOT"].psr >= 0.95
-        assert by_name["All H-SSD"].psr == pytest.approx(1.0)
+        assert by_name["DOT"]["toc_cents"] < by_name["All H-SSD"]["toc_cents"] / 2.0
+        assert by_name["DOT"]["psr"] >= 0.95
+        assert by_name["All H-SSD"]["psr"] == pytest.approx(1.0)
         # DOT never costs more than the Object Advisor baseline.
-        assert by_name["DOT"].toc_cents <= by_name["OA"].toc_cents * 1.05
+        assert by_name["DOT"]["toc_cents"] <= by_name["OA"]["toc_cents"] * 1.05
 
 
 def test_fig4_dot_layouts_for_original_tpch(benchmark):
-    layouts = run_once(benchmark, figures.figure4, 20.0, 3)
+    assembled = run_once(benchmark, orchestrate, "fig4")
     write_bench_json(
         "fig4_dot_layouts_original",
         {
             "elapsed_s": run_once.last_elapsed_s,
             "assignments": {
-                box_name: entry["layout"].assignment()
-                for box_name, entry in layouts.items()
+                box_name: entry["assignment"] for box_name, entry in assembled.items()
             },
         },
     )
-    for box_name, entry in layouts.items():
+    for box_name, entry in assembled.items():
         log.info(f"\n=== {box_name} ===\n{entry['text']}")
         benchmark.extra_info[box_name] = entry["text"]
-        layout = entry["layout"]
         # The SR-dominated bulk data (lineitem) leaves the H-SSD for the
         # cost-effective sequential classes, as in the paper's Figure 4.
-        assert layout.class_name_of("lineitem") != "H-SSD"
-        assert layout.satisfies_capacity()
+        assert entry["assignment"]["lineitem"] != "H-SSD"
+        assert entry["satisfies_capacity"]

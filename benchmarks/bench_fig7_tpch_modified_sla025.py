@@ -1,48 +1,53 @@
-"""Figure 7: modified TPC-H workload at the looser relative SLA of 0.25."""
+"""Figure 7: modified TPC-H workload at the looser relative SLA of 0.25.
+
+A thin spec declaration over the experiment orchestrator.  The SLA-0.5
+comparison it contrasts against comes from the same session store -- when
+the Figure 5 benchmark already ran, those rows are reused as-is.
+"""
 
 import pytest
 
-from repro.experiments import figures
-
-from conftest import run_once, write_bench_json
+from conftest import orchestrate, run_once, write_bench_json
 
 from repro.obs import log as obs_log
 log = obs_log.get_logger("benchmarks.bench_fig7_tpch_modified_sla025")
 
 
 def test_fig7_modified_tpch_sla025(benchmark):
-    results = run_once(benchmark, figures.figure7, 20.0, 20)
-    sla05 = figures.figure5(20.0, 20)
+    assembled = run_once(benchmark, orchestrate, "fig7")
+    sla05 = orchestrate("fig5")
     write_bench_json(
         "fig7_tpch_modified_sla025",
         {
             "elapsed_s": run_once.last_elapsed_s,
             "boxes": {
                 box_name: {
-                    evaluation.layout_name: {
-                        "toc_cents": evaluation.toc_cents,
-                        "psr": evaluation.psr,
+                    evaluation["layout_name"]: {
+                        "toc_cents": evaluation["toc_cents"],
+                        "psr": evaluation["psr"],
                     }
-                    for evaluation in result["evaluations"]
+                    for evaluation in arm["data"]["evaluations"]
                 }
-                for box_name, result in results.items()
+                for box_name, arm in assembled.items()
             },
         },
     )
-    for box_name, result in results.items():
-        log.info(f"\n=== {box_name} ===\n{result['text']}")
-        benchmark.extra_info[box_name] = result["text"]
-        by_name = {e.layout_name: e for e in result["evaluations"]}
-        by_name_05 = {e.layout_name: e for e in sla05[box_name]["evaluations"]}
+    for box_name, arm in assembled.items():
+        log.info(f"\n=== {box_name} ===\n{arm['text']}")
+        benchmark.extra_info[box_name] = arm["text"]
+        by_name = {e["layout_name"]: e for e in arm["data"]["evaluations"]}
+        by_name_05 = {
+            e["layout_name"]: e for e in sla05[box_name]["data"]["evaluations"]
+        }
 
         # Paper: relaxing the SLA from 0.5 to 0.25 lets DOT move bulk data to
         # cheaper classes, widening the saving against All H-SSD (up to ~5x).
-        assert by_name["DOT"].toc_cents < by_name["All H-SSD"].toc_cents
-        assert by_name["DOT"].toc_cents <= by_name_05["DOT"].toc_cents * 1.05
+        assert by_name["DOT"]["toc_cents"] < by_name["All H-SSD"]["toc_cents"]
+        assert by_name["DOT"]["toc_cents"] <= by_name_05["DOT"]["toc_cents"] * 1.05
         # The measured PSR dips below 100 % because the validation run sees
         # buffer-pool and noise effects the optimizer's estimates do not
         # (recorded as a known deviation in EXPERIMENTS.md); it must stay at
         # least as good as the SLA-violating cheap simple layouts.
         hdd_like = "All HDD" if "All HDD" in by_name else "All HDD RAID 0"
-        assert by_name["DOT"].psr >= by_name[hdd_like].psr
-        assert by_name["DOT"].psr >= 0.5
+        assert by_name["DOT"]["psr"] >= by_name[hdd_like]["psr"]
+        assert by_name["DOT"]["psr"] >= 0.5

@@ -1,37 +1,39 @@
-"""Figure 8 and Table 3: TPC-C throughput/TOC for DOT and the simple layouts."""
+"""Figure 8 and Table 3: TPC-C throughput/TOC for DOT and the simple layouts.
+
+Thin spec declarations over the experiment orchestrator: Table 3 assembles
+its per-SLA DOT layouts from the Box 2 rows the Figure 8 benchmark recorded.
+"""
 
 import pytest
 
-from repro.experiments import figures
-
-from conftest import run_once, write_bench_json
+from conftest import orchestrate, run_once, write_bench_json
 
 from repro.obs import log as obs_log
 log = obs_log.get_logger("benchmarks.bench_fig8_tpcc")
 
 
 def test_fig8_tpcc_throughput_vs_toc(benchmark):
-    results = run_once(benchmark, figures.figure8, 300, (0.5, 0.25, 0.125), 300)
+    assembled = run_once(benchmark, orchestrate, "fig8")
     write_bench_json(
         "fig8_tpcc",
         {
             "elapsed_s": run_once.last_elapsed_s,
             "boxes": {
                 box_name: {
-                    evaluation.layout_name: {
-                        "toc_cents": evaluation.toc_cents,
-                        "tpmc": evaluation.transactions_per_minute,
+                    evaluation["layout_name"]: {
+                        "toc_cents": evaluation["toc_cents"],
+                        "tpmc": evaluation["transactions_per_minute"],
                     }
-                    for evaluation in result["evaluations"]
+                    for evaluation in arm["data"]["evaluations"]
                 }
-                for box_name, result in results.items()
+                for box_name, arm in assembled.items()
             },
         },
     )
-    for box_name, result in results.items():
-        log.info(f"\n=== {box_name} ===\n{result['text']}")
-        benchmark.extra_info[box_name] = result["text"]
-        by_name = {e.layout_name: e for e in result["evaluations"]}
+    for box_name, arm in assembled.items():
+        log.info(f"\n=== {box_name} ===\n{arm['text']}")
+        benchmark.extra_info[box_name] = arm["text"]
+        by_name = {e["layout_name"]: e for e in arm["data"]["evaluations"]}
 
         # DOT never costs more per transaction than All H-SSD, and relaxing
         # the SLA never increases its TOC.
@@ -40,34 +42,31 @@ def test_fig8_tpcc_throughput_vs_toc(benchmark):
         )
         assert dot_entries, "DOT produced no feasible TPC-C layouts"
         for name in dot_entries:
-            assert by_name[name].toc_cents <= by_name["All H-SSD"].toc_cents * 1.001
+            assert by_name[name]["toc_cents"] <= by_name["All H-SSD"]["toc_cents"] * 1.001
 
         # The all-HDD layout is dramatically slower than All H-SSD (the paper's
         # motivation for needing the fast tier at all).
         hdd_like = "All HDD" if "All HDD" in by_name else "All HDD RAID 0"
-        assert by_name[hdd_like].transactions_per_minute < (
-            by_name["All H-SSD"].transactions_per_minute / 5
+        assert by_name[hdd_like]["transactions_per_minute"] < (
+            by_name["All H-SSD"]["transactions_per_minute"] / 5
         )
 
 
 def test_table3_tpcc_dot_layouts_per_sla(benchmark):
-    result = run_once(benchmark, figures.table3, 300, (0.5, 0.25, 0.125), 300)
+    assembled = run_once(benchmark, orchestrate, "table3")
     write_bench_json(
         "table3_tpcc_dot_layouts",
         {
             "elapsed_s": run_once.last_elapsed_s,
-            "assignments": {
-                str(ratio): layout.assignment()
-                for ratio, layout in result["layouts"].items()
-            },
+            "assignments": assembled["assignments"],
         },
     )
-    log.info("\n" + result["text"])
-    benchmark.extra_info["table3"] = result["text"]
-    layouts = result["layouts"]
-    assert set(layouts) == {0.5, 0.25, 0.125}
-    for layout in layouts.values():
+    log.info("\n" + assembled["text"])
+    benchmark.extra_info["table3"] = assembled["text"]
+    assignments = assembled["assignments"]
+    assert set(assignments) == {"0.5", "0.25", "0.125"}
+    for ratio, assignment in assignments.items():
         # The hot random-I/O objects stay on the H-SSD at every SLA, as in the
         # paper's Table 3.
-        assert layout.class_name_of("stock") == "H-SSD"
-        assert layout.satisfies_capacity()
+        assert assignment["stock"] == "H-SSD"
+        assert assembled["satisfies_capacity"][ratio]

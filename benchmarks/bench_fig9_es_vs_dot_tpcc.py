@@ -1,50 +1,48 @@
-"""Figure 9 / Section 4.5.3: ES vs DOT for TPC-C under H-SSD capacity limits."""
+"""Figure 9 / Section 4.5.3: ES vs DOT for TPC-C under H-SSD capacity limits.
+
+A thin spec declaration over the experiment orchestrator: each capacity-limit
+arm is one content-addressed spec, executed only when missing from the
+session store and reassembled from its stored payload.
+"""
 
 import pytest
 
-from repro.experiments import figures
-
-from conftest import run_once, write_bench_json
+from conftest import orchestrate, run_once, write_bench_json
 
 from repro.obs import log as obs_log
 log = obs_log.get_logger("benchmarks.bench_fig9_es_vs_dot_tpcc")
 
 
 def test_fig9_es_vs_dot_tpcc(benchmark):
-    results = run_once(
-        benchmark,
-        figures.figure9,
-        300,
-        0.25,
-        (None, 21.0),
-        300,
-        ("stock", "order_line", "customer"),
-    )
+    assembled = run_once(benchmark, orchestrate, "fig9")
     write_bench_json(
         "fig9_es_vs_dot_tpcc",
         {
             "elapsed_s": run_once.last_elapsed_s,
             "configurations": {
                 label: {
-                    "dot_toc_cents": result["dot"].toc_cents,
-                    "es_toc_cents": result["es"].toc_cents,
-                    "dot_elapsed_s": result["dot"].elapsed_s,
-                    "es_elapsed_s": result["es"].elapsed_s,
-                    "es_evaluated": result["es"].evaluated_layouts,
+                    "dot_toc_cents": arm["data"]["dot"]["toc_cents"],
+                    "es_toc_cents": arm["data"]["es"]["toc_cents"],
+                    "dot_elapsed_s": arm["timing"]["dot_elapsed_s"],
+                    "es_elapsed_s": arm["timing"]["es_elapsed_s"],
+                    "es_evaluated": arm["data"]["es"]["evaluated_layouts"],
                 }
-                for label, result in results.items()
+                for label, arm in assembled.items()
             },
         },
     )
-    for label, result in results.items():
-        log.info(f"\n=== {label} ===\n{result['text']}")
-        benchmark.extra_info[label] = result["text"]
-        assert result["es"].feasible
-        assert result["dot"].feasible
-        dot_eval = result["dot_evaluation"]
-        es_eval = result["es_evaluation"]
+    for label, arm in assembled.items():
+        log.info(f"\n=== {label} ===\n{arm['text']}")
+        benchmark.extra_info[label] = arm["text"]
+        data = arm["data"]
+        assert data["es"]["feasible"]
+        assert data["dot"]["feasible"]
+        dot_eval = data["dot_evaluation"]
+        es_eval = data["es_evaluation"]
         # Paper: ES and DOT achieve almost the same tpmC and TOC.
-        assert dot_eval.toc_cents <= es_eval.toc_cents * 1.25
-        assert dot_eval.transactions_per_minute >= es_eval.transactions_per_minute * 0.75
+        assert dot_eval["toc_cents"] <= es_eval["toc_cents"] * 1.25
+        assert dot_eval["transactions_per_minute"] >= (
+            es_eval["transactions_per_minute"] * 0.75
+        )
         # DOT computes its layout orders of magnitude faster than ES.
-        assert result["dot"].elapsed_s < result["es"].elapsed_s
+        assert arm["timing"]["dot_elapsed_s"] < arm["timing"]["es_elapsed_s"]

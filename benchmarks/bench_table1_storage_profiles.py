@@ -1,59 +1,66 @@
-"""Table 1: storage prices and per-I/O-type profiles at concurrency 1 and 300."""
+"""Table 1: storage prices and per-I/O-type profiles at concurrency 1 and 300.
+
+Thin spec declarations over the experiment orchestrator; the assertions read
+the store-assembled payloads.
+"""
 
 import pytest
 
-from repro.storage import catalog
-from repro.experiments import figures
-
-from conftest import run_once, write_bench_json
+from conftest import orchestrate, run_once, write_bench_json
 
 from repro.obs import log as obs_log
 log = obs_log.get_logger("benchmarks.bench_table1_storage_profiles")
 
 
 def test_table1_storage_profiles(benchmark):
-    result = run_once(benchmark, figures.table1, (1, 300))
+    assembled = run_once(benchmark, orchestrate, "table1")
+    data = assembled["data"]
     write_bench_json(
         "table1_storage_profiles",
         {
             "elapsed_s": run_once.last_elapsed_s,
-            "prices_cents_per_gb_hour": result["prices_cents_per_gb_hour"],
-            "published_prices": result["published_prices"],
+            "prices_cents_per_gb_hour": data["prices_cents_per_gb_hour"],
+            "published_prices": data["published_prices"],
         },
     )
-    benchmark.extra_info["table"] = result["text"]
-    log.info("\n" + result["text"])
+    benchmark.extra_info["table"] = assembled["text"]
+    log.info("\n" + assembled["text"])
 
     # Prices match the published Table 1 within 10 %.
-    for name, published in result["published_prices"].items():
-        assert result["prices_cents_per_gb_hour"][name] == pytest.approx(published, rel=0.10)
+    for name, published in data["published_prices"].items():
+        assert data["prices_cents_per_gb_hour"][name] == pytest.approx(published, rel=0.10)
 
     # Measured profiles reproduce the paper's ordering: the H-SSD dominates
     # random reads, the L-SSD's random writes are worse than the HDD's, and
     # RAID 0 beats the single device on sequential reads.
-    rows = result["profiles"]
-    assert rows["H-SSD"][1].rand_read_ms < rows["L-SSD"][1].rand_read_ms < rows["HDD"][1].rand_read_ms
-    assert rows["L-SSD"][1].rand_write_ms > rows["HDD"][1].rand_write_ms
-    assert rows["HDD RAID 0"][1].seq_read_ms < rows["HDD"][1].seq_read_ms
-    assert rows["L-SSD RAID 0"][1].seq_read_ms < rows["L-SSD"][1].seq_read_ms
+    rows = data["profiles"]
+    assert (
+        rows["H-SSD"]["1"]["rand_read_ms"]
+        < rows["L-SSD"]["1"]["rand_read_ms"]
+        < rows["HDD"]["1"]["rand_read_ms"]
+    )
+    assert rows["L-SSD"]["1"]["rand_write_ms"] > rows["HDD"]["1"]["rand_write_ms"]
+    assert rows["HDD RAID 0"]["1"]["seq_read_ms"] < rows["HDD"]["1"]["seq_read_ms"]
+    assert rows["L-SSD RAID 0"]["1"]["seq_read_ms"] < rows["L-SSD"]["1"]["seq_read_ms"]
 
 
 def test_table2_device_specifications(benchmark):
-    result = run_once(benchmark, figures.table2)
+    assembled = run_once(benchmark, orchestrate, "table2")
+    devices = assembled["data"]["devices"]
     write_bench_json(
         "table2_devices",
         {
             "elapsed_s": run_once.last_elapsed_s,
             "devices": {
                 name: {
-                    "capacity_gb": spec.capacity_gb,
-                    "purchase_cost_usd": spec.purchase_cost_usd,
-                    "power_watts": spec.power_watts,
+                    "capacity_gb": spec["capacity_gb"],
+                    "purchase_cost_usd": spec["purchase_cost_usd"],
+                    "power_watts": spec["power_watts"],
                 }
-                for name, spec in result["devices"].items()
+                for name, spec in devices.items()
             },
         },
     )
-    benchmark.extra_info["table"] = result["text"]
-    log.info("\n" + result["text"])
-    assert set(result["devices"]) == {"HDD", "L-SSD", "H-SSD"}
+    benchmark.extra_info["table"] = assembled["text"]
+    log.info("\n" + assembled["text"])
+    assert set(devices) == {"HDD", "L-SSD", "H-SSD"}

@@ -129,6 +129,12 @@ class ExhaustiveSearch:
         Raw-speed knobs forwarded to the parallel engine: dynamic
         work-stealing shard units vs the static split, the steal-unit
         count, and shared-memory estimate-table transport to workers.
+    checkpoint_path:
+        Persist the parallel engine's :class:`~repro.core.parallel_search.
+        SearchProgress` to this file after every completed shard, and resume
+        from it when the file already holds a valid checkpoint (a corrupt
+        file is quarantined aside and the search starts over).  Only the
+        ``workers > 1`` path checkpoints; the serial paths ignore it.
     """
 
     def __init__(
@@ -157,6 +163,7 @@ class ExhaustiveSearch:
         schedule: str = "steal",
         steal_units: Optional[int] = None,
         use_shared_memory: bool = True,
+        checkpoint_path=None,
     ):
         self.objects = list(objects)
         self.system = system
@@ -181,6 +188,7 @@ class ExhaustiveSearch:
         self.schedule = schedule
         self.steal_units = steal_units
         self.use_shared_memory = use_shared_memory
+        self.checkpoint_path = checkpoint_path
         self.toc_model = TOCModel(estimator, cost_override=cost_override)
         self.checker = FeasibilityChecker(constraint)
         #: Batch-evaluation statistics of the last batch-path search (None
@@ -362,7 +370,11 @@ class ExhaustiveSearch:
         the worker pool, and reduces the shards' ``(TOC, enumeration index)``
         bests, which reproduces the serial batch result bit for bit.
         """
-        from repro.core.parallel_search import EnumerationSpec, ParallelEnumerationEngine
+        from repro.core.parallel_search import (
+            EnumerationSpec,
+            ParallelEnumerationEngine,
+            SearchProgress,
+        )
 
         evaluator = self._build_evaluator(workload, constraint)
         if evaluator is None:
@@ -411,9 +423,14 @@ class ExhaustiveSearch:
         )
         started = time.perf_counter()
         timed_out = False
+        resumed = (
+            SearchProgress.load_or_quarantine(self.checkpoint_path)
+            if self.checkpoint_path is not None
+            else None
+        )
         with engine:
             try:
-                progress = engine.run()
+                progress = engine.run(resumed, checkpoint_path=self.checkpoint_path)
             except SolverTimeoutError as exc:
                 # Deadline abort: the partial progress travels with the
                 # exception and its incumbent is the exact best of the

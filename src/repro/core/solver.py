@@ -264,7 +264,10 @@ class ExhaustiveSolver:
     solve-time ``budget`` is a hard wall-clock deadline in seconds: the
     enumeration stops at the deadline and returns the exact best of the
     layouts it scored, marked degraded.  ``max_layouts`` remains the
-    constructor-level guard on enumeration size.
+    constructor-level guard on enumeration size.  ``checkpoint_path``
+    persists (and resumes) the parallel engine's search progress so an
+    interrupted ``workers > 1`` enumeration restarts from its last
+    completed shard.
     """
 
     name = "es"
@@ -290,6 +293,7 @@ class ExhaustiveSolver:
         schedule: str = "steal",
         steal_units: Optional[int] = None,
         use_shared_memory: bool = True,
+        checkpoint_path=None,
     ):
         self.objects = list(objects) if objects is not None else None
         self.per_group = per_group
@@ -310,6 +314,7 @@ class ExhaustiveSolver:
         self.schedule = schedule
         self.steal_units = steal_units
         self.use_shared_memory = use_shared_memory
+        self.checkpoint_path = checkpoint_path
 
     def search(self, context: EvaluationContext, budget: Optional[float] = None) -> ExhaustiveSearch:
         """The underlying search this solver drives for ``context``."""
@@ -338,6 +343,7 @@ class ExhaustiveSolver:
             schedule=self.schedule,
             steal_units=self.steal_units,
             use_shared_memory=self.use_shared_memory,
+            checkpoint_path=self.checkpoint_path,
         )
 
     def solve(

@@ -94,6 +94,22 @@ class CheckpointCorruptionError(ReproError):
         super().__init__(message if path is None else f"{message} (checkpoint: {path})")
 
 
+class StoreSchemaError(ReproError):
+    """A results store was written under an incompatible schema version.
+
+    Distinct from :class:`CheckpointCorruptionError` (a damaged file): the
+    file is a healthy SQLite database, but its recorded ``schema_version``
+    does not match what this code writes -- re-running the experiments into
+    a fresh store is the only safe migration.
+    """
+
+    def __init__(self, message: str, path=None, found=None, expected=None):
+        self.path = path
+        self.found = found
+        self.expected = expected
+        super().__init__(message if path is None else f"{message} (store: {path})")
+
+
 class TelemetryGapError(ReproError, ValueError):
     """Telemetry needed for a decision is missing or unusable.
 

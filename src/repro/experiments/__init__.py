@@ -13,18 +13,25 @@ __all__ = [
     "run_solver_matrix",
     "drift",
     "figures",
+    "orchestrator",
     "reporting",
+    "specs",
+    "store",
 ]
+
+#: Submodules resolved lazily: drift pulls in the whole repro.online
+#: subsystem, and the orchestration layer (store/specs/orchestrator) is only
+#: needed by sweep entry points -- loading them on demand keeps a plain
+#: `import repro.experiments` light and independent of import ordering.
+_LAZY_SUBMODULES = ("drift", "orchestrator", "specs", "store")
 
 
 def __getattr__(name):
-    # The drift driver pulls in the whole repro.online subsystem; loading it
-    # lazily keeps `import repro.experiments` independent of it (and of any
-    # future online<->experiments import ordering).  importlib (rather than a
-    # from-import) avoids re-entering this __getattr__ through the import
-    # system's own hasattr probe, which would recurse without terminating.
-    if name == "drift":
+    # importlib (rather than a from-import) avoids re-entering this
+    # __getattr__ through the import system's own hasattr probe, which would
+    # recurse without terminating.
+    if name in _LAZY_SUBMODULES:
         import importlib
 
-        return importlib.import_module("repro.experiments.drift")
+        return importlib.import_module(f"repro.experiments.{name}")
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

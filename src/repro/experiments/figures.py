@@ -316,46 +316,61 @@ def tpch_es_objects() -> Tuple[str, ...]:
 # TPC-C experiments (Figure 8, Table 3, Figure 9)
 # ---------------------------------------------------------------------------
 
+def figure8_box(
+    box_name: str,
+    warehouses: int = 300,
+    sla_ratios: Sequence[float] = (0.5, 0.25, 0.125),
+    concurrency: int = 300,
+) -> Dict[str, object]:
+    """One Figure 8 arm: TPC-C tpmC versus TOC on a single box.
+
+    Builds its scenario bundle freshly, so one arm is independently
+    reproducible -- the unit the experiment orchestrator records and the
+    store-driven figure pipeline reassembles.
+    """
+    bundle = scenarios.build("tpcc_fig8", warehouses=warehouses, concurrency=concurrency)
+    workload, estimator, objects = bundle.workload, bundle.estimator, bundle.objects
+    system = scenarios.box_system(box_name)
+    runner = ExperimentRunner(objects, system, estimator)
+    profiler = WorkloadProfiler(objects, system, estimator)
+    # The paper profiles TPC-C on a single All H-SSD baseline via a test
+    # run, because the (random-I/O) plans never change with the layout.
+    single_pattern = profiler.single_baseline_pattern()
+    profiles = profiler.profile(workload, mode="testrun", patterns=[single_pattern])
+
+    layouts: Dict[str, Layout] = dict(simple_layouts(objects, system))
+    dot_layouts: Dict[str, Layout] = {}
+    per_sla = {}
+    for ratio in sla_ratios:
+        constraint = runner.resolve_constraint(
+            workload, RelativeSLA(ratio, metric="throughput"), mode="estimate"
+        )
+        context = bundle.context(system=system, sla=constraint, profiles=profiles)
+        outcome = DOTSolver().solve(context)
+        per_sla[ratio] = outcome
+        if outcome.feasible:
+            name = f"DOT (SLA {ratio:g})"
+            dot_layouts[name] = outcome.layout.renamed(name)
+    layouts.update(dot_layouts)
+    evaluations = runner.evaluate_layouts(layouts, workload, sla=None)
+    evaluations.sort(key=lambda evaluation: -(evaluation.transactions_per_minute or 0.0))
+    return {
+        "evaluations": evaluations,
+        "dot_results": per_sla,
+        "text": format_evaluations(evaluations, metric_label="tpmC"),
+    }
+
+
 def figure8(
     warehouses: int = 300,
     sla_ratios: Sequence[float] = (0.5, 0.25, 0.125),
     concurrency: int = 300,
 ) -> Dict[str, object]:
     """Figure 8: TPC-C tpmC versus TOC for DOT (per SLA) and the simple layouts."""
-    bundle = scenarios.build("tpcc_fig8", warehouses=warehouses, concurrency=concurrency)
-    workload, estimator, objects = bundle.workload, bundle.estimator, bundle.objects
-    results: Dict[str, Dict[str, object]] = {}
-    for box_name in ("Box 1", "Box 2"):
-        system = scenarios.box_system(box_name)
-        runner = ExperimentRunner(objects, system, estimator)
-        profiler = WorkloadProfiler(objects, system, estimator)
-        # The paper profiles TPC-C on a single All H-SSD baseline via a test
-        # run, because the (random-I/O) plans never change with the layout.
-        single_pattern = profiler.single_baseline_pattern()
-        profiles = profiler.profile(workload, mode="testrun", patterns=[single_pattern])
-
-        layouts: Dict[str, Layout] = dict(simple_layouts(objects, system))
-        dot_layouts: Dict[str, Layout] = {}
-        per_sla = {}
-        for ratio in sla_ratios:
-            constraint = runner.resolve_constraint(
-                workload, RelativeSLA(ratio, metric="throughput"), mode="estimate"
-            )
-            context = bundle.context(system=system, sla=constraint, profiles=profiles)
-            outcome = DOTSolver().solve(context)
-            per_sla[ratio] = outcome
-            if outcome.feasible:
-                name = f"DOT (SLA {ratio:g})"
-                dot_layouts[name] = outcome.layout.renamed(name)
-        layouts.update(dot_layouts)
-        evaluations = runner.evaluate_layouts(layouts, workload, sla=None)
-        evaluations.sort(key=lambda evaluation: -(evaluation.transactions_per_minute or 0.0))
-        results[box_name] = {
-            "evaluations": evaluations,
-            "dot_results": per_sla,
-            "text": format_evaluations(evaluations, metric_label="tpmC"),
-        }
-    return results
+    return {
+        box_name: figure8_box(box_name, warehouses, sla_ratios, concurrency)
+        for box_name in ("Box 1", "Box 2")
+    }
 
 
 def table3(
@@ -411,6 +426,44 @@ def figure9(
     pruned parallel engine carries the enumeration (the layout-count guard
     then becomes soft).
     """
+    return {
+        figure9_limit_label(limit): figure9_arm(
+            limit,
+            warehouses=warehouses,
+            sla_ratio=sla_ratio,
+            concurrency=concurrency,
+            hot_groups=hot_groups,
+            es_workers=es_workers,
+            es_max_layouts=es_max_layouts,
+        )
+        for limit in hssd_capacity_limits_gb
+    }
+
+
+def figure9_limit_label(limit: Optional[float]) -> str:
+    """The display label of one Figure 9 capacity-limit arm."""
+    return f"H-SSD limit {limit:g} GB" if limit is not None else "No limit"
+
+
+def figure9_arm(
+    limit: Optional[float],
+    warehouses: int = 300,
+    sla_ratio: float = 0.25,
+    concurrency: int = 300,
+    hot_groups: Optional[Sequence[str]] = ("stock", "order_line", "customer"),
+    es_workers: int = 1,
+    es_max_layouts: int = 500_000,
+    es_checkpoint_path=None,
+) -> Dict[str, object]:
+    """One Figure 9 arm: ES vs DOT under a single H-SSD capacity limit.
+
+    Builds its scenario bundle freshly so one arm is independently
+    reproducible (the unit the experiment orchestrator records), and
+    optionally persists the parallel enumeration's
+    :class:`~repro.core.parallel_search.SearchProgress` to
+    ``es_checkpoint_path`` so an interrupted full-space sweep resumes from
+    its last completed shard.
+    """
     bundle = scenarios.build(
         "fig9_tpcc", warehouses=warehouses, concurrency=concurrency, sla_ratio=sla_ratio
     )
@@ -422,63 +475,60 @@ def figure9(
         hot = [obj for obj in all_objects if (obj.table or obj.name) in set(hot_groups)]
         cold = [obj for obj in all_objects if obj not in hot]
 
-    results: Dict[str, Dict[str, object]] = {}
-    for limit in hssd_capacity_limits_gb:
-        limits = {"H-SSD": limit} if limit is not None else {}
-        system = scenarios.box_system("Box 2", capacity_limits_gb=limits)
-        pinned_class = system.most_expensive().name
+    limits = {"H-SSD": limit} if limit is not None else {}
+    system = scenarios.box_system("Box 2", capacity_limits_gb=limits)
+    pinned_class = system.most_expensive().name
 
-        runner = ExperimentRunner(all_objects, system, estimator)
-        # The context resolves the estimate-derived search constraint, owns
-        # the estimate table DOT's walk and the enumeration share (the
-        # test-run profiling cannot use it), and profiles lazily on the
-        # single all-fast baseline the scenario prescribes.
-        context = bundle.context(system=system)
-        constraint = runner.resolve_constraint(
-            workload, RelativeSLA(sla_ratio, metric="throughput"), mode="run"
+    runner = ExperimentRunner(all_objects, system, estimator)
+    # The context resolves the estimate-derived search constraint, owns
+    # the estimate table DOT's walk and the enumeration share (the
+    # test-run profiling cannot use it), and profiles lazily on the
+    # single all-fast baseline the scenario prescribes.
+    context = bundle.context(system=system)
+    constraint = runner.resolve_constraint(
+        workload, RelativeSLA(sla_ratio, metric="throughput"), mode="run"
+    )
+
+    outcomes = run_solver_matrix(
+        context,
+        [
+            # DOT over the full object set (as the paper does).
+            DOTSolver(),
+            # ES over the hot objects with the cold objects pinned.
+            ExhaustiveSolver(
+                objects=hot,
+                per_group=True,
+                pinned_objects=cold,
+                pinned_class=pinned_class,
+                workers=es_workers,
+                max_layouts=es_max_layouts,
+                checkpoint_path=es_checkpoint_path,
+            ),
+        ],
+    )
+    dot_outcome, es_outcome = outcomes["dot"], outcomes["es"]
+
+    rows = []
+    entry: Dict[str, object] = {
+        "constraint": constraint,
+        "dot": dot_outcome,
+        "es": es_outcome,
+        "es_stats": es_outcome.stats.batch,
+    }
+    for method, outcome in (("DOT", dot_outcome), ("ES", es_outcome)):
+        if not outcome.feasible:
+            rows.append([method, float("nan"), float("nan"), outcome.elapsed_s])
+            continue
+        evaluation = runner.evaluate_layout(
+            outcome.layout.renamed(method), workload, constraint
         )
-
-        outcomes = run_solver_matrix(
-            context,
-            [
-                # DOT over the full object set (as the paper does).
-                DOTSolver(),
-                # ES over the hot objects with the cold objects pinned.
-                ExhaustiveSolver(
-                    objects=hot,
-                    per_group=True,
-                    pinned_objects=cold,
-                    pinned_class=pinned_class,
-                    workers=es_workers,
-                    max_layouts=es_max_layouts,
-                ),
-            ],
+        entry[f"{method.lower()}_evaluation"] = evaluation
+        rows.append(
+            [method, evaluation.transactions_per_minute, evaluation.toc_cents,
+             outcome.elapsed_s]
         )
-        dot_outcome, es_outcome = outcomes["dot"], outcomes["es"]
-
-        label = f"H-SSD limit {limit:g} GB" if limit is not None else "No limit"
-        rows = []
-        entry: Dict[str, object] = {
-            "constraint": constraint,
-            "dot": dot_outcome,
-            "es": es_outcome,
-            "es_stats": es_outcome.stats.batch,
-        }
-        for method, outcome in (("DOT", dot_outcome), ("ES", es_outcome)):
-            if not outcome.feasible:
-                rows.append([method, float("nan"), float("nan"), outcome.elapsed_s])
-                continue
-            evaluation = runner.evaluate_layout(
-                outcome.layout.renamed(method), workload, constraint
-            )
-            entry[f"{method.lower()}_evaluation"] = evaluation
-            rows.append(
-                [method, evaluation.transactions_per_minute, evaluation.toc_cents,
-                 outcome.elapsed_s]
-            )
-        entry["text"] = format_table(["Method", "tpmC", "TOC (cents/txn)", "Search time (s)"], rows)
-        results[label] = entry
-    return results
+    entry["text"] = format_table(["Method", "tpmC", "TOC (cents/txn)", "Search time (s)"], rows)
+    return entry
 
 
 # ---------------------------------------------------------------------------
